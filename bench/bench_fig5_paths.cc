@@ -1,0 +1,42 @@
+// Figure 5: the labelled-dag view of conjunctive monadic queries and
+// their path decomposition (Lemma 4.1). Measures path enumeration over
+// random query dags; the path count grows exponentially with query
+// width, which is exactly why data complexity (fixed query) is cheap
+// while combined complexity is not.
+
+#include <benchmark/benchmark.h>
+
+#include "core/flexiword.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+void BM_Fig5_PathEnumeration(benchmark::State& state) {
+  const int num_vars = static_cast<int>(state.range(0));
+  Rng rng(41);
+  auto vocab = std::make_shared<Vocabulary>();
+  Query query = RandomConjunctiveMonadicQuery(num_vars, 3, 0.25, 0.4, 0.2,
+                                              vocab, rng);
+  Result<NormQuery> norm = NormalizeQuery(query);
+  IODB_CHECK(norm.ok());
+  const NormConjunct& conjunct = norm.value().disjuncts[0];
+  long long paths = 0;
+  for (auto _ : state) {
+    paths = 0;
+    ForEachPath(conjunct.dag, conjunct.labels, [&](const FlexiWord&) {
+      ++paths;
+      return true;
+    });
+    benchmark::DoNotOptimize(paths);
+  }
+  state.counters["paths"] = static_cast<double>(paths);
+  state.counters["width"] = conjunct.Width();
+}
+BENCHMARK(BM_Fig5_PathEnumeration)
+    ->RangeMultiplier(2)
+    ->Range(4, 32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace iodb

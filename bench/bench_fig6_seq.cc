@@ -1,0 +1,75 @@
+// Figure 6: the SEQ algorithm. The paper claims O(|D| · |p| · |Pred|);
+// the three series sweep each factor with the others held fixed. The
+// measured shape should be (near-)linear in every sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "core/seq.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+struct SeqInstance {
+  NormDb db;
+  FlexiWord pattern;
+};
+
+SeqInstance Make(int db_scale, int pattern_len, int num_preds) {
+  Rng rng(47);
+  auto vocab = std::make_shared<Vocabulary>();
+  MonadicDbParams params;
+  params.num_chains = 3;
+  params.chain_length = db_scale / 3 + 1;
+  params.num_predicates = num_preds;
+  params.label_probability = 0.5;
+  params.le_probability = 0.3;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  Result<NormDb> norm = Normalize(db);
+  IODB_CHECK(norm.ok());
+  Query query =
+      RandomSequentialQuery(pattern_len, num_preds, 0.4, 0.3, vocab, rng);
+  Result<NormQuery> nq = NormalizeQuery(query);
+  IODB_CHECK(nq.ok());
+  return {std::move(norm.value()),
+          SequentialPattern(nq.value().disjuncts[0])};
+}
+
+void BM_Fig6_Seq_DbSweep(benchmark::State& state) {
+  SeqInstance inst = Make(static_cast<int>(state.range(0)), 8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SeqEntails(inst.db, inst.pattern));
+  }
+  state.SetComplexityN(inst.db.num_points());
+}
+BENCHMARK(BM_Fig6_Seq_DbSweep)
+    ->RangeMultiplier(2)
+    ->Range(32, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_Fig6_Seq_PatternSweep(benchmark::State& state) {
+  SeqInstance inst = Make(512, static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SeqEntails(inst.db, inst.pattern));
+  }
+  state.SetComplexityN(inst.pattern.size());
+}
+BENCHMARK(BM_Fig6_Seq_PatternSweep)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity();
+
+void BM_Fig6_Seq_PredicateSweep(benchmark::State& state) {
+  SeqInstance inst = Make(512, 8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SeqEntails(inst.db, inst.pattern));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fig6_Seq_PredicateSweep)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
+
+}  // namespace
+}  // namespace iodb

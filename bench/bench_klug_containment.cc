@@ -1,0 +1,97 @@
+// Proposition 2.10 / Klug: containment of conjunctive queries with
+// inequalities. Order-free containment (NP, homomorphism) is compared
+// with order-enriched containment through the entailment reduction (Π₂ᵖ
+// in general); the shape to observe is the cost gap as order atoms enter.
+
+#include <benchmark/benchmark.h>
+
+#include "containment/containment.h"
+#include "util/random.h"
+
+namespace iodb {
+namespace {
+
+RelationalQuery RandomOrderFreeQuery(int num_vars, int num_atoms,
+                                     const std::string& prefix, Rng& rng) {
+  QueryConjunct body;
+  for (int i = 0; i < num_vars; ++i) body.Exists(prefix + std::to_string(i));
+  for (int a = 0; a < num_atoms; ++a) {
+    body.Atom("R", {prefix + std::to_string(rng.UniformInt(0, num_vars - 1)),
+                    prefix + std::to_string(rng.UniformInt(0, num_vars - 1))});
+  }
+  return {std::move(body), {}};
+}
+
+RelationalQuery RandomOrderQuery(int num_vars, const std::string& prefix,
+                                 Rng& rng) {
+  QueryConjunct body;
+  for (int i = 0; i < num_vars; ++i) {
+    std::string v = prefix + std::to_string(i);
+    body.Exists(v);
+    body.Atom("A", {v});
+  }
+  for (int i = 0; i < num_vars; ++i) {
+    for (int j = i + 1; j < num_vars; ++j) {
+      if (rng.Bernoulli(0.4)) {
+        body.Order(prefix + std::to_string(i),
+                   rng.Bernoulli(0.5) ? OrderRel::kLt : OrderRel::kLe,
+                   prefix + std::to_string(j));
+      }
+    }
+  }
+  return {std::move(body), {}};
+}
+
+void BM_Klug_OrderFreeHomomorphism(benchmark::State& state) {
+  const int num_vars = static_cast<int>(state.range(0));
+  Rng rng(83);
+  RelationalQuery q1 = RandomOrderFreeQuery(num_vars, num_vars + 1, "x", rng);
+  RelationalQuery q2 = RandomOrderFreeQuery(num_vars, num_vars, "y", rng);
+  for (auto _ : state) {
+    Result<bool> result = HomomorphismContained(q1, q2);
+    IODB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value());
+  }
+}
+BENCHMARK(BM_Klug_OrderFreeHomomorphism)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Klug_OrderFreeViaReduction(benchmark::State& state) {
+  const int num_vars = static_cast<int>(state.range(0));
+  Rng rng(83);
+  RelationalQuery q1 = RandomOrderFreeQuery(num_vars, num_vars + 1, "x", rng);
+  RelationalQuery q2 = RandomOrderFreeQuery(num_vars, num_vars, "y", rng);
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("R", {Sort::kObject, Sort::kObject});
+  for (auto _ : state) {
+    Result<ContainmentResult> result =
+        Contained(q1, q2, vocab, OrderSemantics::kFinite);
+    IODB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().contained);
+  }
+}
+BENCHMARK(BM_Klug_OrderFreeViaReduction)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Klug_WithOrderAtoms(benchmark::State& state) {
+  const int num_vars = static_cast<int>(state.range(0));
+  Rng rng(89);
+  RelationalQuery q1 = RandomOrderQuery(num_vars, "x", rng);
+  RelationalQuery q2 = RandomOrderQuery(std::max(2, num_vars - 1), "y", rng);
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("A", {Sort::kOrder});
+  for (auto _ : state) {
+    Result<ContainmentResult> result =
+        Contained(q1, q2, vocab, OrderSemantics::kFinite);
+    IODB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().contained);
+  }
+}
+BENCHMARK(BM_Klug_WithOrderAtoms)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace iodb

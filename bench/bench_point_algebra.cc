@@ -1,0 +1,84 @@
+// The point algebra (Sections 1 and 7 context): deriving the entailed
+// relation between two order constants is polynomial — in sharp contrast
+// with positive existential queries. Sweeps database size; each relation
+// query is a constant number of linear-time consistency probes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/intervals.h"
+#include "core/point_algebra.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+Database MakeDb(int num_chains, int chain_length, double neq_probability,
+                Rng& rng) {
+  auto vocab = std::make_shared<Vocabulary>();
+  MonadicDbParams params;
+  params.num_chains = num_chains;
+  params.chain_length = chain_length;
+  params.num_predicates = 1;
+  params.label_probability = 0.0;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  // Sprinkle inequalities across chains.
+  for (int c = 0; c + 1 < num_chains; ++c) {
+    for (int i = 0; i < chain_length; ++i) {
+      if (rng.Bernoulli(neq_probability)) {
+        db.AddNotEqual("c" + std::to_string(c) + "_" + std::to_string(i),
+                       "c" + std::to_string(c + 1) + "_" +
+                           std::to_string(i));
+      }
+    }
+  }
+  return db;
+}
+
+void BM_PointAlgebra_RelationQueries(benchmark::State& state) {
+  const int chain_length = static_cast<int>(state.range(0));
+  Rng rng(131);
+  Database db = MakeDb(3, chain_length, 0.2, rng);
+  for (auto _ : state) {
+    Result<PointRelation> r =
+        RelationBetween(db, "c0_0", "c2_" + std::to_string(chain_length - 1));
+    IODB_CHECK(r.ok());
+    benchmark::DoNotOptimize(r.value().can_lt);
+  }
+  state.SetComplexityN(3 * chain_length);
+}
+BENCHMARK(BM_PointAlgebra_RelationQueries)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_PointAlgebra_AllenPossibleRelations(benchmark::State& state) {
+  const int num_intervals = static_cast<int>(state.range(0));
+  Rng rng(137);
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  std::vector<Interval> intervals;
+  for (int i = 0; i < num_intervals; ++i) {
+    Interval iv{"s" + std::to_string(i), "e" + std::to_string(i)};
+    DeclareInterval(db, iv);
+    intervals.push_back(iv);
+  }
+  // Chain them loosely: i meets-or-overlaps i+1 via a shared witness.
+  for (int i = 0; i + 1 < num_intervals; ++i) {
+    db.AddOrder(intervals[i].start, OrderRel::kLt, intervals[i + 1].start);
+    db.AddOrder(intervals[i].end, OrderRel::kLe, intervals[i + 1].end);
+  }
+  for (auto _ : state) {
+    Result<std::vector<AllenRelation>> possible =
+        PossibleRelations(db, intervals.front(), intervals.back());
+    IODB_CHECK(possible.ok());
+    benchmark::DoNotOptimize(possible.value().size());
+  }
+  state.SetComplexityN(num_intervals);
+}
+BENCHMARK(BM_PointAlgebra_AllenPossibleRelations)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity();
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,63 @@
+// Section 7 / Theorem 7.1: inequality brings hardness back. The two
+// 3-colorability reductions are swept over graph size: the expression-
+// complexity instance (fixed 3-point database, growing "!="-query whose
+// rewriting doubles per edge) and the data-complexity instance (fixed
+// sequential query, growing "!="-database handled by the brute-force
+// engine).
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "reductions/coloring_to_inequality.h"
+
+namespace iodb {
+namespace {
+
+void BM_Sec7_ExpressionComplexity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(97);
+  SimpleGraph graph = RandomGraph(n, 0.4, rng);
+  auto vocab = std::make_shared<Vocabulary>();
+  ColoringExpressionInstance inst = ColoringToExpression(graph, vocab);
+  for (auto _ : state) {
+    Result<EntailResult> result = Entails(inst.db, inst.query);
+    IODB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().entailed);
+  }
+  state.counters["edges"] = static_cast<double>(graph.edges.size());
+}
+BENCHMARK(BM_Sec7_ExpressionComplexity)
+    ->DenseRange(3, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Sec7_DataComplexity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(101);
+  SimpleGraph graph = RandomGraph(n, 0.4, rng);
+  auto vocab = std::make_shared<Vocabulary>();
+  ColoringDataInstance inst = ColoringToData(graph, vocab);
+  for (auto _ : state) {
+    Result<EntailResult> result = Entails(inst.db, inst.query);
+    IODB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().entailed);
+  }
+  state.counters["edges"] = static_cast<double>(graph.edges.size());
+}
+BENCHMARK(BM_Sec7_DataComplexity)
+    ->DenseRange(3, 6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Sec7_ColoringOracle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(101);
+  SimpleGraph graph = RandomGraph(n, 0.4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsThreeColorable(graph));
+  }
+}
+BENCHMARK(BM_Sec7_ColoringOracle)
+    ->DenseRange(3, 7)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,45 @@
+// Table 1, row "n-ary", column "Combined": Π₂ᵖ-complete combined
+// complexity, via the Theorem 3.3 reduction from Π₂-SAT. Both the
+// database (universal gadgets) and the query (Val encoding) grow.
+// The direct Π₂ evaluator provides the baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "logic/qbf.h"
+#include "reductions/qbf_to_entailment.h"
+
+namespace iodb {
+namespace {
+
+void BM_Table1_Combined_Pi2(benchmark::State& state) {
+  const int num_universal = static_cast<int>(state.range(0));
+  Rng rng(11);
+  Pi2Formula formula = RandomPi2(num_universal, 2, 6, rng);
+  auto vocab = std::make_shared<Vocabulary>();
+  QbfReduction reduction = Pi2ToEntailment(formula, vocab);
+  for (auto _ : state) {
+    Result<EntailResult> result = Entails(reduction.db, reduction.query);
+    IODB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().entailed);
+  }
+  state.counters["db_atoms"] = reduction.db.SizeAtoms();
+}
+BENCHMARK(BM_Table1_Combined_Pi2)
+    ->DenseRange(1, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Table1_Combined_Pi2Baseline(benchmark::State& state) {
+  const int num_universal = static_cast<int>(state.range(0));
+  Rng rng(11);
+  Pi2Formula formula = RandomPi2(num_universal, 2, 6, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluatePi2(formula));
+  }
+}
+BENCHMARK(BM_Table1_Combined_Pi2Baseline)
+    ->DenseRange(1, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,54 @@
+// Table 1, row "n-ary", column "Data": co-NP-complete data complexity.
+//
+// The query is FIXED (the Theorem 3.2 query); the database grows with the
+// size of a random monotone 3-SAT instance. The expected shape: runtime
+// grows superpolynomially in the database size (the engine is the generic
+// minimal-model countermodel search), in contrast with the monadic row
+// (bench_table1_monadic), which stays polynomial. A DPLL baseline decides
+// the same underlying instances directly.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "logic/sat_solver.h"
+#include "reductions/sat_to_entailment.h"
+
+namespace iodb {
+namespace {
+
+void BM_Table1_Data_Nary(benchmark::State& state) {
+  const int num_clauses = static_cast<int>(state.range(0));
+  Rng rng(42);
+  CnfFormula cnf = RandomMonotone3Sat(4, num_clauses, rng);
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<SatReduction> reduction =
+      MonotoneSatToEntailment(cnf, vocab, /*bounded_width=*/true);
+  IODB_CHECK(reduction.ok());
+  long long models = 0;
+  for (auto _ : state) {
+    Result<EntailResult> result =
+        Entails(reduction.value().db, reduction.value().query);
+    IODB_CHECK(result.ok());
+    models = result.value().models_enumerated;
+    benchmark::DoNotOptimize(result.value().entailed);
+  }
+  state.counters["db_atoms"] = reduction.value().db.SizeAtoms();
+  state.counters["models"] = static_cast<double>(models);
+}
+BENCHMARK(BM_Table1_Data_Nary)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+
+void BM_Table1_Data_DpllBaseline(benchmark::State& state) {
+  const int num_clauses = static_cast<int>(state.range(0));
+  Rng rng(42);
+  CnfFormula cnf = RandomMonotone3Sat(4, num_clauses, rng);
+  for (auto _ : state) {
+    SatSolver solver;
+    benchmark::DoNotOptimize(solver.Solve(cnf).has_value());
+  }
+}
+BENCHMARK(BM_Table1_Data_DpllBaseline)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace iodb

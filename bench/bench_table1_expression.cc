@@ -1,0 +1,40 @@
+// Table 1, row "n-ary", column "Expression": NP-complete expression
+// complexity. The database is FIXED (the Theorem 3.3/3.4 truth-table
+// database E); queries encode random 3-SAT formulas of growing size via
+// the Val construction. Expected shape: growth in the query size that
+// outpaces any fixed polynomial on adversarial instances (model checking
+// of a conjunctive query is homomorphism search).
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "logic/sat_solver.h"
+#include "reductions/qbf_to_entailment.h"
+
+namespace iodb {
+namespace {
+
+void BM_Table1_Expression_Nary(benchmark::State& state) {
+  const int num_clauses = static_cast<int>(state.range(0));
+  Rng rng(7);
+  CnfFormula cnf = RandomKSat(4, num_clauses, 3, rng);
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = TruthTableDb(vocab);
+  Query query = SatQuery(CnfToFormula(cnf), 4, vocab);
+  for (auto _ : state) {
+    Result<EntailResult> result = Entails(db, query);
+    IODB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().entailed);
+  }
+  int query_atoms = 0;
+  for (const QueryConjunct& c : query.disjuncts()) {
+    query_atoms += static_cast<int>(c.proper_atoms.size());
+  }
+  state.counters["query_atoms"] = query_atoms;
+}
+BENCHMARK(BM_Table1_Expression_Nary)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,104 @@
+// Table 1, row "Monadic": data and expression complexity drop to PTIME,
+// combined complexity to co-NP.
+//
+//  * Data cell: a FIXED conjunctive monadic query over growing random
+//    width-2 databases — linear shape (Corollary 4.4, realized by the
+//    path/SEQ engine).
+//  * Expression cell: a FIXED database, growing disjunctive monadic
+//    queries evaluated in a fixed model — polynomial shape
+//    (Corollary 5.1).
+//  * Combined cell: the Theorem 4.6 tautology family — exponential shape
+//    in the number of DNF variables (co-NP-hard).
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "core/entail_paths.h"
+#include "core/parser.h"
+#include "logic/dnf.h"
+#include "reductions/dnf_taut_to_monadic.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+void BM_Table1_Monadic_Data(benchmark::State& state) {
+  const int chain_length = static_cast<int>(state.range(0));
+  Rng rng(3);
+  auto vocab = std::make_shared<Vocabulary>();
+  MonadicDbParams params;
+  params.num_chains = 2;
+  params.chain_length = chain_length;
+  params.num_predicates = 4;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  Result<NormDb> norm = Normalize(db);
+  IODB_CHECK(norm.ok());
+  // Fixed query: P0 < P1 <= P2 (a fixed set of paths).
+  Query query = RandomConjunctiveMonadicQuery(3, 4, 0.6, 0.5, 0.3, vocab,
+                                              rng);
+  Result<NormQuery> nq = NormalizeQuery(query);
+  IODB_CHECK(nq.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EntailByPaths(norm.value(), nq.value().disjuncts[0]).entailed);
+  }
+  state.counters["db_points"] = norm.value().num_points();
+  state.SetComplexityN(norm.value().num_points());
+}
+BENCHMARK(BM_Table1_Monadic_Data)
+    ->RangeMultiplier(2)
+    ->Range(64, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_Table1_Monadic_Expression(benchmark::State& state) {
+  // Fixed width-one database (a single model, Corollary 5.1); growing
+  // disjunctive query.
+  const int num_disjuncts = static_cast<int>(state.range(0));
+  Rng rng(5);
+  auto vocab = std::make_shared<Vocabulary>();
+  MonadicDbParams params;
+  params.num_chains = 1;
+  params.chain_length = 64;
+  params.num_predicates = 4;
+  params.le_probability = 0.0;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  Result<NormDb> norm = Normalize(db);
+  IODB_CHECK(norm.ok());
+  Query query = RandomDisjunctiveSequentialQuery(num_disjuncts, 4, 4, 0.4,
+                                                 0.3, vocab, rng);
+  Result<NormQuery> nq = NormalizeQuery(query);
+  IODB_CHECK(nq.ok());
+  for (auto _ : state) {
+    Result<EntailResult> result = Entails(db, query);
+    IODB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().entailed);
+  }
+  state.SetComplexityN(num_disjuncts);
+}
+BENCHMARK(BM_Table1_Monadic_Expression)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity(benchmark::oN);
+
+void BM_Table1_Monadic_Combined(benchmark::State& state) {
+  // Theorem 4.6: combined complexity is co-NP-hard; the complete
+  // tautology over k variables has 2^k database components.
+  const int k = static_cast<int>(state.range(0));
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<MonadicTautReduction> reduction =
+      DnfTautToEntailment(CompleteTautology(k), vocab);
+  IODB_CHECK(reduction.ok());
+  for (auto _ : state) {
+    Result<EntailResult> result =
+        Entails(reduction.value().db, reduction.value().query);
+    IODB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().entailed);
+  }
+  state.counters["db_atoms"] = reduction.value().db.SizeAtoms();
+}
+BENCHMARK(BM_Table1_Monadic_Combined)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,122 @@
+// Table 2: combined complexity of conjunctive monadic queries.
+//
+//   Sequential / bounded width      -> PTIME  (SEQ)
+//   Sequential / unbounded width    -> PTIME  (SEQ)
+//   Nonsequential / bounded width   -> PTIME  (Theorem 4.7)
+//   Nonsequential / unbounded width -> co-NP  (Theorem 4.6 family)
+//
+// The first three series grow both database and query and stay
+// polynomial; the fourth uses the DNF tautology family and blows up
+// exponentially in the variable count.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "core/entail_bounded_width.h"
+#include "core/seq.h"
+#include "logic/dnf.h"
+#include "reductions/dnf_taut_to_monadic.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+struct SequentialInstance {
+  NormDb db;
+  FlexiWord pattern;
+};
+
+SequentialInstance MakeSequential(int scale, int num_chains) {
+  Rng rng(13 + scale + num_chains);
+  auto vocab = std::make_shared<Vocabulary>();
+  MonadicDbParams params;
+  params.num_chains = num_chains;
+  params.chain_length = scale / num_chains + 1;
+  params.num_predicates = 4;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  Result<NormDb> norm = Normalize(db);
+  IODB_CHECK(norm.ok());
+  Query query = RandomSequentialQuery(scale / 4 + 1, 4, 0.4, 0.3, vocab, rng);
+  Result<NormQuery> nq = NormalizeQuery(query);
+  IODB_CHECK(nq.ok());
+  return {std::move(norm.value()),
+          SequentialPattern(nq.value().disjuncts[0])};
+}
+
+void BM_Table2_SequentialBoundedWidth(benchmark::State& state) {
+  SequentialInstance inst =
+      MakeSequential(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SeqEntails(inst.db, inst.pattern));
+  }
+  state.SetComplexityN(inst.db.num_points() * inst.pattern.size());
+}
+BENCHMARK(BM_Table2_SequentialBoundedWidth)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Complexity(benchmark::oN);
+
+void BM_Table2_SequentialUnboundedWidth(benchmark::State& state) {
+  // Width grows with the database (one chain per 4 points): SEQ stays
+  // polynomial regardless (Corollary 4.3).
+  const int scale = static_cast<int>(state.range(0));
+  SequentialInstance inst = MakeSequential(scale, std::max(2, scale / 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SeqEntails(inst.db, inst.pattern));
+  }
+  state.SetComplexityN(inst.db.num_points() * inst.pattern.size());
+}
+BENCHMARK(BM_Table2_SequentialUnboundedWidth)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Complexity(benchmark::oN);
+
+void BM_Table2_NonsequentialBoundedWidth(benchmark::State& state) {
+  // Random nonsequential conjunctive queries over width-2 databases:
+  // Theorem 4.7 keeps this polynomial.
+  const int scale = static_cast<int>(state.range(0));
+  Rng rng(29 + scale);
+  auto vocab = std::make_shared<Vocabulary>();
+  MonadicDbParams params;
+  params.num_chains = 2;
+  params.chain_length = scale / 2;
+  params.num_predicates = 4;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  Result<NormDb> norm = Normalize(db);
+  IODB_CHECK(norm.ok());
+  Query query =
+      RandomConjunctiveMonadicQuery(6, 4, 0.3, 0.4, 0.3, vocab, rng);
+  Result<NormQuery> nq = NormalizeQuery(query);
+  IODB_CHECK(nq.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EntailBoundedWidth(norm.value(), nq.value().disjuncts[0]).entailed);
+  }
+  state.SetComplexityN(norm.value().num_points());
+}
+BENCHMARK(BM_Table2_NonsequentialBoundedWidth)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity();
+
+void BM_Table2_NonsequentialUnboundedWidth(benchmark::State& state) {
+  // The co-NP cell: the Theorem 4.6 family; database width = 2 * number
+  // of disjuncts, and runtime grows exponentially in k.
+  const int k = static_cast<int>(state.range(0));
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<MonadicTautReduction> reduction =
+      DnfTautToEntailment(CompleteTautology(k), vocab);
+  IODB_CHECK(reduction.ok());
+  for (auto _ : state) {
+    Result<EntailResult> result =
+        Entails(reduction.value().db, reduction.value().query);
+    IODB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().entailed);
+  }
+}
+BENCHMARK(BM_Table2_NonsequentialUnboundedWidth)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,86 @@
+// Section 6 / Theorem 6.5: compiled-query (basis) evaluation. For a fixed
+// conjunctive monadic query the basis is {D_Φ}; evaluating the compiled
+// form is |Paths(Φ)| SEQ sweeps — linear in |D| — compared here against
+// the Theorem 4.7 engine (O(|D|^{k+1})) on the same instances, plus the
+// cost of the experimental word-basis search.
+
+#include <benchmark/benchmark.h>
+
+#include "core/entail_bounded_width.h"
+#include "core/wqo.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+struct Instance {
+  NormDb db;
+  NormConjunct conjunct;
+};
+
+Instance Make(int chain_length) {
+  Rng rng(73);
+  auto vocab = std::make_shared<Vocabulary>();
+  MonadicDbParams params;
+  params.num_chains = 2;
+  params.chain_length = chain_length;
+  params.num_predicates = 3;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  Result<NormDb> norm = Normalize(db);
+  IODB_CHECK(norm.ok());
+  Query query =
+      RandomConjunctiveMonadicQuery(4, 3, 0.4, 0.4, 0.3, vocab, rng);
+  Result<NormQuery> nq = NormalizeQuery(query);
+  IODB_CHECK(nq.ok());
+  return {std::move(norm.value()), nq.value().disjuncts[0]};
+}
+
+void BM_Wqo_CompiledEvaluation(benchmark::State& state) {
+  Instance inst = Make(static_cast<int>(state.range(0)));
+  CompiledQuery compiled = CompiledQuery::CompileConjunctive(inst.conjunct);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.Entails(inst.db));
+  }
+  state.SetComplexityN(inst.db.num_points());
+}
+BENCHMARK(BM_Wqo_CompiledEvaluation)
+    ->RangeMultiplier(2)
+    ->Range(16, 2048)
+    ->Complexity(benchmark::oN);
+
+void BM_Wqo_BoundedWidthComparison(benchmark::State& state) {
+  Instance inst = Make(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EntailBoundedWidth(inst.db, inst.conjunct).entailed);
+  }
+  state.SetComplexityN(inst.db.num_points());
+}
+BENCHMARK(BM_Wqo_BoundedWidthComparison)
+    ->RangeMultiplier(2)
+    ->Range(16, 2048)
+    ->Complexity();
+
+void BM_Wqo_WordBasisSearch(benchmark::State& state) {
+  Rng rng(79);
+  auto vocab = std::make_shared<Vocabulary>();
+  Query query = RandomDisjunctiveSequentialQuery(
+      2, static_cast<int>(state.range(0)), 2, 0.2, 0.0, vocab, rng);
+  Result<NormQuery> nq = NormalizeQuery(query);
+  IODB_CHECK(nq.ok());
+  size_t basis_size = 0;
+  for (auto _ : state) {
+    std::vector<FlexiWord> basis =
+        WordBasisSearch(nq.value(), static_cast<int>(state.range(0)) + 1,
+                        20000);
+    basis_size = basis.size();
+    benchmark::DoNotOptimize(basis);
+  }
+  state.counters["basis_words"] = static_cast<double>(basis_size);
+}
+BENCHMARK(BM_Wqo_WordBasisSearch)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace iodb

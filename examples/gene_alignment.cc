@@ -1,0 +1,61 @@
+// Gene alignment (Example 1.2): monadic indefinite order databases.
+//
+// Two base sequences become two chains of monadic facts; the space of
+// alignments is the space of minimal models. Integrity constraints
+// ("never align A with G") are disjunctive monadic queries; an alignment
+// satisfying the constraints exists iff the violation query is NOT
+// entailed, and the countermodel IS such an alignment.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/printer.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace iodb;
+
+  auto vocab = std::make_shared<Vocabulary>();
+  const std::string s1 = "GACGGATTAG";
+  const std::string s2 = "GATCGGAATAG";
+  Database db = AlignmentDb(s1, s2, vocab);
+  std::printf("Sequence 1: %s\nSequence 2: %s\n", s1.c_str(), s2.c_str());
+
+  // Forbid aligning two different bases at the same position.
+  Query violation = AlignmentViolationQuery(
+      {{'A', 'G'}, {'A', 'C'}, {'A', 'T'}, {'C', 'G'}, {'C', 'T'},
+       {'G', 'T'}},
+      vocab);
+
+  EntailOptions options;
+  options.want_countermodel = true;
+  Result<EntailResult> result = Entails(db, violation, options);
+  IODB_CHECK(result.ok());
+
+  if (result.value().entailed) {
+    std::printf(
+        "Every alignment violates the constraints: no match-only "
+        "alignment exists.\n");
+  } else {
+    std::printf(
+        "A constraint-respecting alignment exists (engine: %s).\n",
+        EngineKindName(result.value().engine_used));
+    IODB_CHECK(result.value().countermodel.has_value());
+    std::printf("One such alignment (columns left to right):\n  %s\n",
+                result.value().countermodel->ToString().c_str());
+  }
+
+  // A pair of sequences with NO consistent alignment under a constraint
+  // that also forbids gaps between co-aligned duplicates is harder to
+  // force with monadic facts alone; instead show the entailed direction
+  // with a degenerate constraint (A aligned with A is "forbidden"):
+  auto vocab2 = std::make_shared<Vocabulary>();
+  Database db2 = AlignmentDb("A", "AA", vocab2);
+  Query forced = AlignmentViolationQuery({{'A', 'A'}}, vocab2);
+  Result<EntailResult> result2 = Entails(db2, forced);
+  IODB_CHECK(result2.ok());
+  std::printf(
+      "\nDegenerate check (constraint '∃t A(t)' against A-sequences): %s\n",
+      result2.value().entailed ? "entailed, as expected" : "NOT entailed?!");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Interval reasoning (Section 1's Allen-algebra motivation) on top of
+// indefinite order databases: archeological seriation in the style of
+// Kendall/Golumbic. Artifact types have unknown use intervals; finding
+// two types in one grave proves their intervals share the deposit moment.
+// The point algebra answers "what order relations are forced?", the
+// interval layer answers "which Allen relations remain possible?".
+
+#include <cstdio>
+
+#include "core/intervals.h"
+#include "core/point_algebra.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace iodb;
+
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+
+  // Three artifact types with unknown use intervals.
+  Interval amphora{"amph_start", "amph_end"};
+  Interval bowl{"bowl_start", "bowl_end"};
+  Interval cup{"cup_start", "cup_end"};
+  for (const Interval* iv : {&amphora, &bowl, &cup}) {
+    DeclareInterval(db, *iv);
+  }
+
+  // Grave 1 contains amphorae and bowls; grave 2 contains bowls and cups:
+  // each deposit moment lies strictly inside both intervals.
+  auto bury = [&](const char* grave, const Interval& a, const Interval& b) {
+    db.AddOrder(a.start, OrderRel::kLt, grave);
+    db.AddOrder(grave, OrderRel::kLt, a.end);
+    db.AddOrder(b.start, OrderRel::kLt, grave);
+    db.AddOrder(grave, OrderRel::kLt, b.end);
+  };
+  bury("grave1", amphora, bowl);
+  bury("grave2", bowl, cup);
+  // Stratigraphy: amphora use ended before cup use began.
+  AddAllenConstraint(db, amphora, cup, AllenRelation::kBefore);
+
+  std::printf("Possible Allen relations given the grave evidence:\n");
+  auto report = [&](const char* label, const Interval& i, const Interval& j) {
+    Result<std::vector<AllenRelation>> possible = PossibleRelations(db, i, j);
+    IODB_CHECK(possible.ok());
+    std::vector<std::string> names;
+    for (AllenRelation r : possible.value()) {
+      names.push_back(AllenRelationName(r));
+    }
+    std::printf("  %-18s {%s}\n", label, Join(names, ", ").c_str());
+  };
+  report("amphora vs bowl:", amphora, bowl);
+  report("bowl vs cup:", bowl, cup);
+  report("amphora vs cup:", amphora, cup);
+
+  std::printf("\nForced point relations (the Section 7 point algebra):\n");
+  auto point = [&](const char* u, const char* v) {
+    Result<PointRelation> r = RelationBetween(db, u, v);
+    IODB_CHECK(r.ok());
+    std::printf("  %-12s %-2s %s\n", u, r.value().Name(), v);
+  };
+  point("amph_start", "bowl_end");   // amphora starts before bowl ends
+  point("bowl_start", "cup_end");    // bowl starts before cup ends
+  point("grave1", "grave2");         // grave 1 predates grave 2
+  point("amph_end", "cup_start");    // the stratigraphic fact itself
+
+  std::printf(
+      "\nThe seriation conclusion: the bowl period spans the gap — it\n"
+      "overlaps both the amphora and the cup periods, and grave 1 is\n"
+      "necessarily older than grave 2.\n");
+  return 0;
+}

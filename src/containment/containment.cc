@@ -1,0 +1,202 @@
+#include "containment/containment.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace iodb {
+
+Result<ContainmentResult> Contained(const RelationalQuery& q1,
+                                    const RelationalQuery& q2,
+                                    VocabularyPtr vocab,
+                                    OrderSemantics semantics,
+                                    EngineKind engine) {
+  if (q1.head.size() != q2.head.size()) {
+    return Status::InvalidArgument("containment requires equal head arity");
+  }
+  for (const std::string& h : q1.head) {
+    if (!q1.body.IsVariable(h)) {
+      return Status::InvalidArgument("Q1 head '" + h + "' is not a variable");
+    }
+  }
+
+  // Canonical database of Q1: every variable is frozen into a constant of
+  // its sort, constants stay themselves. Order atoms are interned first so
+  // order-sort constants are known when facts are added.
+  Database db(vocab);
+  for (const QueryOrderAtom& atom : q1.body.order_atoms) {
+    db.AddOrder(atom.lhs.name, atom.rel, atom.rhs.name);
+  }
+  for (const QueryInequality& atom : q1.body.inequalities) {
+    db.AddNotEqual(atom.lhs.name, atom.rhs.name);
+  }
+  for (const QueryProperAtom& atom : q1.body.proper_atoms) {
+    std::vector<std::string> args;
+    for (const QueryTerm& term : atom.args) args.push_back(term.name);
+    Status s = db.AddFact(atom.pred, args);
+    if (!s.ok()) return s;
+  }
+
+  // Q2 with its head variables replaced by the frozen head constants of Q1
+  // and its existential variables renamed apart. Existential variables
+  // that occur in no atom are dropped: they are vacuous over any database
+  // with a nonempty domain of their sort (and their sort is not even
+  // determined), so keeping them would wrongly demand witnesses.
+  QueryConjunct body = q2.body;
+  {
+    std::set<std::string> used;
+    for (const QueryProperAtom& atom : body.proper_atoms) {
+      for (const QueryTerm& term : atom.args) used.insert(term.name);
+    }
+    for (const QueryOrderAtom& atom : body.order_atoms) {
+      used.insert(atom.lhs.name);
+      used.insert(atom.rhs.name);
+    }
+    for (const QueryInequality& atom : body.inequalities) {
+      used.insert(atom.lhs.name);
+      used.insert(atom.rhs.name);
+    }
+    std::vector<std::string> kept;
+    for (const std::string& v : body.variables) {
+      bool is_head = std::find(q2.head.begin(), q2.head.end(), v) !=
+                     q2.head.end();
+      if (used.contains(v) || is_head) kept.push_back(v);
+    }
+    body.variables = std::move(kept);
+  }
+  std::map<std::string, std::string> rename;
+  for (size_t i = 0; i < q2.head.size(); ++i) {
+    if (q2.body.IsVariable(q2.head[i])) {
+      rename[q2.head[i]] = q1.head[i];
+    } else if (q2.head[i] != q1.head[i]) {
+      // A constant head position must match syntactically to be contained
+      // on all databases... unless Q1's head var is constrained; handle by
+      // substituting the constant and letting entailment decide.
+      rename[q2.head[i]] = q2.head[i];
+    }
+  }
+  int fresh = 0;
+  std::vector<std::string> new_vars;
+  for (const std::string& v : body.variables) {
+    auto it = rename.find(v);
+    if (it != rename.end()) continue;  // head variable: now a constant
+    std::string nv = "@z" + std::to_string(fresh++);
+    rename[v] = nv;
+    new_vars.push_back(nv);
+  }
+  body.variables = new_vars;
+  auto apply = [&](QueryTerm& term) {
+    auto it = rename.find(term.name);
+    if (it != rename.end()) term.name = it->second;
+  };
+  for (QueryProperAtom& atom : body.proper_atoms) {
+    for (QueryTerm& term : atom.args) apply(term);
+  }
+  for (QueryOrderAtom& atom : body.order_atoms) {
+    apply(atom.lhs);
+    apply(atom.rhs);
+  }
+  for (QueryInequality& atom : body.inequalities) {
+    apply(atom.lhs);
+    apply(atom.rhs);
+  }
+
+  Query query(vocab);
+  query.AddDisjunct(std::move(body));
+
+  EntailOptions options;
+  options.semantics = semantics;
+  options.engine = engine;
+  Result<EntailResult> entailment = Entails(db, query, options);
+  if (!entailment.ok()) return entailment.status();
+  ContainmentResult result;
+  result.contained = entailment.value().entailed;
+  result.entailment = std::move(entailment.value());
+  return result;
+}
+
+Result<bool> HomomorphismContained(const RelationalQuery& q1,
+                                   const RelationalQuery& q2) {
+  if (!q1.body.order_atoms.empty() || !q2.body.order_atoms.empty() ||
+      !q1.body.inequalities.empty() || !q2.body.inequalities.empty()) {
+    return Status::Unsupported(
+        "homomorphism containment applies to order-free, inequality-free "
+        "queries only (Klug's observation: it fails with inequalities)");
+  }
+  if (q1.head.size() != q2.head.size()) {
+    return Status::InvalidArgument("containment requires equal head arity");
+  }
+
+  // Targets: the terms of Q1 (variables frozen + constants).
+  std::set<std::string> targets;
+  for (const QueryProperAtom& atom : q1.body.proper_atoms) {
+    for (const QueryTerm& term : atom.args) targets.insert(term.name);
+  }
+  for (const std::string& v : q1.body.variables) targets.insert(v);
+
+  // Q1's atom set for O(1) membership.
+  std::set<std::pair<std::string, std::vector<std::string>>> q1_atoms;
+  for (const QueryProperAtom& atom : q1.body.proper_atoms) {
+    std::vector<std::string> args;
+    for (const QueryTerm& term : atom.args) args.push_back(term.name);
+    q1_atoms.insert({atom.pred, std::move(args)});
+  }
+
+  // Forced head mapping.
+  std::map<std::string, std::string> mapping;
+  for (size_t i = 0; i < q2.head.size(); ++i) {
+    if (q2.body.IsVariable(q2.head[i])) {
+      auto [it, inserted] = mapping.emplace(q2.head[i], q1.head[i]);
+      if (!inserted && it->second != q1.head[i]) return false;
+    } else if (q2.head[i] != q1.head[i]) {
+      return false;  // constant head position must match syntactically
+    }
+  }
+
+  // Remaining Q2 variables to map.
+  std::vector<std::string> free_vars;
+  for (const std::string& v : q2.body.variables) {
+    if (!mapping.contains(v)) free_vars.push_back(v);
+  }
+
+  auto image = [&](const QueryTerm& term) -> std::optional<std::string> {
+    if (q2.body.IsVariable(term.name)) {
+      auto it = mapping.find(term.name);
+      if (it == mapping.end()) return std::nullopt;
+      return it->second;
+    }
+    return term.name;  // constants map to themselves
+  };
+  auto atoms_ok = [&]() {
+    for (const QueryProperAtom& atom : q2.body.proper_atoms) {
+      std::vector<std::string> args;
+      bool complete = true;
+      for (const QueryTerm& term : atom.args) {
+        std::optional<std::string> img = image(term);
+        if (!img.has_value()) {
+          complete = false;
+          break;
+        }
+        args.push_back(*img);
+      }
+      if (complete && !q1_atoms.contains({atom.pred, args})) return false;
+    }
+    return true;
+  };
+
+  std::function<bool(size_t)> search = [&](size_t index) -> bool {
+    if (!atoms_ok()) return false;
+    if (index == free_vars.size()) return true;
+    for (const std::string& target : targets) {
+      mapping[free_vars[index]] = target;
+      if (search(index + 1)) return true;
+    }
+    mapping.erase(free_vars[index]);
+    return false;
+  };
+  if (!atoms_ok()) return false;
+  return search(0);
+}
+
+}  // namespace iodb

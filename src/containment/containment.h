@@ -1,0 +1,52 @@
+// O-containment of relational conjunctive queries with inequalities.
+//
+// Q1 is O-contained in Q2 if Ans(Q1, M) ⊆ Ans(Q2, M) for every relational
+// database M whose order is of type O. Proposition 2.10 makes this
+// interreducible with entailment in indefinite order databases:
+//   * freeze the body of Q1 into a canonical indefinite database D (its
+//     variables become fresh typed constants, order atoms become
+//     indefinite order facts), and
+//   * ask D |=O ∃z φ2(a, z) with Q2's head variables replaced by the
+//     corresponding frozen head constants of Q1.
+// Theorem 3.3 then yields Π₂ᵖ-completeness of containment with
+// inequalities over Fin, resolving Klug's open problem.
+//
+// The classical homomorphism test (Chandra–Merlin) is provided as an
+// independent baseline; it is sound and complete only for order-free,
+// inequality-free conjunctive queries.
+
+#ifndef IODB_CONTAINMENT_CONTAINMENT_H_
+#define IODB_CONTAINMENT_CONTAINMENT_H_
+
+#include "containment/relational.h"
+#include "core/engine.h"
+#include "core/semantics.h"
+
+namespace iodb {
+
+/// Outcome of a containment test.
+struct ContainmentResult {
+  bool contained = false;
+  /// Diagnostics from the underlying entailment check.
+  EntailResult entailment;
+};
+
+/// Decides O-containment of Q1 in Q2 via the Proposition 2.10 reduction.
+/// Heads must have equal length (checked) and compatible sorts (checked
+/// during evaluation). Predicates must be declared in `vocab`.
+Result<ContainmentResult> Contained(const RelationalQuery& q1,
+                                    const RelationalQuery& q2,
+                                    VocabularyPtr vocab,
+                                    OrderSemantics semantics,
+                                    EngineKind engine = EngineKind::kAuto);
+
+/// Classical homomorphism containment for order-free, inequality-free
+/// conjunctive queries: Q1 ⊆ Q2 iff there is a homomorphism from Q2 to Q1
+/// mapping head to head. Fails with kUnsupported if either query has
+/// order atoms or inequalities.
+Result<bool> HomomorphismContained(const RelationalQuery& q1,
+                                   const RelationalQuery& q2);
+
+}  // namespace iodb
+
+#endif  // IODB_CONTAINMENT_CONTAINMENT_H_

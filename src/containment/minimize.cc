@@ -1,0 +1,92 @@
+#include "containment/minimize.h"
+
+#include <set>
+
+namespace iodb {
+
+Result<bool> Equivalent(const RelationalQuery& q1, const RelationalQuery& q2,
+                        VocabularyPtr vocab, OrderSemantics semantics) {
+  Result<ContainmentResult> forward = Contained(q1, q2, vocab, semantics);
+  if (!forward.ok()) return forward.status();
+  if (!forward.value().contained) return false;
+  Result<ContainmentResult> backward = Contained(q2, q1, vocab, semantics);
+  if (!backward.ok()) return backward.status();
+  return backward.value().contained;
+}
+
+namespace {
+
+// Drops existential variables that occur in no atom.
+void DropUnusedVariables(RelationalQuery& query, MinimizeStats* stats) {
+  std::set<std::string> used(query.head.begin(), query.head.end());
+  for (const QueryProperAtom& atom : query.body.proper_atoms) {
+    for (const QueryTerm& term : atom.args) used.insert(term.name);
+  }
+  for (const QueryOrderAtom& atom : query.body.order_atoms) {
+    used.insert(atom.lhs.name);
+    used.insert(atom.rhs.name);
+  }
+  for (const QueryInequality& atom : query.body.inequalities) {
+    used.insert(atom.lhs.name);
+    used.insert(atom.rhs.name);
+  }
+  std::vector<std::string> kept;
+  for (const std::string& v : query.body.variables) {
+    if (used.contains(v)) {
+      kept.push_back(v);
+    } else if (stats != nullptr) {
+      ++stats->variables_removed;
+    }
+  }
+  query.body.variables = std::move(kept);
+}
+
+}  // namespace
+
+Result<RelationalQuery> MinimizeQuery(const RelationalQuery& query,
+                                      VocabularyPtr vocab,
+                                      OrderSemantics semantics,
+                                      MinimizeStats* stats) {
+  RelationalQuery current = query;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Try removing each proper atom.
+    for (size_t a = 0; a < current.body.proper_atoms.size(); ++a) {
+      RelationalQuery candidate = current;
+      candidate.body.proper_atoms.erase(candidate.body.proper_atoms.begin() +
+                                        static_cast<long>(a));
+      if (stats != nullptr) ++stats->containment_checks;
+      Result<bool> equivalent =
+          Equivalent(current, candidate, vocab, semantics);
+      if (!equivalent.ok()) return equivalent.status();
+      if (equivalent.value()) {
+        current = std::move(candidate);
+        if (stats != nullptr) ++stats->proper_atoms_removed;
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    // Try removing each order atom.
+    for (size_t a = 0; a < current.body.order_atoms.size(); ++a) {
+      RelationalQuery candidate = current;
+      candidate.body.order_atoms.erase(candidate.body.order_atoms.begin() +
+                                       static_cast<long>(a));
+      if (stats != nullptr) ++stats->containment_checks;
+      Result<bool> equivalent =
+          Equivalent(current, candidate, vocab, semantics);
+      if (!equivalent.ok()) return equivalent.status();
+      if (equivalent.value()) {
+        current = std::move(candidate);
+        if (stats != nullptr) ++stats->order_atoms_removed;
+        changed = true;
+        break;
+      }
+    }
+  }
+  DropUnusedVariables(current, stats);
+  return current;
+}
+
+}  // namespace iodb

@@ -1,0 +1,41 @@
+// Conjunctive query minimization via containment.
+//
+// Klug's motivation for the containment problem (Section 2): "testing for
+// containment allows for the optimization of conjunctive queries by the
+// elimination of redundant atoms". This module removes every proper atom
+// and order atom whose deletion leaves an equivalent query, using the
+// Proposition 2.10 containment test as the equivalence oracle, then drops
+// existential variables that no longer occur.
+
+#ifndef IODB_CONTAINMENT_MINIMIZE_H_
+#define IODB_CONTAINMENT_MINIMIZE_H_
+
+#include "containment/containment.h"
+#include "containment/relational.h"
+#include "core/semantics.h"
+
+namespace iodb {
+
+/// Statistics of a minimization run.
+struct MinimizeStats {
+  int proper_atoms_removed = 0;
+  int order_atoms_removed = 0;
+  int variables_removed = 0;
+  long long containment_checks = 0;
+};
+
+/// Returns an equivalent query from which no single atom can be removed
+/// without changing the answer set on some database with order of the
+/// given type. Head variables are never removed.
+Result<RelationalQuery> MinimizeQuery(const RelationalQuery& query,
+                                      VocabularyPtr vocab,
+                                      OrderSemantics semantics,
+                                      MinimizeStats* stats = nullptr);
+
+/// Equivalence of two queries (mutual containment).
+Result<bool> Equivalent(const RelationalQuery& q1, const RelationalQuery& q2,
+                        VocabularyPtr vocab, OrderSemantics semantics);
+
+}  // namespace iodb
+
+#endif  // IODB_CONTAINMENT_MINIMIZE_H_

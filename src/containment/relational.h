@@ -1,0 +1,41 @@
+// Relational conjunctive queries with inequalities (Section 2, Klug).
+//
+// A relational query Q = {x : ∃y φ(x, y)} has distinguished (head)
+// variables x and existential variables y, with φ a conjunction of proper
+// and order atoms. Relational databases with order are finite structures
+// whose order relation is a linear order — i.e. exactly the finite models
+// of core/model.h. Answer sets are computed by homomorphism search.
+
+#ifndef IODB_CONTAINMENT_RELATIONAL_H_
+#define IODB_CONTAINMENT_RELATIONAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/query.h"
+#include "core/types.h"
+
+namespace iodb {
+
+/// A relational conjunctive query with inequalities: a conjunct plus a
+/// list of distinguished variables (names declared in the conjunct).
+struct RelationalQuery {
+  QueryConjunct body;
+  std::vector<std::string> head;  // subset of body.variables
+};
+
+/// One answer tuple: values per head variable (object id or point id,
+/// sort-tagged).
+using AnswerTuple = std::vector<Term>;
+
+/// Computes the answer set of `query` in `model` (all head assignments a
+/// with model |= ∃y φ(a, y)). Sorted and deduplicated. Fails on malformed
+/// queries (unknown predicates, sort conflicts).
+Result<std::vector<AnswerTuple>> AnswerSet(const FiniteModel& model,
+                                           const RelationalQuery& query,
+                                           const Vocabulary& vocab);
+
+}  // namespace iodb
+
+#endif  // IODB_CONTAINMENT_RELATIONAL_H_

@@ -1,0 +1,58 @@
+// Atom representations shared by databases and queries.
+//
+// The language has two kinds of atomic formulae (Section 2):
+//   1. proper atoms P(a1, ..., an) over typed terms, and
+//   2. order atoms u < v, u <= v (and, for Section 7, u != v) over
+//      order-sort terms.
+
+#ifndef IODB_CORE_ATOM_H_
+#define IODB_CORE_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "core/types.h"
+
+namespace iodb {
+
+/// A resolved term: a sort plus an index into the owner's table for that
+/// sort. In a `Database` the index identifies a constant; in normalized
+/// databases order-sort indices identify canonical points; in normalized
+/// queries indices identify variables.
+struct Term {
+  Sort sort = Sort::kObject;
+  int id = 0;
+
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+/// A proper atom over resolved terms.
+struct ProperAtom {
+  int pred = 0;
+  std::vector<Term> args;
+
+  friend bool operator==(const ProperAtom&, const ProperAtom&) = default;
+};
+
+/// An order atom `lhs rel rhs` over order-sort indices.
+struct OrderAtom {
+  int lhs = 0;
+  int rhs = 0;
+  OrderRel rel = OrderRel::kLe;
+
+  friend bool operator==(const OrderAtom&, const OrderAtom&) = default;
+};
+
+/// An inequality atom `lhs != rhs` over order-sort indices (Section 7).
+struct InequalityAtom {
+  int lhs = 0;
+  int rhs = 0;
+
+  friend bool operator==(const InequalityAtom&, const InequalityAtom&) =
+      default;
+};
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_ATOM_H_

@@ -1,0 +1,254 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+#include "graph/scc.h"
+#include "graph/width.h"
+#include "util/strings.h"
+
+namespace iodb {
+
+Database::Database(VocabularyPtr vocab) : vocab_(std::move(vocab)) {
+  IODB_CHECK(vocab_ != nullptr);
+}
+
+int Database::GetOrAddConstant(const std::string& name, Sort sort) {
+  auto it = constant_index_.find(name);
+  if (it != constant_index_.end()) {
+    IODB_CHECK(it->second.first == sort);  // one name, one typed constant
+    return it->second.second;
+  }
+  std::vector<std::string>& table =
+      sort == Sort::kObject ? object_names_ : order_names_;
+  int id = static_cast<int>(table.size());
+  table.push_back(name);
+  constant_index_.emplace(name, std::make_pair(sort, id));
+  return id;
+}
+
+std::optional<int> Database::FindConstant(const std::string& name,
+                                          Sort sort) const {
+  auto it = constant_index_.find(name);
+  if (it == constant_index_.end() || it->second.first != sort) {
+    return std::nullopt;
+  }
+  return it->second.second;
+}
+
+void Database::AddProperAtom(int pred, std::vector<Term> args) {
+  const PredicateInfo& info = vocab_->predicate(pred);
+  IODB_CHECK_EQ(static_cast<int>(args.size()), info.arity());
+  for (int i = 0; i < info.arity(); ++i) {
+    IODB_CHECK(args[i].sort == info.arg_sorts[i]);
+    int table_size = args[i].sort == Sort::kObject ? num_object_constants()
+                                                   : num_order_constants();
+    IODB_CHECK_GE(args[i].id, 0);
+    IODB_CHECK_LT(args[i].id, table_size);
+  }
+  proper_atoms_.push_back({pred, std::move(args)});
+}
+
+Status Database::AddFact(const std::string& pred_name,
+                         const std::vector<std::string>& constant_names) {
+  // Infer argument sorts: a name already interned keeps its sort; fresh
+  // names default to the predicate's declared sort if the predicate exists,
+  // else to object sort.
+  std::optional<int> existing = vocab_->FindPredicate(pred_name);
+  std::vector<Sort> sorts;
+  sorts.reserve(constant_names.size());
+  for (size_t i = 0; i < constant_names.size(); ++i) {
+    auto it = constant_index_.find(constant_names[i]);
+    if (it != constant_index_.end()) {
+      sorts.push_back(it->second.first);
+    } else if (existing.has_value() &&
+               i < static_cast<size_t>(vocab_->predicate(*existing).arity())) {
+      sorts.push_back(vocab_->predicate(*existing).arg_sorts[i]);
+    } else {
+      sorts.push_back(Sort::kObject);
+    }
+  }
+  Result<int> pred = vocab_->GetOrAddPredicate(pred_name, sorts);
+  if (!pred.ok()) return pred.status();
+  const PredicateInfo& info = vocab_->predicate(pred.value());
+  if (info.arity() != static_cast<int>(constant_names.size())) {
+    return Status::InvalidArgument("arity mismatch for '" + pred_name + "'");
+  }
+  std::vector<Term> args;
+  args.reserve(constant_names.size());
+  for (size_t i = 0; i < constant_names.size(); ++i) {
+    Sort sort = info.arg_sorts[i];
+    auto it = constant_index_.find(constant_names[i]);
+    if (it != constant_index_.end() && it->second.first != sort) {
+      return Status::InvalidArgument("constant '" + constant_names[i] +
+                                     "' used with conflicting sorts");
+    }
+    args.push_back({sort, GetOrAddConstant(constant_names[i], sort)});
+  }
+  proper_atoms_.push_back({pred.value(), std::move(args)});
+  return Status::Ok();
+}
+
+void Database::AddOrderAtom(int u, int v, OrderRel rel) {
+  IODB_CHECK_GE(u, 0);
+  IODB_CHECK_LT(u, num_order_constants());
+  IODB_CHECK_GE(v, 0);
+  IODB_CHECK_LT(v, num_order_constants());
+  order_atoms_.push_back({u, v, rel});
+}
+
+void Database::AddOrder(const std::string& u, OrderRel rel,
+                        const std::string& v) {
+  int uid = GetOrAddConstant(u, Sort::kOrder);
+  int vid = GetOrAddConstant(v, Sort::kOrder);
+  AddOrderAtom(uid, vid, rel);
+}
+
+void Database::AddInequality(int u, int v) {
+  IODB_CHECK_GE(u, 0);
+  IODB_CHECK_LT(u, num_order_constants());
+  IODB_CHECK_GE(v, 0);
+  IODB_CHECK_LT(v, num_order_constants());
+  inequalities_.push_back({u, v});
+}
+
+void Database::AddNotEqual(const std::string& u, const std::string& v) {
+  int uid = GetOrAddConstant(u, Sort::kOrder);
+  int vid = GetOrAddConstant(v, Sort::kOrder);
+  AddInequality(uid, vid);
+}
+
+std::string NormDb::PointName(int p) const {
+  return Join(point_members[p], "=");
+}
+
+bool NormDb::OrderFactsAreMonadic() const {
+  for (const ProperAtom& atom : other_atoms) {
+    for (const Term& term : atom.args) {
+      if (term.sort == Sort::kOrder) return false;
+    }
+  }
+  return true;
+}
+
+int NormDb::SizeAtoms() const {
+  int count = dag.num_edges() + static_cast<int>(other_atoms.size()) +
+              static_cast<int>(inequalities.size());
+  for (const PredSet& label : labels) count += label.Count();
+  return count;
+}
+
+Result<NormDb> Normalize(const Database& db) {
+  const int n = db.num_order_constants();
+
+  // Build the raw order graph over constants.
+  Digraph raw(n);
+  for (const OrderAtom& atom : db.order_atoms()) {
+    raw.AddEdge(atom.lhs, atom.rhs, atom.rel);
+  }
+
+  // Rule N1: strongly connected constants are identified. Cycles are only
+  // consistent when every edge inside the component is "<=".
+  SccResult scc = StronglyConnectedComponents(raw);
+  for (const OrderAtom& atom : db.order_atoms()) {
+    if (scc.component[atom.lhs] == scc.component[atom.rhs] &&
+        atom.rel == OrderRel::kLt) {
+      return Status::Inconsistent(
+          "order atoms entail " + db.order_name(atom.lhs) + " < " +
+          db.order_name(atom.rhs) + " inside an equality cycle");
+    }
+  }
+
+  NormDb norm;
+  norm.vocab = db.vocab();
+  norm.object_names.reserve(db.num_object_constants());
+  for (int i = 0; i < db.num_object_constants(); ++i) {
+    norm.object_names.push_back(db.object_name(i));
+  }
+
+  // Components become points. Renumber them in first-seen order so point
+  // ids are stable with respect to the input.
+  std::vector<int> point_of_component(scc.num_components, -1);
+  norm.point_of_constant.resize(n);
+  for (int c = 0; c < n; ++c) {
+    int comp = scc.component[c];
+    if (point_of_component[comp] == -1) {
+      point_of_component[comp] = static_cast<int>(norm.point_members.size());
+      norm.point_members.emplace_back();
+    }
+    int point = point_of_component[comp];
+    norm.point_of_constant[c] = point;
+    norm.point_members[point].push_back(db.order_name(c));
+  }
+  const int num_points = static_cast<int>(norm.point_members.size());
+  norm.dag = Digraph(num_points);
+  norm.labels.assign(num_points,
+                     PredSet(norm.vocab->num_predicates()));
+
+  // Deduplicate edges; "<" dominates "<=". Rule N2 (u <= u) drops here.
+  std::unordered_map<int64_t, OrderRel> strongest;
+  for (const OrderAtom& atom : db.order_atoms()) {
+    int u = norm.point_of_constant[atom.lhs];
+    int v = norm.point_of_constant[atom.rhs];
+    if (u == v) continue;  // internal to a merged component: all "<="
+    int64_t key = static_cast<int64_t>(u) * num_points + v;
+    auto [it, inserted] = strongest.emplace(key, atom.rel);
+    if (!inserted && atom.rel == OrderRel::kLt) it->second = OrderRel::kLt;
+  }
+  // Insertion order of the map is unspecified; emit edges sorted by key so
+  // normalization is deterministic.
+  std::vector<std::pair<int64_t, OrderRel>> sorted_edges(strongest.begin(),
+                                                         strongest.end());
+  std::sort(sorted_edges.begin(), sorted_edges.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, rel] : sorted_edges) {
+    norm.dag.AddEdge(static_cast<int>(key / num_points),
+                     static_cast<int>(key % num_points), rel);
+  }
+
+  // Facts: monadic-order facts become labels; everything else keeps its
+  // atom shape with order constants remapped to points.
+  for (const ProperAtom& atom : db.proper_atoms()) {
+    const PredicateInfo& info = norm.vocab->predicate(atom.pred);
+    if (info.IsMonadicOrder()) {
+      norm.labels[norm.point_of_constant[atom.args[0].id]].Add(atom.pred);
+      continue;
+    }
+    ProperAtom mapped = atom;
+    for (Term& term : mapped.args) {
+      if (term.sort == Sort::kOrder) {
+        term.id = norm.point_of_constant[term.id];
+      }
+    }
+    // Deduplicate exact repeats.
+    if (std::find(norm.other_atoms.begin(), norm.other_atoms.end(), mapped) ==
+        norm.other_atoms.end()) {
+      norm.other_atoms.push_back(std::move(mapped));
+    }
+  }
+
+  // Inequalities over points; a collapsed pair is inconsistent.
+  for (const InequalityAtom& atom : db.inequalities()) {
+    int u = norm.point_of_constant[atom.lhs];
+    int v = norm.point_of_constant[atom.rhs];
+    if (u == v) {
+      return Status::Inconsistent("inequality " + db.order_name(atom.lhs) +
+                                  " != " + db.order_name(atom.rhs) +
+                                  " contradicts entailed equality");
+    }
+    auto pair = std::minmax(u, v);
+    std::pair<int, int> entry{pair.first, pair.second};
+    if (std::find(norm.inequalities.begin(), norm.inequalities.end(), entry) ==
+        norm.inequalities.end()) {
+      norm.inequalities.push_back(entry);
+    }
+  }
+
+  // The condensation of an SCC decomposition is acyclic by construction,
+  // but assert it in debug spirit: a cycle here would be a bug.
+  IODB_CHECK(!HasCycle(norm.dag));
+  return norm;
+}
+
+int Width(const NormDb& db) { return DagWidth(db.dag); }
+
+}  // namespace iodb

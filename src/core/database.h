@@ -1,0 +1,153 @@
+// Indefinite order databases (Section 2 of the paper).
+//
+// A database is a finite set of ground proper atoms plus order atoms
+// (u < v, u <= v, optionally u != v) over "order constants" — null-like
+// values denoting unknown points of a linearly ordered domain.
+//
+// `Database` is the mutable fact store. `NormDb` is the normalized view
+// used by all engines: order constants that are forced equal by rule N1
+// (cycles of "<=" atoms) are merged into canonical *points*, trivial atoms
+// are dropped (rule N2), the remaining order atoms form a dag with deduped
+// edges ("<" dominates "<="), and monadic-order facts become per-point
+// label sets.
+
+#ifndef IODB_CORE_DATABASE_H_
+#define IODB_CORE_DATABASE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/types.h"
+#include "graph/digraph.h"
+#include "graph/topo.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// Mutable indefinite order database.
+class Database {
+ public:
+  explicit Database(VocabularyPtr vocab);
+
+  const VocabularyPtr& vocab() const { return vocab_; }
+
+  /// Interns the constant `name` with the given sort; returns its id within
+  /// that sort. Aborts if `name` already exists with the other sort (a
+  /// name denotes one typed constant).
+  int GetOrAddConstant(const std::string& name, Sort sort);
+
+  /// Looks up a constant id; nullopt if absent or of the other sort.
+  std::optional<int> FindConstant(const std::string& name, Sort sort) const;
+
+  int num_object_constants() const {
+    return static_cast<int>(object_names_.size());
+  }
+  int num_order_constants() const {
+    return static_cast<int>(order_names_.size());
+  }
+  const std::string& object_name(int id) const { return object_names_[id]; }
+  const std::string& order_name(int id) const { return order_names_[id]; }
+
+  /// Adds a ground proper atom; argument sorts must match the predicate
+  /// signature (checked).
+  void AddProperAtom(int pred, std::vector<Term> args);
+
+  /// Convenience: adds `pred_name(constants...)`, registering the predicate
+  /// (inferring sorts from existing constants: known order constants are
+  /// order-sort, everything else object-sort) and interning constants.
+  /// Fails if `pred_name` exists with an incompatible signature.
+  Status AddFact(const std::string& pred_name,
+                 const std::vector<std::string>& constant_names);
+
+  /// Adds the order atom `u rel v` by order-constant id.
+  void AddOrderAtom(int u, int v, OrderRel rel);
+
+  /// Convenience: interns the names as order constants and adds the atom.
+  void AddOrder(const std::string& u, OrderRel rel, const std::string& v);
+
+  /// Adds the inequality `u != v` by order-constant id (Section 7).
+  void AddInequality(int u, int v);
+
+  /// Convenience variant of AddInequality by name.
+  void AddNotEqual(const std::string& u, const std::string& v);
+
+  const std::vector<ProperAtom>& proper_atoms() const { return proper_atoms_; }
+  const std::vector<OrderAtom>& order_atoms() const { return order_atoms_; }
+  const std::vector<InequalityAtom>& inequalities() const {
+    return inequalities_;
+  }
+
+  /// |D|: the total number of atoms.
+  int SizeAtoms() const {
+    return static_cast<int>(proper_atoms_.size() + order_atoms_.size() +
+                            inequalities_.size());
+  }
+
+ private:
+  VocabularyPtr vocab_;
+  std::vector<std::string> object_names_;
+  std::vector<std::string> order_names_;
+  // name -> (sort, id)
+  std::unordered_map<std::string, std::pair<Sort, int>> constant_index_;
+  std::vector<ProperAtom> proper_atoms_;
+  std::vector<OrderAtom> order_atoms_;
+  std::vector<InequalityAtom> inequalities_;
+};
+
+/// Normalized database: the labelled dag view of Sections 2 and 4.
+struct NormDb {
+  VocabularyPtr vocab;
+
+  /// Canonical points after N1 merging. `point_members[p]` lists the names
+  /// of the order constants merged into point p; `point_of_constant[c]`
+  /// maps an order-constant id of the source database to its point.
+  std::vector<std::vector<std::string>> point_members;
+  std::vector<int> point_of_constant;
+
+  /// The order dag over points; edges deduplicated, "<" dominating "<=".
+  Digraph dag{0};
+
+  /// labels[p]: the monadic-order predicates asserted of point p (D[u] in
+  /// the paper's notation).
+  std::vector<PredSet> labels;
+
+  /// Proper atoms that are not monadic-order (pure object facts and mixed
+  /// n-ary facts). Order-sort argument ids are point ids.
+  std::vector<ProperAtom> other_atoms;
+
+  /// Inequality constraints over points, normalized with lhs < rhs
+  /// (index-wise) and deduplicated.
+  std::vector<std::pair<int, int>> inequalities;
+
+  /// Object constant names (ids are shared with the source database).
+  std::vector<std::string> object_names;
+
+  int num_points() const { return dag.num_vertices(); }
+
+  /// Display name for a point ("u" or "u=v=w" for merged constants).
+  std::string PointName(int p) const;
+
+  /// True if every proper atom involving a point is a monadic label.
+  /// (Pure object facts may still be present in other_atoms.)
+  bool OrderFactsAreMonadic() const;
+
+  /// |D| measured on the normalized form.
+  int SizeAtoms() const;
+};
+
+/// Applies normalization rules N1/N2 and builds the dag view. Fails with
+/// kInconsistent if the order atoms entail u < u for some constant or an
+/// inequality collapses (u != v with u, v identified).
+Result<NormDb> Normalize(const Database& db);
+
+/// Width of the normalized database: the maximum antichain of its dag
+/// (Section 2). Width 0 means there are no points.
+int Width(const NormDb& db);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_DATABASE_H_

@@ -1,0 +1,94 @@
+// The unified entailment API.
+//
+// `Entails` pipelines the paper's reductions and picks the best algorithm:
+//   1. constants are eliminated (Section 2's marker-predicate trick);
+//   2. the requested order semantics is reduced to finite models
+//      (Propositions 2.2/2.3, Corollary 2.6);
+//   3. query inequalities are rewritten into disjunctions when a monadic
+//      engine can then apply (Section 7);
+//   4. per disjunct, atom components touching no order variable are
+//      evaluated directly against the ground facts (the object/order
+//      split discussed at the start of Section 4) and removed;
+//   5. dispatch: conjunctive monadic -> Theorem 4.7 engine; disjunctive
+//      monadic -> Theorem 5.3 engine; everything else (n-ary predicates,
+//      database inequalities) -> brute-force minimal-model search.
+
+#ifndef IODB_CORE_ENGINE_H_
+#define IODB_CORE_ENGINE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/database.h"
+#include "core/model.h"
+#include "core/query.h"
+#include "core/semantics.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// Algorithm selection.
+enum class EngineKind {
+  kAuto,               // classify and pick the best applicable engine
+  kBruteForce,         // minimal-model countermodel search (always applies)
+  kPathDecomposition,  // Lemma 4.1 + SEQ (conjunctive monadic)
+  kBoundedWidth,       // Theorem 4.7 (conjunctive monadic)
+  kDisjunctiveSearch,  // Theorem 5.3 (disjunctive monadic)
+};
+
+/// Returns a short name, e.g. "bounded-width".
+const char* EngineKindName(EngineKind kind);
+
+/// Options for Entails().
+struct EntailOptions {
+  OrderSemantics semantics = OrderSemantics::kFinite;
+  EngineKind engine = EngineKind::kAuto;
+  /// Request a countermodel witness when the query is not entailed.
+  bool want_countermodel = false;
+  /// Budget for query-inequality rewriting (see RewriteInequalities).
+  int max_rewritten_disjuncts = 1 << 16;
+};
+
+/// Result of an entailment check.
+struct EntailResult {
+  bool entailed = false;
+  /// The engine that produced the verdict.
+  EngineKind engine_used = EngineKind::kAuto;
+  /// A falsifying minimal model, when not entailed and requested (brute
+  /// force, bounded-width and disjunctive engines provide one).
+  std::optional<FiniteModel> countermodel;
+  /// Work counters (meaning depends on the engine).
+  long long states_visited = 0;
+  long long models_enumerated = 0;
+};
+
+/// Decides db |= query under the chosen semantics. Fails with
+/// kInconsistent if the database has no model, kUnsupported if a forced
+/// engine does not apply to the (transformed) instance, kInvalidArgument
+/// on malformed queries.
+Result<EntailResult> Entails(const Database& db, const Query& query,
+                             const EntailOptions& options = {});
+
+/// Convenience wrapper that aborts on error; for tests and examples where
+/// inputs are known to be well-formed and consistent.
+bool MustEntail(const Database& db, const Query& query,
+                const EntailOptions& options = {});
+
+/// Enumerates the countermodels of `query` in `db` — the minimal models in
+/// which the query is FALSE. With the query-modification reading of
+/// integrity constraints (Examples 1.1/1.2), these are precisely the
+/// "solutions": valid schedules, admissible alignments, consistent
+/// scenarios. Monadic instances use the Theorem 5.3 machine (polynomial
+/// delay, possibly repeating a model across witnessing path choices);
+/// everything else falls back to filtered minimal-model enumeration.
+/// `on_countermodel` returns false to stop. Returns the number of
+/// callbacks made (counting repeats).
+Result<long long> EnumerateCountermodels(
+    const Database& db, const Query& query,
+    const std::function<bool(const FiniteModel&)>& on_countermodel,
+    const EntailOptions& options = {});
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_ENGINE_H_

@@ -1,0 +1,155 @@
+#include "core/entail_bounded_width.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/topo.h"
+
+namespace iodb {
+namespace {
+
+struct Engine {
+  const NormDb& db;
+  const NormConjunct& query;
+  bool want_countermodel;
+  long long states_visited = 0;
+  // States (S, u) fully explored without finding a countermodel.
+  std::unordered_set<std::vector<int>, IntVectorHash> failed;
+  // Countermodel groups, collected deepest-first on unwind.
+  std::vector<std::vector<int>> groups_reversed;
+
+  Engine(const NormDb& d, const NormConjunct& q, bool want)
+      : db(d), query(q), want_countermodel(want) {}
+
+  // The unsorted region is the up-set of the antichain S.
+  std::vector<bool> AliveFrom(const std::vector<int>& s) const {
+    std::vector<bool> alive(db.num_points(), false);
+    std::vector<int> queue(s);
+    for (int v : queue) alive[v] = true;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      for (const Digraph::Arc& arc : db.dag.out(queue[head])) {
+        if (!alive[arc.vertex]) {
+          alive[arc.vertex] = true;
+          queue.push_back(arc.vertex);
+        }
+      }
+    }
+    return alive;
+  }
+
+  static std::vector<int> Key(const std::vector<int>& s, int u) {
+    std::vector<int> key(s);
+    key.push_back(-1);
+    key.push_back(u);
+    return key;
+  }
+
+  // True iff a sort of the region S falsifying the path suffix rooted at
+  // query vertex u exists (i.e. a countermodel for this branch).
+  bool FindCounter(const std::vector<int>& s, int u) {
+    IODB_CHECK(!s.empty());
+    std::vector<int> key = Key(s, u);
+    if (failed.contains(key)) return false;
+    ++states_visited;
+
+    std::vector<bool> alive = AliveFrom(s);
+
+    // Edge (a): some minimal vertex fails the label of u.
+    int failing = -1;
+    for (int v : s) {
+      if (!query.labels[u].IsSubsetOf(db.labels[v])) {
+        failing = v;
+        break;
+      }
+    }
+    if (failing != -1) {
+      alive[failing] = false;
+      std::vector<int> next = MinimalVertices(db.dag, alive);
+      bool found = next.empty() ? true : FindCounter(next, u);
+      if (found) {
+        if (want_countermodel) groups_reversed.push_back({failing});
+        return true;
+      }
+      failed.insert(std::move(key));
+      return false;
+    }
+
+    // All minimal vertices satisfy Φ[u]: the symbol at u is consumed.
+    // Lazily computed minor deletion shared by all "<" successors.
+    std::vector<int> after_lt;  // minimals after deleting minors
+    std::vector<int> minor_group;
+    bool lt_computed = false;
+    for (const Digraph::Arc& arc : query.dag.out(u)) {
+      if (arc.rel == OrderRel::kLe) {
+        if (FindCounter(s, arc.vertex)) return true;
+      } else {
+        if (!lt_computed) {
+          lt_computed = true;
+          std::vector<bool> minor = MinorVertices(db.dag, alive);
+          std::vector<bool> next_alive = alive;
+          for (int v = 0; v < db.num_points(); ++v) {
+            if (alive[v] && minor[v]) {
+              minor_group.push_back(v);
+              next_alive[v] = false;
+            }
+          }
+          after_lt = MinimalVertices(db.dag, next_alive);
+        }
+        bool found = after_lt.empty() ? true : FindCounter(after_lt, arc.vertex);
+        if (found) {
+          if (want_countermodel) groups_reversed.push_back(minor_group);
+          return true;
+        }
+      }
+    }
+    // No successor branch yields a countermodel: if u is terminal the path
+    // is fully matched; either way this state fails.
+    failed.insert(std::move(key));
+    return false;
+  }
+};
+
+}  // namespace
+
+BoundedWidthOutcome EntailBoundedWidth(const NormDb& db,
+                                       const NormConjunct& raw_conjunct,
+                                       bool want_countermodel) {
+  IODB_CHECK(raw_conjunct.IsMonadicOrderOnly());
+  IODB_CHECK(db.inequalities.empty());
+  // Redundant query atoms would add shortcut paths to the search without
+  // changing the constraints; drop them up front.
+  NormConjunct conjunct = TransitiveReduceConjunct(raw_conjunct);
+  BoundedWidthOutcome outcome;
+  if (conjunct.num_order_vars() == 0) return outcome;  // empty: trivially true
+
+  std::vector<bool> all_alive(db.num_points(), true);
+  std::vector<int> initial = MinimalVertices(db.dag, all_alive);
+  if (initial.empty()) {
+    // Empty database: the single (empty) minimal model falsifies any
+    // conjunct with at least one order variable.
+    outcome.entailed = false;
+    if (want_countermodel) outcome.countermodel = BuildMinimalModel(db, {});
+    return outcome;
+  }
+
+  Engine engine(db, conjunct, want_countermodel);
+  std::vector<bool> query_alive(conjunct.num_order_vars(), true);
+  for (int u0 : MinimalVertices(conjunct.dag, query_alive)) {
+    if (engine.FindCounter(initial, u0)) {
+      outcome.entailed = false;
+      if (want_countermodel) {
+        std::vector<std::vector<int>> groups(engine.groups_reversed.rbegin(),
+                                             engine.groups_reversed.rend());
+        // The search may stop with vertices still unsorted only when the
+        // region emptied; by construction it did. Assert coverage.
+        outcome.countermodel = BuildMinimalModel(db, groups);
+      }
+      outcome.states_visited = engine.states_visited;
+      return outcome;
+    }
+  }
+  outcome.states_visited = engine.states_visited;
+  return outcome;
+}
+
+}  // namespace iodb

@@ -1,0 +1,53 @@
+#include "core/entail_bruteforce.h"
+
+#include "core/minimal_models.h"
+#include "core/model_check.h"
+
+namespace iodb {
+
+BruteForceOutcome EntailBruteForce(const NormDb& db, const NormQuery& query,
+                                   const BruteForceOptions& options) {
+  BruteForceOutcome outcome;
+  if (query.trivially_true) return outcome;
+
+  ModelVisitor visitor;
+  // Prefix models are rebuilt per group append. Rebuilding is O(prefix)
+  // and is dominated by the model check itself.
+  std::vector<std::vector<int>> prefix;
+  if (options.prune_satisfied_prefix) {
+    visitor.on_group = [&](int depth, const std::vector<int>& group) {
+      prefix.resize(depth);
+      prefix.push_back(group);
+      FiniteModel model = BuildPrefixModel(db, prefix);
+      if (Satisfies(model, query)) {
+        ++outcome.prefixes_pruned;
+        return false;  // no countermodel below a satisfied prefix
+      }
+      return true;
+    };
+  }
+  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    ++outcome.models_enumerated;
+    FiniteModel model = BuildMinimalModel(db, groups);
+    // With pruning on, every level of this sort was already checked and
+    // found unsatisfied — the complete model is a countermodel. Without
+    // pruning, check now.
+    bool satisfied =
+        options.prune_satisfied_prefix ? false : Satisfies(model, query);
+    if (!satisfied) {
+      outcome.entailed = false;
+      outcome.countermodel = std::move(model);
+      return false;
+    }
+    if (options.max_models >= 0 &&
+        outcome.models_enumerated >= options.max_models) {
+      outcome.limit_hit = true;
+      return false;
+    }
+    return true;
+  };
+  ForEachMinimalModel(db, visitor);
+  return outcome;
+}
+
+}  // namespace iodb

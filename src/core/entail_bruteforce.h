@@ -1,0 +1,51 @@
+// Brute-force entailment by countermodel search over minimal models.
+//
+// By Corollary 2.9, D |= Φ iff every minimal model of D satisfies Φ; the
+// engine enumerates minimal models and model-checks each. This realizes
+// the generic upper bounds of Proposition 3.1 (co-NP data complexity, Π₂ᵖ
+// combined complexity) and is the only engine applicable to arbitrary-
+// arity queries and to databases carrying "!=" constraints (Section 7).
+//
+// Monotone prefix pruning: positive existential queries are preserved
+// under homomorphisms, and a sort prefix embeds into each of its
+// completions, so a branch whose prefix model already satisfies Φ cannot
+// produce a countermodel and is cut.
+
+#ifndef IODB_CORE_ENTAIL_BRUTEFORCE_H_
+#define IODB_CORE_ENTAIL_BRUTEFORCE_H_
+
+#include <optional>
+
+#include "core/database.h"
+#include "core/model.h"
+#include "core/query.h"
+
+namespace iodb {
+
+/// Options for the brute-force engine.
+struct BruteForceOptions {
+  /// Cut branches whose prefix already satisfies the query. Usually a
+  /// large win; disable to measure the raw model count.
+  bool prune_satisfied_prefix = true;
+  /// Stop after enumerating this many complete models (-1 = unlimited).
+  /// If the limit is hit before a countermodel is found the outcome is
+  /// reported as entailed with `limit_hit` set — treat it as unknown.
+  long long max_models = -1;
+};
+
+/// Outcome of a brute-force entailment check.
+struct BruteForceOutcome {
+  bool entailed = true;
+  bool limit_hit = false;
+  long long models_enumerated = 0;
+  long long prefixes_pruned = 0;
+  std::optional<FiniteModel> countermodel;
+};
+
+/// Decides db |= query over the finite-model semantics.
+BruteForceOutcome EntailBruteForce(const NormDb& db, const NormQuery& query,
+                                   const BruteForceOptions& options = {});
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_ENTAIL_BRUTEFORCE_H_

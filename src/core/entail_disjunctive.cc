@@ -1,0 +1,280 @@
+#include "core/entail_disjunctive.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/topo.h"
+
+namespace iodb {
+namespace {
+
+struct Engine {
+  const NormDb& db;
+  const NormQuery& query;
+  const DisjunctiveOptions& options;
+  DisjunctiveOutcome outcome;
+  Reachability reach;
+  std::unordered_set<std::vector<int>, IntVectorHash> failed;
+  std::vector<std::vector<int>> groups;  // current partial sort
+  bool stop = false;
+
+  Engine(const NormDb& d, const NormQuery& q, const DisjunctiveOptions& o)
+      : db(d), query(q), options(o), reach(ComputeReachability(d.dag)) {}
+
+  bool Comparable(int u, int v) const {
+    return reach.reach.Get(u, v) || reach.reach.Get(v, u);
+  }
+
+  std::vector<bool> AliveFrom(const std::vector<int>& s) const {
+    std::vector<bool> alive(db.num_points(), false);
+    std::vector<int> queue(s);
+    for (int v : queue) alive[v] = true;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      for (const Digraph::Arc& arc : db.dag.out(queue[head])) {
+        if (!alive[arc.vertex]) {
+          alive[arc.vertex] = true;
+          queue.push_back(arc.vertex);
+        }
+      }
+    }
+    return alive;
+  }
+
+  // Forced greedy advance of the path position `u` of disjunct `i` when a
+  // point with label union `a` is appended. Collects the possible next
+  // positions (one per lazily chosen path continuation); a fully matched
+  // path contributes nothing (that continuation is satisfied and dies).
+  void AdvanceSet(int i, int u, const PredSet& a,
+                  std::vector<int>& results,
+                  std::vector<bool>& seen) const {
+    const NormConjunct& conjunct = query.disjuncts[i];
+    if (seen[u]) return;
+    seen[u] = true;
+    if (!conjunct.labels[u].IsSubsetOf(a)) {
+      results.push_back(u);  // cannot be matched at this point: stays
+      return;
+    }
+    // Matched at this point: must advance along some edge.
+    for (const Digraph::Arc& arc : conjunct.dag.out(u)) {
+      if (arc.rel == OrderRel::kLe) {
+        AdvanceSet(i, arc.vertex, a, results, seen);  // may match same point
+      } else if (!seen[conjunct.num_order_vars() + arc.vertex]) {
+        // "<" successor waits for a strictly later point. (Offset marks in
+        // `seen` distinguish "emitted as stopped" from "visited".)
+        seen[conjunct.num_order_vars() + arc.vertex] = true;
+        results.push_back(arc.vertex);
+      }
+    }
+    // No out-arc: the chosen path is fully matched; nothing is emitted.
+  }
+
+  std::vector<int> ComputeAdvance(int i, int u, const PredSet& a) const {
+    std::vector<int> results;
+    std::vector<bool> seen(
+        2 * static_cast<size_t>(query.disjuncts[i].num_order_vars()), false);
+    AdvanceSet(i, u, a, results, seen);
+    return results;
+  }
+
+  static std::vector<int> Key(const std::vector<int>& s,
+                              const std::vector<int>& u_vec) {
+    std::vector<int> key(s);
+    key.push_back(-1);
+    key.insert(key.end(), u_vec.begin(), u_vec.end());
+    return key;
+  }
+
+  // Reports the current complete sort as a countermodel. Returns true if
+  // the search should continue looking for more countermodels.
+  bool ReportCounter() {
+    ++outcome.countermodels_reported;
+    FiniteModel model = BuildMinimalModel(db, groups);
+    if (outcome.entailed) {
+      outcome.entailed = false;
+      outcome.countermodel = model;
+    }
+    if (options.on_countermodel != nullptr) {
+      if (!options.on_countermodel(model)) stop = true;
+      return !stop;
+    }
+    stop = true;  // decision mode: first countermodel suffices
+    return false;
+  }
+
+  // Search for a completion of region S falsifying all disjunct paths.
+  // Returns true if at least one countermodel was found below this state.
+  bool Search(const std::vector<int>& s, const std::vector<int>& u_vec) {
+    if (stop) return false;
+    std::vector<int> key = Key(s, u_vec);
+    if (failed.contains(key)) return false;
+    ++outcome.states_visited;
+
+    std::vector<bool> alive = AliveFrom(s);
+    std::vector<bool> minor = MinorVertices(db.dag, alive);
+    std::vector<int> candidates;
+    for (int v = 0; v < db.num_points(); ++v) {
+      if (alive[v] && minor[v]) candidates.push_back(v);
+    }
+    IODB_CHECK(!candidates.empty());
+
+    bool found_any = false;
+    std::vector<int> chosen;
+    EnumerateGroups(candidates, 0, chosen, alive, u_vec, found_any);
+    if (!found_any && !stop) failed.insert(std::move(key));
+    return found_any;
+  }
+
+  // Enumerates the next-point group choices (antichains of minor vertices,
+  // taken with their down-closures) and recurses.
+  void EnumerateGroups(const std::vector<int>& candidates, size_t next,
+                       std::vector<int>& chosen,
+                       const std::vector<bool>& alive,
+                       const std::vector<int>& u_vec, bool& found_any) {
+    if (stop) return;
+    for (size_t i = next; i < candidates.size() && !stop; ++i) {
+      int v = candidates[i];
+      bool independent = true;
+      for (int u : chosen) {
+        if (Comparable(u, v)) {
+          independent = false;
+          break;
+        }
+      }
+      if (!independent) continue;
+      chosen.push_back(v);
+      if (TryGroup(candidates, chosen, alive, u_vec)) found_any = true;
+      EnumerateGroups(candidates, i + 1, chosen, alive, u_vec, found_any);
+      chosen.pop_back();
+    }
+  }
+
+  bool TryGroup(const std::vector<int>& minors, const std::vector<int>& chosen,
+                const std::vector<bool>& alive,
+                const std::vector<int>& u_vec) {
+    // Down-closure of the chosen antichain within the minor set.
+    std::vector<int> group;
+    PredSet point_label(db.vocab->num_predicates());
+    for (int m : minors) {
+      for (int a : chosen) {
+        if (reach.reach.Get(m, a)) {
+          group.push_back(m);
+          point_label.UnionWith(db.labels[m]);
+          break;
+        }
+      }
+    }
+    // Section 7 generalization: a sort group may not identify two points
+    // declared unequal.
+    for (const auto& [u, v] : db.inequalities) {
+      bool has_u = std::find(group.begin(), group.end(), u) != group.end();
+      bool has_v = std::find(group.begin(), group.end(), v) != group.end();
+      if (has_u && has_v) return false;
+    }
+
+    // Per-disjunct forced advance; a disjunct whose every path choice is
+    // satisfied by this point kills the group.
+    std::vector<std::vector<int>> advance(query.disjuncts.size());
+    for (size_t i = 0; i < query.disjuncts.size(); ++i) {
+      advance[i] =
+          ComputeAdvance(static_cast<int>(i), u_vec[i], point_label);
+      if (advance[i].empty()) return false;
+    }
+
+    // Remaining region.
+    std::vector<bool> next_alive = alive;
+    for (int g : group) next_alive[g] = false;
+    std::vector<int> next_s = MinimalVertices(db.dag, next_alive);
+
+    groups.push_back(group);
+    bool found = false;
+    std::vector<int> next_u(u_vec.size());
+    ProductSearch(advance, 0, next_u, next_s, found);
+    groups.pop_back();
+    return found;
+  }
+
+  void ProductSearch(const std::vector<std::vector<int>>& advance,
+                     size_t index, std::vector<int>& next_u,
+                     const std::vector<int>& next_s, bool& found) {
+    if (stop) return;
+    if (index == advance.size()) {
+      if (next_s.empty()) {
+        if (ReportCounter()) found = true;
+        // ReportCounter() returning false may mean "stop everything"; the
+        // countermodel itself still counts as found.
+        found = true;
+      } else if (Search(next_s, next_u)) {
+        found = true;
+      }
+      return;
+    }
+    for (int u : advance[index]) {
+      next_u[index] = u;
+      ProductSearch(advance, index + 1, next_u, next_s, found);
+      if (stop) return;
+    }
+  }
+};
+
+}  // namespace
+
+DisjunctiveOutcome EntailDisjunctive(const NormDb& db,
+                                     const NormQuery& raw_query,
+                                     const DisjunctiveOptions& options) {
+  IODB_CHECK(raw_query.IsMonadicOrderOnly());
+
+  DisjunctiveOutcome trivial;
+  if (raw_query.trivially_true) return trivial;
+
+  // Drop redundant query atoms so per-disjunct path automata track only
+  // maximal paths (see TransitiveReduceConjunct).
+  NormQuery query;
+  query.vocab = raw_query.vocab;
+  for (const NormConjunct& conjunct : raw_query.disjuncts) {
+    query.disjuncts.push_back(TransitiveReduceConjunct(conjunct));
+  }
+
+  Engine engine(db, query, options);
+
+  // Initial per-disjunct positions: a minimal vertex of each disjunct dag.
+  // A disjunct without order variables is the empty conjunction and makes
+  // the query trivially true (handled above).
+  std::vector<std::vector<int>> initial_choices;
+  for (const NormConjunct& conjunct : query.disjuncts) {
+    IODB_CHECK_GT(conjunct.num_order_vars(), 0);
+    std::vector<bool> all(conjunct.num_order_vars(), true);
+    initial_choices.push_back(MinimalVertices(conjunct.dag, all));
+  }
+
+  if (db.num_points() == 0) {
+    // The unique minimal model is empty; every disjunct (which needs at
+    // least one point) is falsified.
+    engine.outcome.entailed = false;
+    FiniteModel model = BuildMinimalModel(db, {});
+    engine.outcome.countermodel = model;
+    engine.outcome.countermodels_reported = 1;
+    if (options.on_countermodel != nullptr) options.on_countermodel(model);
+    return engine.outcome;
+  }
+
+  // Branch over the product of initial path starts.
+  std::vector<bool> all_alive(db.num_points(), true);
+  std::vector<int> s0 = MinimalVertices(db.dag, all_alive);
+  std::vector<int> u0(query.disjuncts.size(), -1);
+  std::function<void(size_t)> product = [&](size_t index) {
+    if (engine.stop) return;
+    if (index == initial_choices.size()) {
+      engine.Search(s0, u0);
+      return;
+    }
+    for (int u : initial_choices[index]) {
+      u0[index] = u;
+      product(index + 1);
+      if (engine.stop) return;
+    }
+  };
+  product(0);
+  return engine.outcome;
+}
+
+}  // namespace iodb

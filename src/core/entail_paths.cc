@@ -1,0 +1,21 @@
+#include "core/entail_paths.h"
+
+namespace iodb {
+
+PathEngineOutcome EntailByPaths(const NormDb& db,
+                                const NormConjunct& conjunct) {
+  IODB_CHECK(conjunct.IsMonadicOrderOnly());
+  PathEngineOutcome outcome;
+  ForEachPath(conjunct.dag, conjunct.labels, [&](const FlexiWord& path) {
+    ++outcome.paths_checked;
+    if (!SeqEntails(db, path, &outcome.seq_stats)) {
+      outcome.entailed = false;
+      outcome.failing_path = path;
+      return false;
+    }
+    return true;
+  });
+  return outcome;
+}
+
+}  // namespace iodb

@@ -1,0 +1,37 @@
+// Path-decomposition engine for conjunctive monadic queries (Lemma 4.1).
+//
+// D |= Φ iff D |= p for every maximal path p of Φ, so entailment reduces
+// to |Paths(Φ)| runs of SEQ. The number of paths can grow exponentially in
+// |Φ| (which is why combined complexity is co-NP-hard, Theorem 4.6), but
+// for a fixed query it is a constant: this engine realizes the linear-time
+// data complexity of Corollary 4.4.
+
+#ifndef IODB_CORE_ENTAIL_PATHS_H_
+#define IODB_CORE_ENTAIL_PATHS_H_
+
+#include <optional>
+
+#include "core/database.h"
+#include "core/flexiword.h"
+#include "core/query.h"
+#include "core/seq.h"
+
+namespace iodb {
+
+/// Outcome of the path-decomposition engine.
+struct PathEngineOutcome {
+  bool entailed = true;
+  long long paths_checked = 0;
+  /// A path of the query not entailed by the database, when not entailed.
+  std::optional<FlexiWord> failing_path;
+  SeqStats seq_stats;
+};
+
+/// Decides db |= conjunct for a monadic-order-only conjunct. Paths are
+/// enumerated lazily; the engine stops at the first failing path.
+PathEngineOutcome EntailByPaths(const NormDb& db,
+                                const NormConjunct& conjunct);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_ENTAIL_PATHS_H_

@@ -1,0 +1,224 @@
+#include "core/flexiword.h"
+
+#include <algorithm>
+
+#include "graph/topo.h"
+#include "util/strings.h"
+
+namespace iodb {
+
+bool FlexiWord::IsWord() const {
+  return std::all_of(rels.begin(), rels.end(),
+                     [](OrderRel r) { return r == OrderRel::kLt; });
+}
+
+std::string FlexiWord::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (int i = 0; i < size(); ++i) {
+    if (i > 0) {
+      out += rels[i - 1] == OrderRel::kLt ? " < " : " <= ";
+    }
+    std::vector<std::string> names;
+    for (int pred : symbols[i].Elements()) {
+      names.push_back(vocab.predicate(pred).name);
+    }
+    out += "[" + Join(names, ",") + "]";
+  }
+  return out;
+}
+
+FlexiWord WordOfModel(const FiniteModel& model) {
+  for (const ProperAtom& fact : model.other_facts) {
+    for (const Term& term : fact.args) {
+      IODB_CHECK(term.sort != Sort::kOrder);  // monadic view only
+    }
+  }
+  FlexiWord word;
+  word.symbols = model.point_labels;
+  if (model.num_points > 1) {
+    word.rels.assign(model.num_points - 1, OrderRel::kLt);
+  }
+  return word;
+}
+
+bool WordSatisfies(const FlexiWord& word, const FlexiWord& pattern) {
+  IODB_CHECK(word.IsWord());
+  const int n = pattern.size();
+  int j = 0;
+  if (j == n) return true;
+  for (int i = 0; i < word.size(); ++i) {
+    // Greedy: match as many consecutive pattern symbols at point i as the
+    // separators allow ("<=" permits same point, "<" forces a later one).
+    while (j < n && pattern.symbols[j].IsSubsetOf(word.symbols[i])) {
+      ++j;
+      if (j == n) return true;
+      if (pattern.rels[j - 1] == OrderRel::kLt) break;
+    }
+  }
+  return j == n;
+}
+
+bool IsSubword(const FlexiWord& p, const FlexiWord& q) {
+  IODB_CHECK(p.IsWord());
+  IODB_CHECK(q.IsWord());
+  int j = 0;
+  const int n = p.size();
+  for (int i = 0; i < q.size() && j < n; ++i) {
+    if (p.symbols[j].IsSubsetOf(q.symbols[i])) ++j;
+  }
+  return j == n;
+}
+
+bool FlexiEntails(const FlexiWord& q, const FlexiWord& p) {
+  // The Lemma 4.2 recursion, specialized to the width-one database q:
+  // the unique minimal vertex is the first alive symbol, and the minor
+  // vertices are the maximal "<="-connected prefix.
+  int qi = 0;
+  int j = 0;
+  const int n = p.size();
+  for (;;) {
+    if (j == n) return true;
+    if (qi == q.size()) return false;
+    if (!p.symbols[j].IsSubsetOf(q.symbols[qi])) {
+      ++qi;  // Case I: delete the minimal vertex.
+      continue;
+    }
+    if (j == n - 1) return true;  // last pattern symbol matched
+    if (p.rels[j] == OrderRel::kLt) {
+      // Case II: delete the minor prefix, consume the symbol.
+      while (qi < q.size() - 1 && q.rels[qi] == OrderRel::kLe) ++qi;
+      ++qi;
+      ++j;
+    } else {
+      // Case III: consume the symbol without deleting.
+      ++j;
+    }
+  }
+}
+
+namespace {
+
+// Enumerates the maximal edge paths (source-to-sink) of a transitively
+// reduced dag. Maximal sequential subqueries are exactly these paths:
+// a source-to-sink edge path cannot be extended at either end, and no
+// atom superset of a chain stays in sequential (consecutive-atom) form.
+struct PathEnumerator {
+  Digraph reduced;
+  const std::vector<PredSet>& labels;
+  const std::function<bool(const FlexiWord&)>& fn;
+  std::vector<int> path;       // vertex sequence
+  std::vector<OrderRel> rels;  // edge labels along the path
+
+  PathEnumerator(const Digraph& d, const std::vector<PredSet>& l,
+                 const std::function<bool(const FlexiWord&)>& f)
+      : reduced(TransitiveReduce(d)), labels(l), fn(f) {}
+
+  FlexiWord Materialize() const {
+    FlexiWord word;
+    for (size_t i = 0; i < path.size(); ++i) {
+      word.symbols.push_back(labels[path[i]]);
+    }
+    word.rels = rels;
+    return word;
+  }
+
+  bool Dfs(int u) {
+    path.push_back(u);
+    bool keep_going = true;
+    if (reduced.out(u).empty()) {
+      keep_going = fn(Materialize());
+    } else {
+      for (const Digraph::Arc& arc : reduced.out(u)) {
+        rels.push_back(arc.rel);
+        keep_going = Dfs(arc.vertex);
+        rels.pop_back();
+        if (!keep_going) break;
+      }
+    }
+    path.pop_back();
+    return keep_going;
+  }
+
+  bool Run() {
+    std::vector<bool> alive(reduced.num_vertices(), true);
+    for (int u : MinimalVertices(reduced, alive)) {
+      if (!Dfs(u)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool ForEachPath(const Digraph& dag, const std::vector<PredSet>& labels,
+                 const std::function<bool(const FlexiWord&)>& fn) {
+  PathEnumerator e(dag, labels, fn);
+  return e.Run();
+}
+
+std::vector<FlexiWord> ConjunctPaths(const NormConjunct& conjunct) {
+  std::vector<FlexiWord> paths;
+  ForEachPath(conjunct.dag, conjunct.labels, [&](const FlexiWord& p) {
+    paths.push_back(p);
+    return true;
+  });
+  return paths;
+}
+
+std::vector<FlexiWord> DbPaths(const NormDb& db) {
+  std::vector<FlexiWord> paths;
+  ForEachPath(db.dag, db.labels, [&](const FlexiWord& p) {
+    paths.push_back(p);
+    return true;
+  });
+  return paths;
+}
+
+FlexiWord SequentialPattern(const NormConjunct& conjunct) {
+  IODB_CHECK(conjunct.IsSequential());
+  FlexiWord word;
+  std::vector<int> order = TopologicalOrder(conjunct.dag);
+  Reachability reach = ComputeReachability(conjunct.dag);
+  for (size_t i = 0; i < order.size(); ++i) {
+    word.symbols.push_back(conjunct.labels[order[i]]);
+    if (i > 0) {
+      IODB_CHECK(reach.reach.Get(order[i - 1], order[i]));  // width one
+      word.rels.push_back(reach.strict.Get(order[i - 1], order[i])
+                              ? OrderRel::kLt
+                              : OrderRel::kLe);
+    }
+  }
+  return word;
+}
+
+Database DbOfFlexiWord(const FlexiWord& word, VocabularyPtr vocab) {
+  Database db(std::move(vocab));
+  int prev = -1;
+  for (int i = 0; i < word.size(); ++i) {
+    int point = db.GetOrAddConstant("w" + std::to_string(i), Sort::kOrder);
+    for (int pred : word.symbols[i].Elements()) {
+      IODB_CHECK(db.vocab()->predicate(pred).IsMonadicOrder());
+      db.AddProperAtom(pred, {{Sort::kOrder, point}});
+    }
+    if (prev != -1) {
+      db.AddOrderAtom(prev, point, word.rels[i - 1]);
+    }
+    prev = point;
+  }
+  return db;
+}
+
+NormConjunct ConjunctOfFlexiWord(const FlexiWord& word, int num_predicates) {
+  NormConjunct conjunct;
+  conjunct.dag = Digraph(word.size());
+  for (int i = 0; i < word.size(); ++i) {
+    conjunct.order_var_names.push_back("t" + std::to_string(i));
+    PredSet label(num_predicates);
+    label.UnionWith(word.symbols[i]);
+    conjunct.labels.push_back(std::move(label));
+    if (i > 0) conjunct.dag.AddEdge(i - 1, i, word.rels[i - 1]);
+  }
+  return conjunct;
+}
+
+}  // namespace iodb

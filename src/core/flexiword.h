@@ -1,0 +1,91 @@
+// Flexi-words (Section 4).
+//
+// Given a predicate set Pred and alphabet A = P(Pred), the flexi-words
+// FW(Pred) = A · ({<, <=} · A)* represent three things at once:
+//   * sequential queries (patterns),
+//   * width-one databases, and
+//   * finite models (all separators "<"): plain words.
+// The central relations are greedy pattern matching in a word model,
+// Higman's subword order on words (Proposition 4.5), and entailment of a
+// sequential pattern by a width-one database (the width-one special case
+// of the SEQ algorithm).
+
+#ifndef IODB_CORE_FLEXIWORD_H_
+#define IODB_CORE_FLEXIWORD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/model.h"
+#include "core/query.h"
+#include "core/types.h"
+
+namespace iodb {
+
+/// A flexi-word a₀ r₀ a₁ r₁ ... a_{n-1} with aᵢ ∈ P(Pred), rᵢ ∈ {<, <=}.
+struct FlexiWord {
+  std::vector<PredSet> symbols;
+  std::vector<OrderRel> rels;  // rels.size() == symbols.size() - 1 (or 0)
+
+  int size() const { return static_cast<int>(symbols.size()); }
+  bool empty() const { return symbols.empty(); }
+
+  /// True if every separator is "<" (a plain word).
+  bool IsWord() const;
+
+  /// Renders e.g. "[P,Q] < [P] <= [R]".
+  std::string ToString(const Vocabulary& vocab) const;
+
+  friend bool operator==(const FlexiWord&, const FlexiWord&) = default;
+};
+
+/// The word representation of a finite model (Section 4): the sequence of
+/// point label sets separated by "<". Requires the model to carry no
+/// non-monadic facts over points.
+FlexiWord WordOfModel(const FiniteModel& model);
+
+/// Greedy leftmost matching: does the plain word `word` satisfy the
+/// sequential pattern `pattern`? (Positions for consecutive pattern
+/// symbols must be strictly increasing across "<" and non-decreasing
+/// across "<=".) Greedy leftmost matching is complete for sequential
+/// patterns by the standard exchange argument.
+bool WordSatisfies(const FlexiWord& word, const FlexiWord& pattern);
+
+/// Subword order on plain words (Proposition 4.5): p is a subword of q if
+/// the symbols of p embed order-preservingly into q with containment.
+/// By Proposition 4.5, q |= p iff p is a subword of q.
+bool IsSubword(const FlexiWord& p, const FlexiWord& q);
+
+/// Entailment of a sequential pattern by a width-one database, both given
+/// as flexi-words: the three-case recursion of Lemma 4.2 specialized to
+/// width one. q |= p.
+bool FlexiEntails(const FlexiWord& q, const FlexiWord& p);
+
+/// Enumerates the maximal paths of a labelled dag (the paper's Paths(·)):
+/// source-to-sink edge paths of the *transitively reduced* dag (redundant
+/// order atoms contribute no paths of their own — the reduced dag imposes
+/// the same constraints). The callback returns false to stop; ForEachPath
+/// then returns false.
+bool ForEachPath(const Digraph& dag, const std::vector<PredSet>& labels,
+                 const std::function<bool(const FlexiWord&)>& fn);
+
+/// Materialized path sets of queries and databases.
+std::vector<FlexiWord> ConjunctPaths(const NormConjunct& conjunct);
+std::vector<FlexiWord> DbPaths(const NormDb& db);
+
+/// The flexi-word of a sequential conjunct (Width() <= 1): its variables
+/// in chain order with the connecting relations.
+FlexiWord SequentialPattern(const NormConjunct& conjunct);
+
+/// Builds a width-one database whose dag is the chain of `word` (fresh
+/// order constants w0, w1, ...). Inverse of the word representation.
+Database DbOfFlexiWord(const FlexiWord& word, VocabularyPtr vocab);
+
+/// Builds the sequential conjunct whose pattern is `word`.
+NormConjunct ConjunctOfFlexiWord(const FlexiWord& word, int num_predicates);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_FLEXIWORD_H_

@@ -1,0 +1,38 @@
+#include "core/inequality.h"
+
+namespace iodb {
+
+Result<Query> RewriteInequalities(const Query& query,
+                                  int max_result_disjuncts) {
+  Query out(query.vocab());
+  long long total = 0;
+  for (const QueryConjunct& conjunct : query.disjuncts()) {
+    const size_t m = conjunct.inequalities.size();
+    if (m >= 63) {
+      return Status::ResourceExhausted(
+          "too many inequalities in one disjunct");
+    }
+    long long expansions = 1LL << m;
+    total += expansions;
+    if (total > max_result_disjuncts) {
+      return Status::ResourceExhausted(
+          "inequality rewriting exceeds the disjunct budget");
+    }
+    for (long long bits = 0; bits < expansions; ++bits) {
+      QueryConjunct expanded = conjunct;
+      expanded.inequalities.clear();
+      for (size_t i = 0; i < m; ++i) {
+        const QueryInequality& ineq = conjunct.inequalities[i];
+        if ((bits >> i) & 1) {
+          expanded.order_atoms.push_back({ineq.lhs, ineq.rhs, OrderRel::kLt});
+        } else {
+          expanded.order_atoms.push_back({ineq.rhs, ineq.lhs, OrderRel::kLt});
+        }
+      }
+      out.AddDisjunct(std::move(expanded));
+    }
+  }
+  return out;
+}
+
+}  // namespace iodb

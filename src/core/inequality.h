@@ -1,0 +1,29 @@
+// Inequality support (Section 7).
+//
+// Queries and databases may carry atoms u != v. The paper's observation:
+// in queries, u != v is eliminable as the disjunction u < v ∨ v < u, at
+// the cost of an exponential blowup in the number of inequalities per
+// disjunct (and the blowup is unavoidable in general: Theorem 7.1 shows
+// NP/co-NP hardness as soon as "!=" enters the monadic picture).
+// Databases carrying "!=" are handled natively by the minimal-model
+// enumerator (a sort group may not merge two constants declared unequal),
+// hence by the brute-force engine; the polynomial monadic engines require
+// inequality-free databases.
+
+#ifndef IODB_CORE_INEQUALITY_H_
+#define IODB_CORE_INEQUALITY_H_
+
+#include "core/query.h"
+
+namespace iodb {
+
+/// Rewrites every inequality t1 != t2 of every disjunct into the two
+/// disjuncts obtained with t1 < t2 and t2 < t1. A disjunct with m
+/// inequalities becomes 2^m disjuncts. `max_result_disjuncts` guards the
+/// blowup.
+Result<Query> RewriteInequalities(const Query& query,
+                                  int max_result_disjuncts = 1 << 20);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_INEQUALITY_H_

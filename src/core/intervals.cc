@@ -1,0 +1,208 @@
+#include "core/intervals.h"
+
+#include "core/point_algebra.h"
+
+namespace iodb {
+namespace {
+
+// Endpoint indices: 0 = I.start, 1 = I.end, 2 = J.start, 3 = J.end.
+struct EndpointConstraint {
+  int lhs;
+  bool equal;  // lhs = rhs (else lhs < rhs)
+  int rhs;
+};
+
+// The defining endpoint constraints of each relation.
+std::vector<EndpointConstraint> ConstraintsOf(AllenRelation relation) {
+  switch (relation) {
+    case AllenRelation::kBefore:
+      return {{1, false, 2}};
+    case AllenRelation::kMeets:
+      return {{1, true, 2}};
+    case AllenRelation::kOverlaps:
+      return {{0, false, 2}, {2, false, 1}, {1, false, 3}};
+    case AllenRelation::kStarts:
+      return {{0, true, 2}, {1, false, 3}};
+    case AllenRelation::kDuring:
+      return {{2, false, 0}, {1, false, 3}};
+    case AllenRelation::kFinishes:
+      return {{2, false, 0}, {1, true, 3}};
+    case AllenRelation::kEquals:
+      return {{0, true, 2}, {1, true, 3}};
+    default: {
+      // Inverse relation: swap the interval roles (0<->2, 1<->3).
+      std::vector<EndpointConstraint> base = ConstraintsOf(Inverse(relation));
+      for (EndpointConstraint& c : base) {
+        c.lhs ^= 2;
+        c.rhs ^= 2;
+      }
+      return base;
+    }
+  }
+}
+
+Result<std::vector<int>> ResolveEndpoints(const Database& db,
+                                          const Interval& i,
+                                          const Interval& j) {
+  std::vector<int> ids;
+  for (const std::string* name : {&i.start, &i.end, &j.start, &j.end}) {
+    std::optional<int> id = db.FindConstant(*name, Sort::kOrder);
+    if (!id.has_value()) {
+      return Status::InvalidArgument("endpoint '" + *name +
+                                     "' is not an order constant");
+    }
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+const char* AllenRelationName(AllenRelation relation) {
+  switch (relation) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kEquals:
+      return "equals";
+    case AllenRelation::kAfter:
+      return "after";
+    case AllenRelation::kMetBy:
+      return "met-by";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped-by";
+    case AllenRelation::kStartedBy:
+      return "started-by";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kFinishedBy:
+      return "finished-by";
+  }
+  return "unknown";
+}
+
+AllenRelation Inverse(AllenRelation relation) {
+  switch (relation) {
+    case AllenRelation::kBefore:
+      return AllenRelation::kAfter;
+    case AllenRelation::kMeets:
+      return AllenRelation::kMetBy;
+    case AllenRelation::kOverlaps:
+      return AllenRelation::kOverlappedBy;
+    case AllenRelation::kStarts:
+      return AllenRelation::kStartedBy;
+    case AllenRelation::kDuring:
+      return AllenRelation::kContains;
+    case AllenRelation::kFinishes:
+      return AllenRelation::kFinishedBy;
+    case AllenRelation::kEquals:
+      return AllenRelation::kEquals;
+    case AllenRelation::kAfter:
+      return AllenRelation::kBefore;
+    case AllenRelation::kMetBy:
+      return AllenRelation::kMeets;
+    case AllenRelation::kOverlappedBy:
+      return AllenRelation::kOverlaps;
+    case AllenRelation::kStartedBy:
+      return AllenRelation::kStarts;
+    case AllenRelation::kContains:
+      return AllenRelation::kDuring;
+    case AllenRelation::kFinishedBy:
+      return AllenRelation::kFinishes;
+  }
+  IODB_CHECK(false);
+  return AllenRelation::kEquals;
+}
+
+const std::vector<AllenRelation>& AllAllenRelations() {
+  static const std::vector<AllenRelation>* kAll =
+      new std::vector<AllenRelation>{
+          AllenRelation::kBefore,       AllenRelation::kMeets,
+          AllenRelation::kOverlaps,     AllenRelation::kStarts,
+          AllenRelation::kDuring,       AllenRelation::kFinishes,
+          AllenRelation::kEquals,       AllenRelation::kAfter,
+          AllenRelation::kMetBy,        AllenRelation::kOverlappedBy,
+          AllenRelation::kStartedBy,    AllenRelation::kContains,
+          AllenRelation::kFinishedBy};
+  return *kAll;
+}
+
+void DeclareInterval(Database& db, const Interval& interval) {
+  db.AddOrder(interval.start, OrderRel::kLt, interval.end);
+}
+
+void AddAllenConstraint(Database& db, const Interval& i, const Interval& j,
+                        AllenRelation relation) {
+  int ids[4] = {db.GetOrAddConstant(i.start, Sort::kOrder),
+                db.GetOrAddConstant(i.end, Sort::kOrder),
+                db.GetOrAddConstant(j.start, Sort::kOrder),
+                db.GetOrAddConstant(j.end, Sort::kOrder)};
+  for (const EndpointConstraint& c : ConstraintsOf(relation)) {
+    if (c.equal) {
+      db.AddOrderAtom(ids[c.lhs], ids[c.rhs], OrderRel::kLe);
+      db.AddOrderAtom(ids[c.rhs], ids[c.lhs], OrderRel::kLe);
+    } else {
+      db.AddOrderAtom(ids[c.lhs], ids[c.rhs], OrderRel::kLt);
+    }
+  }
+}
+
+Result<bool> PossiblyHolds(const Database& db, const Interval& i,
+                           const Interval& j, AllenRelation relation) {
+  Result<std::vector<int>> ids = ResolveEndpoints(db, i, j);
+  if (!ids.ok()) return ids.status();
+  Database probe = db;
+  for (const EndpointConstraint& c : ConstraintsOf(relation)) {
+    if (c.equal) {
+      probe.AddOrderAtom(ids.value()[c.lhs], ids.value()[c.rhs],
+                         OrderRel::kLe);
+      probe.AddOrderAtom(ids.value()[c.rhs], ids.value()[c.lhs],
+                         OrderRel::kLe);
+    } else {
+      probe.AddOrderAtom(ids.value()[c.lhs], ids.value()[c.rhs],
+                         OrderRel::kLt);
+    }
+  }
+  return OrderConstraintsConsistent(probe);
+}
+
+Result<bool> NecessarilyHolds(const Database& db, const Interval& i,
+                              const Interval& j, AllenRelation relation) {
+  Result<std::vector<int>> ids = ResolveEndpoints(db, i, j);
+  if (!ids.ok()) return ids.status();
+  if (!OrderConstraintsConsistent(db)) return true;  // vacuous
+  // Entailment distributes over the conjunction of endpoint constraints.
+  const std::string names[4] = {i.start, i.end, j.start, j.end};
+  for (const EndpointConstraint& c : ConstraintsOf(relation)) {
+    Result<PointRelation> rel =
+        RelationBetween(db, names[c.lhs], names[c.rhs]);
+    if (!rel.ok()) return rel.status();
+    if (c.equal ? !rel.value().DefinitelyEq() : !rel.value().DefinitelyLt()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<AllenRelation>> PossibleRelations(const Database& db,
+                                                     const Interval& i,
+                                                     const Interval& j) {
+  std::vector<AllenRelation> possible;
+  for (AllenRelation relation : AllAllenRelations()) {
+    Result<bool> holds = PossiblyHolds(db, i, j, relation);
+    if (!holds.ok()) return holds.status();
+    if (holds.value()) possible.push_back(relation);
+  }
+  return possible;
+}
+
+}  // namespace iodb

@@ -1,0 +1,87 @@
+// Allen's interval algebra over indefinite order databases (Section 1).
+//
+// The paper motivates indefinite order data with Allen's observation that
+// natural-language temporal reports relate *intervals*. This module
+// encodes the thirteen primitive interval relations as endpoint
+// constraints over order constants, so interval knowledge bases become
+// ordinary [<, <=]-databases, and answers the classical questions:
+//   * PossiblyHolds(I r J): some compatible linear order realizes r;
+//   * NecessarilyHolds(I r J): every compatible linear order does.
+// Both reduce to point-algebra probes (point_algebra.h). Note Vilain,
+// Kautz & van Beek: deciding relations between intervals *given interval-
+// algebra constraints* is NP-hard in general; what stays tractable — and
+// what this module implements — is reasoning over point-expressible
+// (pointisable) constraints.
+
+#ifndef IODB_CORE_INTERVALS_H_
+#define IODB_CORE_INTERVALS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// The thirteen Allen relations. kAfter..kPreceded are the inverses of
+/// kBefore..kOverlaps in the listed pairing.
+enum class AllenRelation {
+  kBefore,      // I.end < J.start
+  kMeets,       // I.end = J.start
+  kOverlaps,    // I.start < J.start < I.end < J.end
+  kStarts,      // I.start = J.start, I.end < J.end
+  kDuring,      // J.start < I.start, I.end < J.end
+  kFinishes,    // J.start < I.start, I.end = J.end
+  kEquals,      // both endpoints equal
+  kAfter,       // inverse of kBefore
+  kMetBy,       // inverse of kMeets
+  kOverlappedBy,  // inverse of kOverlaps
+  kStartedBy,   // inverse of kStarts
+  kContains,    // inverse of kDuring
+  kFinishedBy,  // inverse of kFinishes
+};
+
+/// Returns e.g. "before", "overlapped-by".
+const char* AllenRelationName(AllenRelation relation);
+
+/// The inverse relation (swap the interval arguments).
+AllenRelation Inverse(AllenRelation relation);
+
+/// All thirteen relations, for sweeps.
+const std::vector<AllenRelation>& AllAllenRelations();
+
+/// An interval named by its endpoint order constants.
+struct Interval {
+  std::string start;
+  std::string end;
+};
+
+/// Interns the endpoints of `interval` and asserts start < end (proper,
+/// nonempty interval).
+void DeclareInterval(Database& db, const Interval& interval);
+
+/// Adds the endpoint constraints of `I relation J` to the database. The
+/// relation becomes definite knowledge; indefiniteness arises from NOT
+/// constraining pairs.
+void AddAllenConstraint(Database& db, const Interval& i, const Interval& j,
+                        AllenRelation relation);
+
+/// True if some model of `db` realizes `I relation J`. Fails if an
+/// endpoint is not an order constant of `db`.
+Result<bool> PossiblyHolds(const Database& db, const Interval& i,
+                           const Interval& j, AllenRelation relation);
+
+/// True if every model of `db` realizes `I relation J`.
+Result<bool> NecessarilyHolds(const Database& db, const Interval& i,
+                              const Interval& j, AllenRelation relation);
+
+/// The set of relations possible between I and J (at least one for a
+/// consistent database: the thirteen relations partition the cases).
+Result<std::vector<AllenRelation>> PossibleRelations(const Database& db,
+                                                     const Interval& i,
+                                                     const Interval& j);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_INTERVALS_H_

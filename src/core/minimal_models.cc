@@ -1,0 +1,122 @@
+#include "core/minimal_models.h"
+
+#include <algorithm>
+
+#include "graph/topo.h"
+
+namespace iodb {
+namespace {
+
+struct Enumerator {
+  const NormDb& db;
+  const ModelVisitor& visitor;
+  Reachability reach;
+  std::vector<bool> alive;
+  int alive_count;
+  std::vector<std::vector<int>> groups;
+
+  Enumerator(const NormDb& d, const ModelVisitor& v)
+      : db(d),
+        visitor(v),
+        reach(ComputeReachability(d.dag)),
+        alive(d.num_points(), true),
+        alive_count(d.num_points()) {}
+
+  bool Comparable(int u, int v) const {
+    return reach.reach.Get(u, v) || reach.reach.Get(v, u);
+  }
+
+  // The down-closure of antichain `chosen` within the minor set: all minor
+  // vertices that reach a chosen vertex. (Paths between minors stay within
+  // the minor set and use only "<=" edges; see DESIGN.md.)
+  std::vector<int> Closure(const std::vector<int>& minors,
+                           const std::vector<int>& chosen) const {
+    std::vector<int> group;
+    for (int m : minors) {
+      for (int a : chosen) {
+        if (reach.reach.Get(m, a)) {
+          group.push_back(m);
+          break;
+        }
+      }
+    }
+    return group;
+  }
+
+  bool GroupRespectsInequalities(const std::vector<int>& group) const {
+    for (const auto& [u, v] : db.inequalities) {
+      bool has_u = std::find(group.begin(), group.end(), u) != group.end();
+      bool has_v = std::find(group.begin(), group.end(), v) != group.end();
+      if (has_u && has_v) return false;
+    }
+    return true;
+  }
+
+  // Returns false iff the enumeration was stopped by on_model.
+  bool Recurse() {
+    if (alive_count == 0) {
+      return visitor.on_model == nullptr || visitor.on_model(groups);
+    }
+    std::vector<bool> minor = MinorVertices(db.dag, alive);
+    std::vector<int> candidates;
+    for (int v = 0; v < db.num_points(); ++v) {
+      if (alive[v] && minor[v]) candidates.push_back(v);
+    }
+    // A consistent database always has a minor vertex while nonempty.
+    IODB_CHECK(!candidates.empty());
+    std::vector<int> chosen;
+    return EnumerateAntichains(candidates, 0, chosen);
+  }
+
+  bool EnumerateAntichains(const std::vector<int>& candidates, size_t next,
+                           std::vector<int>& chosen) {
+    for (size_t i = next; i < candidates.size(); ++i) {
+      int v = candidates[i];
+      bool independent = true;
+      for (int u : chosen) {
+        if (Comparable(u, v)) {
+          independent = false;
+          break;
+        }
+      }
+      if (!independent) continue;
+      chosen.push_back(v);
+      std::vector<int> group = Closure(candidates, chosen);
+      if (GroupRespectsInequalities(group) &&
+          (visitor.on_group == nullptr ||
+           visitor.on_group(static_cast<int>(groups.size()), group))) {
+        for (int g : group) alive[g] = false;
+        alive_count -= static_cast<int>(group.size());
+        groups.push_back(group);
+        bool keep_going = Recurse();
+        groups.pop_back();
+        for (int g : group) alive[g] = true;
+        alive_count += static_cast<int>(group.size());
+        if (!keep_going) return false;
+      }
+      if (!EnumerateAntichains(candidates, i + 1, chosen)) return false;
+      chosen.pop_back();
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool ForEachMinimalModel(const NormDb& db, const ModelVisitor& visitor) {
+  Enumerator e(db, visitor);
+  return e.Recurse();
+}
+
+long long CountMinimalModels(const NormDb& db, long long limit) {
+  long long count = 0;
+  ModelVisitor visitor;
+  visitor.on_model = [&](const std::vector<std::vector<int>>&) {
+    ++count;
+    return limit < 0 || count < limit;
+  };
+  ForEachMinimalModel(db, visitor);
+  return count;
+}
+
+}  // namespace iodb

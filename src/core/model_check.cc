@@ -1,0 +1,169 @@
+#include "core/model_check.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/topo.h"
+
+namespace iodb {
+namespace {
+
+// Backtracking search state for one conjunct.
+struct Checker {
+  const FiniteModel& model;
+  const NormConjunct& conjunct;
+  ModelCheckStats* stats;
+
+  // Facts of the model indexed by predicate (only non-monadic ones; Term
+  // ids flattened: object id or point id in signature position order).
+  std::unordered_map<int, std::vector<const ProperAtom*>> facts_by_pred;
+
+  std::vector<int> order_assignment;   // order var -> point or -1
+  std::vector<int> object_assignment;  // object var -> object id or -1
+
+  // Variable processing order: order vars in topological order of the
+  // conjunct dag (so order atoms are checked as early as possible), then
+  // object vars.
+  std::vector<std::pair<Sort, int>> var_order;
+
+  explicit Checker(const FiniteModel& m, const NormConjunct& c,
+                   ModelCheckStats* s)
+      : model(m), conjunct(c), stats(s) {
+    for (const ProperAtom& fact : model.other_facts) {
+      facts_by_pred[fact.pred].push_back(&fact);
+    }
+    order_assignment.assign(conjunct.num_order_vars(), -1);
+    object_assignment.assign(conjunct.num_object_vars(), -1);
+    std::vector<int> topo = TopologicalOrder(conjunct.dag);
+    for (int t : topo) var_order.push_back({Sort::kOrder, t});
+    for (int x = 0; x < conjunct.num_object_vars(); ++x) {
+      var_order.push_back({Sort::kObject, x});
+    }
+  }
+
+  bool TermAssigned(const Term& term) const {
+    return term.sort == Sort::kOrder ? order_assignment[term.id] != -1
+                                     : object_assignment[term.id] != -1;
+  }
+  int TermValue(const Term& term) const {
+    return term.sort == Sort::kOrder ? order_assignment[term.id]
+                                     : object_assignment[term.id];
+  }
+
+  // Checks all constraints whose variables are fully assigned and that
+  // involve the just-assigned variable (sort, id).
+  bool ConstraintsHold(Sort sort, int id) const {
+    if (sort == Sort::kOrder) {
+      int point = order_assignment[id];
+      if (!conjunct.labels[id].IsSubsetOf(model.point_labels[point])) {
+        return false;
+      }
+      for (const Digraph::Arc& arc : conjunct.dag.in(id)) {
+        int other = order_assignment[arc.vertex];
+        if (other == -1) continue;
+        if (arc.rel == OrderRel::kLt ? !(other < point) : !(other <= point)) {
+          return false;
+        }
+      }
+      for (const Digraph::Arc& arc : conjunct.dag.out(id)) {
+        int other = order_assignment[arc.vertex];
+        if (other == -1) continue;
+        if (arc.rel == OrderRel::kLt ? !(point < other) : !(point <= other)) {
+          return false;
+        }
+      }
+      for (const auto& [a, b] : conjunct.inequalities) {
+        if (a != id && b != id) continue;
+        int va = order_assignment[a], vb = order_assignment[b];
+        if (va != -1 && vb != -1 && va == vb) return false;
+      }
+    }
+    // Proper atoms that are now fully assigned and mention this variable.
+    for (const ProperAtom& atom : conjunct.other_atoms) {
+      bool mentions = false;
+      bool complete = true;
+      for (const Term& term : atom.args) {
+        if (term.sort == sort && term.id == id) mentions = true;
+        if (!TermAssigned(term)) complete = false;
+      }
+      if (!mentions || !complete) continue;
+      if (!FactHolds(atom)) return false;
+    }
+    return true;
+  }
+
+  bool FactHolds(const ProperAtom& atom) const {
+    auto it = facts_by_pred.find(atom.pred);
+    if (it == facts_by_pred.end()) return false;
+    for (const ProperAtom* fact : it->second) {
+      bool match = true;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (fact->args[i].id != TermValue(atom.args[i])) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return true;
+    }
+    return false;
+  }
+
+  bool Search(size_t next) {
+    while (next < var_order.size()) {
+      auto [sort, id] = var_order[next];
+      bool assigned = sort == Sort::kOrder ? order_assignment[id] != -1
+                                           : object_assignment[id] != -1;
+      if (!assigned) break;
+      ++next;  // pinned by SatisfiesWithFixed
+    }
+    if (next == var_order.size()) return true;
+    auto [sort, id] = var_order[next];
+    int domain = sort == Sort::kOrder
+                     ? model.num_points
+                     : static_cast<int>(model.object_names.size());
+    for (int value = 0; value < domain; ++value) {
+      if (stats != nullptr) ++stats->assignments_tried;
+      (sort == Sort::kOrder ? order_assignment[id]
+                            : object_assignment[id]) = value;
+      if (ConstraintsHold(sort, id) && Search(next + 1)) return true;
+    }
+    (sort == Sort::kOrder ? order_assignment[id] : object_assignment[id]) =
+        -1;
+    return false;
+  }
+};
+
+}  // namespace
+
+bool Satisfies(const FiniteModel& model, const NormConjunct& conjunct,
+               ModelCheckStats* stats) {
+  Checker checker(model, conjunct, stats);
+  return checker.Search(0);
+}
+
+bool SatisfiesWithFixed(const FiniteModel& model, const NormConjunct& conjunct,
+                        const std::vector<FixedVar>& fixed,
+                        ModelCheckStats* stats) {
+  Checker checker(model, conjunct, stats);
+  for (const FixedVar& f : fixed) {
+    (f.var.sort == Sort::kOrder ? checker.order_assignment[f.var.id]
+                                : checker.object_assignment[f.var.id]) =
+        f.value;
+  }
+  // Pinned values must themselves satisfy the constraints they complete.
+  for (const FixedVar& f : fixed) {
+    if (!checker.ConstraintsHold(f.var.sort, f.var.id)) return false;
+  }
+  return checker.Search(0);
+}
+
+bool Satisfies(const FiniteModel& model, const NormQuery& query,
+               ModelCheckStats* stats) {
+  if (query.trivially_true) return true;
+  for (const NormConjunct& conjunct : query.disjuncts) {
+    if (Satisfies(model, conjunct, stats)) return true;
+  }
+  return false;
+}
+
+}  // namespace iodb

@@ -1,0 +1,47 @@
+// Satisfaction of positive existential queries in finite models.
+//
+// Model checking a conjunctive query is homomorphism search (NP in the
+// query, polynomial for a fixed query); this backtracking checker is the
+// inner loop of the brute-force entailment engine and of the upper-bound
+// arguments of Proposition 3.1. For monadic queries in word models the
+// specialized engines (Corollary 5.1) are asymptotically better; this one
+// works for arbitrary arity and inequalities.
+
+#ifndef IODB_CORE_MODEL_CHECK_H_
+#define IODB_CORE_MODEL_CHECK_H_
+
+#include "core/model.h"
+#include "core/query.h"
+
+namespace iodb {
+
+/// Statistics of a model-check call.
+struct ModelCheckStats {
+  long long assignments_tried = 0;
+};
+
+/// True if `model` satisfies the conjunct (with its variables existentially
+/// quantified).
+bool Satisfies(const FiniteModel& model, const NormConjunct& conjunct,
+               ModelCheckStats* stats = nullptr);
+
+/// A pinned variable: `var` (sort + variable id within the conjunct) must
+/// take the value `value` (point id or object id).
+struct FixedVar {
+  Term var;
+  int value = 0;
+};
+
+/// As Satisfies, but with some variables pre-assigned (used to compute
+/// relational answer sets, where head variables are fixed per tuple).
+bool SatisfiesWithFixed(const FiniteModel& model, const NormConjunct& conjunct,
+                        const std::vector<FixedVar>& fixed,
+                        ModelCheckStats* stats = nullptr);
+
+/// True if `model` satisfies some disjunct of `query`.
+bool Satisfies(const FiniteModel& model, const NormQuery& query,
+               ModelCheckStats* stats = nullptr);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_MODEL_CHECK_H_

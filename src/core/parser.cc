@@ -1,0 +1,367 @@
+#include "core/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace iodb {
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kAmp,
+  kBar,
+  kLt,
+  kLe,
+  kNeq,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+};
+
+// Tokenizes `text`; newlines are emitted as kSemicolon so both separators
+// behave alike in the database format (queries ignore them).
+Result<std::vector<Token>> Tokenize(const std::string& text,
+                                    bool newline_separates) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\n') {
+      if (newline_separates) tokens.push_back({TokKind::kSemicolon, ";"});
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '@') {
+      size_t start = i;
+      ++i;
+      while (i < text.size()) {
+        char d = text[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '\'') {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back({TokKind::kIdent, text.substr(start, i - start)});
+      continue;
+    }
+    switch (c) {
+      case '(':
+        tokens.push_back({TokKind::kLParen, "("});
+        ++i;
+        break;
+      case ')':
+        tokens.push_back({TokKind::kRParen, ")"});
+        ++i;
+        break;
+      case ',':
+        tokens.push_back({TokKind::kComma, ","});
+        ++i;
+        break;
+      case ':':
+        tokens.push_back({TokKind::kColon, ":"});
+        ++i;
+        break;
+      case '&':
+        tokens.push_back({TokKind::kAmp, "&"});
+        ++i;
+        break;
+      case '|':
+        tokens.push_back({TokKind::kBar, "|"});
+        ++i;
+        break;
+      case ';':
+        tokens.push_back({TokKind::kSemicolon, ";"});
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          tokens.push_back({TokKind::kLe, "<="});
+          i += 2;
+        } else {
+          tokens.push_back({TokKind::kLt, "<"});
+          ++i;
+        }
+        break;
+      case '!':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          tokens.push_back({TokKind::kNeq, "!="});
+          i += 2;
+        } else {
+          return Status::InvalidArgument("unexpected '!' in input");
+        }
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "'");
+    }
+  }
+  tokens.push_back({TokKind::kEnd, ""});
+  return tokens;
+}
+
+bool IsRel(TokKind kind) {
+  return kind == TokKind::kLt || kind == TokKind::kLe || kind == TokKind::kNeq;
+}
+
+struct Cursor {
+  const std::vector<Token>& tokens;
+  size_t pos = 0;
+
+  const Token& Peek() const { return tokens[pos]; }
+  const Token& Next() { return tokens[pos++]; }
+  bool Accept(TokKind kind) {
+    if (tokens[pos].kind == kind) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+};
+
+// One parsed database statement.
+struct DbStatement {
+  enum Kind { kDecl, kAtom, kChain } kind;
+  // kDecl / kAtom:
+  std::string name;
+  std::vector<std::string> args;  // sort names for kDecl, constants for kAtom
+  // kChain: terms[0] rel[0] terms[1] rel[1] ...
+  std::vector<std::string> terms;
+  std::vector<TokKind> rels;
+};
+
+Result<std::vector<DbStatement>> ParseDbStatements(Cursor& cursor) {
+  std::vector<DbStatement> statements;
+  for (;;) {
+    while (cursor.Accept(TokKind::kSemicolon)) {
+    }
+    if (cursor.Peek().kind == TokKind::kEnd) break;
+    if (cursor.Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected identifier, got '" +
+                                     cursor.Peek().text + "'");
+    }
+    std::string first = cursor.Next().text;
+    if (first == "pred" && cursor.Peek().kind == TokKind::kIdent) {
+      DbStatement decl;
+      decl.kind = DbStatement::kDecl;
+      decl.name = cursor.Next().text;
+      if (!cursor.Accept(TokKind::kLParen)) {
+        return Status::InvalidArgument("expected '(' after pred name");
+      }
+      for (;;) {
+        if (cursor.Peek().kind != TokKind::kIdent) {
+          return Status::InvalidArgument("expected sort name");
+        }
+        decl.args.push_back(cursor.Next().text);
+        if (cursor.Accept(TokKind::kComma)) continue;
+        break;
+      }
+      if (!cursor.Accept(TokKind::kRParen)) {
+        return Status::InvalidArgument("expected ')' in pred declaration");
+      }
+      statements.push_back(std::move(decl));
+      continue;
+    }
+    if (cursor.Peek().kind == TokKind::kLParen) {
+      cursor.Next();
+      DbStatement atom;
+      atom.kind = DbStatement::kAtom;
+      atom.name = first;
+      for (;;) {
+        if (cursor.Peek().kind != TokKind::kIdent) {
+          return Status::InvalidArgument("expected constant in atom '" +
+                                         first + "'");
+        }
+        atom.args.push_back(cursor.Next().text);
+        if (cursor.Accept(TokKind::kComma)) continue;
+        break;
+      }
+      if (!cursor.Accept(TokKind::kRParen)) {
+        return Status::InvalidArgument("expected ')' in atom '" + first +
+                                       "'");
+      }
+      statements.push_back(std::move(atom));
+      continue;
+    }
+    if (IsRel(cursor.Peek().kind)) {
+      DbStatement chain;
+      chain.kind = DbStatement::kChain;
+      chain.terms.push_back(first);
+      while (IsRel(cursor.Peek().kind)) {
+        chain.rels.push_back(cursor.Next().kind);
+        if (cursor.Peek().kind != TokKind::kIdent) {
+          return Status::InvalidArgument("expected constant after relation");
+        }
+        chain.terms.push_back(cursor.Next().text);
+      }
+      statements.push_back(std::move(chain));
+      continue;
+    }
+    return Status::InvalidArgument("unexpected token after '" + first + "'");
+  }
+  return statements;
+}
+
+}  // namespace
+
+Result<Database> ParseDatabase(const std::string& text, VocabularyPtr vocab) {
+  Result<std::vector<Token>> tokens =
+      Tokenize(text, /*newline_separates=*/true);
+  if (!tokens.ok()) return tokens.status();
+  Cursor cursor{tokens.value()};
+  Result<std::vector<DbStatement>> statements = ParseDbStatements(cursor);
+  if (!statements.ok()) return statements.status();
+
+  Database db(std::move(vocab));
+
+  // Pass 1: names occurring in order chains are order constants.
+  for (const DbStatement& st : statements.value()) {
+    if (st.kind != DbStatement::kChain) continue;
+    for (const std::string& name : st.terms) {
+      db.GetOrAddConstant(name, Sort::kOrder);
+    }
+  }
+  // Pass 2: declarations, atoms and chains.
+  for (const DbStatement& st : statements.value()) {
+    switch (st.kind) {
+      case DbStatement::kDecl: {
+        std::vector<Sort> sorts;
+        for (const std::string& s : st.args) {
+          if (s == "object") {
+            sorts.push_back(Sort::kObject);
+          } else if (s == "order") {
+            sorts.push_back(Sort::kOrder);
+          } else {
+            return Status::InvalidArgument("unknown sort '" + s + "'");
+          }
+        }
+        Result<int> pred = db.vocab()->GetOrAddPredicate(st.name, sorts);
+        if (!pred.ok()) return pred.status();
+        break;
+      }
+      case DbStatement::kAtom: {
+        Status s = db.AddFact(st.name, st.args);
+        if (!s.ok()) return s;
+        break;
+      }
+      case DbStatement::kChain: {
+        for (size_t i = 0; i < st.rels.size(); ++i) {
+          int u = db.GetOrAddConstant(st.terms[i], Sort::kOrder);
+          int v = db.GetOrAddConstant(st.terms[i + 1], Sort::kOrder);
+          if (st.rels[i] == TokKind::kNeq) {
+            db.AddInequality(u, v);
+          } else {
+            db.AddOrderAtom(u, v,
+                            st.rels[i] == TokKind::kLt ? OrderRel::kLt
+                                                       : OrderRel::kLe);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return db;
+}
+
+Result<Query> ParseQuery(const std::string& text, VocabularyPtr vocab) {
+  Result<std::vector<Token>> tokens =
+      Tokenize(text, /*newline_separates=*/false);
+  if (!tokens.ok()) return tokens.status();
+  Cursor cursor{tokens.value()};
+
+  Query query(std::move(vocab));
+  for (;;) {
+    QueryConjunct conjunct;
+    if (cursor.Peek().kind == TokKind::kIdent &&
+        cursor.Peek().text == "exists") {
+      cursor.Next();
+      while (cursor.Peek().kind == TokKind::kIdent) {
+        conjunct.Exists(cursor.Next().text);
+      }
+      if (!cursor.Accept(TokKind::kColon)) {
+        return Status::InvalidArgument("expected ':' after exists list");
+      }
+    }
+    // Conjunction of atoms.
+    for (;;) {
+      if (cursor.Peek().kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected atom, got '" +
+                                       cursor.Peek().text + "'");
+      }
+      std::string first = cursor.Next().text;
+      if (cursor.Peek().kind == TokKind::kLParen) {
+        cursor.Next();
+        QueryProperAtom atom;
+        atom.pred = first;
+        for (;;) {
+          if (cursor.Peek().kind != TokKind::kIdent) {
+            return Status::InvalidArgument("expected term in atom '" + first +
+                                           "'");
+          }
+          atom.args.push_back({cursor.Next().text});
+          if (cursor.Accept(TokKind::kComma)) continue;
+          break;
+        }
+        if (!cursor.Accept(TokKind::kRParen)) {
+          return Status::InvalidArgument("expected ')' in atom '" + first +
+                                         "'");
+        }
+        conjunct.proper_atoms.push_back(std::move(atom));
+      } else if (IsRel(cursor.Peek().kind)) {
+        std::string prev = first;
+        while (IsRel(cursor.Peek().kind)) {
+          TokKind rel = cursor.Next().kind;
+          if (cursor.Peek().kind != TokKind::kIdent) {
+            return Status::InvalidArgument("expected term after relation");
+          }
+          std::string next = cursor.Next().text;
+          if (rel == TokKind::kNeq) {
+            conjunct.inequalities.push_back({{prev}, {next}});
+          } else {
+            conjunct.order_atoms.push_back(
+                {{prev},
+                 {next},
+                 rel == TokKind::kLt ? OrderRel::kLt : OrderRel::kLe});
+          }
+          prev = next;
+        }
+      } else {
+        return Status::InvalidArgument("expected '(' or relation after '" +
+                                       first + "'");
+      }
+      if (cursor.Accept(TokKind::kAmp)) continue;
+      break;
+    }
+    query.AddDisjunct(std::move(conjunct));
+    if (cursor.Accept(TokKind::kBar)) continue;
+    break;
+  }
+  if (cursor.Peek().kind != TokKind::kEnd) {
+    return Status::InvalidArgument("trailing input: '" + cursor.Peek().text +
+                                   "'");
+  }
+  return query;
+}
+
+}  // namespace iodb

@@ -1,0 +1,39 @@
+// Text formats for databases and queries.
+//
+// Database: one statement per line (or ';'-separated), '#' comments.
+//   pred IC(order, order, object)        # optional declaration
+//   P(u)                                 # ground proper atom
+//   IC(z1, z2, A)
+//   z1 < z2 <= z3                        # order chains
+//   u != v                               # inequality (Section 7)
+// Constant sorts are inferred: names occurring in order chains are order
+// constants; other names default to the predicate's declared sort, else
+// to object.
+//
+// Query (disjunctive normal form):
+//   exists t1 t2 x: P(t1) & t1 < t2 & Q(x, t2)
+//   | exists t: R(t)
+// Names listed after `exists` are variables of that disjunct; every other
+// name is a constant. Variable sorts are inferred during normalization.
+
+#ifndef IODB_CORE_PARSER_H_
+#define IODB_CORE_PARSER_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "core/query.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// Parses a database, registering predicates into `vocab`.
+Result<Database> ParseDatabase(const std::string& text, VocabularyPtr vocab);
+
+/// Parses a query in disjunctive normal form. Predicates must already be
+/// known to `vocab` (parse the database first, or declare them).
+Result<Query> ParseQuery(const std::string& text, VocabularyPtr vocab);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_PARSER_H_

@@ -1,0 +1,71 @@
+#include "core/point_algebra.h"
+
+#include "graph/scc.h"
+
+namespace iodb {
+
+const char* PointRelation::Name() const {
+  int possible = can_lt + can_eq + can_gt;
+  if (possible == 0) return "inconsistent";
+  if (possible == 3) return "?";
+  if (DefinitelyLt()) return "<";
+  if (DefinitelyEq()) return "=";
+  if (can_gt && !can_eq && !can_lt) return ">";
+  if (!can_gt) return can_eq ? "<=" : "<";  // can_lt&&can_eq => "<="
+  if (!can_lt) return ">=";
+  return "!=";  // can_lt && can_gt, !can_eq
+}
+
+bool OrderConstraintsConsistent(const Database& db) {
+  Digraph graph(db.num_order_constants());
+  for (const OrderAtom& atom : db.order_atoms()) {
+    graph.AddEdge(atom.lhs, atom.rhs, atom.rel);
+  }
+  SccResult scc = StronglyConnectedComponents(graph);
+  for (const OrderAtom& atom : db.order_atoms()) {
+    if (atom.rel == OrderRel::kLt &&
+        scc.component[atom.lhs] == scc.component[atom.rhs]) {
+      return false;
+    }
+  }
+  for (const InequalityAtom& atom : db.inequalities()) {
+    if (scc.component[atom.lhs] == scc.component[atom.rhs]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Consistency of db's order constraints plus one probe atom.
+bool ConsistentWith(const Database& db, int u, int v, OrderRel rel,
+                    bool and_converse) {
+  Database probe = db;
+  probe.AddOrderAtom(u, v, rel);
+  if (and_converse) probe.AddOrderAtom(v, u, rel);
+  return OrderConstraintsConsistent(probe);
+}
+
+}  // namespace
+
+Result<PointRelation> RelationBetween(const Database& db,
+                                      const std::string& u,
+                                      const std::string& v) {
+  std::optional<int> uid = db.FindConstant(u, Sort::kOrder);
+  std::optional<int> vid = db.FindConstant(v, Sort::kOrder);
+  if (!uid.has_value() || !vid.has_value()) {
+    return Status::InvalidArgument("'" + u + "' / '" + v +
+                                   "' must be order constants");
+  }
+  PointRelation relation;
+  // Every consistent [<, <=, !=] constraint set has a model (contract the
+  // "<="-cycles, topologically sort all-distinct), so "possible" is
+  // exactly "consistent with the probe".
+  relation.can_lt = ConsistentWith(db, *uid, *vid, OrderRel::kLt, false);
+  relation.can_gt = ConsistentWith(db, *vid, *uid, OrderRel::kLt, false);
+  // Probing u <= v and v <= u together forces u = v; the SCC merge then
+  // detects any "<" or "!=" separating the class.
+  relation.can_eq = ConsistentWith(db, *uid, *vid, OrderRel::kLe, true);
+  return relation;
+}
+
+}  // namespace iodb

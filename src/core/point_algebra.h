@@ -1,0 +1,63 @@
+// The point algebra: entailed relations between individual order
+// constants.
+//
+// Section 1 contrasts the paper's query problem with the classical
+// tractable problem of deriving point relationships — deciding whether
+// u R v follows for R ∈ {<, <=, !=} (van Beek & Cohen; Ullman §14.2,
+// both cited in Section 7). This module solves that problem exactly over
+// [<, <=, !=]-databases by possibility probes: an atomic relation
+// (u < v, u = v, u > v) is possible iff the database extended with it is
+// consistent, and consistency of [<, <=, !=]-constraints is a linear-time
+// SCC check. Note that plain transitive closure would be incomplete here:
+// in u <= v <= w, u <= v' <= w with v != v', the relation u < w is
+// entailed even though no path derives it — the probe method catches
+// this.
+
+#ifndef IODB_CORE_POINT_ALGEBRA_H_
+#define IODB_CORE_POINT_ALGEBRA_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// The set of atomic order relations between two points that remain
+/// possible across the models of a database.
+struct PointRelation {
+  bool can_lt = false;  // some model has u < v
+  bool can_eq = false;  // some model has u = v
+  bool can_gt = false;  // some model has u > v
+
+  bool DefinitelyLt() const { return can_lt && !can_eq && !can_gt; }
+  bool DefinitelyLe() const { return !can_gt; }
+  bool DefinitelyEq() const { return can_eq && !can_lt && !can_gt; }
+  bool DefinitelyNeq() const { return !can_eq; }
+  /// All three relations possible: the pair is fully unconstrained.
+  bool Unconstrained() const { return can_lt && can_eq && can_gt; }
+
+  /// Renders the strongest entailed relation: "<", "<=", "=", ">", ">=",
+  /// "!=", "?" (unconstrained), or "inconsistent" (no relation possible,
+  /// i.e. the database itself has no model).
+  const char* Name() const;
+
+  friend bool operator==(const PointRelation&, const PointRelation&) =
+      default;
+};
+
+/// Computes the possible relations between order constants `u` and `v` of
+/// `db` (by name). Fails with kInvalidArgument if either name is not an
+/// order constant. A database without models yields all-false.
+Result<PointRelation> RelationBetween(const Database& db,
+                                      const std::string& u,
+                                      const std::string& v);
+
+/// True if the [<, <=, !=] constraint set of `db` is consistent (ignores
+/// proper atoms). Linear time: contract "<="-cycles and check that no "<"
+/// or "!=" atom connects two identified constants.
+bool OrderConstraintsConsistent(const Database& db);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_POINT_ALGEBRA_H_

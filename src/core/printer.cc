@@ -1,0 +1,148 @@
+#include "core/printer.h"
+
+#include "util/strings.h"
+
+namespace iodb {
+namespace {
+
+std::string RelText(OrderRel rel) {
+  return rel == OrderRel::kLt ? " < " : " <= ";
+}
+
+std::string LabelText(const PredSet& label, const Vocabulary& vocab) {
+  std::vector<std::string> names;
+  for (int pred : label.Elements()) {
+    names.push_back(vocab.predicate(pred).name);
+  }
+  return Join(names, ",");
+}
+
+std::string DotOfDag(const Digraph& dag,
+                     const std::vector<std::string>& names,
+                     const std::vector<PredSet>& labels,
+                     const Vocabulary& vocab) {
+  std::string out = "digraph G {\n  rankdir=LR;\n";
+  for (int v = 0; v < dag.num_vertices(); ++v) {
+    std::string label = names[v];
+    if (!labels[v].Empty()) {
+      label += "\\n{" + LabelText(labels[v], vocab) + "}";
+    }
+    out += "  n" + std::to_string(v) + " [label=\"" + label + "\"];\n";
+  }
+  for (const LabeledEdge& e : dag.edges()) {
+    out += "  n" + std::to_string(e.from) + " -> n" + std::to_string(e.to);
+    // Figure 5 convention: solid for "<", dashed for "<=".
+    out += e.rel == OrderRel::kLt ? ";\n" : " [style=dashed];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(const Database& db) {
+  std::string out;
+  for (const ProperAtom& atom : db.proper_atoms()) {
+    out += db.vocab()->predicate(atom.pred).name + "(";
+    std::vector<std::string> args;
+    for (const Term& term : atom.args) {
+      args.push_back(term.sort == Sort::kObject ? db.object_name(term.id)
+                                                : db.order_name(term.id));
+    }
+    out += Join(args, ", ") + ")\n";
+  }
+  for (const OrderAtom& atom : db.order_atoms()) {
+    out += db.order_name(atom.lhs) + RelText(atom.rel) +
+           db.order_name(atom.rhs) + "\n";
+  }
+  for (const InequalityAtom& atom : db.inequalities()) {
+    out += db.order_name(atom.lhs) + " != " + db.order_name(atom.rhs) + "\n";
+  }
+  return out;
+}
+
+std::string ToString(const Query& query) {
+  std::vector<std::string> disjuncts;
+  for (const QueryConjunct& conjunct : query.disjuncts()) {
+    std::string d;
+    if (!conjunct.variables.empty()) {
+      d += "exists " + Join(conjunct.variables, " ") + ": ";
+    }
+    std::vector<std::string> atoms;
+    for (const QueryProperAtom& atom : conjunct.proper_atoms) {
+      std::vector<std::string> args;
+      for (const QueryTerm& term : atom.args) args.push_back(term.name);
+      atoms.push_back(atom.pred + "(" + Join(args, ", ") + ")");
+    }
+    for (const QueryOrderAtom& atom : conjunct.order_atoms) {
+      atoms.push_back(atom.lhs.name +
+                      (atom.rel == OrderRel::kLt ? "<" : "<=") +
+                      atom.rhs.name);
+    }
+    for (const QueryInequality& atom : conjunct.inequalities) {
+      atoms.push_back(atom.lhs.name + "!=" + atom.rhs.name);
+    }
+    d += Join(atoms, " & ");
+    disjuncts.push_back(d);
+  }
+  return Join(disjuncts, " | ");
+}
+
+std::string ToString(const NormConjunct& conjunct, const Vocabulary& vocab) {
+  std::string out;
+  std::vector<std::string> vars = conjunct.order_var_names;
+  vars.insert(vars.end(), conjunct.object_var_names.begin(),
+              conjunct.object_var_names.end());
+  if (!vars.empty()) out += "exists " + Join(vars, " ") + ": ";
+  std::vector<std::string> atoms;
+  for (int t = 0; t < conjunct.num_order_vars(); ++t) {
+    for (int pred : conjunct.labels[t].Elements()) {
+      atoms.push_back(vocab.predicate(pred).name + "(" +
+                      conjunct.order_var_names[t] + ")");
+    }
+  }
+  for (const ProperAtom& atom : conjunct.other_atoms) {
+    std::vector<std::string> args;
+    for (const Term& term : atom.args) {
+      args.push_back(term.sort == Sort::kOrder
+                         ? conjunct.order_var_names[term.id]
+                         : conjunct.object_var_names[term.id]);
+    }
+    atoms.push_back(vocab.predicate(atom.pred).name + "(" + Join(args, ", ") +
+                    ")");
+  }
+  for (const LabeledEdge& e : conjunct.dag.edges()) {
+    atoms.push_back(conjunct.order_var_names[e.from] +
+                    (e.rel == OrderRel::kLt ? "<" : "<=") +
+                    conjunct.order_var_names[e.to]);
+  }
+  for (const auto& [u, v] : conjunct.inequalities) {
+    atoms.push_back(conjunct.order_var_names[u] +
+                    "!=" + conjunct.order_var_names[v]);
+  }
+  if (atoms.empty()) return out + "true";
+  return out + Join(atoms, " & ");
+}
+
+std::string ToString(const NormQuery& query) {
+  std::vector<std::string> disjuncts;
+  for (const NormConjunct& conjunct : query.disjuncts) {
+    disjuncts.push_back(ToString(conjunct, *query.vocab));
+  }
+  if (disjuncts.empty()) return "false";
+  return Join(disjuncts, " | ");
+}
+
+std::string DotOfDb(const NormDb& db) {
+  std::vector<std::string> names;
+  for (int p = 0; p < db.num_points(); ++p) names.push_back(db.PointName(p));
+  return DotOfDag(db.dag, names, db.labels, *db.vocab);
+}
+
+std::string DotOfConjunct(const NormConjunct& conjunct,
+                          const Vocabulary& vocab) {
+  return DotOfDag(conjunct.dag, conjunct.order_var_names, conjunct.labels,
+                  vocab);
+}
+
+}  // namespace iodb

@@ -1,0 +1,38 @@
+// Rendering of databases, queries and dags (text and Graphviz).
+//
+// The Graphviz output reproduces the paper's figures: vertices labelled by
+// their predicate sets, solid arrows for "<" edges and dashed arrows for
+// "<=" edges (the convention of Figure 5).
+
+#ifndef IODB_CORE_PRINTER_H_
+#define IODB_CORE_PRINTER_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "core/query.h"
+
+namespace iodb {
+
+/// Renders the database in the parser's input format.
+std::string ToString(const Database& db);
+
+/// Renders the query in the parser's input format.
+std::string ToString(const Query& query);
+
+/// Renders a normalized conjunct as "exists ...: atoms".
+std::string ToString(const NormConjunct& conjunct, const Vocabulary& vocab);
+
+/// Renders a normalized query (DNF of normalized conjuncts).
+std::string ToString(const NormQuery& query);
+
+/// Graphviz dot of the database dag (Figure 5 style).
+std::string DotOfDb(const NormDb& db);
+
+/// Graphviz dot of a conjunct dag (Figure 5 style).
+std::string DotOfConjunct(const NormConjunct& conjunct,
+                          const Vocabulary& vocab);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_PRINTER_H_

@@ -1,0 +1,197 @@
+// Positive existential queries (Section 2 of the paper).
+//
+// Queries are built from proper atoms and order atoms with conjunction,
+// disjunction and existential quantification. For complexity analysis the
+// paper assumes disjunctive normal form; `Query` is accordingly a
+// disjunction of `QueryConjunct`s, each an implicitly existentially
+// quantified conjunction.
+//
+// `Query` is the surface form (string-named variables and constants);
+// `NormQuery` is the normalized, constant-free form used by the engines:
+// per disjunct, rules N1/N2 are applied, the order atoms become a deduped
+// dag over canonical order variables, and monadic-order atoms become
+// per-variable label sets (Φ[t] in the paper's notation).
+
+#ifndef IODB_CORE_QUERY_H_
+#define IODB_CORE_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/database.h"
+#include "core/types.h"
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// A surface term: a variable or constant name. Whether a name denotes a
+/// variable is decided by the conjunct's declared variable list.
+struct QueryTerm {
+  std::string name;
+
+  friend bool operator==(const QueryTerm&, const QueryTerm&) = default;
+};
+
+/// A surface proper atom P(t1, ..., tn).
+struct QueryProperAtom {
+  std::string pred;
+  std::vector<QueryTerm> args;
+};
+
+/// A surface order atom t1 rel t2.
+struct QueryOrderAtom {
+  QueryTerm lhs;
+  QueryTerm rhs;
+  OrderRel rel = OrderRel::kLe;
+};
+
+/// A surface inequality t1 != t2 (Section 7).
+struct QueryInequality {
+  QueryTerm lhs;
+  QueryTerm rhs;
+};
+
+/// One disjunct: an existentially quantified conjunction. Any name in
+/// `variables` is a variable of this disjunct; other names are constants.
+struct QueryConjunct {
+  std::vector<std::string> variables;
+  std::vector<QueryProperAtom> proper_atoms;
+  std::vector<QueryOrderAtom> order_atoms;
+  std::vector<QueryInequality> inequalities;
+
+  /// Convenience builders for programmatic construction.
+  QueryConjunct& Exists(const std::string& var);
+  QueryConjunct& Atom(const std::string& pred,
+                      const std::vector<std::string>& args);
+  QueryConjunct& Order(const std::string& lhs, OrderRel rel,
+                       const std::string& rhs);
+  QueryConjunct& NotEqual(const std::string& lhs, const std::string& rhs);
+
+  bool IsVariable(const std::string& name) const;
+};
+
+/// A positive existential query in disjunctive normal form.
+class Query {
+ public:
+  explicit Query(VocabularyPtr vocab);
+
+  const VocabularyPtr& vocab() const { return vocab_; }
+
+  /// Appends a disjunct and returns a reference for builder-style use.
+  QueryConjunct& AddDisjunct();
+  void AddDisjunct(QueryConjunct conjunct);
+
+  const std::vector<QueryConjunct>& disjuncts() const { return disjuncts_; }
+
+  /// True if any disjunct mentions a constant (a term name not declared as
+  /// a variable of that disjunct).
+  bool HasConstants() const;
+
+ private:
+  VocabularyPtr vocab_;
+  std::vector<QueryConjunct> disjuncts_;
+};
+
+/// Normalized conjunct: the labelled-dag view of Section 4.
+struct NormConjunct {
+  /// Canonical order variables (after N1 merging) and object variables.
+  std::vector<std::string> order_var_names;
+  std::vector<std::string> object_var_names;
+
+  /// Order dag over order variables; edges deduped, "<" dominates "<=".
+  Digraph dag{0};
+
+  /// labels[t]: monadic-order predicates asserted of order variable t.
+  std::vector<PredSet> labels;
+
+  /// Proper atoms that are not monadic-order. Term ids are variable ids
+  /// (object or order by Term::sort).
+  std::vector<ProperAtom> other_atoms;
+
+  /// Inequalities over order variables, normalized lhs < rhs, deduped.
+  std::vector<std::pair<int, int>> inequalities;
+
+  int num_order_vars() const { return dag.num_vertices(); }
+  int num_object_vars() const {
+    return static_cast<int>(object_var_names.size());
+  }
+
+  /// True if the conjunct is empty (no atoms, no variables): the empty
+  /// conjunction, which is trivially true.
+  bool IsEmpty() const;
+
+  /// True if the conjunct uses only monadic-order atoms and order atoms —
+  /// the fragment handled by the Section 4-6 engines.
+  bool IsMonadicOrderOnly() const {
+    return other_atoms.empty() && inequalities.empty() &&
+           object_var_names.empty();
+  }
+
+  /// True if every order variable occurs in some proper atom (the paper's
+  /// "tight" condition, Section 2).
+  bool IsTight() const;
+
+  /// Width of the order dag.
+  int Width() const;
+
+  /// True if the order variables are linearly ordered by the order atoms
+  /// (width <= 1): the paper's "sequential" queries.
+  bool IsSequential() const { return Width() <= 1; }
+};
+
+/// Normalized query: disjunction of normalized conjuncts. Inconsistent
+/// disjuncts (cyclic "<") are dropped during normalization; a disjunct
+/// that normalizes to the empty conjunction makes the query trivially
+/// true.
+struct NormQuery {
+  VocabularyPtr vocab;
+  std::vector<NormConjunct> disjuncts;
+  bool trivially_true = false;
+
+  bool IsConjunctive() const { return disjuncts.size() == 1; }
+  bool IsMonadicOrderOnly() const;
+  bool IsTight() const;
+  bool IsSequential() const;
+  int MaxOrderVars() const;
+};
+
+/// Normalizes a constant-free query: resolves variable sorts, applies
+/// N1/N2 per disjunct, builds dags and label sets. Fails on constants
+/// (eliminate them first, see EliminateConstants), unknown predicates,
+/// arity mismatches, or conflicting sort usage.
+Result<NormQuery> NormalizeQuery(const Query& query);
+
+/// The standard constant-elimination construction (Section 2): each
+/// constant u occurring in `query` is replaced by a fresh variable t plus
+/// a marker atom @is_u(t), and the fact @is_u(u) is added to a copy of
+/// `db`. Returns the rewritten pair; entailment is preserved.
+struct ConstantFreePair {
+  Database db;
+  Query query;
+};
+Result<ConstantFreePair> EliminateConstants(const Database& db,
+                                            const Query& query);
+
+/// Full closure of a conjunct (Section 2): adds every derived order atom
+/// (u <= v for each path, u < v for each path through a "<" edge).
+NormConjunct FullClosure(const NormConjunct& conjunct);
+
+/// Deletes the order variables that occur in no proper atom, together with
+/// their order atoms (the Lemma 2.5 transformation; apply to a full
+/// conjunct). Requires the conjunct to have no inequalities.
+NormConjunct DropNonProperVars(const NormConjunct& conjunct);
+
+/// Drops the order atoms implied by the remaining ones (labelled
+/// transitive reduction). The result is constraint-equivalent, and its
+/// maximal dag paths — hence the engines' search spaces — are free of
+/// redundant shortcut paths: a query whose dag is a "tournament" of
+/// derived atoms reduces to a single chain. Note that a "<" atom parallel
+/// to a "<="-only path is NOT redundant and is kept.
+NormConjunct TransitiveReduceConjunct(const NormConjunct& conjunct);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_QUERY_H_

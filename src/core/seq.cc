@@ -1,0 +1,116 @@
+#include "core/seq.h"
+
+namespace iodb {
+namespace {
+
+// Mutable working copy of the database dag for SEQ's deletions.
+struct SeqState {
+  const NormDb& db;
+  SeqStats* stats;
+  std::vector<bool> alive;
+  std::vector<int> indegree;
+  // Work queue of vertices that became minimal; may contain stale (dead)
+  // entries, filtered on pop.
+  std::vector<int> minimal;
+  size_t scan_from = 0;  // minimal[0..scan_from) processed in current scan
+  int alive_count;
+
+  explicit SeqState(const NormDb& d, SeqStats* s)
+      : db(d),
+        stats(s),
+        alive(d.num_points(), true),
+        indegree(d.num_points(), 0),
+        alive_count(d.num_points()) {
+    for (const LabeledEdge& e : db.dag.edges()) ++indegree[e.to];
+    for (int v = 0; v < db.num_points(); ++v) {
+      if (indegree[v] == 0) minimal.push_back(v);
+    }
+  }
+
+  void Delete(int v) {
+    IODB_CHECK(alive[v]);
+    alive[v] = false;
+    --alive_count;
+    if (stats != nullptr) ++stats->vertices_deleted;
+    for (const Digraph::Arc& arc : db.dag.out(v)) {
+      if (--indegree[arc.vertex] == 0 && alive[arc.vertex]) {
+        minimal.push_back(arc.vertex);
+      }
+    }
+  }
+
+  // Returns an alive minimal vertex whose label does not contain `a`, or
+  // -1 if all alive minimal vertices satisfy a.
+  int FindFailingMinimal(const PredSet& a) {
+    // Compact dead entries lazily while scanning.
+    size_t w = 0;
+    int found = -1;
+    for (size_t i = 0; i < minimal.size(); ++i) {
+      int v = minimal[i];
+      if (!alive[v] || indegree[v] != 0) continue;
+      minimal[w++] = v;
+      if (found == -1) {
+        if (stats != nullptr) ++stats->subset_tests;
+        if (!a.IsSubsetOf(db.labels[v])) found = v;
+      }
+    }
+    minimal.resize(w);
+    return found;
+  }
+
+  // Deletes the minor vertices of the alive subgraph (the paper's marking
+  // procedure): delete unmarked minimal vertices, marking the
+  // "<"-successors of each deleted vertex.
+  void DeleteMinors() {
+    std::vector<bool> marked(db.num_points(), false);
+    // Local queue: current minimal vertices.
+    std::vector<int> queue;
+    for (int v : minimal) {
+      if (alive[v] && indegree[v] == 0) queue.push_back(v);
+    }
+    for (size_t head = 0; head < queue.size(); ++head) {
+      int v = queue[head];
+      if (!alive[v] || marked[v]) continue;
+      // Mark "<"-successors before deleting so they survive the phase.
+      for (const Digraph::Arc& arc : db.dag.out(v)) {
+        if (arc.rel == OrderRel::kLt) marked[arc.vertex] = true;
+      }
+      alive[v] = false;
+      --alive_count;
+      if (stats != nullptr) ++stats->vertices_deleted;
+      for (const Digraph::Arc& arc : db.dag.out(v)) {
+        if (--indegree[arc.vertex] == 0 && alive[arc.vertex]) {
+          queue.push_back(arc.vertex);
+          minimal.push_back(arc.vertex);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool SeqEntails(const NormDb& db, const FlexiWord& pattern, SeqStats* stats) {
+  IODB_CHECK(db.inequalities.empty());
+  const int n = pattern.size();
+  if (n == 0) return true;
+  SeqState state(db, stats);
+  int j = 0;
+  for (;;) {
+    if (state.alive_count == 0) return false;
+    int failing = state.FindFailingMinimal(pattern.symbols[j]);
+    if (failing != -1) {
+      state.Delete(failing);  // Case I
+      continue;
+    }
+    if (j == n - 1) return true;  // final symbol matched at the next group
+    if (pattern.rels[j] == OrderRel::kLt) {
+      state.DeleteMinors();  // Case II
+      ++j;
+    } else {
+      ++j;  // Case III
+    }
+  }
+}
+
+}  // namespace iodb

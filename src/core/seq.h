@@ -1,0 +1,46 @@
+// The SEQ algorithm (Figure 6 / Lemma 4.2): entailment of a sequential
+// monadic query by an arbitrary monadic database in O(|D|·|p|·|Pred|).
+//
+// The algorithm follows the three cases of the Lemma 4.2 induction, each
+// of which is an equivalence (D and p range over the remaining database
+// and pattern suffix; a is the first pattern symbol):
+//
+//   Case I.  Some minimal vertex u of D has a ⊄ D[u].
+//            Then D |= p iff D\{u} |= p.
+//            ("=>" because D\{u} is a subset of D's atoms; "<=" because a
+//            countermodel M of D\{u} extends to the countermodel D[u]<M.)
+//   Case II. Every minimal vertex satisfies a, and p = a < p'.
+//            Then D |= p iff D\S |= p', where S is the set of minor
+//            vertices. (Every first sort group contains a minimal vertex,
+//            hence satisfies a; conversely prepending the union of minor
+//            labels to a countermodel of D\S gives a countermodel of D.)
+//   Case III. Every minimal vertex satisfies a, and p = a <= p'.
+//            Then D |= p iff D |= p'.
+//
+// Deleting the minor set uses the paper's marking trick: repeatedly delete
+// unmarked minimal vertices, marking the "<"-successors of every deleted
+// vertex; marked vertices survive the phase.
+
+#ifndef IODB_CORE_SEQ_H_
+#define IODB_CORE_SEQ_H_
+
+#include "core/database.h"
+#include "core/flexiword.h"
+
+namespace iodb {
+
+/// Counters reported by SeqEntails.
+struct SeqStats {
+  long long vertices_deleted = 0;
+  long long subset_tests = 0;
+};
+
+/// Decides db |= pattern for a sequential monadic pattern. Ignores any
+/// non-monadic facts of the database (they cannot satisfy monadic atoms)
+/// and requires the database to carry no inequality constraints.
+bool SeqEntails(const NormDb& db, const FlexiWord& pattern,
+                SeqStats* stats = nullptr);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_SEQ_H_

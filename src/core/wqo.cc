@@ -1,0 +1,152 @@
+#include "core/wqo.h"
+
+#include <algorithm>
+
+#include "core/entail_disjunctive.h"
+#include "core/seq.h"
+
+namespace iodb {
+
+bool FlexiLeq(const FlexiWord& p, const FlexiWord& q) {
+  return FlexiEntails(q, p);
+}
+
+bool DbLeq(const NormDb& d1, const NormDb& d2) {
+  IODB_CHECK(d1.inequalities.empty());
+  IODB_CHECK(d2.inequalities.empty());
+  return ForEachPath(d1.dag, d1.labels, [&](const FlexiWord& p) {
+    return SeqEntails(d2, p);
+  });
+}
+
+Database DbOfConjunct(const NormConjunct& conjunct, VocabularyPtr vocab) {
+  Database db(std::move(vocab));
+  std::vector<int> constant(conjunct.num_order_vars());
+  for (int t = 0; t < conjunct.num_order_vars(); ++t) {
+    constant[t] =
+        db.GetOrAddConstant(conjunct.order_var_names[t], Sort::kOrder);
+    for (int pred : conjunct.labels[t].Elements()) {
+      db.AddProperAtom(pred, {{Sort::kOrder, constant[t]}});
+    }
+  }
+  for (const LabeledEdge& e : conjunct.dag.edges()) {
+    db.AddOrderAtom(constant[e.from], constant[e.to], e.rel);
+  }
+  return db;
+}
+
+CompiledQuery CompiledQuery::CompileConjunctive(const NormConjunct& conjunct) {
+  IODB_CHECK(conjunct.IsMonadicOrderOnly());
+  CompiledQuery compiled;
+  compiled.basis_.push_back(ConjunctPaths(conjunct));
+  return compiled;
+}
+
+bool CompiledQuery::Entails(const NormDb& db) const {
+  for (const std::vector<FlexiWord>& paths : basis_) {
+    bool all = true;
+    for (const FlexiWord& p : paths) {
+      if (!SeqEntails(db, p)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Distinct candidate symbols for the word-basis search: the labels of the
+// query's vertices plus their pairwise unions (unions arise when a single
+// model point must satisfy vertices of several disjuncts at once).
+std::vector<PredSet> CandidateSymbols(const NormQuery& query) {
+  std::vector<PredSet> symbols;
+  auto add = [&](const PredSet& s) {
+    if (s.Empty()) return;
+    if (std::find(symbols.begin(), symbols.end(), s) == symbols.end()) {
+      symbols.push_back(s);
+    }
+  };
+  for (const NormConjunct& conjunct : query.disjuncts) {
+    for (const PredSet& label : conjunct.labels) add(label);
+  }
+  const size_t base = symbols.size();
+  for (size_t i = 0; i < base; ++i) {
+    for (size_t j = i + 1; j < base; ++j) {
+      PredSet u = symbols[i];
+      u.UnionWith(symbols[j]);
+      add(u);
+    }
+  }
+  return symbols;
+}
+
+bool WordEntailsQuery(const FlexiWord& word, const NormQuery& query) {
+  Database db = DbOfFlexiWord(word, query.vocab);
+  Result<NormDb> norm = Normalize(db);
+  IODB_CHECK(norm.ok());
+  return EntailDisjunctive(norm.value(), query).entailed;
+}
+
+}  // namespace
+
+std::vector<FlexiWord> WordBasisSearch(const NormQuery& query, int max_length,
+                                       long long max_candidates) {
+  IODB_CHECK(query.IsMonadicOrderOnly());
+  std::vector<PredSet> alphabet = CandidateSymbols(query);
+  std::vector<FlexiWord> entailing;
+  long long budget = max_candidates;
+
+  // Breadth-first over word lengths; a word with an entailing proper
+  // prefix-shape below it is skipped implicitly by minimality pruning at
+  // the end (subwords are visited first because they are shorter).
+  std::vector<FlexiWord> frontier{FlexiWord{}};
+  for (int len = 1; len <= max_length && budget > 0; ++len) {
+    std::vector<FlexiWord> next;
+    for (const FlexiWord& w : frontier) {
+      for (const PredSet& symbol : alphabet) {
+        if (--budget < 0) break;
+        FlexiWord extended = w;
+        if (!extended.symbols.empty()) {
+          extended.rels.push_back(OrderRel::kLt);
+        }
+        extended.symbols.push_back(symbol);
+        // Skip extensions of already-entailing words: they are not minimal.
+        bool dominated = false;
+        for (const FlexiWord& e : entailing) {
+          if (FlexiLeq(e, extended)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) continue;
+        if (WordEntailsQuery(extended, query)) {
+          entailing.push_back(extended);
+        } else {
+          next.push_back(extended);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Keep only the ⪯-minimal entailing words.
+  std::vector<FlexiWord> basis;
+  for (size_t i = 0; i < entailing.size(); ++i) {
+    bool minimal = true;
+    for (size_t j = 0; j < entailing.size() && minimal; ++j) {
+      if (i == j) continue;
+      if (FlexiLeq(entailing[j], entailing[i]) &&
+          !FlexiLeq(entailing[i], entailing[j])) {
+        minimal = false;
+      }
+      if (j < i && entailing[j] == entailing[i]) minimal = false;
+    }
+    if (minimal) basis.push_back(entailing[i]);
+  }
+  return basis;
+}
+
+}  // namespace iodb

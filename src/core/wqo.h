@@ -1,0 +1,77 @@
+// Well-quasi-order machinery and basis evaluation (Section 6).
+//
+// Section 6 proves nonconstructively that every disjunctive monadic query
+// has linear-time data complexity: the quasi-order D1 ⊑ D2 (defined by
+// Paths(D1) ⪯ Paths(D2), where p ⪯ q iff q |= p) is a well-quasi-order
+// (Higman-style argument on flexi-words, Lemma 6.3), entailment is upward
+// closed in it (Lemma 6.4), so S(Φ) = {D : D |= Φ} has a finite basis of
+// minimal elements, and testing D' ⊒ D for fixed D is linear time.
+//
+// Constructive pieces implemented here:
+//   * the order p ⪯ q on flexi-words and D1 ⊑ D2 on databases;
+//   * the exact basis for conjunctive queries: S(Φ) = up-closure of
+//     {D_Φ}, where D_Φ is the database with the same labelled dag as Φ
+//     (end of Section 6), giving compiled linear-time evaluation;
+//   * an experimental bounded search for bases of disjunctive queries
+//     over word-shaped candidate databases (the general computation is
+//     left open by the paper; this heuristic is validated for soundness,
+//     not completeness).
+
+#ifndef IODB_CORE_WQO_H_
+#define IODB_CORE_WQO_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/flexiword.h"
+#include "core/query.h"
+
+namespace iodb {
+
+/// The flexi-word quasi-order of Lemma 6.3: p ⪯ q iff q |= p (q read as a
+/// width-one database, p as a sequential query).
+bool FlexiLeq(const FlexiWord& p, const FlexiWord& q);
+
+/// The database quasi-order of Section 6: D1 ⊑ D2 iff every path of D1 is
+/// entailed by D2. (By Lemma 4.2, "∃q ∈ Paths(D2): q |= p" is exactly
+/// "D2 |= p", so Paths(D2) need not be enumerated.) Both databases must be
+/// inequality-free; non-monadic facts are ignored.
+bool DbLeq(const NormDb& d1, const NormDb& d2);
+
+/// The canonical database D_Φ of a monadic-order-only conjunct: same
+/// labelled dag, variables read as order constants.
+Database DbOfConjunct(const NormConjunct& conjunct, VocabularyPtr vocab);
+
+/// A compiled monadic query: a finite basis B such that D |= Φ iff
+/// B ⊑ D for some B in the basis. Evaluation is |B| SEQ sweeps: linear
+/// time in |D| for a fixed compiled query (Theorem 6.5's promise).
+class CompiledQuery {
+ public:
+  /// Compiles a conjunctive monadic query exactly: basis {D_Φ},
+  /// represented by its path set.
+  static CompiledQuery CompileConjunctive(const NormConjunct& conjunct);
+
+  /// Evaluates the compiled query against a database.
+  bool Entails(const NormDb& db) const;
+
+  /// Basis elements, each as the path set of one minimal database.
+  const std::vector<std::vector<FlexiWord>>& basis() const { return basis_; }
+
+ private:
+  // basis_[i]: the paths of the i-th minimal database; D is entailed iff
+  // for some i every path is SEQ-entailed by D.
+  std::vector<std::vector<FlexiWord>> basis_;
+};
+
+/// Experimental (Section 6 leaves basis computation open): searches for
+/// minimal *word-shaped* databases entailing the disjunctive query, by
+/// enumerating words over the query's predicate combinations up to
+/// `max_length`, keeping the ⪯-minimal entailing ones. The result is a
+/// sound under-approximation of the basis restricted to words: every
+/// returned word entails the query. `max_candidates` bounds the search.
+std::vector<FlexiWord> WordBasisSearch(const NormQuery& query,
+                                       int max_length, long long max_candidates);
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_WQO_H_

@@ -1,0 +1,37 @@
+#include "graph/antichains.h"
+
+namespace iodb {
+namespace {
+
+bool Recurse(const std::vector<int>& candidates, size_t next,
+             const std::function<bool(int, int)>& comparable,
+             std::vector<int>& current,
+             const std::function<bool(const std::vector<int>&)>& fn) {
+  for (size_t i = next; i < candidates.size(); ++i) {
+    int v = candidates[i];
+    bool ok = true;
+    for (int u : current) {
+      if (comparable(u, v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    current.push_back(v);
+    if (!fn(current)) return false;
+    if (!Recurse(candidates, i + 1, comparable, current, fn)) return false;
+    current.pop_back();
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ForEachAntichain(const std::vector<int>& candidates,
+                      const std::function<bool(int, int)>& comparable,
+                      const std::function<bool(const std::vector<int>&)>& fn) {
+  std::vector<int> current;
+  return Recurse(candidates, 0, comparable, current, fn);
+}
+
+}  // namespace iodb

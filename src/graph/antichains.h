@@ -1,0 +1,27 @@
+// Antichain enumeration.
+//
+// The model enumerators and the bounded-width engines (Theorems 4.7 / 5.3)
+// iterate over antichains of the database dag; for a width-k database there
+// are O(|D|^k) of them, which is the source of the polynomial bounds.
+
+#ifndef IODB_GRAPH_ANTICHAINS_H_
+#define IODB_GRAPH_ANTICHAINS_H_
+
+#include <functional>
+#include <vector>
+
+namespace iodb {
+
+/// Enumerates every nonempty antichain that can be formed from `candidates`
+/// (kept in increasing index order inside each emitted antichain).
+/// `comparable(u, v)` must return true iff u and v are comparable (some
+/// directed path connects them, in either direction). The callback returns
+/// false to abort the whole enumeration; ForEachAntichain then returns
+/// false as well.
+bool ForEachAntichain(const std::vector<int>& candidates,
+                      const std::function<bool(int, int)>& comparable,
+                      const std::function<bool(const std::vector<int>&)>& fn);
+
+}  // namespace iodb
+
+#endif  // IODB_GRAPH_ANTICHAINS_H_

@@ -1,0 +1,31 @@
+#include "graph/digraph.h"
+
+namespace iodb {
+
+const char* OrderRelName(OrderRel rel) {
+  return rel == OrderRel::kLt ? "<" : "<=";
+}
+
+Digraph::Digraph(int num_vertices) {
+  IODB_CHECK_GE(num_vertices, 0);
+  out_.resize(num_vertices);
+  in_.resize(num_vertices);
+}
+
+int Digraph::AddVertex() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return num_vertices() - 1;
+}
+
+void Digraph::AddEdge(int from, int to, OrderRel rel) {
+  IODB_CHECK_GE(from, 0);
+  IODB_CHECK_LT(from, num_vertices());
+  IODB_CHECK_GE(to, 0);
+  IODB_CHECK_LT(to, num_vertices());
+  out_[from].push_back({to, rel});
+  in_[to].push_back({from, rel});
+  edges_.push_back({from, to, rel});
+}
+
+}  // namespace iodb

@@ -1,0 +1,71 @@
+// Directed graphs with order-relation edge labels.
+//
+// This is the backbone of both databases and conjunctive queries: after
+// normalization (rules N1/N2 of the paper, Section 2) the order atoms of a
+// database or query form a dag whose edges are labelled "<" or "<=".
+
+#ifndef IODB_GRAPH_DIGRAPH_H_
+#define IODB_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace iodb {
+
+/// Label of an order-graph edge: `u < v` (strict) or `u <= v`.
+enum class OrderRel : uint8_t { kLt = 0, kLe = 1 };
+
+/// Returns "<" or "<=".
+const char* OrderRelName(OrderRel rel);
+
+/// A directed edge with an order label.
+struct LabeledEdge {
+  int from = 0;
+  int to = 0;
+  OrderRel rel = OrderRel::kLe;
+
+  friend bool operator==(const LabeledEdge&, const LabeledEdge&) = default;
+};
+
+/// A mutable directed multigraph over vertices 0..n-1 with labelled edges.
+/// Parallel edges are permitted (engines deduplicate where it matters).
+class Digraph {
+ public:
+  /// An adjacency entry: the neighbour and the label of the connecting edge.
+  struct Arc {
+    int vertex;
+    OrderRel rel;
+  };
+
+  /// Creates a graph with `num_vertices` isolated vertices.
+  explicit Digraph(int num_vertices = 0);
+
+  /// Appends a fresh isolated vertex and returns its index.
+  int AddVertex();
+
+  /// Adds the edge `from -> to` with label `rel`. Self-loops allowed at this
+  /// layer (normalization removes or rejects them).
+  void AddEdge(int from, int to, OrderRel rel);
+
+  int num_vertices() const { return static_cast<int>(out_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Outgoing arcs of `v`.
+  const std::vector<Arc>& out(int v) const { return out_[v]; }
+  /// Incoming arcs of `v` (Arc::vertex is the source).
+  const std::vector<Arc>& in(int v) const { return in_[v]; }
+  /// All edges in insertion order.
+  const std::vector<LabeledEdge>& edges() const { return edges_; }
+
+ private:
+  std::vector<std::vector<Arc>> out_;
+  std::vector<std::vector<Arc>> in_;
+  std::vector<LabeledEdge> edges_;
+};
+
+}  // namespace iodb
+
+#endif  // IODB_GRAPH_DIGRAPH_H_

@@ -1,0 +1,80 @@
+#include "graph/matching.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace iodb {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+// Hopcroft–Karp state shared across phases.
+struct HkState {
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> match_l;  // left -> right or -1
+  std::vector<int> match_r;  // right -> left or -1
+  std::vector<int> dist;     // BFS layer per left vertex
+  std::vector<int> queue;
+};
+
+bool Bfs(HkState& s) {
+  s.queue.clear();
+  const int nl = static_cast<int>(s.match_l.size());
+  bool reachable_free = false;
+  for (int l = 0; l < nl; ++l) {
+    if (s.match_l[l] == -1) {
+      s.dist[l] = 0;
+      s.queue.push_back(l);
+    } else {
+      s.dist[l] = kInf;
+    }
+  }
+  for (size_t head = 0; head < s.queue.size(); ++head) {
+    int l = s.queue[head];
+    for (int r : s.adj[l]) {
+      int l2 = s.match_r[r];
+      if (l2 == -1) {
+        reachable_free = true;
+      } else if (s.dist[l2] == kInf) {
+        s.dist[l2] = s.dist[l] + 1;
+        s.queue.push_back(l2);
+      }
+    }
+  }
+  return reachable_free;
+}
+
+bool Dfs(HkState& s, int l) {
+  for (int r : s.adj[l]) {
+    int l2 = s.match_r[r];
+    if (l2 == -1 || (s.dist[l2] == s.dist[l] + 1 && Dfs(s, l2))) {
+      s.match_l[l] = r;
+      s.match_r[r] = l;
+      return true;
+    }
+  }
+  s.dist[l] = kInf;
+  return false;
+}
+
+}  // namespace
+
+int MaxBipartiteMatching(int num_left, int num_right,
+                         const std::vector<std::vector<int>>& adj,
+                         std::vector<int>* match_left) {
+  IODB_CHECK_EQ(static_cast<int>(adj.size()), num_left);
+  HkState s{adj, std::vector<int>(num_left, -1),
+            std::vector<int>(num_right, -1), std::vector<int>(num_left, 0),
+            {}};
+  int matching = 0;
+  while (Bfs(s)) {
+    for (int l = 0; l < num_left; ++l) {
+      if (s.match_l[l] == -1 && Dfs(s, l)) ++matching;
+    }
+  }
+  if (match_left != nullptr) *match_left = s.match_l;
+  return matching;
+}
+
+}  // namespace iodb

@@ -1,0 +1,26 @@
+// Maximum bipartite matching (Hopcroft–Karp).
+//
+// Substrate for the width computation: by Dilworth's theorem the width of a
+// dag (maximum antichain) equals the minimum number of chains covering it,
+// which is n minus a maximum matching in the "split" bipartite graph of the
+// transitive closure.
+
+#ifndef IODB_GRAPH_MATCHING_H_
+#define IODB_GRAPH_MATCHING_H_
+
+#include <vector>
+
+namespace iodb {
+
+/// Computes a maximum matching in the bipartite graph with `num_left` left
+/// vertices, `num_right` right vertices and adjacency `adj` (adj[l] lists
+/// the right neighbours of left vertex l). Returns the matching size;
+/// if `match_left` is non-null it receives, per left vertex, the matched
+/// right vertex or -1.
+int MaxBipartiteMatching(int num_left, int num_right,
+                         const std::vector<std::vector<int>>& adj,
+                         std::vector<int>* match_left = nullptr);
+
+}  // namespace iodb
+
+#endif  // IODB_GRAPH_MATCHING_H_

@@ -1,0 +1,66 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace iodb {
+
+SccResult StronglyConnectedComponents(const Digraph& graph) {
+  const int n = graph.num_vertices();
+  SccResult result;
+  result.component.assign(n, -1);
+
+  // Iterative Tarjan. `index` / `lowlink` per vertex; explicit DFS stack of
+  // (vertex, next-arc-position) frames to stay safe on deep graphs.
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  std::vector<std::pair<int, size_t>> frames;
+  int next_index = 0;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    frames.emplace_back(root, 0);
+    while (!frames.empty()) {
+      auto& [v, arc_pos] = frames.back();
+      if (arc_pos == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      const auto& arcs = graph.out(v);
+      while (arc_pos < arcs.size()) {
+        int w = arcs[arc_pos].vertex;
+        ++arc_pos;
+        if (index[w] == -1) {
+          frames.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        // v is the root of a component; pop it.
+        for (;;) {
+          int w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = result.num_components;
+          if (w == v) break;
+        }
+        ++result.num_components;
+      }
+      int finished = v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        int parent = frames.back().first;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace iodb

@@ -1,0 +1,31 @@
+// Strongly connected components (iterative Tarjan).
+//
+// Used by normalization rule N1 (Section 2): constants linked by a cycle of
+// "<=" edges denote the same point and are identified; a "<" edge inside a
+// strongly connected component makes the database or query inconsistent.
+
+#ifndef IODB_GRAPH_SCC_H_
+#define IODB_GRAPH_SCC_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace iodb {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// component[v] is the component index of vertex v. Components are
+  /// numbered in reverse topological order of the condensation (i.e. if
+  /// there is an edge from component a to component b, then a > b).
+  std::vector<int> component;
+  int num_components = 0;
+};
+
+/// Decomposes `graph` into strongly connected components, considering all
+/// edges regardless of label.
+SccResult StronglyConnectedComponents(const Digraph& graph);
+
+}  // namespace iodb
+
+#endif  // IODB_GRAPH_SCC_H_

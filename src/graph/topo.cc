@@ -1,0 +1,200 @@
+#include "graph/topo.h"
+
+#include <algorithm>
+#include <array>
+
+namespace iodb {
+
+BitMatrix::BitMatrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_(static_cast<size_t>((cols + 63) / 64)),
+      words_(static_cast<size_t>(rows) * words_per_row_, 0) {}
+
+void BitMatrix::OrRowInto(int other, int r) {
+  uint64_t* dst = &words_[static_cast<size_t>(r) * words_per_row_];
+  const uint64_t* src = &words_[static_cast<size_t>(other) * words_per_row_];
+  for (size_t i = 0; i < words_per_row_; ++i) dst[i] |= src[i];
+}
+
+std::vector<int> TopologicalOrder(const Digraph& graph) {
+  const int n = graph.num_vertices();
+  std::vector<int> indegree(n, 0);
+  for (const LabeledEdge& e : graph.edges()) ++indegree[e.to];
+  std::vector<int> queue;
+  queue.reserve(n);
+  for (int v = 0; v < n; ++v) {
+    if (indegree[v] == 0) queue.push_back(v);
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    int v = queue[head];
+    order.push_back(v);
+    for (const Digraph::Arc& arc : graph.out(v)) {
+      if (--indegree[arc.vertex] == 0) queue.push_back(arc.vertex);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) return {};
+  return order;
+}
+
+bool HasCycle(const Digraph& graph) {
+  return graph.num_vertices() > 0 && TopologicalOrder(graph).empty();
+}
+
+Reachability ComputeReachability(const Digraph& graph) {
+  const int n = graph.num_vertices();
+  Reachability r(n);
+  std::vector<int> order = TopologicalOrder(graph);
+  IODB_CHECK(n == 0 || !order.empty());  // input must be acyclic
+
+  // DP in reverse topological order (successors complete before u):
+  //   reach(u)  = {u} ∪ ⋃_{(u,h)} reach(h)
+  //   strict(u) = ⋃_{(u,h) labelled <} reach(h) ∪ ⋃_{(u,h)} strict(h)
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int u = *it;
+    r.reach.Set(u, u);
+    for (const Digraph::Arc& arc : graph.out(u)) {
+      r.reach.OrRowInto(arc.vertex, u);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int u = *it;
+    for (const Digraph::Arc& arc : graph.out(u)) {
+      int h = arc.vertex;
+      if (arc.rel == OrderRel::kLt) {
+        for (int c = 0; c < n; ++c) {
+          if (r.reach.Get(h, c)) r.strict.Set(u, c);
+        }
+      }
+      r.strict.OrRowInto(h, u);
+    }
+  }
+  return r;
+}
+
+std::vector<bool> MinorVertices(const Digraph& graph,
+                                const std::vector<bool>& alive) {
+  const int n = graph.num_vertices();
+  IODB_CHECK_EQ(static_cast<int>(alive.size()), n);
+  // v is minor iff every alive in-arc (u, v) has label "<=" and u is minor.
+  // Propagate in topological order of the alive subgraph.
+  std::vector<int> remaining(n, 0);
+  for (const LabeledEdge& e : graph.edges()) {
+    if (alive[e.from] && alive[e.to]) ++remaining[e.to];
+  }
+  std::vector<int> queue;
+  std::vector<bool> minor(n, false);
+  for (int v = 0; v < n; ++v) {
+    if (alive[v] && remaining[v] == 0) {
+      queue.push_back(v);
+      minor[v] = true;  // no alive in-arcs at all
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    int v = queue[head];
+    for (const Digraph::Arc& arc : graph.out(v)) {
+      int w = arc.vertex;
+      if (!alive[w]) continue;
+      if (--remaining[w] == 0) {
+        bool w_minor = true;
+        for (const Digraph::Arc& in_arc : graph.in(w)) {
+          if (!alive[in_arc.vertex]) continue;
+          if (in_arc.rel == OrderRel::kLt || !minor[in_arc.vertex]) {
+            w_minor = false;
+            break;
+          }
+        }
+        minor[w] = w_minor;
+        queue.push_back(w);
+      }
+    }
+  }
+  return minor;
+}
+
+std::vector<int> MinimalVertices(const Digraph& graph,
+                                 const std::vector<bool>& alive) {
+  const int n = graph.num_vertices();
+  IODB_CHECK_EQ(static_cast<int>(alive.size()), n);
+  std::vector<int> result;
+  for (int v = 0; v < n; ++v) {
+    if (!alive[v]) continue;
+    bool minimal = true;
+    for (const Digraph::Arc& arc : graph.in(v)) {
+      if (alive[arc.vertex]) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) result.push_back(v);
+  }
+  return result;
+}
+
+namespace {
+
+// Reach / strict-reach from `from` to `to` in `graph` with one edge
+// (identified by endpoints + label) excluded.
+bool ImpliedWithoutEdge(const Digraph& graph, const LabeledEdge& excluded) {
+  const int n = graph.num_vertices();
+  // BFS over states (vertex, crossed_lt): at most 2n states.
+  std::vector<std::array<bool, 2>> seen(n, {false, false});
+  std::vector<std::pair<int, bool>> queue;
+  queue.emplace_back(excluded.from, false);
+  seen[excluded.from][0] = true;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    auto [v, strict] = queue[head];
+    for (const Digraph::Arc& arc : graph.out(v)) {
+      // The edge under test is removed for the implication check.
+      if (v == excluded.from && arc.vertex == excluded.to &&
+          arc.rel == excluded.rel) {
+        continue;
+      }
+      bool next_strict = strict || arc.rel == OrderRel::kLt;
+      if (arc.vertex == excluded.to) {
+        if (excluded.rel == OrderRel::kLe || next_strict) return true;
+      }
+      if (!seen[arc.vertex][next_strict]) {
+        seen[arc.vertex][next_strict] = true;
+        queue.emplace_back(arc.vertex, next_strict);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Digraph TransitiveReduce(const Digraph& graph) {
+  // Sequential removal is sound: in an acyclic deduplicated graph an edge
+  // implied through another edge cannot in turn help imply it (that would
+  // close a cycle), so the result does not depend on order; still, test
+  // each edge against the graph with previously dropped edges removed for
+  // robustness.
+  Digraph current = graph;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const LabeledEdge& e : current.edges()) {
+      if (ImpliedWithoutEdge(current, e)) {
+        Digraph next(current.num_vertices());
+        bool dropped = false;
+        for (const LabeledEdge& f : current.edges()) {
+          if (!dropped && f == e) {
+            dropped = true;
+            continue;
+          }
+          next.AddEdge(f.from, f.to, f.rel);
+        }
+        current = std::move(next);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace iodb

@@ -1,0 +1,91 @@
+// Topological utilities for order dags: cycle checks, topological order,
+// reachability (plain and "through a < edge"), and minor vertices.
+//
+// Terminology follows the paper (Section 2):
+//  * u "reaches" v if there is a directed path from u to v;
+//  * u "strictly reaches" v if some such path passes through a "<" edge;
+//  * a vertex is MINIMAL in a subgraph if it has no incoming edge;
+//  * a vertex is MINOR if no ascending path ending in it passes through a
+//    "<" edge (equivalently: all its ancestors reach it via "<=" edges
+//    only). Minor vertices may be merged with "the next point" during the
+//    generalized topological sort.
+
+#ifndef IODB_GRAPH_TOPO_H_
+#define IODB_GRAPH_TOPO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace iodb {
+
+/// A dense bit matrix, row-major; rows are vertex-indexed bitsets.
+class BitMatrix {
+ public:
+  BitMatrix(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  bool Get(int r, int c) const {
+    return (words_[Index(r, c)] >> (c & 63)) & 1;
+  }
+  void Set(int r, int c) { words_[Index(r, c)] |= uint64_t{1} << (c & 63); }
+
+  /// rows_[r] |= rows_[other]: used for reachability DP.
+  void OrRowInto(int other, int r);
+
+ private:
+  size_t Index(int r, int c) const {
+    return static_cast<size_t>(r) * words_per_row_ + (c >> 6);
+  }
+
+  int rows_;
+  int cols_;
+  size_t words_per_row_;
+  std::vector<uint64_t> words_;
+};
+
+/// Returns a topological order of `graph` (all edge labels treated alike),
+/// or an empty vector if the graph has a cycle and is nonempty.
+std::vector<int> TopologicalOrder(const Digraph& graph);
+
+/// True if `graph` contains a directed cycle (any labels).
+bool HasCycle(const Digraph& graph);
+
+/// Reachability data for a dag.
+struct Reachability {
+  /// reach.Get(u, v): there is a path (possibly empty) from u to v.
+  /// The diagonal is set (u reaches u).
+  BitMatrix reach;
+  /// strict.Get(u, v): there is a path from u to v through a "<" edge.
+  BitMatrix strict;
+
+  Reachability(int n) : reach(n, n), strict(n, n) {}
+};
+
+/// Computes reachability for an acyclic `graph`. Aborts on cyclic input.
+Reachability ComputeReachability(const Digraph& graph);
+
+/// Returns, for each vertex, whether it is minor within the sub-dag induced
+/// by `alive` (vertices v with alive[v] true). Dead vertices map to false.
+std::vector<bool> MinorVertices(const Digraph& graph,
+                                const std::vector<bool>& alive);
+
+/// Returns the minimal vertices (no incoming edge from an alive vertex)
+/// of the sub-dag induced by `alive`, in increasing index order.
+std::vector<int> MinimalVertices(const Digraph& graph,
+                                 const std::vector<bool>& alive);
+
+/// Labelled transitive reduction of an acyclic graph: drops every edge
+/// whose constraint is implied by the remaining edges (a "<=" edge with
+/// an alternative directed path, a "<" edge with an alternative path
+/// crossing a "<" edge). The result imposes exactly the same reachability
+/// and strictness; for deduplicated dags the result is unique (two
+/// distinct edges cannot imply each other without creating a cycle).
+Digraph TransitiveReduce(const Digraph& graph);
+
+}  // namespace iodb
+
+#endif  // IODB_GRAPH_TOPO_H_

@@ -1,0 +1,33 @@
+// Width of an order dag (Section 2 of the paper).
+//
+// The width of a normalized database or conjunctive query is the maximum
+// cardinality of an antichain of its dag: the largest set of pairwise
+// path-incomparable vertices. It measures "how many order constants are
+// potentially concurrent" and is the key tractability parameter of the
+// paper (Theorems 4.7 and 5.3).
+
+#ifndef IODB_GRAPH_WIDTH_H_
+#define IODB_GRAPH_WIDTH_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/topo.h"
+
+namespace iodb {
+
+/// Computes the width (maximum antichain size) of the acyclic `graph` via
+/// Dilworth's theorem and Hopcroft–Karp matching on the transitive closure.
+/// Returns 0 for the empty graph.
+int DagWidth(const Digraph& graph);
+
+/// As `DagWidth` but reuses a precomputed `Reachability`.
+int DagWidth(const Digraph& graph, const Reachability& reach);
+
+/// Returns one maximum antichain of `graph` (vertices in increasing order).
+/// Uses the König-style vertex-cover certificate of the matching.
+std::vector<int> MaxAntichain(const Digraph& graph);
+
+}  // namespace iodb
+
+#endif  // IODB_GRAPH_WIDTH_H_

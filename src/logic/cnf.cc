@@ -1,0 +1,91 @@
+#include "logic/cnf.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace iodb {
+
+bool CnfFormula::IsMonotone() const {
+  for (const Clause& clause : clauses) {
+    bool has_pos = false, has_neg = false;
+    for (const Literal& lit : clause) {
+      (lit.positive ? has_pos : has_neg) = true;
+    }
+    if (has_pos && has_neg) return false;
+  }
+  return true;
+}
+
+bool CnfFormula::Evaluate(const std::vector<bool>& assignment) const {
+  IODB_CHECK_EQ(static_cast<int>(assignment.size()), num_vars);
+  for (const Clause& clause : clauses) {
+    bool satisfied = false;
+    for (const Literal& lit : clause) {
+      if (assignment[lit.var] == lit.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::string CnfFormula::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += "(";
+    for (size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j > 0) out += " | ";
+      if (!clauses[i][j].positive) out += "~";
+      out += "x" + std::to_string(clauses[i][j].var);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+Clause RandomClauseVars(int num_vars, int k, Rng& rng) {
+  IODB_CHECK_GE(num_vars, k);
+  Clause clause;
+  std::vector<int> vars;
+  while (static_cast<int>(vars.size()) < k) {
+    int v = rng.UniformInt(0, num_vars - 1);
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  }
+  for (int v : vars) clause.push_back({v, true});
+  return clause;
+}
+
+}  // namespace
+
+CnfFormula RandomKSat(int num_vars, int num_clauses, int k, Rng& rng) {
+  CnfFormula formula;
+  formula.num_vars = num_vars;
+  for (int i = 0; i < num_clauses; ++i) {
+    Clause clause = RandomClauseVars(num_vars, k, rng);
+    for (Literal& lit : clause) lit.positive = rng.Bernoulli(0.5);
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+CnfFormula RandomMonotone3Sat(int num_vars, int num_clauses, Rng& rng) {
+  CnfFormula formula;
+  formula.num_vars = num_vars;
+  for (int i = 0; i < num_clauses; ++i) {
+    Clause clause = RandomClauseVars(num_vars, 3, rng);
+    bool positive = rng.Bernoulli(0.5);
+    for (Literal& lit : clause) lit.positive = positive;
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+}  // namespace iodb

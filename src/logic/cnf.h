@@ -1,0 +1,53 @@
+// CNF formulas: literals, clauses, and generators for the instance families
+// used by the paper's reductions (monotone 3-SAT for Theorem 3.2, general
+// 3-SAT for Theorem 3.4).
+
+#ifndef IODB_LOGIC_CNF_H_
+#define IODB_LOGIC_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iodb {
+
+/// A literal: variable index (0-based) plus polarity.
+struct Literal {
+  int var = 0;
+  bool positive = true;
+
+  friend bool operator==(const Literal&, const Literal&) = default;
+};
+
+/// A clause is a disjunction of literals.
+using Clause = std::vector<Literal>;
+
+/// A CNF formula over variables 0..num_vars-1.
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+
+  /// True if every clause is purely positive or purely negative
+  /// (the "monotone" restriction used by Theorem 3.2).
+  bool IsMonotone() const;
+
+  /// Evaluates the formula under `assignment` (size num_vars).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  /// Renders e.g. "(x0 | ~x1 | x2) & (...)".
+  std::string ToString() const;
+};
+
+/// Generates a random k-SAT instance with `num_clauses` clauses over
+/// `num_vars` variables (distinct variables within a clause).
+CnfFormula RandomKSat(int num_vars, int num_clauses, int k, Rng& rng);
+
+/// Generates a random *monotone* 3-SAT instance: each clause is all-positive
+/// or all-negative with probability 1/2. Monotone 3-SAT is NP-complete
+/// (Garey & Johnson); it is the source problem of Theorem 3.2.
+CnfFormula RandomMonotone3Sat(int num_vars, int num_clauses, Rng& rng);
+
+}  // namespace iodb
+
+#endif  // IODB_LOGIC_CNF_H_

@@ -1,0 +1,93 @@
+#include "logic/dnf.h"
+
+#include <algorithm>
+
+#include "logic/sat_solver.h"
+#include "util/check.h"
+
+namespace iodb {
+
+bool DnfFormula::Evaluate(const std::vector<bool>& assignment) const {
+  for (const std::vector<Literal>& disjunct : disjuncts) {
+    bool all = true;
+    for (const Literal& lit : disjunct) {
+      if (assignment[lit.var] != lit.positive) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+std::string DnfFormula::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += "(";
+    for (size_t j = 0; j < disjuncts[i].size(); ++j) {
+      if (j > 0) out += " & ";
+      if (!disjuncts[i][j].positive) out += "~";
+      out += "x" + std::to_string(disjuncts[i][j].var);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+CnfFormula NegateDnf(const DnfFormula& formula) {
+  CnfFormula cnf;
+  cnf.num_vars = formula.num_vars;
+  for (const std::vector<Literal>& disjunct : formula.disjuncts) {
+    Clause clause;
+    for (const Literal& lit : disjunct) {
+      clause.push_back({lit.var, !lit.positive});
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+bool IsTautology(const DnfFormula& formula) {
+  // A DNF is a tautology iff its negation (a CNF) is unsatisfiable.
+  SatSolver solver;
+  return !solver.Solve(NegateDnf(formula)).has_value();
+}
+
+DnfFormula RandomDnf(int num_vars, int num_disjuncts,
+                     int literals_per_disjunct, Rng& rng) {
+  IODB_CHECK_GE(num_vars, literals_per_disjunct);
+  DnfFormula formula;
+  formula.num_vars = num_vars;
+  for (int i = 0; i < num_disjuncts; ++i) {
+    std::vector<int> vars;
+    while (static_cast<int>(vars.size()) < literals_per_disjunct) {
+      int v = rng.UniformInt(0, num_vars - 1);
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    }
+    std::vector<Literal> disjunct;
+    for (int v : vars) disjunct.push_back({v, rng.Bernoulli(0.5)});
+    formula.disjuncts.push_back(std::move(disjunct));
+  }
+  return formula;
+}
+
+DnfFormula CompleteTautology(int k) {
+  IODB_CHECK_GE(k, 1);
+  IODB_CHECK_LE(k, 20);
+  DnfFormula formula;
+  formula.num_vars = k;
+  for (uint64_t bits = 0; bits < (uint64_t{1} << k); ++bits) {
+    std::vector<Literal> disjunct;
+    for (int v = 0; v < k; ++v) {
+      disjunct.push_back({v, ((bits >> v) & 1) != 0});
+    }
+    formula.disjuncts.push_back(std::move(disjunct));
+  }
+  return formula;
+}
+
+}  // namespace iodb

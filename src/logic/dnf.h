@@ -1,0 +1,50 @@
+// DNF formulas and tautology checking.
+//
+// Theorem 4.6 reduces DNF tautology (co-NP-complete) to combined complexity
+// of width-2 conjunctive monadic queries. This module provides the DNF
+// representation, an independent tautology checker, and instance
+// generators.
+
+#ifndef IODB_LOGIC_DNF_H_
+#define IODB_LOGIC_DNF_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/cnf.h"
+#include "util/random.h"
+
+namespace iodb {
+
+/// A DNF formula: a disjunction of conjunctions of literals, over
+/// variables 0..num_vars-1.
+struct DnfFormula {
+  int num_vars = 0;
+  std::vector<std::vector<Literal>> disjuncts;
+
+  /// Evaluates under `assignment`.
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  /// Renders e.g. "(x0 & ~x1) | (x2)".
+  std::string ToString() const;
+};
+
+/// Decides whether `formula` is a tautology, by DPLL on the negation
+/// (a CNF). Reference oracle for Theorem 4.6.
+bool IsTautology(const DnfFormula& formula);
+
+/// Negates a DNF into the equivalent-for-satisfiability CNF (De Morgan).
+CnfFormula NegateDnf(const DnfFormula& formula);
+
+/// Random DNF with `num_disjuncts` disjuncts of `literals_per_disjunct`
+/// distinct literals each (consistent within a disjunct).
+DnfFormula RandomDnf(int num_vars, int num_disjuncts,
+                     int literals_per_disjunct, Rng& rng);
+
+/// A guaranteed tautology: all 2^k sign patterns over variables 0..k-1.
+/// Useful for exercising the worst case of Theorem 4.6.
+DnfFormula CompleteTautology(int k);
+
+}  // namespace iodb
+
+#endif  // IODB_LOGIC_DNF_H_

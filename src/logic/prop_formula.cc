@@ -1,0 +1,130 @@
+#include "logic/prop_formula.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace iodb {
+
+PropFormula::Ptr PropFormula::Var(int var) {
+  IODB_CHECK_GE(var, 0);
+  return Ptr(new PropFormula(PropOp::kVar, var, nullptr, nullptr));
+}
+
+PropFormula::Ptr PropFormula::Not(Ptr operand) {
+  IODB_CHECK(operand != nullptr);
+  return Ptr(new PropFormula(PropOp::kNot, -1, std::move(operand), nullptr));
+}
+
+PropFormula::Ptr PropFormula::And(Ptr lhs, Ptr rhs) {
+  IODB_CHECK(lhs != nullptr && rhs != nullptr);
+  return Ptr(
+      new PropFormula(PropOp::kAnd, -1, std::move(lhs), std::move(rhs)));
+}
+
+PropFormula::Ptr PropFormula::Or(Ptr lhs, Ptr rhs) {
+  IODB_CHECK(lhs != nullptr && rhs != nullptr);
+  return Ptr(new PropFormula(PropOp::kOr, -1, std::move(lhs), std::move(rhs)));
+}
+
+bool PropFormula::Evaluate(const std::vector<bool>& assignment) const {
+  switch (op_) {
+    case PropOp::kVar:
+      IODB_CHECK_LT(var_, static_cast<int>(assignment.size()));
+      return assignment[var_];
+    case PropOp::kNot:
+      return !lhs_->Evaluate(assignment);
+    case PropOp::kAnd:
+      return lhs_->Evaluate(assignment) && rhs_->Evaluate(assignment);
+    case PropOp::kOr:
+      return lhs_->Evaluate(assignment) || rhs_->Evaluate(assignment);
+  }
+  IODB_CHECK(false);
+  return false;
+}
+
+int PropFormula::Size() const {
+  switch (op_) {
+    case PropOp::kVar:
+      return 1;
+    case PropOp::kNot:
+      return 1 + lhs_->Size();
+    case PropOp::kAnd:
+    case PropOp::kOr:
+      return 1 + lhs_->Size() + rhs_->Size();
+  }
+  IODB_CHECK(false);
+  return 0;
+}
+
+int PropFormula::MaxVar() const {
+  switch (op_) {
+    case PropOp::kVar:
+      return var_;
+    case PropOp::kNot:
+      return lhs_->MaxVar();
+    case PropOp::kAnd:
+    case PropOp::kOr:
+      return std::max(lhs_->MaxVar(), rhs_->MaxVar());
+  }
+  IODB_CHECK(false);
+  return -1;
+}
+
+std::string PropFormula::ToString() const {
+  switch (op_) {
+    case PropOp::kVar:
+      return "x" + std::to_string(var_);
+    case PropOp::kNot:
+      return "~" + lhs_->ToString();
+    case PropOp::kAnd:
+      return "(" + lhs_->ToString() + " & " + rhs_->ToString() + ")";
+    case PropOp::kOr:
+      return "(" + lhs_->ToString() + " | " + rhs_->ToString() + ")";
+  }
+  IODB_CHECK(false);
+  return "";
+}
+
+PropFormula::Ptr CnfToFormula(const CnfFormula& cnf) {
+  PropFormula::Ptr result;
+  for (const Clause& clause : cnf.clauses) {
+    PropFormula::Ptr clause_formula;
+    for (const Literal& lit : clause) {
+      PropFormula::Ptr atom = PropFormula::Var(lit.var);
+      if (!lit.positive) atom = PropFormula::Not(atom);
+      clause_formula = clause_formula
+                           ? PropFormula::Or(clause_formula, atom)
+                           : atom;
+    }
+    IODB_CHECK(clause_formula != nullptr);  // no empty clauses here
+    result = result ? PropFormula::And(result, clause_formula)
+                    : clause_formula;
+  }
+  if (result == nullptr) {
+    // Empty CNF is true; encode as (x0 | ~x0).
+    result = PropFormula::Or(PropFormula::Var(0),
+                             PropFormula::Not(PropFormula::Var(0)));
+  }
+  return result;
+}
+
+PropFormula::Ptr RandomFormula(int num_vars, int num_nodes, Rng& rng) {
+  IODB_CHECK_GE(num_vars, 1);
+  std::vector<PropFormula::Ptr> pool;
+  for (int v = 0; v < num_vars; ++v) pool.push_back(PropFormula::Var(v));
+  for (int i = 0; i < num_nodes; ++i) {
+    int choice = rng.UniformInt(0, 2);
+    if (choice == 0) {
+      pool.push_back(PropFormula::Not(rng.Pick(pool)));
+    } else {
+      PropFormula::Ptr lhs = rng.Pick(pool);
+      PropFormula::Ptr rhs = rng.Pick(pool);
+      pool.push_back(choice == 1 ? PropFormula::And(lhs, rhs)
+                                 : PropFormula::Or(lhs, rhs));
+    }
+  }
+  return pool.back();
+}
+
+}  // namespace iodb

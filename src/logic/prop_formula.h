@@ -1,0 +1,73 @@
+// General propositional formula ASTs.
+//
+// Theorem 3.3 encodes the matrix of a Π₂ quantified boolean formula into a
+// conjunctive query via the inductively defined Val(α, z, x) formula; that
+// construction walks this AST. Theorem 3.4 uses the same encoding for
+// expression complexity.
+
+#ifndef IODB_LOGIC_PROP_FORMULA_H_
+#define IODB_LOGIC_PROP_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/cnf.h"
+#include "util/random.h"
+
+namespace iodb {
+
+/// Node kind of a propositional formula.
+enum class PropOp { kVar, kNot, kAnd, kOr };
+
+/// An immutable propositional formula node. Build with the factory
+/// functions below; share subtrees freely.
+class PropFormula {
+ public:
+  using Ptr = std::shared_ptr<const PropFormula>;
+
+  /// Leaf: propositional variable `var` (0-based).
+  static Ptr Var(int var);
+  /// Negation.
+  static Ptr Not(Ptr operand);
+  /// Binary conjunction / disjunction.
+  static Ptr And(Ptr lhs, Ptr rhs);
+  static Ptr Or(Ptr lhs, Ptr rhs);
+
+  PropOp op() const { return op_; }
+  int var() const { return var_; }
+  const Ptr& lhs() const { return lhs_; }
+  const Ptr& rhs() const { return rhs_; }
+
+  /// Evaluates under `assignment` (indexed by variable).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  /// Number of AST nodes.
+  int Size() const;
+
+  /// Largest variable index appearing in the formula, or -1 if none.
+  int MaxVar() const;
+
+  /// Renders e.g. "((x0 & ~x1) | x2)".
+  std::string ToString() const;
+
+ private:
+  PropFormula(PropOp op, int var, Ptr lhs, Ptr rhs)
+      : op_(op), var_(var), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  PropOp op_;
+  int var_;
+  Ptr lhs_;
+  Ptr rhs_;
+};
+
+/// Converts a CNF formula to a PropFormula AST.
+PropFormula::Ptr CnfToFormula(const CnfFormula& cnf);
+
+/// Generates a random formula with `num_nodes` internal nodes over
+/// variables 0..num_vars-1.
+PropFormula::Ptr RandomFormula(int num_vars, int num_nodes, Rng& rng);
+
+}  // namespace iodb
+
+#endif  // IODB_LOGIC_PROP_FORMULA_H_

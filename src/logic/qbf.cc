@@ -1,0 +1,53 @@
+#include "logic/qbf.h"
+
+#include "util/check.h"
+
+namespace iodb {
+namespace {
+
+// Searches an assignment of the existential block making `matrix` true,
+// with the universal block fixed in `assignment`.
+bool ExistsSatisfying(const Pi2Formula& f, std::vector<bool>& assignment,
+                      int next) {
+  if (next == f.num_universal + f.num_existential) {
+    return f.matrix->Evaluate(assignment);
+  }
+  for (bool value : {false, true}) {
+    assignment[next] = value;
+    if (ExistsSatisfying(f, assignment, next + 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvaluatePi2(const Pi2Formula& formula) {
+  IODB_CHECK(formula.matrix != nullptr);
+  const int total = formula.num_universal + formula.num_existential;
+  IODB_CHECK_LT(formula.matrix->MaxVar(), total);
+  std::vector<bool> assignment(total, false);
+  // Enumerate all universal assignments by binary counting.
+  const uint64_t limit = uint64_t{1} << formula.num_universal;
+  IODB_CHECK_LE(formula.num_universal, 30);
+  for (uint64_t bits = 0; bits < limit; ++bits) {
+    for (int i = 0; i < formula.num_universal; ++i) {
+      assignment[i] = (bits >> i) & 1;
+    }
+    if (!ExistsSatisfying(formula, assignment, formula.num_universal)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Pi2Formula RandomPi2(int num_universal, int num_existential, int num_nodes,
+                     Rng& rng) {
+  Pi2Formula formula;
+  formula.num_universal = num_universal;
+  formula.num_existential = num_existential;
+  formula.matrix =
+      RandomFormula(num_universal + num_existential, num_nodes, rng);
+  return formula;
+}
+
+}  // namespace iodb

@@ -1,0 +1,37 @@
+// Π₂ quantified boolean formulas: ∀p₁..pₙ ∃q₁..qₘ α.
+//
+// Π₂-SAT is the canonical Π₂ᵖ-complete problem (Chandra, Kozen,
+// Stockmeyer); Theorem 3.3 reduces it to combined complexity of indefinite
+// order databases. This module provides an independent (exponential-time)
+// evaluator used to validate that reduction.
+
+#ifndef IODB_LOGIC_QBF_H_
+#define IODB_LOGIC_QBF_H_
+
+#include "logic/prop_formula.h"
+#include "util/random.h"
+
+namespace iodb {
+
+/// A Π₂ formula ∀p₀..p_{num_universal-1} ∃q₀..q_{num_existential-1} matrix.
+/// Variable indices in `matrix`: universals are 0..num_universal-1,
+/// existentials are num_universal..num_universal+num_existential-1.
+struct Pi2Formula {
+  int num_universal = 0;
+  int num_existential = 0;
+  PropFormula::Ptr matrix;
+};
+
+/// Decides truth of `formula` by enumerating universal assignments and
+/// SAT-searching the existential block (via DPLL on the residual formula
+/// when the matrix is CNF-shaped, else brute force). Exponential; intended
+/// as the reference oracle for Theorem 3.3.
+bool EvaluatePi2(const Pi2Formula& formula);
+
+/// Generates a random Π₂ instance whose matrix is a random formula AST.
+Pi2Formula RandomPi2(int num_universal, int num_existential, int num_nodes,
+                     Rng& rng);
+
+}  // namespace iodb
+
+#endif  // IODB_LOGIC_QBF_H_

@@ -1,0 +1,124 @@
+#include "logic/sat_solver.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace iodb {
+
+std::optional<std::vector<bool>> SatSolver::Solve(const CnfFormula& formula) {
+  formula_ = &formula;
+  decisions_ = 0;
+  std::vector<Value> assignment(formula.num_vars, Value::kUnset);
+  // Empty clause => trivially unsatisfiable.
+  for (const Clause& clause : formula.clauses) {
+    if (clause.empty()) return std::nullopt;
+  }
+  if (!Dpll(assignment)) return std::nullopt;
+  std::vector<bool> model(formula.num_vars);
+  for (int v = 0; v < formula.num_vars; ++v) {
+    model[v] = assignment[v] != Value::kFalse;  // unset vars default true
+  }
+  IODB_CHECK(formula.Evaluate(model));
+  return model;
+}
+
+bool SatSolver::Propagate(std::vector<Value>& assignment,
+                          std::vector<int>& trail) {
+  // Naive repeated scan: fine at the scales used in tests/benches.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : formula_->clauses) {
+      int unassigned = 0;
+      const Literal* last_free = nullptr;
+      bool satisfied = false;
+      for (const Literal& lit : clause) {
+        Value v = assignment[lit.var];
+        if (v == Value::kUnset) {
+          ++unassigned;
+          last_free = &lit;
+        } else if ((v == Value::kTrue) == lit.positive) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned == 0) return false;  // conflict
+      if (unassigned == 1) {
+        assignment[last_free->var] =
+            last_free->positive ? Value::kTrue : Value::kFalse;
+        trail.push_back(last_free->var);
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool SatSolver::Dpll(std::vector<Value>& assignment) {
+  std::vector<int> trail;
+  if (!Propagate(assignment, trail)) {
+    for (int v : trail) assignment[v] = Value::kUnset;
+    return false;
+  }
+
+  // Pure-literal elimination.
+  const int n = formula_->num_vars;
+  std::vector<bool> seen_pos(n, false), seen_neg(n, false);
+  for (const Clause& clause : formula_->clauses) {
+    bool satisfied = false;
+    for (const Literal& lit : clause) {
+      Value v = assignment[lit.var];
+      if (v != Value::kUnset && (v == Value::kTrue) == lit.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+    for (const Literal& lit : clause) {
+      if (assignment[lit.var] == Value::kUnset) {
+        (lit.positive ? seen_pos : seen_neg)[lit.var] = true;
+      }
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (assignment[v] == Value::kUnset && (seen_pos[v] != seen_neg[v])) {
+      assignment[v] = seen_pos[v] ? Value::kTrue : Value::kFalse;
+      trail.push_back(v);
+    }
+  }
+
+  // Pick a branching variable: first unset variable of the first
+  // unsatisfied clause (cheap MOM-like heuristic).
+  int branch_var = -1;
+  for (const Clause& clause : formula_->clauses) {
+    bool satisfied = false;
+    int candidate = -1;
+    for (const Literal& lit : clause) {
+      Value v = assignment[lit.var];
+      if (v == Value::kUnset) {
+        if (candidate == -1) candidate = lit.var;
+      } else if ((v == Value::kTrue) == lit.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied && candidate != -1) {
+      branch_var = candidate;
+      break;
+    }
+  }
+  if (branch_var == -1) return true;  // all clauses satisfied
+
+  ++decisions_;
+  for (Value value : {Value::kTrue, Value::kFalse}) {
+    assignment[branch_var] = value;
+    if (Dpll(assignment)) return true;
+  }
+  assignment[branch_var] = Value::kUnset;
+  for (int v : trail) assignment[v] = Value::kUnset;
+  return false;
+}
+
+}  // namespace iodb

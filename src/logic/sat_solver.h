@@ -1,0 +1,43 @@
+// A small DPLL SAT solver.
+//
+// Role in the reproduction: the oracle against which the Theorem 3.2 / 3.4
+// reductions are cross-validated (the reduction maps a CNF to an entailment
+// instance; this solver independently decides the CNF), and the inner
+// engine of the Π₂-QBF evaluator.
+
+#ifndef IODB_LOGIC_SAT_SOLVER_H_
+#define IODB_LOGIC_SAT_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "logic/cnf.h"
+
+namespace iodb {
+
+/// DPLL with unit propagation and pure-literal elimination. Intended for
+/// the small-to-medium instances used in tests and benchmarks.
+class SatSolver {
+ public:
+  /// Decides satisfiability of `formula`. If satisfiable, returns a model;
+  /// otherwise returns std::nullopt.
+  std::optional<std::vector<bool>> Solve(const CnfFormula& formula);
+
+  /// Number of DPLL branching decisions made by the last Solve() call.
+  long long decisions() const { return decisions_; }
+
+ private:
+  enum class Value : char { kUnset, kTrue, kFalse };
+
+  bool Dpll(std::vector<Value>& assignment);
+  // Applies unit propagation; returns false on conflict. Appends the
+  // indices of variables it assigned to `trail`.
+  bool Propagate(std::vector<Value>& assignment, std::vector<int>& trail);
+
+  const CnfFormula* formula_ = nullptr;
+  long long decisions_ = 0;
+};
+
+}  // namespace iodb
+
+#endif  // IODB_LOGIC_SAT_SOLVER_H_

@@ -1,0 +1,98 @@
+#include "reductions/coloring_to_inequality.h"
+
+namespace iodb {
+namespace {
+
+bool ColorSearch(const SimpleGraph& graph, std::vector<int>& colors,
+                 int next) {
+  if (next == graph.num_vertices) return true;
+  for (int c = 0; c < 3; ++c) {
+    bool ok = true;
+    for (const auto& [a, b] : graph.edges) {
+      int other = -1;
+      if (a == next && b < next) other = b;
+      if (b == next && a < next) other = a;
+      if (other >= 0 && colors[other] == c) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    colors[next] = c;
+    if (ColorSearch(graph, colors, next + 1)) return true;
+  }
+  colors[next] = -1;
+  return false;
+}
+
+}  // namespace
+
+bool IsThreeColorable(const SimpleGraph& graph) {
+  std::vector<int> colors(graph.num_vertices, -1);
+  return ColorSearch(graph, colors, 0);
+}
+
+SimpleGraph RandomGraph(int num_vertices, double edge_probability, Rng& rng) {
+  SimpleGraph graph;
+  graph.num_vertices = num_vertices;
+  for (int i = 0; i < num_vertices; ++i) {
+    for (int j = i + 1; j < num_vertices; ++j) {
+      if (rng.Bernoulli(edge_probability)) graph.edges.push_back({i, j});
+    }
+  }
+  return graph;
+}
+
+ColoringExpressionInstance ColoringToExpression(const SimpleGraph& graph,
+                                                VocabularyPtr vocab) {
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Database db(vocab);
+  db.AddOrder("u1", OrderRel::kLt, "u2");
+  db.AddOrder("u2", OrderRel::kLt, "u3");
+  for (const char* u : {"u1", "u2", "u3"}) {
+    Status s = db.AddFact("P", {u});
+    IODB_CHECK(s.ok());
+  }
+
+  Query query(vocab);
+  QueryConjunct& conjunct = query.AddDisjunct();
+  auto var = [](int v) { return "v" + std::to_string(v); };
+  for (int v = 0; v < graph.num_vertices; ++v) {
+    conjunct.Exists(var(v));
+    conjunct.Atom("P", {var(v)});
+  }
+  for (const auto& [a, b] : graph.edges) {
+    conjunct.NotEqual(var(a), var(b));
+  }
+  return {std::move(db), std::move(query)};
+}
+
+ColoringDataInstance ColoringToData(const SimpleGraph& graph,
+                                    VocabularyPtr vocab) {
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Database db(vocab);
+  auto name = [](int v) { return "v" + std::to_string(v); };
+  for (int v = 0; v < graph.num_vertices; ++v) {
+    Status s = db.AddFact("P", {name(v)});
+    IODB_CHECK(s.ok());
+    // P's argument is order-sort by declaration, so the constant interns
+    // as an order constant even before any order atom mentions it.
+  }
+  for (const auto& [a, b] : graph.edges) {
+    db.AddNotEqual(name(a), name(b));
+  }
+
+  Query query(vocab);
+  QueryConjunct& conjunct = query.AddDisjunct();
+  for (int i = 1; i <= 4; ++i) {
+    std::string t = "t" + std::to_string(i);
+    conjunct.Exists(t);
+    conjunct.Atom("P", {t});
+    if (i > 1) {
+      conjunct.Order("t" + std::to_string(i - 1), OrderRel::kLt, t);
+    }
+  }
+  return {std::move(db), std::move(query)};
+}
+
+}  // namespace iodb

@@ -1,0 +1,60 @@
+// Theorem 7.1: once inequality atoms enter the monadic picture, hardness
+// returns. Both parts reduce from graph 3-colorability:
+//
+//   Part 1 (expression complexity, NP-hard): against the fixed width-one
+//   database D = [u1<u2<u3, P(u1), P(u2), P(u3)], the query
+//   ∃v1..vn [∧ P(vi) ∧ ∧_{(i,j)∈E} vi != vj] is entailed iff G is
+//   3-colorable (the three points are the three colors).
+//
+//   Part 2 (data complexity of a fixed sequential query, co-NP-hard):
+//   against D(G) = {vi != vj : (i,j) ∈ E} ∪ {P(vi)}, the fixed query
+//   ∃t1..t4 [P(t1) ∧ .. ∧ P(t4) ∧ t1<t2<t3<t4] is entailed iff G is NOT
+//   3-colorable (a countermodel uses at most three points, i.e. a proper
+//   3-coloring).
+//
+// A tiny graph substrate (random instances, brute-force colorability) is
+// included for cross-validation.
+
+#ifndef IODB_REDUCTIONS_COLORING_TO_INEQUALITY_H_
+#define IODB_REDUCTIONS_COLORING_TO_INEQUALITY_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/query.h"
+#include "util/random.h"
+
+namespace iodb {
+
+/// An undirected simple graph.
+struct SimpleGraph {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// Brute-force 3-colorability check (reference oracle).
+bool IsThreeColorable(const SimpleGraph& graph);
+
+/// Erdős–Rényi random graph.
+SimpleGraph RandomGraph(int num_vertices, double edge_probability, Rng& rng);
+
+/// Part 1 instance: db |= query iff `graph` IS 3-colorable.
+struct ColoringExpressionInstance {
+  Database db;
+  Query query;
+};
+ColoringExpressionInstance ColoringToExpression(const SimpleGraph& graph,
+                                                VocabularyPtr vocab);
+
+/// Part 2 instance: db |= query iff `graph` is NOT 3-colorable.
+struct ColoringDataInstance {
+  Database db;
+  Query query;
+};
+ColoringDataInstance ColoringToData(const SimpleGraph& graph,
+                                    VocabularyPtr vocab);
+
+}  // namespace iodb
+
+#endif  // IODB_REDUCTIONS_COLORING_TO_INEQUALITY_H_

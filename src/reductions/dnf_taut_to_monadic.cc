@@ -1,0 +1,76 @@
+#include "reductions/dnf_taut_to_monadic.h"
+
+#include <optional>
+
+namespace iodb {
+
+Result<MonadicTautReduction> DnfTautToEntailment(const DnfFormula& dnf,
+                                                 VocabularyPtr vocab) {
+  const int m = dnf.num_vars;
+  if (m < 1) return Status::InvalidArgument("DNF must have variables");
+
+  vocab->MustAddPredicate("T", {Sort::kOrder});
+  vocab->MustAddPredicate("F", {Sort::kOrder});
+
+  // Query Φ(α): columns 1..m, two vertices per column, full "<" bipartite
+  // wiring between consecutive columns (Figure 7).
+  Query query(vocab);
+  QueryConjunct& conjunct = query.AddDisjunct();
+  auto qvar = [](int col, bool positive) {
+    return std::string(positive ? "qt" : "qf") + std::to_string(col);
+  };
+  for (int j = 0; j < m; ++j) {
+    conjunct.Exists(qvar(j, true)).Exists(qvar(j, false));
+    conjunct.Atom("T", {qvar(j, true)});
+    conjunct.Atom("F", {qvar(j, false)});
+    if (j > 0) {
+      for (bool prev : {true, false}) {
+        for (bool cur : {true, false}) {
+          conjunct.Order(qvar(j - 1, prev), OrderRel::kLt, qvar(j, cur));
+        }
+      }
+    }
+  }
+
+  // Database D(α): one component per disjunct (Figure 8).
+  Database db(vocab);
+  for (size_t d = 0; d < dnf.disjuncts.size(); ++d) {
+    // Column constraints: per variable, which polarity vertices survive.
+    std::vector<std::optional<bool>> forced(m);
+    for (const Literal& lit : dnf.disjuncts[d]) {
+      if (lit.var >= m) {
+        return Status::InvalidArgument("literal variable out of range");
+      }
+      if (forced[lit.var].has_value() && *forced[lit.var] != lit.positive) {
+        return Status::InvalidArgument(
+            "inconsistent disjunct in DNF (both polarities of one variable)");
+      }
+      forced[lit.var] = lit.positive;
+    }
+    auto cname = [&](int col, bool positive) {
+      return std::string(positive ? "t" : "f") + std::to_string(d) + "_" +
+             std::to_string(col);
+    };
+    std::vector<std::string> prev_kept;
+    for (int j = 0; j < m; ++j) {
+      std::vector<std::string> kept;
+      for (bool polarity : {true, false}) {
+        if (forced[j].has_value() && *forced[j] != polarity) continue;
+        std::string name = cname(j, polarity);
+        int point = db.GetOrAddConstant(name, Sort::kOrder);
+        int pred = *vocab->FindPredicate(polarity ? "T" : "F");
+        db.AddProperAtom(pred, {{Sort::kOrder, point}});
+        kept.push_back(name);
+      }
+      for (const std::string& p : prev_kept) {
+        for (const std::string& k : kept) {
+          db.AddOrder(p, OrderRel::kLt, k);
+        }
+      }
+      prev_kept = std::move(kept);
+    }
+  }
+  return MonadicTautReduction{std::move(db), std::move(query)};
+}
+
+}  // namespace iodb

@@ -1,0 +1,38 @@
+// Theorem 4.6: DNF tautology reduces to the *combined complexity* of
+// width-two conjunctive monadic queries over two fixed predicates —
+// co-NP-hardness even in the monadic case.
+//
+// The query Φ(α) (Figure 7) has two rows of m vertices labelled T and F;
+// every vertex of column j has "<" edges to both vertices of column j+1,
+// so Paths(Φ(α)) = {T,F}^m — all valuations. The database D(α) (Figure 8)
+// has one disconnected component per disjunct δ, keeping from column j
+// only the vertices compatible with δ. A word of length m is a path of
+// D(α) iff the corresponding valuation satisfies α, and D(α) |= Φ(α) iff
+// every valuation does — iff α is a tautology.
+
+#ifndef IODB_REDUCTIONS_DNF_TAUT_TO_MONADIC_H_
+#define IODB_REDUCTIONS_DNF_TAUT_TO_MONADIC_H_
+
+#include "core/database.h"
+#include "core/query.h"
+#include "logic/dnf.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// The produced instance: db |= query iff `dnf` is a TAUTOLOGY. The query
+/// is conjunctive, monadic, width two; the database width grows with the
+/// number of disjuncts.
+struct MonadicTautReduction {
+  Database db;
+  Query query;
+};
+
+/// Builds the Theorem 4.6 instance. Each disjunct must be a consistent
+/// conjunction of literals (checked).
+Result<MonadicTautReduction> DnfTautToEntailment(const DnfFormula& dnf,
+                                                 VocabularyPtr vocab);
+
+}  // namespace iodb
+
+#endif  // IODB_REDUCTIONS_DNF_TAUT_TO_MONADIC_H_

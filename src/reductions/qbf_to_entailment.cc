@@ -1,0 +1,131 @@
+#include "reductions/qbf_to_entailment.h"
+
+namespace iodb {
+namespace {
+
+// Declares the truth-table predicates and adds the facts of E.
+void AddTruthTable(Database& db) {
+  const VocabularyPtr& vocab = db.vocab();
+  int t = db.GetOrAddConstant("t", Sort::kObject);
+  int f = db.GetOrAddConstant("f", Sort::kObject);
+  int istrue = vocab->MustAddPredicate("Istrue", {Sort::kObject});
+  int p_and = vocab->MustAddPredicate(
+      "And", {Sort::kObject, Sort::kObject, Sort::kObject});
+  int p_or = vocab->MustAddPredicate(
+      "Or", {Sort::kObject, Sort::kObject, Sort::kObject});
+  int p_not = vocab->MustAddPredicate("Not", {Sort::kObject, Sort::kObject});
+
+  auto obj = [](int id) { return Term{Sort::kObject, id}; };
+  db.AddProperAtom(istrue, {obj(t)});
+  for (int a : {0, 1}) {
+    for (int b : {0, 1}) {
+      int av = a ? t : f, bv = b ? t : f;
+      db.AddProperAtom(p_and, {obj(av), obj(bv), obj((a && b) ? t : f)});
+      db.AddProperAtom(p_or, {obj(av), obj(bv), obj((a || b) ? t : f)});
+    }
+    db.AddProperAtom(p_not, {obj(a ? t : f), obj(a ? f : t)});
+  }
+}
+
+// Emits the Val(α, z, x) atoms into `conjunct` and returns the name of the
+// variable (or z-variable) holding the truth value of `alpha`. `counter`
+// numbers the fresh intermediate variables.
+std::string BuildVal(const PropFormula::Ptr& alpha,
+                     const std::vector<std::string>& z_vars,
+                     QueryConjunct& conjunct, int& counter) {
+  switch (alpha->op()) {
+    case PropOp::kVar:
+      return z_vars[alpha->var()];
+    case PropOp::kNot: {
+      std::string operand = BuildVal(alpha->lhs(), z_vars, conjunct, counter);
+      std::string out = "val" + std::to_string(counter++);
+      conjunct.Exists(out);
+      conjunct.Atom("Not", {operand, out});
+      return out;
+    }
+    case PropOp::kAnd:
+    case PropOp::kOr: {
+      std::string lhs = BuildVal(alpha->lhs(), z_vars, conjunct, counter);
+      std::string rhs = BuildVal(alpha->rhs(), z_vars, conjunct, counter);
+      std::string out = "val" + std::to_string(counter++);
+      conjunct.Exists(out);
+      conjunct.Atom(alpha->op() == PropOp::kAnd ? "And" : "Or",
+                    {lhs, rhs, out});
+      return out;
+    }
+  }
+  IODB_CHECK(false);
+  return "";
+}
+
+}  // namespace
+
+Database TruthTableDb(VocabularyPtr vocab) {
+  Database db(std::move(vocab));
+  AddTruthTable(db);
+  return db;
+}
+
+Query SatQuery(const PropFormula::Ptr& alpha, int num_vars,
+               VocabularyPtr vocab) {
+  Query query(std::move(vocab));
+  QueryConjunct& conjunct = query.AddDisjunct();
+  std::vector<std::string> z_vars;
+  for (int i = 0; i < num_vars; ++i) {
+    std::string z = "z" + std::to_string(i);
+    conjunct.Exists(z);
+    z_vars.push_back(z);
+  }
+  int counter = 0;
+  std::string root = BuildVal(alpha, z_vars, conjunct, counter);
+  conjunct.Atom("Istrue", {root});
+  return query;
+}
+
+QbfReduction Pi2ToEntailment(const Pi2Formula& formula, VocabularyPtr vocab) {
+  Database db(vocab);
+  AddTruthTable(db);
+
+  Query query(vocab);
+  QueryConjunct& conjunct = query.AddDisjunct();
+
+  // Universal gadgets D_i and their φ_i(z_i) query parts.
+  std::vector<std::string> z_vars;
+  for (int i = 0; i < formula.num_universal; ++i) {
+    const std::string suffix = std::to_string(i);
+    int pred =
+        vocab->MustAddPredicate("P" + suffix, {Sort::kOrder, Sort::kObject});
+    int t = db.GetOrAddConstant("t", Sort::kObject);
+    int f = db.GetOrAddConstant("f", Sort::kObject);
+    int u = db.GetOrAddConstant("u" + suffix, Sort::kOrder);
+    int v = db.GetOrAddConstant("v" + suffix, Sort::kOrder);
+    int w = db.GetOrAddConstant("w" + suffix, Sort::kOrder);
+    db.AddProperAtom(pred, {{Sort::kOrder, u}, {Sort::kObject, t}});
+    db.AddProperAtom(pred, {{Sort::kOrder, v}, {Sort::kObject, f}});
+    db.AddOrderAtom(u, v, OrderRel::kLt);
+    db.AddProperAtom(pred, {{Sort::kOrder, w}, {Sort::kObject, t}});
+    db.AddProperAtom(pred, {{Sort::kOrder, w}, {Sort::kObject, f}});
+
+    std::string z = "z" + suffix;
+    std::string s1 = "s" + suffix + "_1", s2 = "s" + suffix + "_2";
+    conjunct.Exists(z).Exists(s1).Exists(s2);
+    conjunct.Atom("P" + suffix, {s1, z});
+    conjunct.Atom("P" + suffix, {s2, z});
+    conjunct.Order(s1, OrderRel::kLt, s2);
+    z_vars.push_back(z);
+  }
+  // Existential variables range over {t, f} implicitly (only the
+  // truth-table facts can support the Val atoms).
+  for (int j = 0; j < formula.num_existential; ++j) {
+    std::string z = "z" + std::to_string(formula.num_universal + j);
+    conjunct.Exists(z);
+    z_vars.push_back(z);
+  }
+  int counter = 0;
+  std::string root = BuildVal(formula.matrix, z_vars, conjunct, counter);
+  conjunct.Atom("Istrue", {root});
+
+  return QbfReduction{std::move(db), std::move(query)};
+}
+
+}  // namespace iodb

@@ -1,0 +1,46 @@
+// Theorem 3.3: Π₂-SAT reduces to the *combined complexity* of conjunctive
+// queries over indefinite order databases — Π₂ᵖ-hardness (and, through
+// Proposition 2.10, the Π₂ᵖ-hardness of conjunctive-query containment
+// with inequalities, resolving Klug's open problem).
+//
+// Universal variables are simulated by binary-disjunction gadgets
+//   Dᵢ = { Pᵢ(uᵢ,t), Pᵢ(vᵢ,f), uᵢ<vᵢ, Pᵢ(wᵢ,t), Pᵢ(wᵢ,f) }
+// with φᵢ(x) = ∃s₁s₂ [Pᵢ(s₁,x) ∧ Pᵢ(s₂,x) ∧ s₁<s₂]: every model
+// satisfies φᵢ(t) or φᵢ(f), and either can be made exclusive. The matrix
+// is evaluated by the inductively defined Val formula against the
+// truth-table database E (And/Or/Not/Istrue facts over constants t, f).
+//
+// Theorem 3.4 (expression complexity, NP-hardness) falls out of the same
+// machinery: against the fixed database E, the query
+// ∃x z [Istrue(x) ∧ Val(α, z, x)] is entailed iff α is satisfiable.
+
+#ifndef IODB_REDUCTIONS_QBF_TO_ENTAILMENT_H_
+#define IODB_REDUCTIONS_QBF_TO_ENTAILMENT_H_
+
+#include "core/database.h"
+#include "core/query.h"
+#include "logic/qbf.h"
+
+namespace iodb {
+
+/// The produced instance: db |= query iff the Π₂ formula is TRUE.
+struct QbfReduction {
+  Database db;
+  Query query;
+};
+
+/// Builds the Theorem 3.3 instance.
+QbfReduction Pi2ToEntailment(const Pi2Formula& formula, VocabularyPtr vocab);
+
+/// The fixed truth-table database E of Theorem 3.3 (declares the
+/// predicates And, Or, Not, Istrue in `vocab`).
+Database TruthTableDb(VocabularyPtr vocab);
+
+/// The Theorem 3.4 query for a propositional formula α over variables
+/// x0..x_{n-1}: entailed by TruthTableDb iff α is satisfiable.
+Query SatQuery(const PropFormula::Ptr& alpha, int num_vars,
+               VocabularyPtr vocab);
+
+}  // namespace iodb
+
+#endif  // IODB_REDUCTIONS_QBF_TO_ENTAILMENT_H_

@@ -1,0 +1,126 @@
+#include "reductions/sat_to_entailment.h"
+
+namespace iodb {
+namespace {
+
+// Adds the Figure 3 component for one clause: the disjunction generator
+// over fresh object constants (a, b, c) and order constants (u, v, w, t),
+// plus the Q facts wiring the three literal constants.
+void AddClauseComponent(Database& db, int pred_p, int pred_q, int index,
+                        const std::string& lit1, const std::string& lit2,
+                        const std::string& lit3, bool bounded_width,
+                        std::string& chain_prev, std::string& t_chain_prev) {
+  const std::string suffix = std::to_string(index);
+  const std::string a = "a" + suffix, b = "b" + suffix, c = "c" + suffix;
+  const std::string u = "u" + suffix, v = "v" + suffix, w = "w" + suffix,
+                    t = "t" + suffix;
+  int ua = db.GetOrAddConstant(a, Sort::kObject);
+  int ub = db.GetOrAddConstant(b, Sort::kObject);
+  int uc = db.GetOrAddConstant(c, Sort::kObject);
+  int pu = db.GetOrAddConstant(u, Sort::kOrder);
+  int pv = db.GetOrAddConstant(v, Sort::kOrder);
+  int pw = db.GetOrAddConstant(w, Sort::kOrder);
+  int pt = db.GetOrAddConstant(t, Sort::kOrder);
+
+  auto p = [&](int point, int object) {
+    db.AddProperAtom(pred_p, {{Sort::kOrder, point}, {Sort::kObject, object}});
+  };
+  p(pu, ua);
+  p(pu, ub);
+  db.AddOrderAtom(pu, pv, OrderRel::kLt);
+  p(pv, ua);
+  p(pv, uc);
+  db.AddOrderAtom(pv, pw, OrderRel::kLt);
+  p(pw, ub);
+  p(pw, uc);
+  p(pt, ua);
+  p(pt, ub);
+  p(pt, uc);
+
+  if (bounded_width) {
+    // Figure 4 layout: chain the u<v<w triples of successive clauses into
+    // one sequence and the t's into a second, giving width two.
+    if (!chain_prev.empty()) {
+      db.AddOrder(chain_prev, OrderRel::kLt, u);
+      db.AddOrder(t_chain_prev, OrderRel::kLt, t);
+    }
+    chain_prev = w;
+    t_chain_prev = t;
+  }
+
+  auto q = [&](const std::string& lit, int object) {
+    int lit_id = db.GetOrAddConstant(lit, Sort::kObject);
+    db.AddProperAtom(pred_q,
+                     {{Sort::kObject, lit_id}, {Sort::kObject, object}});
+  };
+  q(lit1, ua);
+  q(lit2, ub);
+  q(lit3, uc);
+}
+
+}  // namespace
+
+Result<SatReduction> MonotoneSatToEntailment(const CnfFormula& cnf,
+                                             VocabularyPtr vocab,
+                                             bool bounded_width) {
+  if (!cnf.IsMonotone()) {
+    return Status::InvalidArgument("Theorem 3.2 requires a monotone CNF");
+  }
+  for (const Clause& clause : cnf.clauses) {
+    if (clause.size() != 3) {
+      return Status::InvalidArgument("Theorem 3.2 requires 3-clauses");
+    }
+  }
+
+  int pred_p =
+      vocab->MustAddPredicate("P", {Sort::kOrder, Sort::kObject});
+  int pred_q =
+      vocab->MustAddPredicate("Q", {Sort::kObject, Sort::kObject});
+  int pred_comp =
+      vocab->MustAddPredicate("Comp", {Sort::kObject, Sort::kObject});
+
+  Database db(vocab);
+  auto lit_name = [](const Literal& lit) {
+    return (lit.positive ? "x" : "nx") + std::to_string(lit.var);
+  };
+
+  std::string chain_prev, t_chain_prev;
+  for (size_t i = 0; i < cnf.clauses.size(); ++i) {
+    const Clause& clause = cnf.clauses[i];
+    AddClauseComponent(db, pred_p, pred_q, static_cast<int>(i),
+                       lit_name(clause[0]), lit_name(clause[1]),
+                       lit_name(clause[2]), bounded_width, chain_prev,
+                       t_chain_prev);
+  }
+  // Comp(l, l̄) for every propositional letter.
+  for (int v = 0; v < cnf.num_vars; ++v) {
+    int pos = db.GetOrAddConstant("x" + std::to_string(v), Sort::kObject);
+    int neg = db.GetOrAddConstant("nx" + std::to_string(v), Sort::kObject);
+    db.AddProperAtom(pred_comp, {{Sort::kObject, pos}, {Sort::kObject, neg}});
+  }
+
+  // 8 = ∃x y [ψ(x) ∧ Comp(x, y) ∧ ψ(y)], ψ(x) = ∃g [Q(x, g) ∧ φ(g)].
+  Query query(vocab);
+  QueryConjunct& conjunct = query.AddDisjunct();
+  for (const std::string& v :
+       {"x", "y", "gx", "gy", "t1", "t2", "t3", "s1", "s2", "s3"}) {
+    conjunct.Exists(v);
+  }
+  conjunct.Atom("Q", {"x", "gx"});
+  conjunct.Atom("P", {"t1", "gx"});
+  conjunct.Order("t1", OrderRel::kLt, "t2");
+  conjunct.Atom("P", {"t2", "gx"});
+  conjunct.Order("t2", OrderRel::kLt, "t3");
+  conjunct.Atom("P", {"t3", "gx"});
+  conjunct.Atom("Comp", {"x", "y"});
+  conjunct.Atom("Q", {"y", "gy"});
+  conjunct.Atom("P", {"s1", "gy"});
+  conjunct.Order("s1", OrderRel::kLt, "s2");
+  conjunct.Atom("P", {"s2", "gy"});
+  conjunct.Order("s2", OrderRel::kLt, "s3");
+  conjunct.Atom("P", {"s3", "gy"});
+
+  return SatReduction{std::move(db), std::move(query)};
+}
+
+}  // namespace iodb

@@ -1,0 +1,45 @@
+// Theorem 3.2: monotone 3-SAT reduces to the *data complexity* of a fixed
+// conjunctive query with binary predicates — co-NP-hardness.
+//
+// The gadget (Figure 3): the database D(a,b,c; u,v,w,t) with
+//   P(u,a) P(u,b)  u<v  P(v,a) P(v,c)  v<w  P(w,b) P(w,c)
+//   P(t,a) P(t,b) P(t,c)
+// and the query φ(x) = ∃t1t2t3 [P(t1,x) ∧ t1<t2 ∧ P(t2,x) ∧ t2<t3 ∧
+// P(t3,x)] "express" the ternary disjunction φ(a) ∨ φ(b) ∨ φ(c):
+// every model satisfies one of the three (property D1), and each can be
+// made the only one satisfied (property D2). Clause disjunctions are
+// generated independently and transmitted to propositional letters via Q
+// facts; the fixed query asks for a letter entailed both positively and
+// negatively, which happens exactly when the clause set is unsatisfiable.
+//
+// The paper remarks the construction can be laid out with the
+// disjunction-generating order constants in two chains, giving a database
+// of width two (Figure 4); `bounded_width` selects that variant.
+
+#ifndef IODB_REDUCTIONS_SAT_TO_ENTAILMENT_H_
+#define IODB_REDUCTIONS_SAT_TO_ENTAILMENT_H_
+
+#include "core/database.h"
+#include "core/query.h"
+#include "logic/cnf.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// The produced entailment instance. db |= query iff `cnf` is
+/// UNSATISFIABLE.
+struct SatReduction {
+  Database db;
+  Query query;
+};
+
+/// Builds the Theorem 3.2 instance from a monotone 3-CNF (every clause
+/// purely positive or purely negative, exactly three literals). Fails on
+/// non-monotone or non-3 clauses.
+Result<SatReduction> MonotoneSatToEntailment(const CnfFormula& cnf,
+                                             VocabularyPtr vocab,
+                                             bool bounded_width = false);
+
+}  // namespace iodb
+
+#endif  // IODB_REDUCTIONS_SAT_TO_ENTAILMENT_H_

@@ -1,0 +1,39 @@
+// Checked assertions for internal invariants.
+//
+// IODB_CHECK is active in all build modes: violating an invariant in a
+// query-evaluation engine silently corrupts answers, so we prefer an abort
+// with a message. The cost is negligible relative to the graph algorithms.
+
+#ifndef IODB_UTIL_CHECK_H_
+#define IODB_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iodb {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "IODB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace iodb
+
+#define IODB_CHECK(expr)                                       \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::iodb::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (false)
+
+#define IODB_CHECK_EQ(a, b) IODB_CHECK((a) == (b))
+#define IODB_CHECK_NE(a, b) IODB_CHECK((a) != (b))
+#define IODB_CHECK_LT(a, b) IODB_CHECK((a) < (b))
+#define IODB_CHECK_LE(a, b) IODB_CHECK((a) <= (b))
+#define IODB_CHECK_GT(a, b) IODB_CHECK((a) > (b))
+#define IODB_CHECK_GE(a, b) IODB_CHECK((a) >= (b))
+
+#endif  // IODB_UTIL_CHECK_H_

@@ -1,0 +1,38 @@
+#include "util/random.h"
+
+namespace iodb {
+
+uint64_t Rng::Next() {
+  // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush when used as a
+  // stream; perfectly adequate for test-instance generation.
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  IODB_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  IODB_CHECK_LE(lo, hi);
+  return lo + static_cast<int>(
+                  Uniform(static_cast<uint64_t>(hi) - lo + 1));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  constexpr double kInv = 1.0 / 18446744073709551616.0;  // 2^-64
+  return static_cast<double>(Next()) * kInv < p;
+}
+
+}  // namespace iodb

@@ -1,0 +1,109 @@
+// Lightweight Status / Result types for fallible operations.
+//
+// The library does not throw exceptions across its public API (parser
+// errors, inconsistent inputs and malformed constructions are reported as
+// values). This mirrors the Status idiom of production database codebases.
+
+#ifndef IODB_UTIL_STATUS_H_
+#define IODB_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace iodb {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (parser, bad arity, bad sort)
+  kInconsistent,      // database/query has no model (cyclic order graph)
+  kUnsupported,       // operation not defined for this input class
+  kResourceExhausted  // configured search limit exceeded
+};
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status Ok() { return Status(); }
+
+  /// Returns an kInvalidArgument status with the given message.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+
+  /// Returns an kInconsistent status with the given message.
+  static Status Inconsistent(std::string message) {
+    return Status(StatusCode::kInconsistent, std::move(message));
+  }
+
+  /// Returns an kUnsupported status with the given message.
+  static Status Unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+
+  /// Returns a kResourceExhausted status with the given message.
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. `value()` aborts if the result is an error; call
+/// `ok()` first on untrusted paths.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    IODB_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; the result must be OK.
+  const T& value() const& {
+    IODB_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    IODB_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    IODB_CHECK(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace iodb
+
+#endif  // IODB_UTIL_STATUS_H_

@@ -1,0 +1,199 @@
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+std::string PredName(int i) { return "P" + std::to_string(i); }
+
+// Random nonempty-ish label assignment; a point may end up unlabelled,
+// which is fine (unlabelled points are pure order information).
+void AddRandomLabels(Database& db, const std::string& constant,
+                     int num_predicates, double label_probability, Rng& rng) {
+  for (int p = 0; p < num_predicates; ++p) {
+    if (rng.Bernoulli(label_probability)) {
+      Status s = db.AddFact(PredName(p), {constant});
+      IODB_CHECK(s.ok());
+    }
+  }
+}
+
+}  // namespace
+
+void DeclareMonadicPredicates(Vocabulary& vocab, int num_predicates) {
+  for (int p = 0; p < num_predicates; ++p) {
+    vocab.MustAddPredicate(PredName(p), {Sort::kOrder});
+  }
+}
+
+Database RandomMonadicDb(const MonadicDbParams& params, VocabularyPtr vocab,
+                         Rng& rng) {
+  DeclareMonadicPredicates(*vocab, params.num_predicates);
+  Database db(std::move(vocab));
+  for (int chain = 0; chain < params.num_chains; ++chain) {
+    std::string prev;
+    for (int i = 0; i < params.chain_length; ++i) {
+      std::string name =
+          "c" + std::to_string(chain) + "_" + std::to_string(i);
+      db.GetOrAddConstant(name, Sort::kOrder);
+      AddRandomLabels(db, name, params.num_predicates,
+                      params.label_probability, rng);
+      if (!prev.empty()) {
+        db.AddOrder(prev,
+                    rng.Bernoulli(params.le_probability) ? OrderRel::kLe
+                                                         : OrderRel::kLt,
+                    name);
+      }
+      prev = name;
+    }
+  }
+  return db;
+}
+
+Query RandomConjunctiveMonadicQuery(int num_vars, int num_predicates,
+                                    double edge_probability,
+                                    double label_probability,
+                                    double le_probability,
+                                    VocabularyPtr vocab, Rng& rng) {
+  DeclareMonadicPredicates(*vocab, num_predicates);
+  Query query(std::move(vocab));
+  QueryConjunct& conjunct = query.AddDisjunct();
+  auto var = [](int i) { return "t" + std::to_string(i); };
+  for (int i = 0; i < num_vars; ++i) {
+    conjunct.Exists(var(i));
+    for (int p = 0; p < num_predicates; ++p) {
+      if (rng.Bernoulli(label_probability)) {
+        conjunct.Atom(PredName(p), {var(i)});
+      }
+    }
+  }
+  for (int i = 0; i < num_vars; ++i) {
+    for (int j = i + 1; j < num_vars; ++j) {
+      if (rng.Bernoulli(edge_probability)) {
+        conjunct.Order(var(i),
+                       rng.Bernoulli(le_probability) ? OrderRel::kLe
+                                                     : OrderRel::kLt,
+                       var(j));
+      }
+    }
+  }
+  return query;
+}
+
+namespace {
+
+void AddSequentialDisjunct(Query& query, int length, int num_predicates,
+                           double label_probability, double le_probability,
+                           int disjunct_index, Rng& rng) {
+  QueryConjunct& conjunct = query.AddDisjunct();
+  auto var = [&](int i) {
+    return "d" + std::to_string(disjunct_index) + "_t" + std::to_string(i);
+  };
+  for (int i = 0; i < length; ++i) {
+    conjunct.Exists(var(i));
+    // Ensure at least one label per variable so patterns are nontrivial.
+    int forced = rng.UniformInt(0, num_predicates - 1);
+    conjunct.Atom(PredName(forced), {var(i)});
+    for (int p = 0; p < num_predicates; ++p) {
+      if (p != forced && rng.Bernoulli(label_probability)) {
+        conjunct.Atom(PredName(p), {var(i)});
+      }
+    }
+    if (i > 0) {
+      conjunct.Order(var(i - 1),
+                     rng.Bernoulli(le_probability) ? OrderRel::kLe
+                                                   : OrderRel::kLt,
+                     var(i));
+    }
+  }
+}
+
+}  // namespace
+
+Query RandomSequentialQuery(int length, int num_predicates,
+                            double label_probability, double le_probability,
+                            VocabularyPtr vocab, Rng& rng) {
+  DeclareMonadicPredicates(*vocab, num_predicates);
+  Query query(std::move(vocab));
+  AddSequentialDisjunct(query, length, num_predicates, label_probability,
+                        le_probability, 0, rng);
+  return query;
+}
+
+Query RandomDisjunctiveSequentialQuery(int num_disjuncts, int length,
+                                       int num_predicates,
+                                       double label_probability,
+                                       double le_probability,
+                                       VocabularyPtr vocab, Rng& rng) {
+  DeclareMonadicPredicates(*vocab, num_predicates);
+  Query query(std::move(vocab));
+  for (int d = 0; d < num_disjuncts; ++d) {
+    AddSequentialDisjunct(query, length, num_predicates, label_probability,
+                          le_probability, d, rng);
+  }
+  return query;
+}
+
+FlexiWord RandomWord(int length, int num_predicates, double label_probability,
+                     Rng& rng) {
+  FlexiWord word;
+  for (int i = 0; i < length; ++i) {
+    PredSet symbol(num_predicates);
+    symbol.Add(rng.UniformInt(0, num_predicates - 1));
+    for (int p = 0; p < num_predicates; ++p) {
+      if (rng.Bernoulli(label_probability)) symbol.Add(p);
+    }
+    word.symbols.push_back(std::move(symbol));
+    if (i > 0) word.rels.push_back(OrderRel::kLt);
+  }
+  return word;
+}
+
+Database AlignmentDb(const std::string& sequence1,
+                     const std::string& sequence2, VocabularyPtr vocab) {
+  Database db(std::move(vocab));
+  int chain = 0;
+  for (const std::string* seq : {&sequence1, &sequence2}) {
+    std::string prev;
+    for (size_t i = 0; i < seq->size(); ++i) {
+      std::string pred(1, (*seq)[i]);
+      db.vocab()->MustAddPredicate(pred, {Sort::kOrder});
+      std::string name =
+          "s" + std::to_string(chain) + "_" + std::to_string(i);
+      db.GetOrAddConstant(name, Sort::kOrder);
+      Status s = db.AddFact(pred, {name});
+      IODB_CHECK(s.ok());
+      if (!prev.empty()) db.AddOrder(prev, OrderRel::kLt, name);
+      prev = name;
+    }
+    ++chain;
+  }
+  return db;
+}
+
+Query AlignmentViolationQuery(
+    const std::vector<std::pair<char, char>>& forbidden_pairs,
+    VocabularyPtr vocab) {
+  Query query(vocab);
+  int index = 0;
+  for (const auto& [a, b] : forbidden_pairs) {
+    vocab->MustAddPredicate(std::string(1, a), {Sort::kOrder});
+    vocab->MustAddPredicate(std::string(1, b), {Sort::kOrder});
+    QueryConjunct& conjunct = query.AddDisjunct();
+    std::string t = "t" + std::to_string(index++);
+    conjunct.Exists(t);
+    conjunct.Atom(std::string(1, a), {t});
+    conjunct.Atom(std::string(1, b), {t});
+  }
+  return query;
+}
+
+std::string RandomDnaSequence(int length, Rng& rng) {
+  static constexpr char kBases[] = {'C', 'G', 'A', 'T'};
+  std::string out;
+  for (int i = 0; i < length; ++i) {
+    out.push_back(kBases[rng.UniformInt(0, 3)]);
+  }
+  return out;
+}
+
+}  // namespace iodb

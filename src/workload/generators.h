@@ -1,0 +1,80 @@
+// Random instance generators for tests and benchmarks.
+//
+// The database families follow the paper's motivating shape: a width-k
+// database records the reports of k observers, each a chain of labelled
+// events, with the chains mutually unordered (Section 1 / Section 2's
+// width discussion).
+
+#ifndef IODB_WORKLOAD_GENERATORS_H_
+#define IODB_WORKLOAD_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/flexiword.h"
+#include "core/query.h"
+#include "util/random.h"
+
+namespace iodb {
+
+/// Parameters for random monadic databases.
+struct MonadicDbParams {
+  int num_chains = 2;        // observers (the width bound)
+  int chain_length = 10;     // events per observer
+  int num_predicates = 3;    // monadic predicates P0..P_{n-1}
+  double label_probability = 0.5;  // per (point, predicate)
+  double le_probability = 0.2;     // chain edge is "<=" instead of "<"
+};
+
+/// Declares P0..P_{n-1} (monadic order) in `vocab` if absent.
+void DeclareMonadicPredicates(Vocabulary& vocab, int num_predicates);
+
+/// A union of `num_chains` labelled chains: width <= num_chains.
+Database RandomMonadicDb(const MonadicDbParams& params, VocabularyPtr vocab,
+                         Rng& rng);
+
+/// A random conjunctive monadic query: a random dag over `num_vars` order
+/// variables (edge i->j with the given probability for i < j), random
+/// labels.
+Query RandomConjunctiveMonadicQuery(int num_vars, int num_predicates,
+                                    double edge_probability,
+                                    double label_probability,
+                                    double le_probability,
+                                    VocabularyPtr vocab, Rng& rng);
+
+/// A random sequential monadic query of the given length.
+Query RandomSequentialQuery(int length, int num_predicates,
+                            double label_probability, double le_probability,
+                            VocabularyPtr vocab, Rng& rng);
+
+/// A disjunction of random sequential queries.
+Query RandomDisjunctiveSequentialQuery(int num_disjuncts, int length,
+                                       int num_predicates,
+                                       double label_probability,
+                                       double le_probability,
+                                       VocabularyPtr vocab, Rng& rng);
+
+/// A random plain word (all separators "<", nonempty symbols).
+FlexiWord RandomWord(int length, int num_predicates, double label_probability,
+                     Rng& rng);
+
+/// Gene alignment (Example 1.2): the two sequences become two chains of
+/// monadic facts over predicates named by the alphabet letters.
+Database AlignmentDb(const std::string& sequence1,
+                     const std::string& sequence2, VocabularyPtr vocab);
+
+/// The alignment integrity violation query: a disjunct ∃t [A(t) ∧ B(t)]
+/// for every forbidden co-aligned pair (A, B). The sequences admit an
+/// alignment satisfying the constraints iff the database does NOT entail
+/// this query.
+Query AlignmentViolationQuery(
+    const std::vector<std::pair<char, char>>& forbidden_pairs,
+    VocabularyPtr vocab);
+
+/// A random DNA-like sequence over {C, G, A, T}.
+std::string RandomDnaSequence(int length, Rng& rng);
+
+}  // namespace iodb
+
+#endif  // IODB_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,119 @@
+#include "workload/scenarios.h"
+
+namespace iodb {
+namespace {
+
+// Adds the two DNF disjuncts of the integrity-violation formula Ψ of
+// Example 1.1: ∃x t1 t2 t3 t4 w [IC(t1,t2,x) ∧ IC(t3,t4,x) ∧ t1<w<t2 ∧
+// t3<w<t4 ∧ (t1<t3 ∨ t2<t4)], split on the inner disjunction.
+void AddIntegrityDisjuncts(Query& query) {
+  for (int variant = 0; variant < 2; ++variant) {
+    QueryConjunct& conjunct = query.AddDisjunct();
+    for (const char* v : {"x", "t1", "t2", "t3", "t4", "w"}) {
+      conjunct.Exists(v);
+    }
+    conjunct.Atom("IC", {"t1", "t2", "x"});
+    conjunct.Atom("IC", {"t3", "t4", "x"});
+    conjunct.Order("t1", OrderRel::kLt, "w");
+    conjunct.Order("w", OrderRel::kLt, "t2");
+    conjunct.Order("t3", OrderRel::kLt, "w");
+    conjunct.Order("w", OrderRel::kLt, "t4");
+    if (variant == 0) {
+      conjunct.Order("t1", OrderRel::kLt, "t3");
+    } else {
+      conjunct.Order("t2", OrderRel::kLt, "t4");
+    }
+  }
+}
+
+// Adds the disjunct Φ(agent): ∃t1..t4 [IC(t1,t2,agent) ∧ IC(t3,t4,agent) ∧
+// t1<t3]. If `agent_is_variable`, `agent` is existentially quantified
+// ("did someone enter twice?"); otherwise it is the constant A or B.
+void AddTwiceDisjunct(Query& query, const std::string& agent,
+                      bool agent_is_variable) {
+  QueryConjunct& conjunct = query.AddDisjunct();
+  if (agent_is_variable) conjunct.Exists(agent);
+  for (const char* v : {"t1", "t2", "t3", "t4"}) conjunct.Exists(v);
+  conjunct.Atom("IC", {"t1", "t2", agent});
+  conjunct.Atom("IC", {"t3", "t4", agent});
+  conjunct.Order("t1", OrderRel::kLt, "t3");
+}
+
+}  // namespace
+
+EspionageScenario MakeEspionageScenario() {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("IC", {Sort::kOrder, Sort::kOrder, Sort::kObject});
+
+  Database db(vocab);
+  // The guard's log: A in, A out, later B in (times unknown).
+  db.AddOrder("z1", OrderRel::kLt, "z2");
+  db.AddOrder("z2", OrderRel::kLt, "z3");
+  db.AddOrder("z3", OrderRel::kLt, "z4");
+  IODB_CHECK(db.AddFact("IC", {"z1", "z2", "A"}).ok());
+  IODB_CHECK(db.AddFact("IC", {"z3", "z4", "B"}).ok());
+  // Agent A's testimony: B entered while A was inside; A left before B.
+  db.AddOrder("u1", OrderRel::kLt, "u2");
+  db.AddOrder("u2", OrderRel::kLt, "u3");
+  db.AddOrder("u3", OrderRel::kLt, "u4");
+  IODB_CHECK(db.AddFact("IC", {"u1", "u3", "A"}).ok());
+  IODB_CHECK(db.AddFact("IC", {"u2", "u4", "B"}).ok());
+
+  EspionageScenario scenario{vocab,        db,           Query(vocab),
+                             Query(vocab), Query(vocab), Query(vocab),
+                             Query(vocab)};
+  AddIntegrityDisjuncts(scenario.integrity);
+
+  AddIntegrityDisjuncts(scenario.twice_a);
+  AddTwiceDisjunct(scenario.twice_a, "A", false);
+
+  AddIntegrityDisjuncts(scenario.twice_b);
+  AddTwiceDisjunct(scenario.twice_b, "B", false);
+
+  AddIntegrityDisjuncts(scenario.twice_either);
+  AddTwiceDisjunct(scenario.twice_either, "A", false);
+  AddTwiceDisjunct(scenario.twice_either, "B", false);
+
+  AddIntegrityDisjuncts(scenario.twice_someone);
+  AddTwiceDisjunct(scenario.twice_someone, "x", true);
+
+  return scenario;
+}
+
+SchedulingScenario MakeSchedulingScenario(int num_workers,
+                                          int tasks_per_worker, Rng& rng) {
+  auto vocab = std::make_shared<Vocabulary>();
+  for (const char* pred : {"Acquire", "Compute", "Release"}) {
+    vocab->MustAddPredicate(pred, {Sort::kOrder});
+  }
+
+  Database db(vocab);
+  for (int w = 0; w < num_workers; ++w) {
+    std::string prev;
+    for (int i = 0; i < tasks_per_worker; ++i) {
+      std::string name = "w" + std::to_string(w) + "_" + std::to_string(i);
+      db.GetOrAddConstant(name, Sort::kOrder);
+      const char* kind;
+      if (i == 0) {
+        kind = "Acquire";
+      } else if (i == tasks_per_worker - 1) {
+        kind = "Release";
+      } else {
+        kind = rng.Bernoulli(0.3) ? "Acquire" : "Compute";
+      }
+      IODB_CHECK(db.AddFact(kind, {name}).ok());
+      if (!prev.empty()) db.AddOrder(prev, OrderRel::kLt, name);
+      prev = name;
+    }
+  }
+
+  SchedulingScenario scenario{vocab, db, Query(vocab)};
+  QueryConjunct& conjunct = scenario.forbidden.AddDisjunct();
+  conjunct.Exists("t1").Exists("t2");
+  conjunct.Atom("Release", {"t1"});
+  conjunct.Order("t1", OrderRel::kLt, "t2");
+  conjunct.Atom("Acquire", {"t2"});
+  return scenario;
+}
+
+}  // namespace iodb

@@ -1,0 +1,220 @@
+// Proposition 2.10: containment of relational conjunctive queries with
+// inequalities via indefinite-order entailment, cross-validated against
+// the Chandra–Merlin homomorphism test on the order-free fragment.
+
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "containment/relational.h"
+#include "core/parser.h"
+#include "util/random.h"
+
+namespace iodb {
+namespace {
+
+RelationalQuery MakeQuery(QueryConjunct body, std::vector<std::string> head) {
+  return RelationalQuery{std::move(body), std::move(head)};
+}
+
+TEST(ContainmentTest, ClassicHomomorphismCase) {
+  // Q1 = {(): E(x,y) ∧ E(y,z)} ⊆ Q2 = {(): E(u,v)}: contained.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("E", {Sort::kObject, Sort::kObject});
+  QueryConjunct b1;
+  b1.Exists("x").Exists("y").Exists("z");
+  b1.Atom("E", {"x", "y"}).Atom("E", {"y", "z"});
+  QueryConjunct b2;
+  b2.Exists("u").Exists("v");
+  b2.Atom("E", {"u", "v"});
+  RelationalQuery q1 = MakeQuery(b1, {});
+  RelationalQuery q2 = MakeQuery(b2, {});
+
+  Result<ContainmentResult> forward =
+      Contained(q1, q2, vocab, OrderSemantics::kFinite);
+  ASSERT_TRUE(forward.ok());
+  EXPECT_TRUE(forward.value().contained);
+  Result<bool> hom_fwd = HomomorphismContained(q1, q2);
+  ASSERT_TRUE(hom_fwd.ok());
+  EXPECT_TRUE(hom_fwd.value());
+
+  // Reverse fails: a single edge need not extend to a 2-path.
+  Result<ContainmentResult> backward =
+      Contained(q2, q1, vocab, OrderSemantics::kFinite);
+  ASSERT_TRUE(backward.ok());
+  EXPECT_FALSE(backward.value().contained);
+  Result<bool> hom_bwd = HomomorphismContained(q2, q1);
+  ASSERT_TRUE(hom_bwd.ok());
+  EXPECT_FALSE(hom_bwd.value());
+}
+
+TEST(ContainmentTest, HeadVariablesRespected) {
+  // Q1 = {x : E(x,y)} vs Q2 = {x : E(x,x)}: not contained (Q2 demands a
+  // self-loop); the converse holds.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("E", {Sort::kObject, Sort::kObject});
+  QueryConjunct b1;
+  b1.Exists("x").Exists("y");
+  b1.Atom("E", {"x", "y"});
+  QueryConjunct b2;
+  b2.Exists("x");
+  b2.Atom("E", {"x", "x"});
+  RelationalQuery q1 = MakeQuery(b1, {"x"});
+  RelationalQuery q2 = MakeQuery(b2, {"x"});
+
+  Result<ContainmentResult> r12 =
+      Contained(q1, q2, vocab, OrderSemantics::kFinite);
+  ASSERT_TRUE(r12.ok());
+  EXPECT_FALSE(r12.value().contained);
+  Result<ContainmentResult> r21 =
+      Contained(q2, q1, vocab, OrderSemantics::kFinite);
+  ASSERT_TRUE(r21.ok());
+  EXPECT_TRUE(r21.value().contained);
+}
+
+TEST(ContainmentTest, OrderAtomsInBodies) {
+  // Q1 = {(): A(t1) ∧ A(t2) ∧ A(t3) ∧ t1<t2<t3} ⊆ {(): A(s1) ∧ A(s2) ∧
+  // s1<s2} but not conversely.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("A", {Sort::kOrder});
+  QueryConjunct b1;
+  b1.Exists("t1").Exists("t2").Exists("t3");
+  b1.Atom("A", {"t1"}).Atom("A", {"t2"}).Atom("A", {"t3"});
+  b1.Order("t1", OrderRel::kLt, "t2").Order("t2", OrderRel::kLt, "t3");
+  QueryConjunct b2;
+  b2.Exists("s1").Exists("s2");
+  b2.Atom("A", {"s1"}).Atom("A", {"s2"});
+  b2.Order("s1", OrderRel::kLt, "s2");
+  RelationalQuery q1 = MakeQuery(b1, {});
+  RelationalQuery q2 = MakeQuery(b2, {});
+
+  Result<ContainmentResult> fwd =
+      Contained(q1, q2, vocab, OrderSemantics::kFinite);
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_TRUE(fwd.value().contained);
+  Result<ContainmentResult> bwd =
+      Contained(q2, q1, vocab, OrderSemantics::kFinite);
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_FALSE(bwd.value().contained);
+  // The homomorphism test refuses order atoms.
+  EXPECT_FALSE(HomomorphismContained(q1, q2).ok());
+}
+
+TEST(ContainmentTest, LeVersusLtContainment) {
+  // {(): A(t1) ∧ A(t2) ∧ t1<t2} ⊆ {(): A(s1) ∧ A(s2) ∧ s1<=s2}: yes.
+  // The converse: s1<=s2 can be witnessed with s1=s2, so no.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("A", {Sort::kOrder});
+  QueryConjunct strict;
+  strict.Exists("t1").Exists("t2");
+  strict.Atom("A", {"t1"}).Atom("A", {"t2"});
+  strict.Order("t1", OrderRel::kLt, "t2");
+  QueryConjunct weak;
+  weak.Exists("s1").Exists("s2");
+  weak.Atom("A", {"s1"}).Atom("A", {"s2"});
+  weak.Order("s1", OrderRel::kLe, "s2");
+  RelationalQuery q_strict = MakeQuery(strict, {});
+  RelationalQuery q_weak = MakeQuery(weak, {});
+
+  Result<ContainmentResult> fwd =
+      Contained(q_strict, q_weak, vocab, OrderSemantics::kFinite);
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_TRUE(fwd.value().contained);
+  Result<ContainmentResult> bwd =
+      Contained(q_weak, q_strict, vocab, OrderSemantics::kFinite);
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_FALSE(bwd.value().contained);
+}
+
+TEST(ContainmentTest, HomomorphismAgreesOnRandomOrderFreeQueries) {
+  Rng rng(99);
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("R", {Sort::kObject, Sort::kObject});
+  for (int trial = 0; trial < 40; ++trial) {
+    auto random_body = [&](const std::string& prefix) {
+      QueryConjunct body;
+      int num_vars = rng.UniformInt(2, 4);
+      for (int i = 0; i < num_vars; ++i) {
+        body.Exists(prefix + std::to_string(i));
+      }
+      int num_atoms = rng.UniformInt(1, 4);
+      for (int a = 0; a < num_atoms; ++a) {
+        std::string lhs = prefix + std::to_string(rng.UniformInt(0, num_vars - 1));
+        std::string rhs = prefix + std::to_string(rng.UniformInt(0, num_vars - 1));
+        body.Atom("R", {lhs, rhs});
+      }
+      return body;
+    };
+    RelationalQuery q1 = MakeQuery(random_body("x"), {});
+    RelationalQuery q2 = MakeQuery(random_body("y"), {});
+    Result<bool> hom = HomomorphismContained(q1, q2);
+    ASSERT_TRUE(hom.ok());
+    Result<ContainmentResult> red =
+        Contained(q1, q2, vocab, OrderSemantics::kFinite);
+    ASSERT_TRUE(red.ok());
+    EXPECT_EQ(hom.value(), red.value().contained) << "trial " << trial;
+  }
+}
+
+TEST(AnswerSetTest, SimpleJoin) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("E", {Sort::kObject, Sort::kObject});
+  // Model: objects a, b, c with E(a,b), E(b,c).
+  FiniteModel model;
+  model.vocab = vocab;
+  model.object_names = {"a", "b", "c"};
+  model.other_facts.push_back(
+      {*vocab->FindPredicate("E"),
+       {{Sort::kObject, 0}, {Sort::kObject, 1}}});
+  model.other_facts.push_back(
+      {*vocab->FindPredicate("E"),
+       {{Sort::kObject, 1}, {Sort::kObject, 2}}});
+
+  QueryConjunct body;
+  body.Exists("x").Exists("y").Exists("z");
+  body.Atom("E", {"x", "y"}).Atom("E", {"y", "z"});
+  RelationalQuery query = MakeQuery(body, {"x", "z"});
+  Result<std::vector<AnswerTuple>> answers =
+      AnswerSet(model, query, *vocab);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers.value().size(), 1u);
+  EXPECT_EQ(answers.value()[0][0].id, 0);  // x = a
+  EXPECT_EQ(answers.value()[0][1].id, 2);  // z = c
+}
+
+TEST(AnswerSetTest, OrderedModel) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("A", {Sort::kOrder});
+  FiniteModel model;
+  model.vocab = vocab;
+  model.num_points = 3;
+  model.point_labels.assign(3, PredSet(1));
+  model.point_labels[0].Add(0);
+  model.point_labels[2].Add(0);
+
+  QueryConjunct body;
+  body.Exists("t").Exists("s");
+  body.Atom("A", {"t"}).Atom("A", {"s"});
+  body.Order("t", OrderRel::kLt, "s");
+  RelationalQuery query = MakeQuery(body, {"t", "s"});
+  Result<std::vector<AnswerTuple>> answers =
+      AnswerSet(model, query, *vocab);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers.value().size(), 1u);
+  EXPECT_EQ(answers.value()[0][0].id, 0);
+  EXPECT_EQ(answers.value()[0][1].id, 2);
+}
+
+TEST(ContainmentTest, ArityMismatchRejected) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("E", {Sort::kObject, Sort::kObject});
+  QueryConjunct b;
+  b.Exists("x").Exists("y");
+  b.Atom("E", {"x", "y"});
+  Result<ContainmentResult> r =
+      Contained(MakeQuery(b, {"x"}), MakeQuery(b, {}), vocab,
+                OrderSemantics::kFinite);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/printer.h"
+
+namespace iodb {
+namespace {
+
+VocabularyPtr MakeVocab() { return std::make_shared<Vocabulary>(); }
+
+TEST(VocabularyTest, PredicateInterning) {
+  Vocabulary vocab;
+  int p = vocab.MustAddPredicate("P", {Sort::kOrder});
+  EXPECT_EQ(vocab.MustAddPredicate("P", {Sort::kOrder}), p);
+  EXPECT_EQ(vocab.FindPredicate("P"), std::optional<int>(p));
+  EXPECT_EQ(vocab.FindPredicate("Q"), std::nullopt);
+  Result<int> conflict =
+      vocab.GetOrAddPredicate("P", {Sort::kObject});
+  EXPECT_FALSE(conflict.ok());
+  EXPECT_TRUE(vocab.AllMonadicOrder());
+  vocab.MustAddPredicate("R", {Sort::kObject, Sort::kOrder});
+  EXPECT_FALSE(vocab.AllMonadicOrder());
+}
+
+TEST(PredSetTest, Operations) {
+  PredSet a(4);
+  EXPECT_TRUE(a.Empty());
+  a.Add(1);
+  a.Add(70);  // grows past the initial capacity
+  EXPECT_TRUE(a.Contains(1));
+  EXPECT_TRUE(a.Contains(70));
+  EXPECT_FALSE(a.Contains(0));
+  EXPECT_EQ(a.Count(), 2);
+  EXPECT_EQ(a.Elements(), (std::vector<int>{1, 70}));
+
+  PredSet b;
+  b.Add(1);
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  b.UnionWith(a);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  a.Remove(70);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a.Contains(70));
+}
+
+TEST(PredSetTest, EqualityIgnoresCapacity) {
+  PredSet a(1), b(200);
+  a.Add(0);
+  b.Add(0);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(DatabaseTest, ConstantsAndFacts) {
+  auto vocab = MakeVocab();
+  vocab->MustAddPredicate("IC", {Sort::kOrder, Sort::kOrder, Sort::kObject});
+  Database db(vocab);
+  db.AddOrder("z1", OrderRel::kLt, "z2");
+  EXPECT_TRUE(db.AddFact("IC", {"z1", "z2", "A"}).ok());
+  EXPECT_EQ(db.num_order_constants(), 2);
+  EXPECT_EQ(db.num_object_constants(), 1);
+  EXPECT_EQ(db.FindConstant("A", Sort::kObject), std::optional<int>(0));
+  EXPECT_EQ(db.FindConstant("A", Sort::kOrder), std::nullopt);
+  EXPECT_EQ(db.SizeAtoms(), 2);
+}
+
+TEST(DatabaseTest, AddFactInfersSortsFromDeclaration) {
+  auto vocab = MakeVocab();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Database db(vocab);
+  // "u" is fresh; the declared signature makes it an order constant.
+  EXPECT_TRUE(db.AddFact("P", {"u"}).ok());
+  EXPECT_EQ(db.num_order_constants(), 1);
+  EXPECT_EQ(db.num_object_constants(), 0);
+}
+
+TEST(DatabaseTest, AddFactConflictingSortFails) {
+  auto vocab = MakeVocab();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  vocab->MustAddPredicate("R", {Sort::kObject});
+  Database db(vocab);
+  EXPECT_TRUE(db.AddFact("P", {"u"}).ok());
+  EXPECT_FALSE(db.AddFact("R", {"u"}).ok());  // u is already order-sort
+}
+
+TEST(NormalizeTest, MergesLeCycles) {
+  auto vocab = MakeVocab();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  vocab->MustAddPredicate("Q", {Sort::kOrder});
+  Database db(vocab);
+  // u <= v <= u merges; both labels land on the merged point.
+  db.AddOrder("u", OrderRel::kLe, "v");
+  db.AddOrder("v", OrderRel::kLe, "u");
+  db.AddOrder("v", OrderRel::kLt, "w");
+  EXPECT_TRUE(db.AddFact("P", {"u"}).ok());
+  EXPECT_TRUE(db.AddFact("Q", {"v"}).ok());
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  const NormDb& n = norm.value();
+  EXPECT_EQ(n.num_points(), 2);
+  int uv = n.point_of_constant[*db.FindConstant("u", Sort::kOrder)];
+  EXPECT_EQ(uv, n.point_of_constant[*db.FindConstant("v", Sort::kOrder)]);
+  EXPECT_TRUE(n.labels[uv].Contains(*vocab->FindPredicate("P")));
+  EXPECT_TRUE(n.labels[uv].Contains(*vocab->FindPredicate("Q")));
+  EXPECT_EQ(n.dag.num_edges(), 1);
+  EXPECT_EQ(n.dag.edges()[0].rel, OrderRel::kLt);
+  EXPECT_EQ(n.PointName(uv), "u=v");
+}
+
+TEST(NormalizeTest, LtInsideCycleInconsistent) {
+  auto vocab = MakeVocab();
+  Database db(vocab);
+  db.AddOrder("u", OrderRel::kLt, "v");
+  db.AddOrder("v", OrderRel::kLe, "u");
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_FALSE(norm.ok());
+  EXPECT_EQ(norm.status().code(), StatusCode::kInconsistent);
+}
+
+TEST(NormalizeTest, SelfLoopLeDropped) {
+  auto vocab = MakeVocab();
+  Database db(vocab);
+  db.AddOrder("u", OrderRel::kLe, "u");
+  db.AddOrder("u", OrderRel::kLt, "v");
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm.value().num_points(), 2);
+  EXPECT_EQ(norm.value().dag.num_edges(), 1);
+}
+
+TEST(NormalizeTest, EdgeDedupPrefersStrict) {
+  auto vocab = MakeVocab();
+  Database db(vocab);
+  db.AddOrder("u", OrderRel::kLe, "v");
+  db.AddOrder("u", OrderRel::kLt, "v");
+  db.AddOrder("u", OrderRel::kLe, "v");
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  ASSERT_EQ(norm.value().dag.num_edges(), 1);
+  EXPECT_EQ(norm.value().dag.edges()[0].rel, OrderRel::kLt);
+}
+
+TEST(NormalizeTest, InequalityCollapseInconsistent) {
+  auto vocab = MakeVocab();
+  Database db(vocab);
+  db.AddOrder("u", OrderRel::kLe, "v");
+  db.AddOrder("v", OrderRel::kLe, "u");
+  db.AddNotEqual("u", "v");
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_FALSE(norm.ok());
+  EXPECT_EQ(norm.status().code(), StatusCode::kInconsistent);
+}
+
+TEST(NormalizeTest, InequalityKeptAndDeduped) {
+  auto vocab = MakeVocab();
+  Database db(vocab);
+  db.AddNotEqual("u", "v");
+  db.AddNotEqual("v", "u");
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm.value().inequalities.size(), 1u);
+}
+
+TEST(NormalizeTest, NaryAtomsRemapped) {
+  auto vocab = MakeVocab();
+  vocab->MustAddPredicate("IC", {Sort::kOrder, Sort::kOrder, Sort::kObject});
+  Database db(vocab);
+  db.AddOrder("a", OrderRel::kLe, "b");
+  db.AddOrder("b", OrderRel::kLe, "a");
+  EXPECT_TRUE(db.AddFact("IC", {"a", "b", "X"}).ok());
+  EXPECT_TRUE(db.AddFact("IC", {"b", "a", "X"}).ok());  // duplicate after merge
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm.value().other_atoms.size(), 1u);
+  EXPECT_FALSE(norm.value().OrderFactsAreMonadic());
+}
+
+TEST(WidthTest, ObserversExample) {
+  // Two observers with 3 events each: width 2 (Section 1 reading).
+  auto vocab = MakeVocab();
+  Database db(vocab);
+  db.AddOrder("a1", OrderRel::kLt, "a2");
+  db.AddOrder("a2", OrderRel::kLt, "a3");
+  db.AddOrder("b1", OrderRel::kLt, "b2");
+  db.AddOrder("b2", OrderRel::kLt, "b3");
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(Width(norm.value()), 2);
+}
+
+TEST(PrinterTest, DatabaseRoundTripText) {
+  auto vocab = MakeVocab();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Database db(vocab);
+  db.AddOrder("u", OrderRel::kLt, "v");
+  EXPECT_TRUE(db.AddFact("P", {"u"}).ok());
+  std::string text = ToString(db);
+  EXPECT_NE(text.find("P(u)"), std::string::npos);
+  EXPECT_NE(text.find("u < v"), std::string::npos);
+}
+
+TEST(PrinterTest, DotOutput) {
+  auto vocab = MakeVocab();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Database db(vocab);
+  db.AddOrder("u", OrderRel::kLt, "v");
+  db.AddOrder("u", OrderRel::kLe, "w");
+  EXPECT_TRUE(db.AddFact("P", {"u"}).ok());
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  std::string dot = DotOfDb(norm.value());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // the <= edge
+  EXPECT_NE(dot.find("{P}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,220 @@
+// Cross-engine agreement: the brute-force minimal-model engine is the
+// semantic reference; the SEQ/path engine (Lemma 4.1), the bounded-width
+// engine (Theorem 4.7), the disjunctive engine (Theorem 5.3) and the
+// compiled basis (Section 6) must agree with it on random monadic
+// instances, and countermodels must actually falsify the query.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/entail_bounded_width.h"
+#include "core/entail_bruteforce.h"
+#include "core/entail_disjunctive.h"
+#include "core/entail_paths.h"
+#include "core/minimal_models.h"
+#include "core/model_check.h"
+#include "core/wqo.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+struct Instance {
+  NormDb db;
+  NormQuery query;
+};
+
+Instance RandomConjunctiveInstance(uint64_t seed) {
+  Rng rng(seed);
+  auto vocab = std::make_shared<Vocabulary>();
+  MonadicDbParams params;
+  params.num_chains = rng.UniformInt(1, 3);
+  params.chain_length = rng.UniformInt(1, 4);
+  params.num_predicates = 3;
+  params.label_probability = 0.5;
+  params.le_probability = 0.3;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  Query query = RandomConjunctiveMonadicQuery(
+      rng.UniformInt(1, 4), 3, 0.4, 0.4, 0.3, vocab, rng);
+  Result<NormDb> ndb = Normalize(db);
+  Result<NormQuery> nq = NormalizeQuery(query);
+  IODB_CHECK(ndb.ok());
+  IODB_CHECK(nq.ok());
+  return {std::move(ndb.value()), std::move(nq.value())};
+}
+
+Instance RandomDisjunctiveInstance(uint64_t seed) {
+  Rng rng(seed + 5000);
+  auto vocab = std::make_shared<Vocabulary>();
+  MonadicDbParams params;
+  params.num_chains = rng.UniformInt(1, 2);
+  params.chain_length = rng.UniformInt(1, 4);
+  params.num_predicates = 3;
+  params.label_probability = 0.6;
+  params.le_probability = 0.3;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  Query query = RandomDisjunctiveSequentialQuery(
+      rng.UniformInt(1, 3), rng.UniformInt(1, 3), 3, 0.3, 0.3, vocab, rng);
+  Result<NormDb> ndb = Normalize(db);
+  Result<NormQuery> nq = NormalizeQuery(query);
+  IODB_CHECK(ndb.ok());
+  IODB_CHECK(nq.ok());
+  return {std::move(ndb.value()), std::move(nq.value())};
+}
+
+class ConjunctiveEnginesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConjunctiveEnginesTest, AllEnginesAgree) {
+  Instance inst = RandomConjunctiveInstance(GetParam());
+  ASSERT_EQ(inst.query.disjuncts.size(), 1u);
+  const NormConjunct& conjunct = inst.query.disjuncts[0];
+
+  bool brute = EntailBruteForce(inst.db, inst.query).entailed;
+  bool paths = EntailByPaths(inst.db, conjunct).entailed;
+  bool bounded = EntailBoundedWidth(inst.db, conjunct).entailed;
+  bool disjunctive = EntailDisjunctive(inst.db, inst.query).entailed;
+  bool basis =
+      CompiledQuery::CompileConjunctive(conjunct).Entails(inst.db);
+
+  EXPECT_EQ(paths, brute) << "seed " << GetParam();
+  EXPECT_EQ(bounded, brute) << "seed " << GetParam();
+  EXPECT_EQ(disjunctive, brute) << "seed " << GetParam();
+  EXPECT_EQ(basis, brute) << "seed " << GetParam();
+}
+
+TEST_P(ConjunctiveEnginesTest, BoundedWidthCountermodelFalsifies) {
+  Instance inst = RandomConjunctiveInstance(GetParam());
+  const NormConjunct& conjunct = inst.query.disjuncts[0];
+  BoundedWidthOutcome outcome = EntailBoundedWidth(inst.db, conjunct, true);
+  if (!outcome.entailed) {
+    ASSERT_TRUE(outcome.countermodel.has_value());
+    EXPECT_FALSE(Satisfies(*outcome.countermodel, inst.query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConjunctiveEnginesTest,
+                         ::testing::Range(0, 80));
+
+class DisjunctiveEngineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisjunctiveEngineTest, AgreesWithBruteForce) {
+  Instance inst = RandomDisjunctiveInstance(GetParam());
+  bool brute = EntailBruteForce(inst.db, inst.query).entailed;
+  DisjunctiveOutcome outcome = EntailDisjunctive(inst.db, inst.query);
+  EXPECT_EQ(outcome.entailed, brute) << "seed " << GetParam();
+  if (!outcome.entailed) {
+    ASSERT_TRUE(outcome.countermodel.has_value());
+    EXPECT_FALSE(Satisfies(*outcome.countermodel, inst.query));
+  }
+}
+
+TEST_P(DisjunctiveEngineTest, EnumerationMatchesBruteForceCountermodels) {
+  Instance inst = RandomDisjunctiveInstance(GetParam());
+  // Reference: all minimal models falsifying the query.
+  std::set<std::string> expected;
+  ModelVisitor visitor;
+  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    FiniteModel model = BuildMinimalModel(inst.db, groups);
+    if (!Satisfies(model, inst.query)) expected.insert(model.ToString());
+    return true;
+  };
+  ForEachMinimalModel(inst.db, visitor);
+
+  // Engine enumeration (may report duplicates; compare as sets).
+  std::set<std::string> actual;
+  DisjunctiveOptions options;
+  options.on_countermodel = [&](const FiniteModel& model) {
+    EXPECT_FALSE(Satisfies(model, inst.query));
+    actual.insert(model.ToString());
+    return true;
+  };
+  EntailDisjunctive(inst.db, inst.query, options);
+  EXPECT_EQ(actual, expected) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjunctiveEngineTest,
+                         ::testing::Range(0, 60));
+
+TEST(MonotonicityTest, AddingFactsPreservesEntailment) {
+  // D ⊆ D' (atomwise) and D |= Φ imply D' |= Φ.
+  for (int seed = 0; seed < 25; ++seed) {
+    Rng rng(seed + 900);
+    auto vocab = std::make_shared<Vocabulary>();
+    MonadicDbParams params;
+    params.num_chains = 2;
+    params.chain_length = 3;
+    params.num_predicates = 3;
+    Database db = RandomMonadicDb(params, vocab, rng);
+    Query query = RandomConjunctiveMonadicQuery(3, 3, 0.4, 0.4, 0.3, vocab,
+                                                rng);
+    Result<NormQuery> nq = NormalizeQuery(query);
+    ASSERT_TRUE(nq.ok());
+    Result<NormDb> before = Normalize(db);
+    ASSERT_TRUE(before.ok());
+    bool entailed_before =
+        EntailBruteForce(before.value(), nq.value()).entailed;
+
+    // Extend with extra facts and order atoms.
+    Database extended = db;
+    extended.AddOrder("c0_0", OrderRel::kLe, "extra");
+    ASSERT_TRUE(extended.AddFact("P0", {"extra"}).ok());
+    ASSERT_TRUE(extended.AddFact("P1", {"c0_0"}).ok());
+    Result<NormDb> after = Normalize(extended);
+    ASSERT_TRUE(after.ok());
+    bool entailed_after =
+        EntailBruteForce(after.value(), nq.value()).entailed;
+    if (entailed_before) EXPECT_TRUE(entailed_after) << "seed " << seed;
+  }
+}
+
+TEST(BruteForceTest, PruningDoesNotChangeVerdict) {
+  for (int seed = 0; seed < 25; ++seed) {
+    Instance inst = RandomDisjunctiveInstance(seed + 4242);
+    BruteForceOptions no_prune;
+    no_prune.prune_satisfied_prefix = false;
+    EXPECT_EQ(EntailBruteForce(inst.db, inst.query).entailed,
+              EntailBruteForce(inst.db, inst.query, no_prune).entailed)
+        << "seed " << seed;
+  }
+}
+
+TEST(BruteForceTest, TrivialQueryShortCircuits) {
+  Instance inst = RandomConjunctiveInstance(1);
+  NormQuery trivial;
+  trivial.vocab = inst.query.vocab;
+  trivial.trivially_true = true;
+  BruteForceOutcome outcome = EntailBruteForce(inst.db, trivial);
+  EXPECT_TRUE(outcome.entailed);
+  EXPECT_EQ(outcome.models_enumerated, 0);
+}
+
+TEST(BruteForceTest, FalseQueryYieldsCountermodel) {
+  Instance inst = RandomConjunctiveInstance(2);
+  NormQuery false_query;
+  false_query.vocab = inst.query.vocab;  // zero disjuncts
+  BruteForceOutcome outcome = EntailBruteForce(inst.db, false_query);
+  EXPECT_FALSE(outcome.entailed);
+  EXPECT_TRUE(outcome.countermodel.has_value());
+}
+
+TEST(BoundedWidthTest, EmptyDatabase) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DeclareMonadicPredicates(*vocab, 2);
+  Database db(vocab);
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  PredSet label;
+  label.Add(0);
+  FlexiWord pattern;
+  pattern.symbols.push_back(label);
+  NormConjunct conjunct = ConjunctOfFlexiWord(pattern, 2);
+  BoundedWidthOutcome outcome =
+      EntailBoundedWidth(norm.value(), conjunct, true);
+  EXPECT_FALSE(outcome.entailed);
+  ASSERT_TRUE(outcome.countermodel.has_value());
+  EXPECT_EQ(outcome.countermodel->num_points, 0);
+}
+
+}  // namespace
+}  // namespace iodb

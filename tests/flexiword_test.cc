@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/flexiword.h"
+#include "core/parser.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+// Builds a PredSet from ids.
+PredSet Set(std::initializer_list<int> ids) {
+  PredSet s;
+  for (int id : ids) s.Add(id);
+  return s;
+}
+
+// Builds a flexi-word from symbol sets and relation string like "<-<=".
+FlexiWord Word(std::vector<PredSet> symbols, std::vector<OrderRel> rels) {
+  FlexiWord w;
+  w.symbols = std::move(symbols);
+  w.rels = std::move(rels);
+  return w;
+}
+
+constexpr OrderRel kLt = OrderRel::kLt;
+constexpr OrderRel kLe = OrderRel::kLe;
+
+TEST(FlexiWordTest, IsWordAndToString) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  vocab->MustAddPredicate("Q", {Sort::kOrder});
+  FlexiWord w = Word({Set({0, 1}), Set({0})}, {kLe});
+  EXPECT_FALSE(w.IsWord());
+  EXPECT_EQ(w.ToString(*vocab), "[P,Q] <= [P]");
+  FlexiWord v = Word({Set({0}), Set({1})}, {kLt});
+  EXPECT_TRUE(v.IsWord());
+}
+
+TEST(SubwordTest, PaperExample) {
+  // [P,Q] P R is a subword of [P,Q,R] [R] [P,R] [P,Q,R]  (P=0,Q=1,R=2).
+  FlexiWord p = Word({Set({0, 1}), Set({0}), Set({2})}, {kLt, kLt});
+  FlexiWord q = Word(
+      {Set({0, 1, 2}), Set({2}), Set({0, 2}), Set({0, 1, 2})},
+      {kLt, kLt, kLt});
+  EXPECT_TRUE(IsSubword(p, q));
+  EXPECT_FALSE(IsSubword(q, p));
+}
+
+TEST(SubwordTest, OrderMatters) {
+  FlexiWord p = Word({Set({0}), Set({1})}, {kLt});
+  FlexiWord q = Word({Set({1}), Set({0})}, {kLt});
+  EXPECT_FALSE(IsSubword(p, q));
+  EXPECT_TRUE(IsSubword(p, p));
+  EXPECT_TRUE(IsSubword(FlexiWord{}, q));  // empty word embeds anywhere
+}
+
+TEST(WordSatisfiesTest, LeAllowsSamePoint) {
+  // Pattern [P] <= [Q] matches a single point labelled {P,Q}.
+  FlexiWord model = Word({Set({0, 1})}, {});
+  EXPECT_TRUE(WordSatisfies(model, Word({Set({0}), Set({1})}, {kLe})));
+  EXPECT_FALSE(WordSatisfies(model, Word({Set({0}), Set({1})}, {kLt})));
+}
+
+TEST(WordSatisfiesTest, GreedyAcrossPoints) {
+  FlexiWord model = Word({Set({0}), Set({1}), Set({0})}, {kLt, kLt});
+  // [P] < [P] needs two P-points.
+  EXPECT_TRUE(WordSatisfies(model, Word({Set({0}), Set({0})}, {kLt})));
+  // [P] < [P] < [P] needs three.
+  EXPECT_FALSE(
+      WordSatisfies(model, Word({Set({0}), Set({0}), Set({0})},
+                                {kLt, kLt})));
+  // [P] <= [P] is satisfied by a single P-point? No: <= allows the same
+  // point, so one P-point suffices.
+  EXPECT_TRUE(WordSatisfies(Word({Set({0})}, {}),
+                            Word({Set({0}), Set({0})}, {kLe})));
+}
+
+TEST(WordSatisfiesTest, EmptyPattern) {
+  EXPECT_TRUE(WordSatisfies(FlexiWord{}, FlexiWord{}));
+  EXPECT_TRUE(WordSatisfies(Word({Set({0})}, {}), FlexiWord{}));
+  EXPECT_FALSE(WordSatisfies(FlexiWord{}, Word({Set({0})}, {})));
+  // The empty symbol matches any point.
+  EXPECT_TRUE(WordSatisfies(Word({Set({0})}, {}), Word({PredSet()}, {})));
+}
+
+TEST(FlexiEntailsTest, WidthOneCases) {
+  // Database [P] <= [Q] entails pattern [P] <= [Q] and [P] (and [Q]) but
+  // not [P] < [Q] (the two constants may be merged? No: entailment asks
+  // ALL models; [P]<[Q] fails in the merged model).
+  FlexiWord db = Word({Set({0}), Set({1})}, {kLe});
+  EXPECT_TRUE(FlexiEntails(db, Word({Set({0}), Set({1})}, {kLe})));
+  EXPECT_TRUE(FlexiEntails(db, Word({Set({0})}, {})));
+  EXPECT_TRUE(FlexiEntails(db, Word({Set({1})}, {})));
+  EXPECT_FALSE(FlexiEntails(db, Word({Set({0}), Set({1})}, {kLt})));
+
+  // Database [P] < [Q] entails both variants.
+  FlexiWord strict = Word({Set({0}), Set({1})}, {kLt});
+  EXPECT_TRUE(FlexiEntails(strict, Word({Set({0}), Set({1})}, {kLt})));
+  EXPECT_TRUE(FlexiEntails(strict, Word({Set({0}), Set({1})}, {kLe})));
+}
+
+TEST(FlexiEntailsTest, MergedLabelsDoNotConjure) {
+  // Database [P] <= [Q]: the merged model has {P,Q} at one point, so the
+  // pattern [P,Q] is NOT entailed (the strict model separates them).
+  FlexiWord db = Word({Set({0}), Set({1})}, {kLe});
+  EXPECT_FALSE(FlexiEntails(db, Word({Set({0, 1})}, {})));
+}
+
+TEST(FlexiEntailsTest, ReflexivityAndTransitivityOnRandoms) {
+  Rng rng(17);
+  std::vector<FlexiWord> words;
+  for (int i = 0; i < 12; ++i) {
+    words.push_back(RandomWord(rng.UniformInt(1, 5), 3, 0.4, rng));
+  }
+  for (const FlexiWord& w : words) {
+    EXPECT_TRUE(FlexiEntails(w, w));  // q |= q
+  }
+  for (const FlexiWord& a : words) {
+    for (const FlexiWord& b : words) {
+      for (const FlexiWord& c : words) {
+        if (FlexiEntails(a, b) && FlexiEntails(b, c)) {
+          EXPECT_TRUE(FlexiEntails(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(FlexiEntailsTest, AgreesWithSubwordOnWords) {
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    FlexiWord p = RandomWord(rng.UniformInt(1, 4), 3, 0.3, rng);
+    FlexiWord q = RandomWord(rng.UniformInt(1, 6), 3, 0.5, rng);
+    EXPECT_EQ(FlexiEntails(q, p), IsSubword(p, q)) << "trial " << trial;
+  }
+}
+
+TEST(PathsTest, Fig5Paths) {
+  // The Figure 5 query has exactly the two paths
+  // [P,Q] < [P] <= [S] and [P,Q] < [P] < [R].
+  auto vocab = std::make_shared<Vocabulary>();
+  for (const char* n : {"P", "Q", "R", "S"}) {
+    vocab->MustAddPredicate(n, {Sort::kOrder});
+  }
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("t1").Exists("t2").Exists("t3").Exists("t4");
+  c.Atom("P", {"t1"}).Atom("Q", {"t1"}).Atom("P", {"t2"});
+  c.Atom("R", {"t3"}).Atom("S", {"t4"});
+  c.Order("t1", OrderRel::kLt, "t2");
+  c.Order("t2", OrderRel::kLt, "t3");
+  c.Order("t2", OrderRel::kLe, "t4");
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  std::vector<FlexiWord> paths = ConjunctPaths(norm.value().disjuncts[0]);
+  ASSERT_EQ(paths.size(), 2u);
+  std::vector<std::string> rendered;
+  for (const FlexiWord& p : paths) rendered.push_back(p.ToString(*vocab));
+  std::sort(rendered.begin(), rendered.end());
+  EXPECT_EQ(rendered[0], "[P,Q] < [P] < [R]");
+  EXPECT_EQ(rendered[1], "[P,Q] < [P] <= [S]");
+}
+
+TEST(PathsTest, TransitiveEdgeDoesNotDuplicatePaths) {
+  // u <= v, v <= w plus the derived u <= w: still one maximal path.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("u").Exists("v").Exists("w");
+  c.Atom("P", {"u"}).Atom("P", {"v"}).Atom("P", {"w"});
+  c.Order("u", OrderRel::kLe, "v");
+  c.Order("v", OrderRel::kLe, "w");
+  c.Order("u", OrderRel::kLe, "w");
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(ConjunctPaths(norm.value().disjuncts[0]).size(), 1u);
+}
+
+TEST(PathsTest, IsolatedVertexIsAPath) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Query query(vocab);
+  query.AddDisjunct().Exists("t").Atom("P", {"t"});
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  std::vector<FlexiWord> paths = ConjunctPaths(norm.value().disjuncts[0]);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 1);
+}
+
+TEST(SequentialPatternTest, ChainWithDerivedRelations) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  vocab->MustAddPredicate("Q", {Sort::kOrder});
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("a").Exists("b").Exists("cc");
+  c.Atom("P", {"a"}).Atom("Q", {"b"}).Atom("P", {"cc"});
+  c.Order("a", OrderRel::kLe, "b");
+  c.Order("b", OrderRel::kLt, "cc");
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  const NormConjunct& nc = norm.value().disjuncts[0];
+  ASSERT_TRUE(nc.IsSequential());
+  FlexiWord pattern = SequentialPattern(nc);
+  EXPECT_EQ(pattern.ToString(*vocab), "[P] <= [Q] < [P]");
+}
+
+TEST(DbConversionTest, DbOfFlexiWordRoundTrip) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  vocab->MustAddPredicate("Q", {Sort::kOrder});
+  FlexiWord w = Word({Set({0}), Set({0, 1}), Set({1})}, {kLt, kLe});
+  Database db = DbOfFlexiWord(w, vocab);
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  std::vector<FlexiWord> paths = DbPaths(norm.value());
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], w);
+}
+
+TEST(DbConversionTest, ConjunctOfFlexiWord) {
+  FlexiWord w = Word({Set({0}), Set({1})}, {kLt});
+  NormConjunct conjunct = ConjunctOfFlexiWord(w, 2);
+  EXPECT_EQ(conjunct.num_order_vars(), 2);
+  EXPECT_TRUE(conjunct.IsSequential());
+  EXPECT_EQ(SequentialPattern(conjunct), w);
+}
+
+TEST(WordOfModelTest, Basic) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Result<Database> db = ParseDatabase("P(u)\nu < v", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<NormDb> norm = Normalize(db.value());
+  ASSERT_TRUE(norm.ok());
+  FiniteModel model = BuildMinimalModel(norm.value(), {{0}, {1}});
+  FlexiWord word = WordOfModel(model);
+  EXPECT_EQ(word.size(), 2);
+  EXPECT_TRUE(word.IsWord());
+  EXPECT_TRUE(word.symbols[0].Contains(0));
+  EXPECT_TRUE(word.symbols[1].Empty());
+}
+
+}  // namespace
+}  // namespace iodb
+// --- Regression: paths with a strict atom parallel to a "<=" path ----------
+
+#include "core/entail_bounded_width.h"
+#include "core/entail_bruteforce.h"
+#include "core/entail_disjunctive.h"
+#include "core/entail_paths.h"
+
+namespace iodb {
+namespace {
+
+TEST(PathsTest, StrictShortcutIsAGenuinePath) {
+  // Φ = ∃a z b [P(a) ∧ P(b) ∧ a<=z ∧ z<=b ∧ a<b]: the atom a<b is not
+  // implied by the "<=" chain, so Paths(Φ) = {[P]<=[]<=[P], [P]<[P]}.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("a").Exists("z").Exists("b");
+  c.Atom("P", {"a"}).Atom("P", {"b"});
+  c.Order("a", OrderRel::kLe, "z");
+  c.Order("z", OrderRel::kLe, "b");
+  c.Order("a", OrderRel::kLt, "b");
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  std::vector<FlexiWord> paths = ConjunctPaths(norm.value().disjuncts[0]);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(PathsTest, StrictShortcutEntailmentRegression) {
+  // Same query over D = [P(u), P(v), u <= v]: in the merged model the
+  // strict atom fails, so D must NOT entail Φ. (This is the case that a
+  // Hasse-cover reduction would get wrong.)
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Result<Database> db = ParseDatabase("P(u)\nP(v)\nu <= v", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<NormDb> ndb = Normalize(db.value());
+  ASSERT_TRUE(ndb.ok());
+
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("a").Exists("z").Exists("b");
+  c.Atom("P", {"a"}).Atom("P", {"b"});
+  c.Order("a", OrderRel::kLe, "z");
+  c.Order("z", OrderRel::kLe, "b");
+  c.Order("a", OrderRel::kLt, "b");
+  Result<NormQuery> nq = NormalizeQuery(query);
+  ASSERT_TRUE(nq.ok());
+  // All engines must agree on "not entailed".
+  EXPECT_FALSE(EntailBruteForce(ndb.value(), nq.value()).entailed);
+  EXPECT_FALSE(EntailByPaths(ndb.value(), nq.value().disjuncts[0]).entailed);
+  EXPECT_FALSE(
+      EntailBoundedWidth(ndb.value(), nq.value().disjuncts[0]).entailed);
+  EXPECT_FALSE(EntailDisjunctive(ndb.value(), nq.value()).entailed);
+
+  // With a strict database edge all engines flip to entailed.
+  auto vocab2 = std::make_shared<Vocabulary>();
+  vocab2->MustAddPredicate("P", {Sort::kOrder});
+  Result<Database> db2 = ParseDatabase("P(u)\nP(v)\nu < v", vocab2);
+  ASSERT_TRUE(db2.ok());
+  Result<NormDb> ndb2 = Normalize(db2.value());
+  ASSERT_TRUE(ndb2.ok());
+  EXPECT_TRUE(EntailBruteForce(ndb2.value(), nq.value()).entailed);
+  EXPECT_TRUE(
+      EntailBoundedWidth(ndb2.value(), nq.value().disjuncts[0]).entailed);
+}
+
+}  // namespace
+}  // namespace iodb

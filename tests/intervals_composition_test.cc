@@ -1,0 +1,159 @@
+// Exhaustive validation of the interval layer: for every ordered pair of
+// Allen relations (r1, r2), the possible relations between I and K given
+// I r1 J and J r2 K (the classical composition table) are computed by the
+// probe-based implementation and cross-checked against ground truth from
+// minimal-model enumeration over the six endpoints. 169 compositions per
+// run; a handful of canonical entries are additionally pinned by name.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/intervals.h"
+#include "core/minimal_models.h"
+
+namespace iodb {
+namespace {
+
+// Ground truth: which Allen relations hold between I and K in some
+// minimal model of `db`? Positions are compared through the sort groups.
+std::set<AllenRelation> BruteRelations(const Database& db, const Interval& i,
+                                       const Interval& k) {
+  Result<NormDb> norm = Normalize(db);
+  std::set<AllenRelation> out;
+  if (!norm.ok()) return out;
+  auto point = [&](const std::string& name) {
+    return norm.value()
+        .point_of_constant[*db.FindConstant(name, Sort::kOrder)];
+  };
+  int is = point(i.start), ie = point(i.end);
+  int ks = point(k.start), ke = point(k.end);
+
+  ModelVisitor visitor;
+  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    int pos[4] = {-1, -1, -1, -1};
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (int p : groups[g]) {
+        if (p == is) pos[0] = static_cast<int>(g);
+        if (p == ie) pos[1] = static_cast<int>(g);
+        if (p == ks) pos[2] = static_cast<int>(g);
+        if (p == ke) pos[3] = static_cast<int>(g);
+      }
+    }
+    // Classify the model's relation between (pos[0], pos[1]) and
+    // (pos[2], pos[3]).
+    auto classify = [&]() -> AllenRelation {
+      if (pos[1] < pos[2]) return AllenRelation::kBefore;
+      if (pos[1] == pos[2]) return AllenRelation::kMeets;
+      if (pos[3] < pos[0]) return AllenRelation::kAfter;
+      if (pos[3] == pos[0]) return AllenRelation::kMetBy;
+      // Interiors overlap from here on.
+      if (pos[0] == pos[2] && pos[1] == pos[3]) return AllenRelation::kEquals;
+      if (pos[0] == pos[2]) {
+        return pos[1] < pos[3] ? AllenRelation::kStarts
+                               : AllenRelation::kStartedBy;
+      }
+      if (pos[1] == pos[3]) {
+        return pos[0] > pos[2] ? AllenRelation::kFinishes
+                               : AllenRelation::kFinishedBy;
+      }
+      if (pos[0] > pos[2] && pos[1] < pos[3]) return AllenRelation::kDuring;
+      if (pos[2] > pos[0] && pos[3] < pos[1]) return AllenRelation::kContains;
+      return pos[0] < pos[2] ? AllenRelation::kOverlaps
+                             : AllenRelation::kOverlappedBy;
+    };
+    out.insert(classify());
+    return true;
+  };
+  ForEachMinimalModel(norm.value(), visitor);
+  return out;
+}
+
+class CompositionTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CompositionTest, ProbesMatchModelEnumeration) {
+  auto [idx1, idx2] = GetParam();
+  AllenRelation r1 = AllAllenRelations()[idx1];
+  AllenRelation r2 = AllAllenRelations()[idx2];
+
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  Interval i{"i1", "i2"}, j{"j1", "j2"}, k{"k1", "k2"};
+  for (const Interval* iv : {&i, &j, &k}) DeclareInterval(db, *iv);
+  AddAllenConstraint(db, i, j, r1);
+  AddAllenConstraint(db, j, k, r2);
+
+  Result<std::vector<AllenRelation>> fast = PossibleRelations(db, i, k);
+  ASSERT_TRUE(fast.ok());
+  std::set<AllenRelation> fast_set(fast.value().begin(), fast.value().end());
+  std::set<AllenRelation> brute = BruteRelations(db, i, k);
+  EXPECT_EQ(fast_set, brute)
+      << AllenRelationName(r1) << " ; " << AllenRelationName(r2);
+  EXPECT_FALSE(fast_set.empty());  // consistent constraints: some relation
+}
+
+std::vector<std::pair<int, int>> AllPairs() {
+  std::vector<std::pair<int, int>> pairs;
+  for (int a = 0; a < 13; ++a) {
+    for (int b = 0; b < 13; ++b) pairs.push_back({a, b});
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllenTable, CompositionTest,
+                         ::testing::ValuesIn(AllPairs()));
+
+TEST(CompositionTableTest, CanonicalEntries) {
+  auto compose = [](AllenRelation r1, AllenRelation r2) {
+    auto vocab = std::make_shared<Vocabulary>();
+    Database db(vocab);
+    Interval i{"i1", "i2"}, j{"j1", "j2"}, k{"k1", "k2"};
+    for (const Interval* iv : {&i, &j, &k}) DeclareInterval(db, *iv);
+    AddAllenConstraint(db, i, j, r1);
+    AddAllenConstraint(db, j, k, r2);
+    Result<std::vector<AllenRelation>> possible =
+        PossibleRelations(db, i, k);
+    IODB_CHECK(possible.ok());
+    std::set<AllenRelation> out(possible.value().begin(),
+                                possible.value().end());
+    return out;
+  };
+
+  // before ; before = {before}
+  EXPECT_EQ(compose(AllenRelation::kBefore, AllenRelation::kBefore),
+            (std::set<AllenRelation>{AllenRelation::kBefore}));
+  // meets ; meets = {before}
+  EXPECT_EQ(compose(AllenRelation::kMeets, AllenRelation::kMeets),
+            (std::set<AllenRelation>{AllenRelation::kBefore}));
+  // meets ; met-by: I.end = J.start = K.end, so I and K share their end
+  // point — the finishes family.
+  EXPECT_EQ(compose(AllenRelation::kMeets, AllenRelation::kMetBy),
+            (std::set<AllenRelation>{AllenRelation::kFinishes,
+                                     AllenRelation::kFinishedBy,
+                                     AllenRelation::kEquals}));
+  // during ; during = {during}
+  EXPECT_EQ(compose(AllenRelation::kDuring, AllenRelation::kDuring),
+            (std::set<AllenRelation>{AllenRelation::kDuring}));
+  // equals is the identity of composition.
+  for (AllenRelation r : AllAllenRelations()) {
+    EXPECT_EQ(compose(AllenRelation::kEquals, r),
+              (std::set<AllenRelation>{r}))
+        << AllenRelationName(r);
+    EXPECT_EQ(compose(r, AllenRelation::kEquals),
+              (std::set<AllenRelation>{r}))
+        << AllenRelationName(r);
+  }
+  // overlaps ; overlaps = {before, meets, overlaps}
+  EXPECT_EQ(compose(AllenRelation::kOverlaps, AllenRelation::kOverlaps),
+            (std::set<AllenRelation>{AllenRelation::kBefore,
+                                     AllenRelation::kMeets,
+                                     AllenRelation::kOverlaps}));
+  // before ; after = all thirteen relations (total ignorance).
+  EXPECT_EQ(compose(AllenRelation::kBefore, AllenRelation::kAfter).size(),
+            13u);
+}
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "logic/cnf.h"
+#include "logic/dnf.h"
+#include "logic/prop_formula.h"
+#include "logic/qbf.h"
+#include "logic/sat_solver.h"
+#include "util/random.h"
+
+namespace iodb {
+namespace {
+
+// Exhaustive satisfiability check for small formulas.
+bool BruteForceSat(const CnfFormula& f) {
+  std::vector<bool> assignment(f.num_vars, false);
+  for (uint64_t bits = 0; bits < (uint64_t{1} << f.num_vars); ++bits) {
+    for (int v = 0; v < f.num_vars; ++v) assignment[v] = (bits >> v) & 1;
+    if (f.Evaluate(assignment)) return true;
+  }
+  return f.clauses.empty();
+}
+
+TEST(CnfTest, EvaluateAndMonotone) {
+  CnfFormula f;
+  f.num_vars = 2;
+  f.clauses = {{{0, true}, {1, true}}, {{0, false}}};
+  EXPECT_TRUE(f.Evaluate({false, true}));
+  EXPECT_FALSE(f.Evaluate({true, true}));
+  // {x0 | x1} is all-positive and {~x0} is all-negative: monotone.
+  EXPECT_TRUE(f.IsMonotone());
+}
+
+TEST(CnfTest, MixedClauseNotMonotone) {
+  CnfFormula f{2, {{{0, true}, {1, false}}}};
+  EXPECT_FALSE(f.IsMonotone());
+}
+
+TEST(CnfTest, RandomGeneratorsShape) {
+  Rng rng(1);
+  CnfFormula f = RandomKSat(5, 10, 3, rng);
+  EXPECT_EQ(f.num_vars, 5);
+  EXPECT_EQ(f.clauses.size(), 10u);
+  for (const Clause& c : f.clauses) EXPECT_EQ(c.size(), 3u);
+  CnfFormula m = RandomMonotone3Sat(5, 10, rng);
+  EXPECT_TRUE(m.IsMonotone());
+}
+
+TEST(SatSolverTest, SimpleSat) {
+  CnfFormula f{2, {{{0, true}, {1, true}}, {{0, false}, {1, true}}}};
+  SatSolver solver;
+  auto model = solver.Solve(f);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(f.Evaluate(*model));
+}
+
+TEST(SatSolverTest, SimpleUnsat) {
+  CnfFormula f{1, {{{0, true}}, {{0, false}}}};
+  SatSolver solver;
+  EXPECT_FALSE(solver.Solve(f).has_value());
+}
+
+TEST(SatSolverTest, EmptyClauseUnsat) {
+  CnfFormula f{1, {{}}};
+  SatSolver solver;
+  EXPECT_FALSE(solver.Solve(f).has_value());
+}
+
+TEST(SatSolverTest, EmptyFormulaSat) {
+  CnfFormula f{0, {}};
+  SatSolver solver;
+  EXPECT_TRUE(solver.Solve(f).has_value());
+}
+
+class SatSolverRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatSolverRandomTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  int num_vars = rng.UniformInt(2, 8);
+  int num_clauses = rng.UniformInt(1, 20);
+  CnfFormula f = RandomKSat(num_vars, num_clauses,
+                            std::min(3, num_vars), rng);
+  SatSolver solver;
+  auto model = solver.Solve(f);
+  EXPECT_EQ(model.has_value(), BruteForceSat(f));
+  if (model.has_value()) EXPECT_TRUE(f.Evaluate(*model));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatSolverRandomTest,
+                         ::testing::Range(0, 40));
+
+TEST(PropFormulaTest, EvaluateAndSize) {
+  auto f = PropFormula::Or(PropFormula::And(PropFormula::Var(0),
+                                            PropFormula::Var(1)),
+                           PropFormula::Not(PropFormula::Var(2)));
+  EXPECT_TRUE(f->Evaluate({true, true, true}));
+  EXPECT_TRUE(f->Evaluate({false, false, false}));
+  EXPECT_FALSE(f->Evaluate({true, false, true}));
+  EXPECT_EQ(f->Size(), 6);
+  EXPECT_EQ(f->MaxVar(), 2);
+  EXPECT_EQ(f->ToString(), "((x0 & x1) | ~x2)");
+}
+
+TEST(PropFormulaTest, CnfRoundTrip) {
+  Rng rng(3);
+  CnfFormula cnf = RandomKSat(4, 6, 3, rng);
+  auto formula = CnfToFormula(cnf);
+  for (uint64_t bits = 0; bits < 16; ++bits) {
+    std::vector<bool> assignment(4);
+    for (int v = 0; v < 4; ++v) assignment[v] = (bits >> v) & 1;
+    EXPECT_EQ(formula->Evaluate(assignment), cnf.Evaluate(assignment));
+  }
+}
+
+TEST(QbfTest, TautologyAndContradiction) {
+  // ∀p ∃q (p ↔ q) as (p&q)|(~p&~q): true.
+  auto matrix = PropFormula::Or(
+      PropFormula::And(PropFormula::Var(0), PropFormula::Var(1)),
+      PropFormula::And(PropFormula::Not(PropFormula::Var(0)),
+                       PropFormula::Not(PropFormula::Var(1))));
+  EXPECT_TRUE(EvaluatePi2({1, 1, matrix}));
+  // ∀p ∃q (p & q): false (p = false kills it).
+  auto bad = PropFormula::And(PropFormula::Var(0), PropFormula::Var(1));
+  EXPECT_FALSE(EvaluatePi2({1, 1, bad}));
+  // ∃-only block: satisfiability.
+  EXPECT_TRUE(EvaluatePi2({0, 2, bad}));
+}
+
+TEST(QbfTest, NoExistentials) {
+  // ∀p (p | ~p): true; ∀p p: false.
+  auto taut = PropFormula::Or(PropFormula::Var(0),
+                              PropFormula::Not(PropFormula::Var(0)));
+  EXPECT_TRUE(EvaluatePi2({1, 0, taut}));
+  EXPECT_FALSE(EvaluatePi2({1, 0, PropFormula::Var(0)}));
+}
+
+TEST(DnfTest, EvaluateAndTautology) {
+  DnfFormula f;
+  f.num_vars = 2;
+  f.disjuncts = {{{0, true}}, {{0, false}, {1, true}}, {{0, false}, {1, false}}};
+  EXPECT_TRUE(IsTautology(f));
+  DnfFormula g;
+  g.num_vars = 2;
+  g.disjuncts = {{{0, true}}, {{1, true}}};
+  EXPECT_FALSE(IsTautology(g));
+  EXPECT_TRUE(g.Evaluate({true, false}));
+  EXPECT_FALSE(g.Evaluate({false, false}));
+}
+
+TEST(DnfTest, CompleteTautology) {
+  for (int k = 1; k <= 4; ++k) {
+    DnfFormula f = CompleteTautology(k);
+    EXPECT_EQ(f.disjuncts.size(), size_t{1} << k);
+    EXPECT_TRUE(IsTautology(f));
+  }
+}
+
+class DnfRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DnfRandomTest, TautologyAgreesWithBruteForce) {
+  Rng rng(GetParam() + 100);
+  int num_vars = rng.UniformInt(1, 5);
+  DnfFormula f = RandomDnf(num_vars, rng.UniformInt(1, 12),
+                           std::min(2, num_vars), rng);
+  bool brute = true;
+  for (uint64_t bits = 0; bits < (uint64_t{1} << num_vars); ++bits) {
+    std::vector<bool> assignment(num_vars);
+    for (int v = 0; v < num_vars; ++v) assignment[v] = (bits >> v) & 1;
+    if (!f.Evaluate(assignment)) {
+      brute = false;
+      break;
+    }
+  }
+  EXPECT_EQ(IsTautology(f), brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfRandomTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,127 @@
+// Conjunctive query minimization via Proposition 2.10 containment.
+
+#include <gtest/gtest.h>
+
+#include "containment/minimize.h"
+
+namespace iodb {
+namespace {
+
+VocabularyPtr MakeVocab() {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("E", {Sort::kObject, Sort::kObject});
+  vocab->MustAddPredicate("A", {Sort::kOrder});
+  return vocab;
+}
+
+TEST(MinimizeTest, ClassicRedundantAtom) {
+  // {(): E(x,y) & E(y,z) & E(u,v)}: the detached E(u,v) folds into the
+  // path; minimization leaves two atoms.
+  auto vocab = MakeVocab();
+  QueryConjunct body;
+  body.Exists("x").Exists("y").Exists("z").Exists("u").Exists("v");
+  body.Atom("E", {"x", "y"}).Atom("E", {"y", "z"}).Atom("E", {"u", "v"});
+  RelationalQuery query{body, {}};
+  MinimizeStats stats;
+  Result<RelationalQuery> minimized =
+      MinimizeQuery(query, vocab, OrderSemantics::kFinite, &stats);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized.value().body.proper_atoms.size(), 2u);
+  EXPECT_EQ(stats.proper_atoms_removed, 1);
+  EXPECT_EQ(stats.variables_removed, 2);  // u, v gone
+  // Result is equivalent to the original.
+  Result<bool> equivalent = Equivalent(query, minimized.value(), vocab,
+                                       OrderSemantics::kFinite);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(equivalent.value());
+}
+
+TEST(MinimizeTest, CoreIsAlreadyMinimal) {
+  // A self-loop query E(x,x) has nothing to remove.
+  auto vocab = MakeVocab();
+  QueryConjunct body;
+  body.Exists("x");
+  body.Atom("E", {"x", "x"});
+  RelationalQuery query{body, {}};
+  MinimizeStats stats;
+  Result<RelationalQuery> minimized =
+      MinimizeQuery(query, vocab, OrderSemantics::kFinite, &stats);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized.value().body.proper_atoms.size(), 1u);
+  EXPECT_EQ(stats.proper_atoms_removed, 0);
+}
+
+TEST(MinimizeTest, WeakOrderAtomCollapses) {
+  // {(): A(t1) & A(t2) & t1 <= t2} is equivalent to {(): A(t)}: the "<="
+  // can be witnessed with t1 = t2.
+  auto vocab = MakeVocab();
+  QueryConjunct body;
+  body.Exists("t1").Exists("t2");
+  body.Atom("A", {"t1"}).Atom("A", {"t2"});
+  body.Order("t1", OrderRel::kLe, "t2");
+  RelationalQuery query{body, {}};
+  Result<RelationalQuery> minimized =
+      MinimizeQuery(query, vocab, OrderSemantics::kFinite);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized.value().body.proper_atoms.size(), 1u);
+  EXPECT_TRUE(minimized.value().body.order_atoms.empty());
+}
+
+TEST(MinimizeTest, StrictOrderAtomIsLoadBearing) {
+  // {(): A(t1) & A(t2) & t1 < t2} demands two A-points: nothing drops
+  // except nothing — removing "<" or either atom changes the query.
+  auto vocab = MakeVocab();
+  QueryConjunct body;
+  body.Exists("t1").Exists("t2");
+  body.Atom("A", {"t1"}).Atom("A", {"t2"});
+  body.Order("t1", OrderRel::kLt, "t2");
+  RelationalQuery query{body, {}};
+  MinimizeStats stats;
+  Result<RelationalQuery> minimized =
+      MinimizeQuery(query, vocab, OrderSemantics::kFinite, &stats);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized.value().body.proper_atoms.size(), 2u);
+  EXPECT_EQ(minimized.value().body.order_atoms.size(), 1u);
+  EXPECT_GT(stats.containment_checks, 0);
+}
+
+TEST(MinimizeTest, TransitiveOrderAtomDrops) {
+  // t1 < t2 < t3 plus derived t1 < t3: the derived atom is redundant.
+  auto vocab = MakeVocab();
+  QueryConjunct body;
+  body.Exists("t1").Exists("t2").Exists("t3");
+  body.Atom("A", {"t1"}).Atom("A", {"t2"}).Atom("A", {"t3"});
+  body.Order("t1", OrderRel::kLt, "t2");
+  body.Order("t2", OrderRel::kLt, "t3");
+  body.Order("t1", OrderRel::kLt, "t3");
+  RelationalQuery query{body, {}};
+  MinimizeStats stats;
+  Result<RelationalQuery> minimized =
+      MinimizeQuery(query, vocab, OrderSemantics::kFinite, &stats);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized.value().body.order_atoms.size(), 2u);
+  EXPECT_EQ(stats.order_atoms_removed, 1);
+}
+
+TEST(MinimizeTest, HeadVariablesBlockFolding) {
+  // {x: E(x,y) & E(z,y)}: z cannot fold into the head variable x... it
+  // can fold (z -> x) because z is existential: the atoms collapse.
+  auto vocab = MakeVocab();
+  QueryConjunct body;
+  body.Exists("x").Exists("y").Exists("z");
+  body.Atom("E", {"x", "y"}).Atom("E", {"z", "y"});
+  RelationalQuery query{body, {"x"}};
+  Result<RelationalQuery> minimized =
+      MinimizeQuery(query, vocab, OrderSemantics::kFinite);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized.value().body.proper_atoms.size(), 1u);
+  // The kept atom must still mention the head variable x.
+  bool mentions_x = false;
+  for (const QueryTerm& term : minimized.value().body.proper_atoms[0].args) {
+    if (term.name == "x") mentions_x = true;
+  }
+  EXPECT_TRUE(mentions_x);
+}
+
+}  // namespace
+}  // namespace iodb

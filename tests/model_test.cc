@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/minimal_models.h"
+#include "core/model.h"
+#include "core/model_check.h"
+#include "core/parser.h"
+
+namespace iodb {
+namespace {
+
+Result<NormDb> ParseNorm(const std::string& text, VocabularyPtr vocab) {
+  Result<Database> db = ParseDatabase(text, std::move(vocab));
+  if (!db.ok()) return db.status();
+  return Normalize(db.value());
+}
+
+TEST(MinimalModelsTest, Example24HasFiveSorts) {
+  // u < v < w, u <= t <= w: t can sit at u, between u and v, at v,
+  // between v and w, or at w — five minimal models.
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<NormDb> db = ParseNorm("u < v < w\nu <= t\nt <= w", vocab);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(CountMinimalModels(db.value()), 5);
+}
+
+TEST(MinimalModelsTest, Example24ContainsThePaperSort) {
+  // The Example 2.4 sort: f(u)=f(t)=x1, f(v)=x2, f(w)=x3.
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<NormDb> db = ParseNorm("u < v < w\nu <= t\nt <= w", vocab);
+  ASSERT_TRUE(db.ok());
+  bool found = false;
+  ModelVisitor visitor;
+  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    if (groups.size() == 3 && groups[0].size() == 2) found = true;
+    return true;
+  };
+  ForEachMinimalModel(db.value(), visitor);
+  EXPECT_TRUE(found);
+}
+
+TEST(MinimalModelsTest, Example27FactsLand) {
+  // Example 2.7: B(a,t), B(b,w) with the Example 2.4 order atoms. In the
+  // model merging u and t, the facts hold at points x1 and x3.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("B", {Sort::kObject, Sort::kOrder});
+  Result<Database> db = ParseDatabase(R"(
+    u < v < w
+    u <= t
+    t <= w
+    B(a, t)
+    B(b, w)
+  )",
+                                      vocab);
+  ASSERT_TRUE(db.ok());
+  Result<NormDb> norm = Normalize(db.value());
+  ASSERT_TRUE(norm.ok());
+  std::optional<FiniteModel> merged;
+  ModelVisitor visitor;
+  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    if (groups.size() == 3 && groups[0].size() == 2) {
+      merged = BuildMinimalModel(norm.value(), groups);
+      return false;
+    }
+    return true;
+  };
+  ForEachMinimalModel(norm.value(), visitor);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->num_points, 3);
+  ASSERT_EQ(merged->other_facts.size(), 2u);
+  // B(a, ·) holds at model point 0 (u=t), B(b, ·) at point 2 (w).
+  std::set<int> fact_points;
+  for (const ProperAtom& fact : merged->other_facts) {
+    fact_points.insert(fact.args[1].id);
+  }
+  EXPECT_EQ(fact_points, (std::set<int>{0, 2}));
+}
+
+TEST(MinimalModelsTest, SingleChainHasOneModel) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<NormDb> db = ParseNorm("a < b < c", vocab);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(CountMinimalModels(db.value()), 1);
+}
+
+TEST(MinimalModelsTest, TwoIncomparablePointsHaveThreeModels) {
+  // u, v unordered: u<v, v<u, u=v.
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Result<NormDb> db = ParseNorm("P(u)\nP(v)", vocab);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(CountMinimalModels(db.value()), 3);
+}
+
+TEST(MinimalModelsTest, InequalityForbidsMerge) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<NormDb> db = ParseNorm("u != v", vocab);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(CountMinimalModels(db.value()), 2);  // u<v and v<u only
+}
+
+TEST(MinimalModelsTest, EmptyDatabaseHasOneEmptyModel) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(CountMinimalModels(norm.value()), 1);
+}
+
+TEST(MinimalModelsTest, LeEdgeAllowsMerge) {
+  // u <= v: two models (u < v and u = v).
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<NormDb> db = ParseNorm("u <= v", vocab);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(CountMinimalModels(db.value()), 2);
+}
+
+TEST(MinimalModelsTest, DelannoyCountForTwoChains) {
+  // Two chains of length 2 with strict edges: orderings of {a1<a2} and
+  // {b1<b2} with merges allowed = Delannoy D(2,2) = 13.
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<NormDb> db = ParseNorm("a1 < a2\nb1 < b2", vocab);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(CountMinimalModels(db.value()), 13);
+}
+
+TEST(MinimalModelsTest, PruningStopsBranch) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<NormDb> db = ParseNorm("a1 < a2\nb1 < b2", vocab);
+  ASSERT_TRUE(db.ok());
+  long long models = 0;
+  ModelVisitor visitor;
+  // Prune every branch at depth 0: no complete models.
+  visitor.on_group = [](int depth, const std::vector<int>&) {
+    return depth != 0;
+  };
+  visitor.on_model = [&](const std::vector<std::vector<int>>&) {
+    ++models;
+    return true;
+  };
+  EXPECT_TRUE(ForEachMinimalModel(db.value(), visitor));
+  EXPECT_EQ(models, 0);
+}
+
+TEST(ModelCheckTest, MonadicLabels) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  vocab->MustAddPredicate("Q", {Sort::kOrder});
+  Result<Database> db = ParseDatabase("P(u)\nQ(v)\nu < v", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<NormDb> norm = Normalize(db.value());
+  ASSERT_TRUE(norm.ok());
+  FiniteModel model = BuildMinimalModel(norm.value(), {{0}, {1}});
+
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("t1").Exists("t2");
+  c.Atom("P", {"t1"}).Atom("Q", {"t2"});
+  c.Order("t1", OrderRel::kLt, "t2");
+  Result<NormQuery> nq = NormalizeQuery(query);
+  ASSERT_TRUE(nq.ok());
+  EXPECT_TRUE(Satisfies(model, nq.value()));
+
+  // Reversed order fails.
+  Query bad(vocab);
+  QueryConjunct& d = bad.AddDisjunct();
+  d.Exists("t1").Exists("t2");
+  d.Atom("Q", {"t1"}).Atom("P", {"t2"});
+  d.Order("t1", OrderRel::kLt, "t2");
+  Result<NormQuery> nbad = NormalizeQuery(bad);
+  ASSERT_TRUE(nbad.ok());
+  EXPECT_FALSE(Satisfies(model, nbad.value()));
+}
+
+TEST(ModelCheckTest, NaryFactsAndObjectVars) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("B", {Sort::kObject, Sort::kOrder});
+  Result<Database> db = ParseDatabase("B(a, t1)\nB(b, t2)\nt1 < t2", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<NormDb> norm = Normalize(db.value());
+  ASSERT_TRUE(norm.ok());
+  FiniteModel model = BuildMinimalModel(norm.value(), {{0}, {1}});
+
+  // ∃x s1 s2: B(x, s1) ∧ B(x, s2) ∧ s1 < s2 — false (different objects).
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("x").Exists("s1").Exists("s2");
+  c.Atom("B", {"x", "s1"}).Atom("B", {"x", "s2"});
+  c.Order("s1", OrderRel::kLt, "s2");
+  Result<NormQuery> nq = NormalizeQuery(query);
+  ASSERT_TRUE(nq.ok());
+  EXPECT_FALSE(Satisfies(model, nq.value()));
+
+  // ∃x y s1 s2: B(x,s1) ∧ B(y,s2) ∧ s1 < s2 — true.
+  Query query2(vocab);
+  QueryConjunct& c2 = query2.AddDisjunct();
+  c2.Exists("x").Exists("y").Exists("s1").Exists("s2");
+  c2.Atom("B", {"x", "s1"}).Atom("B", {"y", "s2"});
+  c2.Order("s1", OrderRel::kLt, "s2");
+  Result<NormQuery> nq2 = NormalizeQuery(query2);
+  ASSERT_TRUE(nq2.ok());
+  EXPECT_TRUE(Satisfies(model, nq2.value()));
+}
+
+TEST(ModelCheckTest, InequalityInQuery) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Result<Database> db = ParseDatabase("P(u)\nP(v)\nu < v", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<NormDb> norm = Normalize(db.value());
+  ASSERT_TRUE(norm.ok());
+
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("t1").Exists("t2");
+  c.Atom("P", {"t1"}).Atom("P", {"t2"});
+  c.NotEqual("t1", "t2");
+  Result<NormQuery> nq = NormalizeQuery(query);
+  ASSERT_TRUE(nq.ok());
+  // Two distinct points: satisfied; single merged point: not.
+  EXPECT_TRUE(Satisfies(BuildMinimalModel(norm.value(), {{0}, {1}}),
+                        nq.value()));
+  auto vocab2 = std::make_shared<Vocabulary>();
+  vocab2->MustAddPredicate("P", {Sort::kOrder});
+  Result<Database> db2 = ParseDatabase("P(u)\nP(v)", vocab2);
+  ASSERT_TRUE(db2.ok());
+  Result<NormDb> norm2 = Normalize(db2.value());
+  ASSERT_TRUE(norm2.ok());
+  EXPECT_FALSE(Satisfies(BuildMinimalModel(norm2.value(), {{0, 1}}),
+                         nq.value()));
+}
+
+TEST(ModelCheckTest, FixedVariables) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Result<Database> db = ParseDatabase("P(u)\nQ2(v)\nu < v", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<NormDb> norm = Normalize(db.value());
+  ASSERT_TRUE(norm.ok());
+  FiniteModel model = BuildMinimalModel(norm.value(), {{0}, {1}});
+
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("t");
+  c.Atom("P", {"t"});
+  Result<NormQuery> nq = NormalizeQuery(query);
+  ASSERT_TRUE(nq.ok());
+  const NormConjunct& conjunct = nq.value().disjuncts[0];
+  // P holds at point 0 but not point 1.
+  EXPECT_TRUE(SatisfiesWithFixed(model, conjunct,
+                                 {{Term{Sort::kOrder, 0}, 0}}));
+  EXPECT_FALSE(SatisfiesWithFixed(model, conjunct,
+                                  {{Term{Sort::kOrder, 0}, 1}}));
+}
+
+}  // namespace
+}  // namespace iodb

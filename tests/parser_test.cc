@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/printer.h"
+
+namespace iodb {
+namespace {
+
+TEST(ParseDatabaseTest, Example11Database) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase(R"(
+    # the guard's log
+    pred IC(order, order, object)
+    IC(z1, z2, A)
+    IC(z3, z4, B)
+    z1 < z2 < z3 < z4
+    # agent A's testimony
+    IC(u1, u3, A); IC(u2, u4, B)
+    u1 < u2 < u3 < u4
+  )",
+                                      vocab);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db.value().num_order_constants(), 8);
+  EXPECT_EQ(db.value().num_object_constants(), 2);
+  EXPECT_EQ(db.value().proper_atoms().size(), 4u);
+  EXPECT_EQ(db.value().order_atoms().size(), 6u);
+}
+
+TEST(ParseDatabaseTest, SortInferenceFromChains) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase(R"(
+    P(u)
+    u < v
+  )",
+                                      vocab);
+  ASSERT_TRUE(db.ok());
+  // u occurs in a chain, so it is order-sort and P is monadic-order.
+  EXPECT_TRUE(
+      vocab->predicate(*vocab->FindPredicate("P")).IsMonadicOrder());
+}
+
+TEST(ParseDatabaseTest, DefaultObjectSort) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase("Likes(alice, bob)", vocab);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().num_object_constants(), 2);
+  EXPECT_EQ(db.value().num_order_constants(), 0);
+}
+
+TEST(ParseDatabaseTest, MixedRelationsAndInequality) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase("u < v <= w != t", vocab);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().order_atoms().size(), 2u);
+  EXPECT_EQ(db.value().inequalities().size(), 1u);
+}
+
+TEST(ParseDatabaseTest, Errors) {
+  auto vocab = std::make_shared<Vocabulary>();
+  EXPECT_FALSE(ParseDatabase("P(u", vocab).ok());
+  EXPECT_FALSE(ParseDatabase("u <", vocab).ok());
+  EXPECT_FALSE(ParseDatabase("pred P(intsort)", vocab).ok());
+  EXPECT_FALSE(ParseDatabase("!", vocab).ok());
+  EXPECT_FALSE(ParseDatabase("$bad", vocab).ok());
+}
+
+TEST(ParseQueryTest, DisjunctiveQuery) {
+  auto vocab = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(ParseDatabase("P(u)\nQ(v)\nu < v", vocab).ok());
+  Result<Query> query = ParseQuery(
+      "exists t1 t2: P(t1) & t1 < t2 & Q(t2) | exists t: Q(t)", vocab);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query.value().disjuncts().size(), 2u);
+  EXPECT_FALSE(query.value().HasConstants());
+  Result<NormQuery> norm = NormalizeQuery(query.value());
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm.value().disjuncts[0].num_order_vars(), 2);
+  EXPECT_TRUE(norm.value().disjuncts[0].IsSequential());
+}
+
+TEST(ParseQueryTest, ConstantsDetected) {
+  auto vocab = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(ParseDatabase("P(u)\nu < v", vocab).ok());
+  Result<Query> query = ParseQuery("exists t: P(t) & u < t", vocab);
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query.value().HasConstants());
+}
+
+TEST(ParseQueryTest, ChainsAndInequalities) {
+  auto vocab = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(ParseDatabase("P(u)\nu<v", vocab).ok());
+  Result<Query> query =
+      ParseQuery("exists a b c: P(a) & a < b <= c & a != c", vocab);
+  ASSERT_TRUE(query.ok());
+  const QueryConjunct& c = query.value().disjuncts()[0];
+  EXPECT_EQ(c.order_atoms.size(), 2u);
+  EXPECT_EQ(c.inequalities.size(), 1u);
+}
+
+TEST(ParseQueryTest, Errors) {
+  auto vocab = std::make_shared<Vocabulary>();
+  EXPECT_FALSE(ParseQuery("exists t P(t)", vocab).ok());   // missing ':'
+  EXPECT_FALSE(ParseQuery("exists t: P(t) &", vocab).ok());
+  EXPECT_FALSE(ParseQuery("exists t: t", vocab).ok());
+  EXPECT_FALSE(ParseQuery("exists t: P(t) extra", vocab).ok());
+}
+
+TEST(ParseRoundTripTest, DatabaseSurvivesPrintParse) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase(R"(
+    pred B(object, order)
+    B(a, t1)
+    B(b, t2)
+    t1 < t2 <= t3
+  )",
+                                      vocab);
+  ASSERT_TRUE(db.ok());
+  std::string text = ToString(db.value());
+  auto vocab2 = std::make_shared<Vocabulary>();
+  vocab2->MustAddPredicate("B", {Sort::kObject, Sort::kOrder});
+  Result<Database> reparsed = ParseDatabase(text, vocab2);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  EXPECT_EQ(reparsed.value().proper_atoms().size(),
+            db.value().proper_atoms().size());
+  EXPECT_EQ(reparsed.value().order_atoms().size(),
+            db.value().order_atoms().size());
+}
+
+}  // namespace
+}  // namespace iodb

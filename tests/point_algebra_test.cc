@@ -1,0 +1,226 @@
+// The point algebra (Section 1/7 reference problem) and Allen's interval
+// relations (Section 1 motivation), cross-validated against the semantic
+// ground truth (minimal-model enumeration).
+
+#include <gtest/gtest.h>
+
+#include "core/intervals.h"
+#include "core/minimal_models.h"
+#include "core/parser.h"
+#include "core/point_algebra.h"
+#include "util/random.h"
+
+namespace iodb {
+namespace {
+
+Database Parse(const std::string& text) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase(text, vocab);
+  IODB_CHECK(db.ok());
+  return std::move(db.value());
+}
+
+// Semantic reference: the relations realized across all minimal models.
+PointRelation BruteRelation(const Database& db, const std::string& u,
+                            const std::string& v) {
+  Result<NormDb> norm = Normalize(db);
+  PointRelation out;
+  if (!norm.ok()) return out;  // inconsistent: nothing possible
+  int pu = norm.value().point_of_constant[*db.FindConstant(u, Sort::kOrder)];
+  int pv = norm.value().point_of_constant[*db.FindConstant(v, Sort::kOrder)];
+  ModelVisitor visitor;
+  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    int position_u = -1, position_v = -1;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      for (int p : groups[i]) {
+        if (p == pu) position_u = static_cast<int>(i);
+        if (p == pv) position_v = static_cast<int>(i);
+      }
+    }
+    if (position_u < position_v) out.can_lt = true;
+    if (position_u == position_v) out.can_eq = true;
+    if (position_u > position_v) out.can_gt = true;
+    return true;
+  };
+  ForEachMinimalModel(norm.value(), visitor);
+  return out;
+}
+
+TEST(PointAlgebraTest, BasicRelations) {
+  Database db = Parse("a < b\nb <= c\nc != d\na <= d");
+  auto rel = [&](const char* u, const char* v) {
+    Result<PointRelation> r = RelationBetween(db, u, v);
+    IODB_CHECK(r.ok());
+    return std::string(r.value().Name());
+  };
+  EXPECT_EQ(rel("a", "b"), "<");
+  EXPECT_EQ(rel("b", "a"), ">");
+  EXPECT_EQ(rel("b", "c"), "<=");
+  EXPECT_EQ(rel("a", "c"), "<");
+  EXPECT_EQ(rel("c", "d"), "!=");
+  EXPECT_EQ(rel("a", "d"), "<=");
+  EXPECT_EQ(rel("b", "d"), "?");
+}
+
+TEST(PointAlgebraTest, DiamondWithInequalityNeedsProbes) {
+  // u <= v <= w, u <= v' <= w, v != v': u < w is entailed even though no
+  // path derives it (plain transitive closure misses this).
+  Database db = Parse("u <= v\nv <= w\nu <= v'\nv' <= w\nv != v'");
+  Result<PointRelation> r = RelationBetween(db, "u", "w");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().DefinitelyLt()) << r.value().Name();
+}
+
+TEST(PointAlgebraTest, SamePointEquality) {
+  Database db = Parse("u <= v\nv <= u");
+  Result<PointRelation> r = RelationBetween(db, "u", "v");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().DefinitelyEq());
+  EXPECT_EQ(std::string(r.value().Name()), "=");
+}
+
+TEST(PointAlgebraTest, InconsistentDatabase) {
+  Database db = Parse("u < v\nv < u\nu < w");
+  EXPECT_FALSE(OrderConstraintsConsistent(db));
+  Result<PointRelation> r = RelationBetween(db, "u", "w");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(r.value().Name()), "inconsistent");
+}
+
+TEST(PointAlgebraTest, UnknownConstantRejected) {
+  Database db = Parse("u < v");
+  EXPECT_FALSE(RelationBetween(db, "u", "nope").ok());
+}
+
+class PointAlgebraRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PointAlgebraRandomTest, AgreesWithModelEnumeration) {
+  Rng rng(GetParam() + 2100);
+  int n = rng.UniformInt(2, 5);
+  Database db = Parse("");  // start empty, add constraints by id
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) {
+    names.push_back("p" + std::to_string(i));
+    db.GetOrAddConstant(names.back(), Sort::kOrder);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double roll = static_cast<double>(rng.Uniform(100)) / 100.0;
+      if (roll < 0.25) {
+        db.AddOrder(names[i], OrderRel::kLt, names[j]);
+      } else if (roll < 0.45) {
+        db.AddOrder(names[i], OrderRel::kLe, names[j]);
+      } else if (roll < 0.55) {
+        db.AddNotEqual(names[i], names[j]);
+      }
+    }
+  }
+  if (!OrderConstraintsConsistent(db)) return;  // acyclic by construction
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      Result<PointRelation> fast = RelationBetween(db, names[i], names[j]);
+      ASSERT_TRUE(fast.ok());
+      PointRelation brute = BruteRelation(db, names[i], names[j]);
+      EXPECT_EQ(fast.value(), brute)
+          << "seed " << GetParam() << " pair " << names[i] << "," << names[j]
+          << " fast=" << fast.value().Name() << " brute=" << brute.Name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointAlgebraRandomTest,
+                         ::testing::Range(0, 30));
+
+TEST(IntervalsTest, NamesAndInverses) {
+  for (AllenRelation r : AllAllenRelations()) {
+    EXPECT_EQ(Inverse(Inverse(r)), r);
+    EXPECT_STRNE(AllenRelationName(r), "unknown");
+  }
+  EXPECT_EQ(Inverse(AllenRelation::kEquals), AllenRelation::kEquals);
+  EXPECT_EQ(AllAllenRelations().size(), 13u);
+}
+
+TEST(IntervalsTest, MeetsComposesToBefore) {
+  // I meets J, J meets K => I before K.
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  Interval i{"i1", "i2"}, j{"j1", "j2"}, k{"k1", "k2"};
+  for (const Interval* iv : {&i, &j, &k}) DeclareInterval(db, *iv);
+  AddAllenConstraint(db, i, j, AllenRelation::kMeets);
+  AddAllenConstraint(db, j, k, AllenRelation::kMeets);
+  Result<bool> nec = NecessarilyHolds(db, i, k, AllenRelation::kBefore);
+  ASSERT_TRUE(nec.ok());
+  EXPECT_TRUE(nec.value());
+  Result<bool> pos = PossiblyHolds(db, i, k, AllenRelation::kOverlaps);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_FALSE(pos.value());
+}
+
+TEST(IntervalsTest, UnconstrainedIntervalsAdmitAllRelations) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  Interval i{"i1", "i2"}, j{"j1", "j2"};
+  DeclareInterval(db, i);
+  DeclareInterval(db, j);
+  Result<std::vector<AllenRelation>> possible = PossibleRelations(db, i, j);
+  ASSERT_TRUE(possible.ok());
+  EXPECT_EQ(possible.value().size(), 13u);
+}
+
+TEST(IntervalsTest, OverlapConstraintNarrowsRelations) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  Interval i{"i1", "i2"}, j{"j1", "j2"};
+  DeclareInterval(db, i);
+  DeclareInterval(db, j);
+  AddAllenConstraint(db, i, j, AllenRelation::kOverlaps);
+  Result<std::vector<AllenRelation>> possible = PossibleRelations(db, i, j);
+  ASSERT_TRUE(possible.ok());
+  ASSERT_EQ(possible.value().size(), 1u);
+  EXPECT_EQ(possible.value()[0], AllenRelation::kOverlaps);
+  Result<bool> nec = NecessarilyHolds(db, i, j, AllenRelation::kOverlaps);
+  ASSERT_TRUE(nec.ok());
+  EXPECT_TRUE(nec.value());
+  // The inverse holds from J's point of view.
+  Result<bool> inv = NecessarilyHolds(db, j, i, AllenRelation::kOverlappedBy);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(inv.value());
+}
+
+TEST(IntervalsTest, SeriationScenario) {
+  // Archeological seriation (Section 1 / Golumbic): artifacts co-present
+  // in a grave have overlapping use intervals. Artifacts A and B share a
+  // grave, B and C share one; A use ended before C started. Then B's
+  // interval must genuinely straddle: B cannot be entirely before A...
+  // and B-before-C and B-after-A are both impossible.
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  Interval a{"a1", "a2"}, b{"b1", "b2"}, c{"c1", "c2"};
+  for (const Interval* iv : {&a, &b, &c}) DeclareInterval(db, *iv);
+  // "Intervals overlap in some direction": encode the grave evidence as
+  // shared points (the grave deposit time lies in both intervals).
+  db.AddOrder("a1", OrderRel::kLt, "g_ab");
+  db.AddOrder("g_ab", OrderRel::kLt, "a2");
+  db.AddOrder("b1", OrderRel::kLt, "g_ab");
+  db.AddOrder("g_ab", OrderRel::kLt, "b2");
+  db.AddOrder("b1", OrderRel::kLt, "g_bc");
+  db.AddOrder("g_bc", OrderRel::kLt, "b2");
+  db.AddOrder("c1", OrderRel::kLt, "g_bc");
+  db.AddOrder("g_bc", OrderRel::kLt, "c2");
+  AddAllenConstraint(db, a, c, AllenRelation::kBefore);
+
+  Result<bool> b_before_c = PossiblyHolds(db, b, c, AllenRelation::kBefore);
+  ASSERT_TRUE(b_before_c.ok());
+  EXPECT_FALSE(b_before_c.value());  // B shares a moment with C
+  Result<bool> b_after_a = PossiblyHolds(db, b, a, AllenRelation::kAfter);
+  ASSERT_TRUE(b_after_a.ok());
+  EXPECT_FALSE(b_after_a.value());  // B shares a moment with A
+  // B necessarily ends after A's interval started AND after C started?
+  Result<PointRelation> span = RelationBetween(db, "a1", "b2");
+  ASSERT_TRUE(span.ok());
+  EXPECT_TRUE(span.value().DefinitelyLt());
+}
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,206 @@
+// Cross-cutting property tests: combinatorial identities, agreement
+// between independent implementations, and budget/limit behavior.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/flexiword.h"
+#include "core/inequality.h"
+#include "core/minimal_models.h"
+#include "core/model_check.h"
+#include "core/parser.h"
+#include "core/wqo.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+// Delannoy numbers: the minimal models of two disjoint strict chains of
+// lengths m and n are the D(m, n) lattice paths with diagonal steps.
+long long Delannoy(int m, int n) {
+  std::vector<std::vector<long long>> d(m + 1,
+                                        std::vector<long long>(n + 1, 1));
+  for (int i = 1; i <= m; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      d[i][j] = d[i - 1][j] + d[i][j - 1] + d[i - 1][j - 1];
+    }
+  }
+  return d[m][n];
+}
+
+class DelannoyTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DelannoyTest, TwoChainModelCountMatches) {
+  auto [m, n] = GetParam();
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  for (int i = 0; i + 1 < m; ++i) {
+    db.AddOrder("a" + std::to_string(i), OrderRel::kLt,
+                "a" + std::to_string(i + 1));
+  }
+  if (m == 1) db.GetOrAddConstant("a0", Sort::kOrder);
+  for (int i = 0; i + 1 < n; ++i) {
+    db.AddOrder("b" + std::to_string(i), OrderRel::kLt,
+                "b" + std::to_string(i + 1));
+  }
+  if (n == 1) db.GetOrAddConstant("b0", Sort::kOrder);
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(CountMinimalModels(norm.value()), Delannoy(m, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DelannoyTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 3}, std::pair{2, 2},
+                      std::pair{3, 2}, std::pair{3, 3}, std::pair{4, 4}));
+
+TEST(WordSatisfiesVsModelCheckTest, AgreeOnRandomInstances) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    // A random word model and a random sequential pattern.
+    FlexiWord model_word = RandomWord(rng.UniformInt(1, 6), 3, 0.4, rng);
+    int len = rng.UniformInt(1, 4);
+    FlexiWord pattern;
+    for (int i = 0; i < len; ++i) {
+      PredSet s;
+      for (int p = 0; p < 3; ++p) {
+        if (rng.Bernoulli(0.3)) s.Add(p);
+      }
+      pattern.symbols.push_back(s);
+      if (i > 0) {
+        pattern.rels.push_back(rng.Bernoulli(0.5) ? OrderRel::kLt
+                                                  : OrderRel::kLe);
+      }
+    }
+    // Route 1: greedy word matching.
+    bool greedy = WordSatisfies(model_word, pattern);
+    // Route 2: generic model checking.
+    FiniteModel model;
+    auto vocab = std::make_shared<Vocabulary>();
+    DeclareMonadicPredicates(*vocab, 3);
+    model.vocab = vocab;
+    model.num_points = model_word.size();
+    model.point_labels = model_word.symbols;
+    NormConjunct conjunct = ConjunctOfFlexiWord(pattern, 3);
+    EXPECT_EQ(greedy, Satisfies(model, conjunct)) << "trial " << trial;
+  }
+}
+
+TEST(RewriteInequalitiesTest, BudgetEnforced) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DeclareMonadicPredicates(*vocab, 1);
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  for (int i = 0; i < 8; ++i) {
+    c.Exists("t" + std::to_string(i));
+    c.Atom("P0", {"t" + std::to_string(i)});
+  }
+  for (int i = 0; i < 7; ++i) {
+    c.NotEqual("t" + std::to_string(i), "t" + std::to_string(i + 1));
+  }
+  Result<Query> full = RewriteInequalities(query, 1 << 10);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().disjuncts().size(), 128u);  // 2^7
+  Result<Query> capped = RewriteInequalities(query, 64);
+  EXPECT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RewriteInequalitiesTest, PreservesSemantics) {
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(seed + 9100);
+    auto vocab = std::make_shared<Vocabulary>();
+    MonadicDbParams params;
+    params.num_chains = 2;
+    params.chain_length = 3;
+    params.num_predicates = 2;
+    Database db = RandomMonadicDb(params, vocab, rng);
+    Query query =
+        RandomConjunctiveMonadicQuery(3, 2, 0.3, 0.4, 0.3, vocab, rng);
+    // Inject an inequality between the first two variables.
+    query = [&] {
+      Query q(vocab);
+      QueryConjunct c = query.disjuncts()[0];
+      if (c.variables.size() >= 2) c.NotEqual(c.variables[0], c.variables[1]);
+      q.AddDisjunct(std::move(c));
+      return q;
+    }();
+    // Native (brute force handles "!=" in conjuncts directly).
+    EntailOptions native;
+    native.engine = EngineKind::kBruteForce;
+    native.max_rewritten_disjuncts = 0;  // forbid rewriting
+    Result<EntailResult> direct = Entails(db, query, native);
+    ASSERT_TRUE(direct.ok());
+    // Rewritten (monadic engines after expansion).
+    Result<EntailResult> rewritten = Entails(db, query);
+    ASSERT_TRUE(rewritten.ok());
+    EXPECT_EQ(direct.value().entailed, rewritten.value().entailed)
+        << "seed " << seed;
+  }
+}
+
+TEST(SemanticsEnginesTest, TransformedInstancesStayEngineAgnostic) {
+  // Z/Q reductions feed the same engines; all engines agree after the
+  // transforms on random (possibly nontight) monadic instances.
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(seed + 9500);
+    auto vocab = std::make_shared<Vocabulary>();
+    MonadicDbParams params;
+    params.num_chains = 2;
+    params.chain_length = 3;
+    params.num_predicates = 2;
+    Database db = RandomMonadicDb(params, vocab, rng);
+    Query query =
+        RandomConjunctiveMonadicQuery(3, 2, 0.5, 0.3, 0.3, vocab, rng);
+    for (OrderSemantics semantics :
+         {OrderSemantics::kInteger, OrderSemantics::kRational}) {
+      std::optional<bool> reference;
+      for (EngineKind engine :
+           {EngineKind::kBruteForce, EngineKind::kAuto}) {
+        EntailOptions options;
+        options.semantics = semantics;
+        options.engine = engine;
+        Result<EntailResult> result = Entails(db, query, options);
+        ASSERT_TRUE(result.ok());
+        if (!reference.has_value()) {
+          reference = result.value().entailed;
+        } else {
+          EXPECT_EQ(result.value().entailed, *reference)
+              << "seed " << seed << " semantics "
+              << OrderSemanticsName(semantics);
+        }
+      }
+    }
+  }
+}
+
+TEST(WqoBasisPropertyTest, BasisEvaluationMatchesEngineOnWordDbs) {
+  // For word-shaped databases, D |= Φ iff the pattern of some basis word
+  // embeds; cross-check CompiledQuery against FlexiEntails-based checks.
+  Rng rng(9700);
+  auto vocab = std::make_shared<Vocabulary>();
+  DeclareMonadicPredicates(*vocab, 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    Query query =
+        RandomConjunctiveMonadicQuery(3, 3, 0.5, 0.4, 0.3, vocab, rng);
+    Result<NormQuery> nq = NormalizeQuery(query);
+    ASSERT_TRUE(nq.ok());
+    CompiledQuery compiled =
+        CompiledQuery::CompileConjunctive(nq.value().disjuncts[0]);
+    FlexiWord word = RandomWord(rng.UniformInt(1, 6), 3, 0.5, rng);
+    Database db = DbOfFlexiWord(word, vocab);
+    Result<NormDb> norm = Normalize(db);
+    ASSERT_TRUE(norm.ok());
+    bool via_paths = true;
+    for (const std::vector<FlexiWord>& paths : {compiled.basis()[0]}) {
+      for (const FlexiWord& p : paths) {
+        if (!FlexiEntails(word, p)) via_paths = false;
+      }
+    }
+    EXPECT_EQ(compiled.Entails(norm.value()), via_paths) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace iodb

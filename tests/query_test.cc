@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "core/printer.h"
+#include "core/query.h"
+
+namespace iodb {
+namespace {
+
+VocabularyPtr MonadicVocab() {
+  auto vocab = std::make_shared<Vocabulary>();
+  for (const char* name : {"P", "Q", "R", "S"}) {
+    vocab->MustAddPredicate(name, {Sort::kOrder});
+  }
+  return vocab;
+}
+
+// The Figure 5 query: ∃t1..t4 [P(t1) Q(t1) P(t2) R(t3) S(t4) ∧
+// t1<t2<t3 ∧ t2<=t4].
+Query Fig5Query(VocabularyPtr vocab) {
+  Query query(std::move(vocab));
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("t1").Exists("t2").Exists("t3").Exists("t4");
+  c.Atom("P", {"t1"}).Atom("Q", {"t1"}).Atom("P", {"t2"});
+  c.Atom("R", {"t3"}).Atom("S", {"t4"});
+  c.Order("t1", OrderRel::kLt, "t2");
+  c.Order("t2", OrderRel::kLt, "t3");
+  c.Order("t2", OrderRel::kLe, "t4");
+  return query;
+}
+
+TEST(QueryTest, BuilderAndConstants) {
+  auto vocab = MonadicVocab();
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("t");
+  c.Atom("P", {"t"});
+  EXPECT_FALSE(query.HasConstants());
+  QueryConjunct& d = query.AddDisjunct();
+  d.Atom("P", {"u0"});  // u0 not declared: a constant
+  EXPECT_TRUE(query.HasConstants());
+}
+
+TEST(NormalizeQueryTest, Fig5Structure) {
+  Result<NormQuery> norm = NormalizeQuery(Fig5Query(MonadicVocab()));
+  ASSERT_TRUE(norm.ok());
+  ASSERT_EQ(norm.value().disjuncts.size(), 1u);
+  const NormConjunct& c = norm.value().disjuncts[0];
+  EXPECT_EQ(c.num_order_vars(), 4);
+  EXPECT_EQ(c.dag.num_edges(), 3);
+  EXPECT_EQ(c.Width(), 2);
+  EXPECT_FALSE(c.IsSequential());
+  EXPECT_TRUE(c.IsMonadicOrderOnly());
+  EXPECT_TRUE(c.IsTight());
+  EXPECT_TRUE(norm.value().IsConjunctive());
+}
+
+TEST(NormalizeQueryTest, SortInference) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("B", {Sort::kObject, Sort::kOrder});
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("x").Exists("t").Exists("s");
+  c.Atom("B", {"x", "t"});
+  c.Order("t", OrderRel::kLt, "s");
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  const NormConjunct& nc = norm.value().disjuncts[0];
+  EXPECT_EQ(nc.num_object_vars(), 1);
+  EXPECT_EQ(nc.num_order_vars(), 2);
+  EXPECT_FALSE(nc.IsMonadicOrderOnly());
+  EXPECT_FALSE(nc.IsTight());  // s occurs in no proper atom
+}
+
+TEST(NormalizeQueryTest, ConflictingSortsRejected) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("Obj", {Sort::kObject});
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("x");
+  c.Atom("Obj", {"x"});
+  c.Order("x", OrderRel::kLt, "x");  // x also used as order-sort
+  EXPECT_FALSE(NormalizeQuery(query).ok());
+}
+
+TEST(NormalizeQueryTest, UnknownPredicateRejected) {
+  Query query(std::make_shared<Vocabulary>());
+  query.AddDisjunct().Exists("t").Atom("Nope", {"t"});
+  EXPECT_FALSE(NormalizeQuery(query).ok());
+}
+
+TEST(NormalizeQueryTest, ConstantsRejected) {
+  Query query(MonadicVocab());
+  query.AddDisjunct().Atom("P", {"c"});  // c undeclared: a constant
+  EXPECT_FALSE(NormalizeQuery(query).ok());
+}
+
+TEST(NormalizeQueryTest, InconsistentDisjunctDropped) {
+  auto vocab = MonadicVocab();
+  Query query(vocab);
+  QueryConjunct& bad = query.AddDisjunct();
+  bad.Exists("t").Exists("s");
+  bad.Order("t", OrderRel::kLt, "s");
+  bad.Order("s", OrderRel::kLe, "t");
+  QueryConjunct& good = query.AddDisjunct();
+  good.Exists("t").Atom("P", {"t"});
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm.value().disjuncts.size(), 1u);
+  EXPECT_FALSE(norm.value().trivially_true);
+}
+
+TEST(NormalizeQueryTest, VariableMergingUnionsLabels) {
+  auto vocab = MonadicVocab();
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("t").Exists("s");
+  c.Atom("P", {"t"}).Atom("Q", {"s"});
+  c.Order("t", OrderRel::kLe, "s");
+  c.Order("s", OrderRel::kLe, "t");
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  const NormConjunct& nc = norm.value().disjuncts[0];
+  EXPECT_EQ(nc.num_order_vars(), 1);
+  EXPECT_EQ(nc.labels[0].Count(), 2);
+  EXPECT_TRUE(nc.IsSequential());
+}
+
+TEST(NormalizeQueryTest, SelfInequalityInconsistent) {
+  auto vocab = MonadicVocab();
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("t").Exists("s");
+  c.Order("t", OrderRel::kLe, "s");
+  c.Order("s", OrderRel::kLe, "t");
+  c.NotEqual("t", "s");  // t = s forced: contradiction
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_TRUE(norm.value().disjuncts.empty());
+}
+
+TEST(NormalizeQueryTest, EmptyConjunctTriviallyTrue) {
+  Query query(MonadicVocab());
+  query.AddDisjunct();  // no atoms, no variables
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_TRUE(norm.value().trivially_true);
+}
+
+TEST(FullClosureTest, AddsDerivedAtoms) {
+  // The Section 2 example: u <= v, v <= w, derived u <= w; with v < w the
+  // derived edge is u < w.
+  auto vocab = MonadicVocab();
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("u").Exists("v").Exists("w");
+  c.Atom("P", {"u"}).Atom("P", {"v"}).Atom("P", {"w"});
+  c.Order("u", OrderRel::kLe, "v");
+  c.Order("v", OrderRel::kLt, "w");
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  NormConjunct full = FullClosure(norm.value().disjuncts[0]);
+  EXPECT_EQ(full.dag.num_edges(), 3);
+  bool found_uw = false;
+  for (const LabeledEdge& e : full.dag.edges()) {
+    if (full.order_var_names[e.from] == "u" &&
+        full.order_var_names[e.to] == "w") {
+      found_uw = true;
+      EXPECT_EQ(e.rel, OrderRel::kLt);
+    }
+  }
+  EXPECT_TRUE(found_uw);
+}
+
+TEST(DropNonProperVarsTest, Lemma25Example) {
+  // Section 2's example: ∃u v w [P(u,w)-like monadic variant]:
+  // P(u), P(w), u <= v, v <= w, u <= w (full); dropping v leaves
+  // ∃u w [P(u) ∧ P(w) ∧ u <= w].
+  auto vocab = MonadicVocab();
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("u").Exists("v").Exists("w");
+  c.Atom("P", {"u"}).Atom("P", {"w"});
+  c.Order("u", OrderRel::kLe, "v");
+  c.Order("v", OrderRel::kLe, "w");
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  NormConjunct full = FullClosure(norm.value().disjuncts[0]);
+  NormConjunct dropped = DropNonProperVars(full);
+  EXPECT_EQ(dropped.num_order_vars(), 2);
+  ASSERT_EQ(dropped.dag.num_edges(), 1);
+  EXPECT_EQ(dropped.dag.edges()[0].rel, OrderRel::kLe);
+  EXPECT_TRUE(dropped.IsTight());
+}
+
+TEST(EliminateConstantsTest, MarkerConstruction) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Database db(vocab);
+  EXPECT_TRUE(db.AddFact("P", {"u"}).ok());
+  Query query(vocab);
+  QueryConjunct& c = query.AddDisjunct();
+  c.Exists("t");
+  c.Atom("P", {"t"});
+  c.Order("u", OrderRel::kLt, "t");  // u is a database constant
+
+  Result<ConstantFreePair> pair = EliminateConstants(db, query);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_FALSE(pair.value().query.HasConstants());
+  // The marker fact @is_u(u) was added to the database copy.
+  bool found = false;
+  for (const ProperAtom& atom : pair.value().db.proper_atoms()) {
+    if (pair.value().db.vocab()->predicate(atom.pred).name == "@is_u") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  Result<NormQuery> norm = NormalizeQuery(pair.value().query);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm.value().disjuncts[0].num_order_vars(), 2);
+}
+
+TEST(NormQueryTest, MaxOrderVars) {
+  auto vocab = MonadicVocab();
+  Query query(vocab);
+  query.AddDisjunct().Exists("t").Atom("P", {"t"});
+  QueryConjunct& big = query.AddDisjunct();
+  big.Exists("a").Exists("b").Exists("c");
+  big.Atom("P", {"a"}).Atom("P", {"b"}).Atom("P", {"c"});
+  Result<NormQuery> norm = NormalizeQuery(query);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm.value().MaxOrderVars(), 3);
+  EXPECT_FALSE(norm.value().IsConjunctive());
+}
+
+TEST(PrinterTest, NormQueryRendering) {
+  Result<NormQuery> norm = NormalizeQuery(Fig5Query(MonadicVocab()));
+  ASSERT_TRUE(norm.ok());
+  std::string text = ToString(norm.value());
+  EXPECT_NE(text.find("P(t1)"), std::string::npos);
+  EXPECT_NE(text.find("t1<t2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iodb

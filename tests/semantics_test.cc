@@ -1,0 +1,137 @@
+// The Section 2 semantics: the paper's separating examples and the
+// reductions of Proposition 2.3 / Corollary 2.6, exercised through the
+// engine facade.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/parser.h"
+#include "core/semantics.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+bool EntailsUnder(const Database& db, const Query& query,
+                  OrderSemantics semantics) {
+  EntailOptions options;
+  options.semantics = semantics;
+  Result<EntailResult> result = Entails(db, query, options);
+  IODB_CHECK(result.ok());
+  return result.value().entailed;
+}
+
+TEST(SemanticsTest, IntegerOrderHasTwoPoints) {
+  // |=Z ∃t1t2 [t1 < t2] but not |=Fin (Fin admits the empty/one-point
+  // order; our empty database has the empty minimal model).
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  Result<Query> query = ParseQuery("exists t1 t2: t1 < t2", vocab);
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(EntailsUnder(db, query.value(), OrderSemantics::kFinite));
+  EXPECT_TRUE(EntailsUnder(db, query.value(), OrderSemantics::kInteger));
+  EXPECT_TRUE(EntailsUnder(db, query.value(), OrderSemantics::kRational));
+}
+
+TEST(SemanticsTest, DensenessSeparatesRationalFromInteger) {
+  // The paper's example: D = [P(u), P(v), u < v],
+  // Φ = ∃t1t2t3 [P(t1) ∧ t1<t2<t3 ∧ P(t3)]: |=Q but not |=Z (between two
+  // integer points there need not be a third point... there must be a
+  // point strictly between t1 and t3 — over Q always, over Z only if the
+  // models can be chosen adversarially: not entailed).
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase("P(u)\nP(v)\nu < v", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<Query> query = ParseQuery(
+      "exists t1 t2 t3: P(t1) & t1 < t2 & t2 < t3 & P(t3)", vocab);
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(
+      EntailsUnder(db.value(), query.value(), OrderSemantics::kFinite));
+  EXPECT_FALSE(
+      EntailsUnder(db.value(), query.value(), OrderSemantics::kInteger));
+  EXPECT_TRUE(
+      EntailsUnder(db.value(), query.value(), OrderSemantics::kRational));
+}
+
+TEST(SemanticsTest, Proposition21Containments) {
+  // |=Fin ⊆ |=Z ⊆ |=Q on random (possibly nontight) monadic instances.
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(seed + 7000);
+    auto vocab = std::make_shared<Vocabulary>();
+    MonadicDbParams params;
+    params.num_chains = 2;
+    params.chain_length = 3;
+    params.num_predicates = 2;
+    Database db = RandomMonadicDb(params, vocab, rng);
+    // Random query, sometimes with unlabeled (nontight) variables.
+    Query query = RandomConjunctiveMonadicQuery(3, 2, 0.5, 0.3, 0.3, vocab,
+                                                rng);
+    bool fin = EntailsUnder(db, query, OrderSemantics::kFinite);
+    bool z = EntailsUnder(db, query, OrderSemantics::kInteger);
+    bool q = EntailsUnder(db, query, OrderSemantics::kRational);
+    if (fin) EXPECT_TRUE(z) << "seed " << seed;
+    if (z) EXPECT_TRUE(q) << "seed " << seed;
+  }
+}
+
+TEST(SemanticsTest, TightQueriesAgreeEverywhere) {
+  // Proposition 2.2: on tight queries the three semantics coincide.
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(seed + 8000);
+    auto vocab = std::make_shared<Vocabulary>();
+    MonadicDbParams params;
+    params.num_chains = 2;
+    params.chain_length = 3;
+    params.num_predicates = 2;
+    Database db = RandomMonadicDb(params, vocab, rng);
+    // label_probability 1.0 in the generator's forced-label path makes
+    // sequential queries tight.
+    Query query =
+        RandomSequentialQuery(rng.UniformInt(1, 3), 2, 0.5, 0.3, vocab, rng);
+    bool fin = EntailsUnder(db, query, OrderSemantics::kFinite);
+    bool z = EntailsUnder(db, query, OrderSemantics::kInteger);
+    bool q = EntailsUnder(db, query, OrderSemantics::kRational);
+    EXPECT_EQ(fin, z) << "seed " << seed;
+    EXPECT_EQ(fin, q) << "seed " << seed;
+  }
+}
+
+TEST(SemanticsTest, SentinelConstructionShape) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase("u < v", vocab);
+  ASSERT_TRUE(db.ok());
+  Database with = AddIntegerSentinels(db.value(), 2);
+  // 2 original + 2n sentinel constants.
+  EXPECT_EQ(with.num_order_constants(), 6);
+  // Chains l1<l2, r1<r2 plus l2<u<r1, l2<v<r1: 1 + 2 + 4 atoms.
+  EXPECT_EQ(static_cast<int>(with.order_atoms().size()), 7);
+  // n = 0: unchanged.
+  Database same = AddIntegerSentinels(db.value(), 0);
+  EXPECT_EQ(same.num_order_constants(), 2);
+}
+
+TEST(SemanticsTest, RationalTransformMakesTight) {
+  auto vocab = std::make_shared<Vocabulary>();
+  ASSERT_TRUE(ParseDatabase("P(u)\nu<v", vocab).ok());
+  Result<Query> query = ParseQuery(
+      "exists t1 t2 t3: P(t1) & t1 < t2 & t2 < t3 & P(t3)", vocab);
+  ASSERT_TRUE(query.ok());
+  Result<NormQuery> norm = NormalizeQuery(query.value());
+  ASSERT_TRUE(norm.ok());
+  EXPECT_FALSE(norm.value().IsTight());
+  NormQuery transformed = RationalTransform(norm.value());
+  EXPECT_TRUE(transformed.IsTight());
+  // t2 is gone; the full closure leaves t1 < t3.
+  EXPECT_EQ(transformed.disjuncts[0].num_order_vars(), 2);
+  ASSERT_EQ(transformed.disjuncts[0].dag.num_edges(), 1);
+  EXPECT_EQ(transformed.disjuncts[0].dag.edges()[0].rel, OrderRel::kLt);
+}
+
+TEST(SemanticsTest, NamesAreReported) {
+  EXPECT_STREQ(OrderSemanticsName(OrderSemantics::kFinite), "finite");
+  EXPECT_STREQ(OrderSemanticsName(OrderSemantics::kInteger), "integer");
+  EXPECT_STREQ(OrderSemanticsName(OrderSemantics::kRational), "rational");
+}
+
+}  // namespace
+}  // namespace iodb

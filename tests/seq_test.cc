@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "core/entail_bruteforce.h"
+#include "core/flexiword.h"
+#include "core/parser.h"
+#include "core/seq.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+constexpr OrderRel kLt = OrderRel::kLt;
+constexpr OrderRel kLe = OrderRel::kLe;
+
+PredSet Set(std::initializer_list<int> ids) {
+  PredSet s;
+  for (int id : ids) s.Add(id);
+  return s;
+}
+
+FlexiWord Pattern(std::vector<PredSet> symbols, std::vector<OrderRel> rels) {
+  FlexiWord w;
+  w.symbols = std::move(symbols);
+  w.rels = std::move(rels);
+  return w;
+}
+
+NormDb ParseNorm(const std::string& text, VocabularyPtr vocab) {
+  Result<Database> db = ParseDatabase(text, std::move(vocab));
+  IODB_CHECK(db.ok());
+  Result<NormDb> norm = Normalize(db.value());
+  IODB_CHECK(norm.ok());
+  return std::move(norm.value());
+}
+
+VocabularyPtr Vocab3() {
+  auto vocab = std::make_shared<Vocabulary>();
+  DeclareMonadicPredicates(*vocab, 3);
+  return vocab;
+}
+
+// Reference implementation: a sequential pattern is entailed iff every
+// minimal model's word satisfies it (Lemma 4.1 specialization).
+bool BruteSeq(const NormDb& db, const FlexiWord& pattern) {
+  NormQuery query;
+  query.vocab = db.vocab;
+  query.disjuncts.push_back(
+      ConjunctOfFlexiWord(pattern, db.vocab->num_predicates()));
+  return EntailBruteForce(db, query).entailed;
+}
+
+TEST(SeqTest, EmptyPatternAlwaysEntailed) {
+  NormDb db = ParseNorm("P0(u)", Vocab3());
+  EXPECT_TRUE(SeqEntails(db, FlexiWord{}));
+}
+
+TEST(SeqTest, EmptyDatabaseEntailsNothing) {
+  auto vocab = Vocab3();
+  Database db(vocab);
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_FALSE(SeqEntails(norm.value(), Pattern({PredSet()}, {})));
+}
+
+TEST(SeqTest, UnlabeledPatternNeedsAPoint) {
+  NormDb db = ParseNorm("u < v", Vocab3());
+  EXPECT_TRUE(SeqEntails(db, Pattern({PredSet()}, {})));
+  EXPECT_TRUE(SeqEntails(db, Pattern({PredSet(), PredSet()}, {kLt})));
+  EXPECT_FALSE(
+      SeqEntails(db, Pattern({PredSet(), PredSet(), PredSet()},
+                             {kLt, kLt})));
+}
+
+TEST(SeqTest, WidthTwoMergeCase) {
+  // Two incomparable labelled points: P0(u), P1(v). The pattern
+  // [P0] <= [P1] is entailed (in every model u <= v or v <= u... no!
+  // v < u is possible). It is NOT entailed. But [P0,P1]-free patterns
+  // like [P0] alone are.
+  NormDb db = ParseNorm("P0(u)\nP1(v)", Vocab3());
+  EXPECT_TRUE(SeqEntails(db, Pattern({Set({0})}, {})));
+  EXPECT_TRUE(SeqEntails(db, Pattern({Set({1})}, {})));
+  EXPECT_FALSE(SeqEntails(db, Pattern({Set({0}), Set({1})}, {kLe})));
+  EXPECT_FALSE(SeqEntails(db, Pattern({Set({0}), Set({1})}, {kLt})));
+}
+
+TEST(SeqTest, LeChainEntailsLePattern) {
+  NormDb db = ParseNorm("P0(u)\nP1(v)\nu <= v", Vocab3());
+  EXPECT_TRUE(SeqEntails(db, Pattern({Set({0}), Set({1})}, {kLe})));
+  EXPECT_FALSE(SeqEntails(db, Pattern({Set({0}), Set({1})}, {kLt})));
+}
+
+TEST(SeqTest, MinorDeletionIsNotTooEager) {
+  // Database: P0(a) < P1(b), and an incomparable P0(c) <= P1(d).
+  // Pattern [P0] < [P1]: entailed via a < b in every model? Yes — a < b
+  // always holds.
+  NormDb db = ParseNorm("P0(a)\nP1(b)\na < b\nP0(c)\nP1(d)\nc <= d",
+                        Vocab3());
+  EXPECT_TRUE(SeqEntails(db, Pattern({Set({0}), Set({1})}, {kLt})));
+}
+
+TEST(SeqTest, CaseIEquivalenceScenario) {
+  // Minimal vertex u fails the first symbol; its deletion must preserve
+  // the verdict. Database: Q-ish noise point u before the useful chain.
+  NormDb db = ParseNorm("P2(u)\nu < v\nP0(v)\nv < w\nP1(w)", Vocab3());
+  EXPECT_TRUE(SeqEntails(db, Pattern({Set({0}), Set({1})}, {kLt})));
+  EXPECT_FALSE(SeqEntails(db, Pattern({Set({1}), Set({0})}, {kLt})));
+}
+
+class SeqRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeqRandomTest, AgreesWithBruteForce) {
+  Rng rng(GetParam() * 7919 + 13);
+  auto vocab = Vocab3();
+  MonadicDbParams params;
+  params.num_chains = rng.UniformInt(1, 3);
+  params.chain_length = rng.UniformInt(1, 4);
+  params.num_predicates = 3;
+  params.label_probability = 0.5;
+  params.le_probability = 0.4;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  Result<NormDb> norm = Normalize(db);
+  ASSERT_TRUE(norm.ok());
+
+  for (int q = 0; q < 6; ++q) {
+    int len = rng.UniformInt(1, 4);
+    FlexiWord pattern;
+    for (int i = 0; i < len; ++i) {
+      PredSet symbol;
+      for (int p = 0; p < 3; ++p) {
+        if (rng.Bernoulli(0.35)) symbol.Add(p);
+      }
+      pattern.symbols.push_back(symbol);
+      if (i > 0) {
+        pattern.rels.push_back(rng.Bernoulli(0.5) ? kLt : kLe);
+      }
+    }
+    EXPECT_EQ(SeqEntails(norm.value(), pattern),
+              BruteSeq(norm.value(), pattern))
+        << "seed " << GetParam() << " query " << q << " pattern "
+        << pattern.ToString(*vocab);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeqRandomTest, ::testing::Range(0, 60));
+
+TEST(SeqTest, StatsAreReported) {
+  NormDb db = ParseNorm("P0(u)\nu < v\nP1(v)", Vocab3());
+  SeqStats stats;
+  EXPECT_TRUE(SeqEntails(db, Pattern({Set({0}), Set({1})}, {kLt}), &stats));
+  EXPECT_GT(stats.subset_tests, 0);
+}
+
+}  // namespace
+}  // namespace iodb

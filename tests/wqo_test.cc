@@ -1,0 +1,157 @@
+// Section 6: the well-quasi-order machinery and basis evaluation.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/entail_bruteforce.h"
+#include "core/entail_disjunctive.h"
+#include "core/parser.h"
+#include "core/wqo.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+NormDb ParseNorm(const std::string& text, VocabularyPtr vocab) {
+  Result<Database> db = ParseDatabase(text, std::move(vocab));
+  IODB_CHECK(db.ok());
+  Result<NormDb> norm = Normalize(db.value());
+  IODB_CHECK(norm.ok());
+  return std::move(norm.value());
+}
+
+VocabularyPtr Vocab(int n) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DeclareMonadicPredicates(*vocab, n);
+  return vocab;
+}
+
+TEST(DbLeqTest, ReflexiveAndBasicCases) {
+  auto vocab = Vocab(2);
+  NormDb chain = ParseNorm("P0(a)\na < b\nP1(b)", vocab);
+  NormDb longer = ParseNorm("P0(a)\na < m\nm < b\nP1(b)\nP0(m)", Vocab(2));
+  EXPECT_TRUE(DbLeq(chain, chain));
+  // The longer database entails everything the shorter does.
+  EXPECT_TRUE(DbLeq(chain, longer));
+  EXPECT_FALSE(DbLeq(longer, chain));
+}
+
+TEST(DbLeqTest, Lemma64Monotonicity) {
+  // D1 ⊑ D2 and D1 |= Φ imply D2 |= Φ, on random monadic instances.
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(seed + 60000);
+    auto vocab = Vocab(2);
+    MonadicDbParams params;
+    params.num_chains = rng.UniformInt(1, 2);
+    params.chain_length = rng.UniformInt(1, 3);
+    params.num_predicates = 2;
+    Database d1 = RandomMonadicDb(params, vocab, rng);
+    params.chain_length = rng.UniformInt(1, 3);
+    Database d2 = RandomMonadicDb(params, vocab, rng);
+    Result<NormDb> n1 = Normalize(d1);
+    Result<NormDb> n2 = Normalize(d2);
+    ASSERT_TRUE(n1.ok());
+    ASSERT_TRUE(n2.ok());
+    if (!DbLeq(n1.value(), n2.value())) continue;
+    Query query = RandomDisjunctiveSequentialQuery(
+        rng.UniformInt(1, 2), rng.UniformInt(1, 3), 2, 0.3, 0.3, vocab, rng);
+    Result<NormQuery> nq = NormalizeQuery(query);
+    ASSERT_TRUE(nq.ok());
+    bool e1 = EntailBruteForce(n1.value(), nq.value()).entailed;
+    bool e2 = EntailBruteForce(n2.value(), nq.value()).entailed;
+    if (e1) EXPECT_TRUE(e2) << "seed " << seed;
+  }
+}
+
+TEST(CompiledQueryTest, ConjunctiveBasisIsExact) {
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(seed + 61000);
+    auto vocab = Vocab(3);
+    MonadicDbParams params;
+    params.num_chains = rng.UniformInt(1, 3);
+    params.chain_length = rng.UniformInt(1, 4);
+    params.num_predicates = 3;
+    Database db = RandomMonadicDb(params, vocab, rng);
+    Query query =
+        RandomConjunctiveMonadicQuery(3, 3, 0.4, 0.4, 0.3, vocab, rng);
+    Result<NormDb> ndb = Normalize(db);
+    Result<NormQuery> nq = NormalizeQuery(query);
+    ASSERT_TRUE(ndb.ok());
+    ASSERT_TRUE(nq.ok());
+    CompiledQuery compiled =
+        CompiledQuery::CompileConjunctive(nq.value().disjuncts[0]);
+    EXPECT_EQ(compiled.Entails(ndb.value()),
+              EntailBruteForce(ndb.value(), nq.value()).entailed)
+        << "seed " << seed;
+  }
+}
+
+TEST(CompiledQueryTest, DbOfConjunctIsTheMinimalElement) {
+  // D_Φ |= Φ, and D |= Φ iff D_Φ ⊑ D (the end-of-Section-6 argument).
+  auto vocab = Vocab(2);
+  Query q(vocab);
+  QueryConjunct& c = q.AddDisjunct();
+  c.Exists("t1").Exists("t2");
+  c.Atom("P0", {"t1"}).Atom("P1", {"t2"});
+  c.Order("t1", OrderRel::kLt, "t2");
+  Result<NormQuery> nq = NormalizeQuery(q);
+  ASSERT_TRUE(nq.ok());
+  const NormConjunct& conjunct = nq.value().disjuncts[0];
+  Database d_phi = DbOfConjunct(conjunct, vocab);
+  Result<NormDb> norm = Normalize(d_phi);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_TRUE(EntailBruteForce(norm.value(), nq.value()).entailed);
+  CompiledQuery compiled = CompiledQuery::CompileConjunctive(conjunct);
+  EXPECT_TRUE(compiled.Entails(norm.value()));
+}
+
+TEST(WordBasisSearchTest, FindsTheObviousBasis) {
+  // Query ∃t P0(t): the basis among words is the single word [P0].
+  auto vocab = Vocab(2);
+  Query q(vocab);
+  q.AddDisjunct().Exists("t").Atom("P0", {"t"});
+  Result<NormQuery> nq = NormalizeQuery(q);
+  ASSERT_TRUE(nq.ok());
+  std::vector<FlexiWord> basis = WordBasisSearch(nq.value(), 2, 10000);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_EQ(basis[0].size(), 1);
+  EXPECT_TRUE(basis[0].symbols[0].Contains(0));
+}
+
+TEST(WordBasisSearchTest, DisjunctiveBasisSound) {
+  // Query ∃t P0(t) | ∃t P1(t): a word entails it iff some symbol
+  // contains P0 or P1; minimal words are [P0] and [P1].
+  auto vocab = Vocab(2);
+  Query q(vocab);
+  q.AddDisjunct().Exists("t").Atom("P0", {"t"});
+  q.AddDisjunct().Exists("s").Atom("P1", {"s"});
+  Result<NormQuery> nq = NormalizeQuery(q);
+  ASSERT_TRUE(nq.ok());
+  std::vector<FlexiWord> basis = WordBasisSearch(nq.value(), 2, 10000);
+  EXPECT_EQ(basis.size(), 2u);
+  for (const FlexiWord& w : basis) {
+    // Soundness: every basis element entails the query.
+    Database db = DbOfFlexiWord(w, vocab);
+    Result<NormDb> norm = Normalize(db);
+    ASSERT_TRUE(norm.ok());
+    EXPECT_TRUE(EntailDisjunctive(norm.value(), nq.value()).entailed);
+  }
+}
+
+TEST(WordBasisSearchTest, SequenceQueryBasis) {
+  // Query ∃t1t2 [P0(t1) ∧ t1 < t2 ∧ P1(t2)]: minimal word [P0][P1].
+  auto vocab = Vocab(2);
+  Query q(vocab);
+  QueryConjunct& c = q.AddDisjunct();
+  c.Exists("t1").Exists("t2");
+  c.Atom("P0", {"t1"}).Atom("P1", {"t2"});
+  c.Order("t1", OrderRel::kLt, "t2");
+  Result<NormQuery> nq = NormalizeQuery(q);
+  ASSERT_TRUE(nq.ok());
+  std::vector<FlexiWord> basis = WordBasisSearch(nq.value(), 3, 100000);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_EQ(basis[0].size(), 2);
+}
+
+}  // namespace
+}  // namespace iodb

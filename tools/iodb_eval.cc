@@ -1,0 +1,99 @@
+// iodb_eval: command-line entailment checker.
+//
+// Usage:
+//   iodb_eval DB_FILE QUERY [--semantics=finite|integer|rational]
+//             [--engine=auto|brute-force|paths|bounded-width|disjunctive]
+//             [--countermodel]
+//
+// Reads a database in the parser's text format from DB_FILE, evaluates the
+// query (also text format) and prints the verdict. Exit code 0 = entailed,
+// 1 = not entailed, 2 = error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "core/parser.h"
+#include "core/printer.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "iodb_eval: %s\n", message.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace iodb;
+  if (argc < 3) {
+    return Fail(
+        "usage: iodb_eval DB_FILE QUERY [--semantics=...] [--engine=...] "
+        "[--countermodel]");
+  }
+
+  std::ifstream file(argv[1]);
+  if (!file) return Fail(std::string("cannot open ") + argv[1]);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  EntailOptions options;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--countermodel") {
+      options.want_countermodel = true;
+    } else if (arg.rfind("--semantics=", 0) == 0) {
+      std::string value = arg.substr(12);
+      if (value == "finite") {
+        options.semantics = OrderSemantics::kFinite;
+      } else if (value == "integer") {
+        options.semantics = OrderSemantics::kInteger;
+      } else if (value == "rational") {
+        options.semantics = OrderSemantics::kRational;
+      } else {
+        return Fail("unknown semantics '" + value + "'");
+      }
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      std::string value = arg.substr(9);
+      if (value == "auto") {
+        options.engine = EngineKind::kAuto;
+      } else if (value == "brute-force") {
+        options.engine = EngineKind::kBruteForce;
+      } else if (value == "paths") {
+        options.engine = EngineKind::kPathDecomposition;
+      } else if (value == "bounded-width") {
+        options.engine = EngineKind::kBoundedWidth;
+      } else if (value == "disjunctive") {
+        options.engine = EngineKind::kDisjunctiveSearch;
+      } else {
+        return Fail("unknown engine '" + value + "'");
+      }
+    } else {
+      return Fail("unknown flag '" + arg + "'");
+    }
+  }
+
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase(buffer.str(), vocab);
+  if (!db.ok()) return Fail("database: " + db.status().ToString());
+  Result<Query> query = ParseQuery(argv[2], vocab);
+  if (!query.ok()) return Fail("query: " + query.status().ToString());
+
+  Result<EntailResult> result = Entails(db.value(), query.value(), options);
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  std::printf("%s  [engine: %s, semantics: %s]\n",
+              result.value().entailed ? "ENTAILED" : "NOT ENTAILED",
+              EngineKindName(result.value().engine_used),
+              OrderSemanticsName(options.semantics));
+  if (options.want_countermodel && !result.value().entailed &&
+      result.value().countermodel.has_value()) {
+    std::printf("countermodel: %s\n",
+                result.value().countermodel->ToString().c_str());
+  }
+  return result.value().entailed ? 0 : 1;
+}

@@ -102,7 +102,9 @@ Result<SatReduction> MonotoneSatToEntailment(const CnfFormula& cnf,
   // 8 = ∃x y [ψ(x) ∧ Comp(x, y) ∧ ψ(y)], ψ(x) = ∃g [Q(x, g) ∧ φ(g)].
   Query query(vocab);
   QueryConjunct& conjunct = query.AddDisjunct();
-  for (const std::string& v :
+  // Iterate as const char*: a const std::string& loop variable would bind
+  // to a temporary string per element, which -Wrange-loop-construct flags.
+  for (const char* v :
        {"x", "y", "gx", "gy", "t1", "t2", "t3", "s1", "s2", "s3"}) {
     conjunct.Exists(v);
   }

@@ -7,6 +7,19 @@
 #ifndef IODB_UTIL_CHECK_H_
 #define IODB_UTIL_CHECK_H_
 
+// iodb requires C++20. Fail here with one readable message instead of the
+// cryptic errors a pre-C++20 -std= flag produces from defaulted operator==
+// (graph/digraph.h, logic/cnf.h) and std::popcount (core/types.cc).
+// MSVC keeps __cplusplus at 199711L unless /Zc:__cplusplus; _MSVC_LANG
+// always reports the real language version.
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "iodb requires C++20: compile with /std:c++20 or newer"
+#endif
+#elif __cplusplus < 202002L
+#error "iodb requires C++20: compile with -std=c++20 or newer"
+#endif
+
 #include <cstdio>
 #include <cstdlib>
 

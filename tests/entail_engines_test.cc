@@ -164,7 +164,9 @@ TEST(MonotonicityTest, AddingFactsPreservesEntailment) {
     ASSERT_TRUE(after.ok());
     bool entailed_after =
         EntailBruteForce(after.value(), nq.value()).entailed;
-    if (entailed_before) EXPECT_TRUE(entailed_after) << "seed " << seed;
+    if (entailed_before) {
+      EXPECT_TRUE(entailed_after) << "seed " << seed;
+    }
   }
 }
 

@@ -82,7 +82,9 @@ TEST_P(SatSolverRandomTest, AgreesWithBruteForce) {
   SatSolver solver;
   auto model = solver.Solve(f);
   EXPECT_EQ(model.has_value(), BruteForceSat(f));
-  if (model.has_value()) EXPECT_TRUE(f.Evaluate(*model));
+  if (model.has_value()) {
+    EXPECT_TRUE(f.Evaluate(*model));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SatSolverRandomTest,

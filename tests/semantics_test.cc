@@ -69,8 +69,12 @@ TEST(SemanticsTest, Proposition21Containments) {
     bool fin = EntailsUnder(db, query, OrderSemantics::kFinite);
     bool z = EntailsUnder(db, query, OrderSemantics::kInteger);
     bool q = EntailsUnder(db, query, OrderSemantics::kRational);
-    if (fin) EXPECT_TRUE(z) << "seed " << seed;
-    if (z) EXPECT_TRUE(q) << "seed " << seed;
+    if (fin) {
+      EXPECT_TRUE(z) << "seed " << seed;
+    }
+    if (z) {
+      EXPECT_TRUE(q) << "seed " << seed;
+    }
   }
 }
 

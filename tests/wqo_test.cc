@@ -59,7 +59,9 @@ TEST(DbLeqTest, Lemma64Monotonicity) {
     ASSERT_TRUE(nq.ok());
     bool e1 = EntailBruteForce(n1.value(), nq.value()).entailed;
     bool e2 = EntailBruteForce(n2.value(), nq.value()).entailed;
-    if (e1) EXPECT_TRUE(e2) << "seed " << seed;
+    if (e1) {
+      EXPECT_TRUE(e2) << "seed " << seed;
+    }
   }
 }
 

@@ -1,0 +1,47 @@
+# CLI test for iodb_eval, run via ctest as
+#   cmake -DIODB_EVAL=<binary> -DWORK_DIR=<dir> -P iodb_eval_test.cmake
+#
+# Checks the documented contract: exit 0 + "ENTAILED" for an entailed query,
+# exit 1 + "NOT ENTAILED" otherwise, exit 2 for usage/parse errors.
+
+if(NOT DEFINED IODB_EVAL OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DIODB_EVAL=<binary> -DWORK_DIR=<dir>")
+endif()
+
+set(db "${WORK_DIR}/iodb_eval_cli.db")
+file(WRITE "${db}" "P(u)\nQ(v)\nu < v\n")
+
+function(expect_run expected_rc output_regex)
+  execute_process(COMMAND ${IODB_EVAL} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR "iodb_eval ${ARGN}: exit ${rc}, want ${expected_rc}\n"
+      "stdout: ${out}\nstderr: ${err}")
+  endif()
+  if(NOT "${out}${err}" MATCHES "${output_regex}")
+    message(FATAL_ERROR "iodb_eval ${ARGN}: output does not match "
+      "'${output_regex}'\nstdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+# P(u) < Q(v) is asserted, so the ordered pattern is certain.
+expect_run(0 "^ENTAILED"
+  "${db}" "exists t1 t2: P(t1) & t1 < t2 & Q(t2)")
+
+# The reversed pattern holds in no minimal completion.
+expect_run(1 "^NOT ENTAILED"
+  "${db}" "exists t1 t2: Q(t1) & t1 < t2 & P(t2)")
+
+# Engine/semantics flags parse and still produce the verdict.
+expect_run(0 "^ENTAILED.*brute-force"
+  "${db}" "exists t1 t2: P(t1) & t1 < t2 & Q(t2)"
+  "--engine=brute-force" "--semantics=integer")
+
+# Error paths: missing arguments, unknown flag, unreadable database.
+expect_run(2 "usage:" "${db}")
+expect_run(2 "unknown flag" "${db}" "exists t: P(t)" "--bogus")
+expect_run(2 "cannot open" "${WORK_DIR}/no_such_file.db" "exists t: P(t)")
+
+message(STATUS "iodb_eval CLI test passed")

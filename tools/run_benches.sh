@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Run the google-benchmark binaries and aggregate their JSON reports into a
+# single BENCH_<timestamp>.json in the current directory.
+#
+# Usage:
+#   tools/run_benches.sh [BUILD_DIR] [NAME_FILTER...]
+#
+#   BUILD_DIR    cmake build directory containing bench/ (default: build)
+#   NAME_FILTER  optional shell globs; only bench binaries whose basename
+#                matches at least one filter are run (e.g. 'bench_table*')
+#
+# Extra benchmark flags can be passed via BENCH_ARGS, e.g.
+#   BENCH_ARGS='--benchmark_min_time=0.01' tools/run_benches.sh build
+#
+# The output file is a JSON object {"runs": [<per-binary benchmark JSON>...]},
+# i.e. each element is the unmodified --benchmark_format=json report of one
+# binary, so downstream tooling can diff context + benchmarks per run.
+set -euo pipefail
+
+build_dir="${1:-build}"
+shift || true
+filters=("$@")
+
+bench_dir="${build_dir}/bench"
+if [[ ! -d "${bench_dir}" ]]; then
+  echo "run_benches.sh: no such directory '${bench_dir}'" \
+       "(build first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j)" >&2
+  exit 1
+fi
+
+matches_filter() {
+  local name="$1"
+  [[ ${#filters[@]} -eq 0 ]] && return 0
+  local f
+  for f in "${filters[@]}"; do
+    # shellcheck disable=SC2053  # intentional glob match
+    [[ "${name}" == ${f} ]] && return 0
+  done
+  return 1
+}
+
+binaries=()
+for bin in "${bench_dir}"/bench_*; do
+  [[ -f "${bin}" && -x "${bin}" ]] || continue
+  matches_filter "$(basename "${bin}")" && binaries+=("${bin}")
+done
+
+if [[ ${#binaries[@]} -eq 0 ]]; then
+  echo "run_benches.sh: no bench binaries matched in ${bench_dir}" >&2
+  exit 1
+fi
+
+out="BENCH_$(date +%Y%m%d_%H%M%S).json"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+# Assemble in the temp dir and move into place at the end, so a crashing
+# bench binary never leaves a truncated ${out} behind as a baseline.
+{
+  printf '{"runs": [\n'
+  first=1
+  for bin in "${binaries[@]}"; do
+    name="$(basename "${bin}")"
+    echo "run_benches.sh: running ${name}" >&2
+    report="${tmp_dir}/${name}.json"
+    # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
+    "${bin}" --benchmark_format=json ${BENCH_ARGS:-} > "${report}"
+    [[ ${first} -eq 0 ]] && printf ',\n'
+    first=0
+    cat "${report}"
+  done
+  printf '\n]}\n'
+} > "${tmp_dir}/aggregate.json"
+mv "${tmp_dir}/aggregate.json" "${out}"
+
+echo "run_benches.sh: wrote ${out} (${#binaries[@]} binaries)" >&2

@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "graph/scc.h"
 #include "graph/width.h"
@@ -8,8 +9,83 @@
 
 namespace iodb {
 
-Database::Database(VocabularyPtr vocab) : vocab_(std::move(vocab)) {
+namespace {
+
+uint64_t NextDatabaseUid() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Database::Database(VocabularyPtr vocab)
+    : vocab_(std::move(vocab)), uid_(NextDatabaseUid()) {
   IODB_CHECK(vocab_ != nullptr);
+}
+
+Database::Database(const Database& other)
+    : vocab_(other.vocab_),
+      uid_(NextDatabaseUid()),
+      revision_(other.revision_),
+      object_names_(other.object_names_),
+      order_names_(other.order_names_),
+      constant_index_(other.constant_index_),
+      proper_atoms_(other.proper_atoms_),
+      order_atoms_(other.order_atoms_),
+      inequalities_(other.inequalities_),
+      norm_cache_(other.norm_cache_),
+      norm_cache_revision_(other.norm_cache_revision_) {}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  vocab_ = other.vocab_;
+  uid_ = NextDatabaseUid();
+  revision_ = other.revision_;
+  object_names_ = other.object_names_;
+  order_names_ = other.order_names_;
+  constant_index_ = other.constant_index_;
+  proper_atoms_ = other.proper_atoms_;
+  order_atoms_ = other.order_atoms_;
+  inequalities_ = other.inequalities_;
+  norm_cache_ = other.norm_cache_;
+  norm_cache_revision_ = other.norm_cache_revision_;
+  return *this;
+}
+
+Database::Database(Database&& other) noexcept
+    : vocab_(std::move(other.vocab_)),
+      uid_(other.uid_),
+      revision_(other.revision_),
+      object_names_(std::move(other.object_names_)),
+      order_names_(std::move(other.order_names_)),
+      constant_index_(std::move(other.constant_index_)),
+      proper_atoms_(std::move(other.proper_atoms_)),
+      order_atoms_(std::move(other.order_atoms_)),
+      inequalities_(std::move(other.inequalities_)),
+      norm_cache_(std::move(other.norm_cache_)),
+      norm_cache_revision_(other.norm_cache_revision_) {
+  // Re-identify the hollowed-out source so external (uid, revision) cache
+  // keys can never match its new (empty) content.
+  other.uid_ = NextDatabaseUid();
+  other.norm_cache_.reset();
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this == &other) return *this;
+  vocab_ = std::move(other.vocab_);
+  uid_ = other.uid_;
+  revision_ = other.revision_;
+  object_names_ = std::move(other.object_names_);
+  order_names_ = std::move(other.order_names_);
+  constant_index_ = std::move(other.constant_index_);
+  proper_atoms_ = std::move(other.proper_atoms_);
+  order_atoms_ = std::move(other.order_atoms_);
+  inequalities_ = std::move(other.inequalities_);
+  norm_cache_ = std::move(other.norm_cache_);
+  norm_cache_revision_ = other.norm_cache_revision_;
+  other.uid_ = NextDatabaseUid();
+  other.norm_cache_.reset();
+  return *this;
 }
 
 int Database::GetOrAddConstant(const std::string& name, Sort sort) {
@@ -23,6 +99,7 @@ int Database::GetOrAddConstant(const std::string& name, Sort sort) {
   int id = static_cast<int>(table.size());
   table.push_back(name);
   constant_index_.emplace(name, std::make_pair(sort, id));
+  BumpRevision();
   return id;
 }
 
@@ -46,6 +123,7 @@ void Database::AddProperAtom(int pred, std::vector<Term> args) {
     IODB_CHECK_LT(args[i].id, table_size);
   }
   proper_atoms_.push_back({pred, std::move(args)});
+  BumpRevision();
 }
 
 Status Database::AddFact(const std::string& pred_name,
@@ -85,6 +163,7 @@ Status Database::AddFact(const std::string& pred_name,
     args.push_back({sort, GetOrAddConstant(constant_names[i], sort)});
   }
   proper_atoms_.push_back({pred.value(), std::move(args)});
+  BumpRevision();
   return Status::Ok();
 }
 
@@ -94,6 +173,7 @@ void Database::AddOrderAtom(int u, int v, OrderRel rel) {
   IODB_CHECK_GE(v, 0);
   IODB_CHECK_LT(v, num_order_constants());
   order_atoms_.push_back({u, v, rel});
+  BumpRevision();
 }
 
 void Database::AddOrder(const std::string& u, OrderRel rel,
@@ -109,12 +189,23 @@ void Database::AddInequality(int u, int v) {
   IODB_CHECK_GE(v, 0);
   IODB_CHECK_LT(v, num_order_constants());
   inequalities_.push_back({u, v});
+  BumpRevision();
 }
 
 void Database::AddNotEqual(const std::string& u, const std::string& v) {
   int uid = GetOrAddConstant(u, Sort::kOrder);
   int vid = GetOrAddConstant(v, Sort::kOrder);
   AddInequality(uid, vid);
+}
+
+Result<const NormDb*> Database::NormView() const {
+  if (norm_cache_ == nullptr || norm_cache_revision_ != revision_) {
+    norm_cache_ = std::make_shared<const Result<NormDb>>(Normalize(*this));
+    norm_cache_revision_ = revision_;
+    ++norm_view_computations_;
+  }
+  if (!norm_cache_->ok()) return norm_cache_->status();
+  return &norm_cache_->value();
 }
 
 std::string NormDb::PointName(int p) const {

@@ -14,6 +14,8 @@
 #ifndef IODB_CORE_DATABASE_H_
 #define IODB_CORE_DATABASE_H_
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -28,12 +30,33 @@
 
 namespace iodb {
 
+struct NormDb;
+
 /// Mutable indefinite order database.
+///
+/// The database memoizes its normalized view (see NormView): repeated
+/// evaluations of prepared queries against the same unmutated database
+/// skip re-normalization. Copies receive a fresh identity (uid) so caches
+/// keyed by (uid, revision) never confuse two objects.
 class Database {
  public:
   explicit Database(VocabularyPtr vocab);
 
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
+
   const VocabularyPtr& vocab() const { return vocab_; }
+
+  /// Identity of this database object. Unique per live object: copies get
+  /// a fresh uid, moves transfer it (and re-identify the source).
+  uint64_t uid() const { return uid_; }
+
+  /// Mutation counter: bumped by every constant/atom addition. A (uid,
+  /// revision) pair identifies immutable database content, so it can key
+  /// external caches of derived structures.
+  uint64_t revision() const { return revision_; }
 
   /// Interns the constant `name` with the given sort; returns its id within
   /// that sort. Aborts if `name` already exists with the other sort (a
@@ -87,8 +110,25 @@ class Database {
                             inequalities_.size());
   }
 
+  /// Memoized normalized view: Normalize(*this), recomputed only when the
+  /// database has been mutated since the last call. The returned pointer
+  /// (and any references into the view) stays valid until the next
+  /// mutation. Normalization failures (inconsistent order atoms) are
+  /// memoized too. NOT thread-safe: the lazy fill mutates cache state
+  /// under const, so concurrent NormView/Evaluate calls on one Database
+  /// need external synchronization.
+  Result<const NormDb*> NormView() const;
+
+  /// Number of times NormView() actually ran Normalize (test/bench hook
+  /// for asserting cache reuse).
+  long long norm_view_computations() const { return norm_view_computations_; }
+
  private:
+  void BumpRevision() { ++revision_; }
+
   VocabularyPtr vocab_;
+  uint64_t uid_;
+  uint64_t revision_ = 0;
   std::vector<std::string> object_names_;
   std::vector<std::string> order_names_;
   // name -> (sort, id)
@@ -96,6 +136,13 @@ class Database {
   std::vector<ProperAtom> proper_atoms_;
   std::vector<OrderAtom> order_atoms_;
   std::vector<InequalityAtom> inequalities_;
+
+  // NormView memoization. shared_ptr so database copies share the cached
+  // view until either side mutates (each object replaces only its own
+  // pointer). The revision stamp says which content the view reflects.
+  mutable std::shared_ptr<const Result<NormDb>> norm_cache_;
+  mutable uint64_t norm_cache_revision_ = 0;
+  mutable long long norm_view_computations_ = 0;
 };
 
 /// Normalized database: the labelled dag view of Sections 2 and 4.

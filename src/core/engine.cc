@@ -1,15 +1,6 @@
 #include "core/engine.h"
 
-#include <algorithm>
-#include <numeric>
-
-#include "core/entail_bounded_width.h"
-#include "core/entail_bruteforce.h"
-#include "core/entail_disjunctive.h"
-#include "core/entail_paths.h"
-#include "core/inequality.h"
-#include "core/minimal_models.h"
-#include "core/model_check.h"
+#include "core/prepare.h"
 
 namespace iodb {
 
@@ -29,294 +20,24 @@ const char* EngineKindName(EngineKind kind) {
   return "unknown";
 }
 
-namespace {
-
-// Union-find over the variables of one conjunct.
-struct UnionFind {
-  std::vector<int> parent;
-  explicit UnionFind(int n) : parent(n) {
-    std::iota(parent.begin(), parent.end(), 0);
+std::optional<EngineKind> ParseEngineKind(const std::string& name) {
+  for (EngineKind kind :
+       {EngineKind::kAuto, EngineKind::kBruteForce,
+        EngineKind::kPathDecomposition, EngineKind::kBoundedWidth,
+        EngineKind::kDisjunctiveSearch}) {
+    if (name == EngineKindName(kind)) return kind;
   }
-  int Find(int x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  }
-  void Union(int a, int b) { parent[Find(a)] = Find(b); }
-};
-
-// Evaluates and removes the atom components of `conjunct` that touch no
-// order variable, checking them against the ground object facts of `db`.
-// Returns nullopt if such a component fails (the disjunct is false in
-// every model).
-std::optional<NormConjunct> SplitObjectPart(const NormDb& db,
-                                            const NormConjunct& conjunct) {
-  const int nv = conjunct.num_order_vars();
-  const int no = conjunct.num_object_vars();
-  if (no == 0) return conjunct;  // nothing to split
-
-  UnionFind uf(nv + no);
-  auto node = [&](const Term& term) {
-    return term.sort == Sort::kOrder ? term.id : nv + term.id;
-  };
-  for (const ProperAtom& atom : conjunct.other_atoms) {
-    for (size_t i = 1; i < atom.args.size(); ++i) {
-      uf.Union(node(atom.args[0]), node(atom.args[i]));
-    }
-  }
-  for (const LabeledEdge& e : conjunct.dag.edges()) uf.Union(e.from, e.to);
-  for (const auto& [u, v] : conjunct.inequalities) uf.Union(u, v);
-
-  std::vector<bool> component_has_order(nv + no, false);
-  for (int t = 0; t < nv; ++t) component_has_order[uf.Find(t)] = true;
-
-  // Build the object-only sub-conjunct and the reduced conjunct.
-  NormConjunct object_part;
-  NormConjunct reduced = conjunct;
-  reduced.object_var_names.clear();
-  reduced.other_atoms.clear();
-  std::vector<int> remap(no, -1);
-  for (int x = 0; x < no; ++x) {
-    if (component_has_order[uf.Find(nv + x)]) {
-      remap[x] = static_cast<int>(reduced.object_var_names.size());
-      reduced.object_var_names.push_back(conjunct.object_var_names[x]);
-    } else {
-      object_part.object_var_names.push_back(conjunct.object_var_names[x]);
-    }
-  }
-  std::vector<int> object_remap(no, -1);
-  {
-    int next = 0;
-    for (int x = 0; x < no; ++x) {
-      if (remap[x] == -1) object_remap[x] = next++;
-    }
-  }
-  for (const ProperAtom& atom : conjunct.other_atoms) {
-    bool order_side = component_has_order[uf.Find(node(atom.args[0]))];
-    ProperAtom mapped = atom;
-    for (Term& term : mapped.args) {
-      if (term.sort == Sort::kObject) {
-        term.id = order_side ? remap[term.id] : object_remap[term.id];
-        IODB_CHECK_NE(term.id, -1);
-      }
-    }
-    (order_side ? reduced.other_atoms : object_part.other_atoms)
-        .push_back(std::move(mapped));
-  }
-
-  if (object_part.num_object_vars() > 0 || !object_part.other_atoms.empty()) {
-    // Evaluate against a zero-point model holding the ground object facts.
-    FiniteModel facts;
-    facts.vocab = db.vocab;
-    facts.object_names = db.object_names;
-    for (const ProperAtom& atom : db.other_atoms) {
-      bool pure_object = true;
-      for (const Term& term : atom.args) {
-        if (term.sort == Sort::kOrder) {
-          pure_object = false;
-          break;
-        }
-      }
-      if (pure_object) facts.other_facts.push_back(atom);
-    }
-    if (!Satisfies(facts, object_part)) return std::nullopt;
-  }
-  return reduced;
+  // Historical CLI shorthands, kept so existing scripts don't break.
+  if (name == "paths") return EngineKind::kPathDecomposition;
+  if (name == "disjunctive") return EngineKind::kDisjunctiveSearch;
+  return std::nullopt;
 }
-
-// Picks the first minimal model (used as a countermodel for the empty
-// disjunction).
-FiniteModel FirstMinimalModel(const NormDb& db) {
-  FiniteModel model;
-  ModelVisitor visitor;
-  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
-    model = BuildMinimalModel(db, groups);
-    return false;
-  };
-  ForEachMinimalModel(db, visitor);
-  return model;
-}
-
-}  // namespace
-
-namespace {
-
-// The instance after the Section 2 / Section 7 preprocessing pipeline:
-// a normalized database plus the effective normalized query with object
-// components evaluated away.
-struct PreparedInstance {
-  NormDb ndb;
-  NormQuery query;
-};
-
-Result<PreparedInstance> PrepareInstance(const Database& db,
-                                         const Query& query,
-                                         const EntailOptions& options) {
-  // Step 1: constant elimination.
-  Database working_db = db;
-  Query working_query = query;
-  if (query.HasConstants()) {
-    Result<ConstantFreePair> pair = EliminateConstants(db, query);
-    if (!pair.ok()) return pair.status();
-    working_db = std::move(pair.value().db);
-    working_query = std::move(pair.value().query);
-  }
-
-  // Step 2: query inequality rewriting (Section 7). Mandatory for the Z/Q
-  // reductions; otherwise done when it fits the budget so the monadic
-  // engines can apply.
-  bool has_inequalities = false;
-  for (const QueryConjunct& conjunct : working_query.disjuncts()) {
-    if (!conjunct.inequalities.empty()) has_inequalities = true;
-  }
-  if (has_inequalities) {
-    Result<Query> rewritten =
-        RewriteInequalities(working_query, options.max_rewritten_disjuncts);
-    if (rewritten.ok()) {
-      working_query = std::move(rewritten.value());
-    } else if (options.semantics != OrderSemantics::kFinite) {
-      return rewritten.status();  // transforms below need "!="-free queries
-    }
-    // Else: keep the inequalities; the brute-force engine handles them.
-  }
-
-  Result<NormQuery> norm_query = NormalizeQuery(working_query);
-  if (!norm_query.ok()) return norm_query.status();
-  NormQuery effective_query = std::move(norm_query.value());
-
-  // Step 3: reduce the semantics to finite models. Tight queries need no
-  // transformation (Proposition 2.2).
-  if (options.semantics != OrderSemantics::kFinite &&
-      !effective_query.IsTight()) {
-    if (options.semantics == OrderSemantics::kInteger) {
-      working_db = AddIntegerSentinels(working_db,
-                                       effective_query.MaxOrderVars());
-    } else {
-      effective_query = RationalTransform(effective_query);
-    }
-  }
-
-  Result<NormDb> norm_db = Normalize(working_db);
-  if (!norm_db.ok()) return norm_db.status();
-  const NormDb& ndb = norm_db.value();
-
-  // Step 4: evaluate and strip object-only components per disjunct.
-  NormQuery split_query;
-  split_query.vocab = effective_query.vocab;
-  split_query.trivially_true = effective_query.trivially_true;
-  for (const NormConjunct& conjunct : effective_query.disjuncts) {
-    std::optional<NormConjunct> reduced = SplitObjectPart(ndb, conjunct);
-    if (!reduced.has_value()) continue;  // disjunct false in every model
-    if (reduced->IsEmpty()) split_query.trivially_true = true;
-    split_query.disjuncts.push_back(std::move(*reduced));
-  }
-  return PreparedInstance{std::move(norm_db.value()),
-                          std::move(split_query)};
-}
-
-}  // namespace
 
 Result<EntailResult> Entails(const Database& db, const Query& query,
                              const EntailOptions& options) {
-  Result<PreparedInstance> prepared = PrepareInstance(db, query, options);
+  Result<PreparedQuery> prepared = Prepare(query.vocab(), query, options);
   if (!prepared.ok()) return prepared.status();
-  const NormDb& ndb = prepared.value().ndb;
-  const NormQuery& split_query = prepared.value().query;
-
-  EntailResult result;
-  if (split_query.trivially_true) {
-    result.entailed = true;
-    result.engine_used = EngineKind::kAuto;
-    return result;
-  }
-  if (split_query.disjuncts.empty()) {
-    // The query reduced to FALSE: any minimal model is a countermodel.
-    result.entailed = false;
-    result.engine_used = EngineKind::kAuto;
-    if (options.want_countermodel) {
-      result.countermodel = FirstMinimalModel(ndb);
-    }
-    return result;
-  }
-
-  // Step 5: dispatch. The conjunctive engines need an inequality-free
-  // database; the Theorem 5.3 engine handles database inequalities via
-  // the Section 7 sorting modification.
-  const bool monadic_ok = split_query.IsMonadicOrderOnly();
-  const bool db_neq_free = ndb.inequalities.empty();
-  const bool conjunctive = split_query.IsConjunctive();
-
-  EngineKind engine = options.engine;
-  if (engine == EngineKind::kAuto) {
-    engine = monadic_ok ? ((conjunctive && db_neq_free)
-                               ? EngineKind::kBoundedWidth
-                               : EngineKind::kDisjunctiveSearch)
-                        : EngineKind::kBruteForce;
-  } else if (engine == EngineKind::kPathDecomposition ||
-             engine == EngineKind::kBoundedWidth) {
-    if (!monadic_ok || !conjunctive || !db_neq_free) {
-      return Status::Unsupported(
-          "conjunctive monadic engine requested for a non-conjunctive, "
-          "non-monadic, or inequality-carrying instance");
-    }
-  } else if (engine == EngineKind::kDisjunctiveSearch) {
-    if (!monadic_ok) {
-      return Status::Unsupported(
-          "disjunctive monadic engine requested for a non-monadic instance");
-    }
-  }
-  result.engine_used = engine;
-
-  switch (engine) {
-    case EngineKind::kBruteForce: {
-      BruteForceOutcome outcome = EntailBruteForce(ndb, split_query);
-      result.entailed = outcome.entailed;
-      result.models_enumerated = outcome.models_enumerated;
-      if (options.want_countermodel) {
-        result.countermodel = std::move(outcome.countermodel);
-      }
-      break;
-    }
-    case EngineKind::kPathDecomposition: {
-      PathEngineOutcome outcome =
-          EntailByPaths(ndb, split_query.disjuncts[0]);
-      result.entailed = outcome.entailed;
-      result.states_visited = outcome.paths_checked;
-      if (!result.entailed && options.want_countermodel) {
-        // The path engine proves non-entailment without a witness; the
-        // bounded-width engine reconstructs one.
-        BoundedWidthOutcome witness =
-            EntailBoundedWidth(ndb, split_query.disjuncts[0], true);
-        IODB_CHECK(!witness.entailed);
-        result.countermodel = std::move(witness.countermodel);
-      }
-      break;
-    }
-    case EngineKind::kBoundedWidth: {
-      BoundedWidthOutcome outcome = EntailBoundedWidth(
-          ndb, split_query.disjuncts[0], options.want_countermodel);
-      result.entailed = outcome.entailed;
-      result.states_visited = outcome.states_visited;
-      if (options.want_countermodel) {
-        result.countermodel = std::move(outcome.countermodel);
-      }
-      break;
-    }
-    case EngineKind::kDisjunctiveSearch: {
-      DisjunctiveOutcome outcome = EntailDisjunctive(ndb, split_query);
-      result.entailed = outcome.entailed;
-      result.states_visited = outcome.states_visited;
-      if (options.want_countermodel) {
-        result.countermodel = std::move(outcome.countermodel);
-      }
-      break;
-    }
-    case EngineKind::kAuto:
-      IODB_CHECK(false);  // resolved above
-  }
-  return result;
+  return prepared.value().Evaluate(db);
 }
 
 bool MustEntail(const Database& db, const Query& query,
@@ -330,36 +51,9 @@ Result<long long> EnumerateCountermodels(
     const Database& db, const Query& query,
     const std::function<bool(const FiniteModel&)>& on_countermodel,
     const EntailOptions& options) {
-  IODB_CHECK(on_countermodel != nullptr);
-  Result<PreparedInstance> prepared = PrepareInstance(db, query, options);
+  Result<PreparedQuery> prepared = Prepare(query.vocab(), query, options);
   if (!prepared.ok()) return prepared.status();
-  const NormDb& ndb = prepared.value().ndb;
-  const NormQuery& split_query = prepared.value().query;
-
-  if (split_query.trivially_true) return 0;  // no model falsifies TRUE
-
-  long long reported = 0;
-  if (split_query.IsMonadicOrderOnly() && !split_query.disjuncts.empty()) {
-    DisjunctiveOptions engine_options;
-    engine_options.on_countermodel = [&](const FiniteModel& model) {
-      ++reported;
-      return on_countermodel(model);
-    };
-    EntailDisjunctive(ndb, split_query, engine_options);
-    return reported;
-  }
-
-  // Generic fallback (n-ary predicates or the FALSE query): enumerate the
-  // minimal models and filter.
-  ModelVisitor visitor;
-  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
-    FiniteModel model = BuildMinimalModel(ndb, groups);
-    if (Satisfies(model, split_query)) return true;
-    ++reported;
-    return on_countermodel(model);
-  };
-  ForEachMinimalModel(ndb, visitor);
-  return reported;
+  return prepared.value().EnumerateCountermodels(db, on_countermodel);
 }
 
 }  // namespace iodb

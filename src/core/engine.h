@@ -1,17 +1,13 @@
 // The unified entailment API.
 //
-// `Entails` pipelines the paper's reductions and picks the best algorithm:
-//   1. constants are eliminated (Section 2's marker-predicate trick);
-//   2. the requested order semantics is reduced to finite models
-//      (Propositions 2.2/2.3, Corollary 2.6);
-//   3. query inequalities are rewritten into disjunctions when a monadic
-//      engine can then apply (Section 7);
-//   4. per disjunct, atom components touching no order variable are
-//      evaluated directly against the ground facts (the object/order
-//      split discussed at the start of Section 4) and removed;
-//   5. dispatch: conjunctive monadic -> Theorem 4.7 engine; disjunctive
-//      monadic -> Theorem 5.3 engine; everything else (n-ary predicates,
-//      database inequalities) -> brute-force minimal-model search.
+// `Entails` is a thin wrapper over the pass-based query-compilation
+// pipeline of core/prepare.h: it compiles the query once with `Prepare()`
+// (constant elimination, inequality rewriting, normalization, semantics
+// reduction, object/order split, engine classification) and evaluates the
+// resulting plan against the database. Callers that ask the same query
+// repeatedly should hold a `PreparedQuery` instead and call `Evaluate()`
+// / `EvaluateBatch()` directly — the compilation happens once and the
+// database's normalized view is memoized (Database::NormView).
 
 #ifndef IODB_CORE_ENGINE_H_
 #define IODB_CORE_ENGINE_H_
@@ -39,6 +35,12 @@ enum class EngineKind {
 
 /// Returns a short name, e.g. "bounded-width".
 const char* EngineKindName(EngineKind kind);
+
+/// Parses an engine name back into its kind: the exact strings produced
+/// by EngineKindName() round-trip, and the historical CLI shorthands
+/// "paths" / "disjunctive" are accepted. Returns nullopt for anything
+/// else.
+std::optional<EngineKind> ParseEngineKind(const std::string& name);
 
 /// Options for Entails().
 struct EntailOptions {

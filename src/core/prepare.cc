@@ -1,0 +1,569 @@
+#include "core/prepare.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "core/entail_bounded_width.h"
+#include "core/entail_bruteforce.h"
+#include "core/entail_disjunctive.h"
+#include "core/entail_paths.h"
+#include "core/inequality.h"
+#include "core/minimal_models.h"
+#include "core/model_check.h"
+#include "core/semantics.h"
+
+namespace iodb {
+
+const char* QueryPassName(QueryPassId id) {
+  switch (id) {
+    case QueryPassId::kConstantElimination:
+      return "constant-elimination";
+    case QueryPassId::kInequalityRewrite:
+      return "inequality-rewrite";
+    case QueryPassId::kNormalize:
+      return "normalize";
+    case QueryPassId::kSemanticsReduction:
+      return "semantics-reduction";
+    case QueryPassId::kObjectSplit:
+      return "object-split";
+    case QueryPassId::kEngineClassification:
+      return "engine-classification";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Union-find over the variables of one conjunct.
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(int n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int Find(int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent[Find(a)] = Find(b); }
+};
+
+// The static half of the object/order split (Section 4): carves the atom
+// components of `conjunct` that touch no order variable into an
+// object-only sub-conjunct. Whether that sub-conjunct holds in a concrete
+// database is decided at evaluation time.
+struct SplitConjunct {
+  NormConjunct reduced;
+  std::optional<NormConjunct> object_part;
+};
+
+SplitConjunct SplitObjectComponents(const NormConjunct& conjunct) {
+  const int nv = conjunct.num_order_vars();
+  const int no = conjunct.num_object_vars();
+  if (no == 0) return {conjunct, std::nullopt};  // nothing to split
+
+  UnionFind uf(nv + no);
+  auto node = [&](const Term& term) {
+    return term.sort == Sort::kOrder ? term.id : nv + term.id;
+  };
+  for (const ProperAtom& atom : conjunct.other_atoms) {
+    for (size_t i = 1; i < atom.args.size(); ++i) {
+      uf.Union(node(atom.args[0]), node(atom.args[i]));
+    }
+  }
+  for (const LabeledEdge& e : conjunct.dag.edges()) uf.Union(e.from, e.to);
+  for (const auto& [u, v] : conjunct.inequalities) uf.Union(u, v);
+
+  std::vector<bool> component_has_order(nv + no, false);
+  for (int t = 0; t < nv; ++t) component_has_order[uf.Find(t)] = true;
+
+  // Build the object-only sub-conjunct and the reduced conjunct.
+  NormConjunct object_part;
+  NormConjunct reduced = conjunct;
+  reduced.object_var_names.clear();
+  reduced.other_atoms.clear();
+  std::vector<int> remap(no, -1);
+  for (int x = 0; x < no; ++x) {
+    if (component_has_order[uf.Find(nv + x)]) {
+      remap[x] = static_cast<int>(reduced.object_var_names.size());
+      reduced.object_var_names.push_back(conjunct.object_var_names[x]);
+    } else {
+      object_part.object_var_names.push_back(conjunct.object_var_names[x]);
+    }
+  }
+  std::vector<int> object_remap(no, -1);
+  {
+    int next = 0;
+    for (int x = 0; x < no; ++x) {
+      if (remap[x] == -1) object_remap[x] = next++;
+    }
+  }
+  for (const ProperAtom& atom : conjunct.other_atoms) {
+    bool order_side = component_has_order[uf.Find(node(atom.args[0]))];
+    ProperAtom mapped = atom;
+    for (Term& term : mapped.args) {
+      if (term.sort == Sort::kObject) {
+        term.id = order_side ? remap[term.id] : object_remap[term.id];
+        IODB_CHECK_NE(term.id, -1);
+      }
+    }
+    (order_side ? reduced.other_atoms : object_part.other_atoms)
+        .push_back(std::move(mapped));
+  }
+
+  if (object_part.num_object_vars() > 0 || !object_part.other_atoms.empty()) {
+    return {std::move(reduced), std::move(object_part)};
+  }
+  return {std::move(reduced), std::nullopt};
+}
+
+// The zero-point model holding the ground object facts of `db`, against
+// which stripped object parts are checked.
+FiniteModel GroundObjectFacts(const NormDb& db) {
+  FiniteModel facts;
+  facts.vocab = db.vocab;
+  facts.object_names = db.object_names;
+  for (const ProperAtom& atom : db.other_atoms) {
+    bool pure_object = true;
+    for (const Term& term : atom.args) {
+      if (term.sort == Sort::kOrder) {
+        pure_object = false;
+        break;
+      }
+    }
+    if (pure_object) facts.other_facts.push_back(atom);
+  }
+  return facts;
+}
+
+// Picks the first minimal model (used as a countermodel for the empty
+// disjunction).
+FiniteModel FirstMinimalModel(const NormDb& db) {
+  FiniteModel model;
+  ModelVisitor visitor;
+  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    model = BuildMinimalModel(db, groups);
+    return false;
+  };
+  ForEachMinimalModel(db, visitor);
+  return model;
+}
+
+std::string Plural(size_t n, const char* noun) {
+  return std::to_string(n) + " " + noun + "(s)";
+}
+
+}  // namespace
+
+Result<PreparedQuery> Prepare(const VocabularyPtr& vocab, const Query& query,
+                              const EntailOptions& options) {
+  IODB_CHECK(vocab != nullptr);
+  IODB_CHECK(vocab == query.vocab());
+  PreparedQuery plan;
+  plan.vocab_ = vocab;
+  plan.options_ = options;
+
+  // Pass 1: constant elimination (query side; the marker facts are
+  // recorded for evaluation-time injection).
+  Query working_query = query;
+  {
+    PassRecord record{QueryPassId::kConstantElimination, false, ""};
+    if (query.HasConstants()) {
+      Result<ConstantShift> shift = ShiftConstants(query);
+      if (!shift.ok()) return shift.status();
+      working_query = std::move(shift.value().query);
+      plan.markers_ = std::move(shift.value().markers);
+      record.applied = true;
+      record.detail = Plural(plan.markers_.size(), "constant") +
+                      " -> marker atoms";
+    } else {
+      record.detail = "no constants";
+    }
+    plan.passes_.push_back(std::move(record));
+  }
+
+  // Pass 2: query inequality rewriting (Section 7). Mandatory for the Z/Q
+  // reductions; otherwise done when it fits the budget so the monadic
+  // engines can apply.
+  {
+    PassRecord record{QueryPassId::kInequalityRewrite, false, ""};
+    bool has_inequalities = false;
+    for (const QueryConjunct& conjunct : working_query.disjuncts()) {
+      if (!conjunct.inequalities.empty()) has_inequalities = true;
+    }
+    if (has_inequalities) {
+      Result<Query> rewritten =
+          RewriteInequalities(working_query, options.max_rewritten_disjuncts);
+      if (rewritten.ok()) {
+        record.applied = true;
+        record.detail = Plural(working_query.disjuncts().size(), "disjunct") +
+                        " -> " +
+                        Plural(rewritten.value().disjuncts().size(),
+                               "disjunct");
+        working_query = std::move(rewritten.value());
+      } else if (options.semantics != OrderSemantics::kFinite) {
+        return rewritten.status();  // transforms below need "!="-free queries
+      } else {
+        // Keep the inequalities; the brute-force engine handles them.
+        record.detail = "budget exceeded; kept for brute force";
+      }
+    } else {
+      record.detail = "no query inequalities";
+    }
+    plan.passes_.push_back(std::move(record));
+  }
+
+  // Pass 3: normalization (rules N1/N2, dag + label views).
+  NormQuery effective_query;
+  {
+    const size_t surface_disjuncts = working_query.disjuncts().size();
+    Result<NormQuery> norm_query = NormalizeQuery(working_query);
+    if (!norm_query.ok()) return norm_query.status();
+    effective_query = std::move(norm_query.value());
+    PassRecord record{QueryPassId::kNormalize, true, ""};
+    record.detail = "kept " +
+                    std::to_string(effective_query.disjuncts.size()) + " of " +
+                    Plural(surface_disjuncts, "disjunct");
+    if (effective_query.trivially_true) record.detail += "; trivially true";
+    plan.passes_.push_back(std::move(record));
+  }
+
+  // Pass 4: reduce the semantics to finite models. Tight queries need no
+  // transformation (Proposition 2.2).
+  {
+    PassRecord record{QueryPassId::kSemanticsReduction, false, ""};
+    if (options.semantics == OrderSemantics::kFinite) {
+      record.detail = "finite semantics";
+    } else if (effective_query.IsTight()) {
+      record.detail = "tight query (Proposition 2.2)";
+    } else if (options.semantics == OrderSemantics::kInteger) {
+      plan.needs_sentinels_ = true;
+      plan.sentinel_vars_ = effective_query.MaxOrderVars();
+      record.applied = true;
+      record.detail = "integer: sentinel chains of length " +
+                      std::to_string(plan.sentinel_vars_);
+    } else {
+      effective_query = RationalTransform(effective_query);
+      record.applied = true;
+      record.detail = "rational: full closure + drop non-proper variables";
+    }
+    plan.passes_.push_back(std::move(record));
+  }
+
+  plan.trivially_true_ = effective_query.trivially_true;
+
+  // Pass 5: object/order split (static half; ground-fact filtering is the
+  // evaluation-time half).
+  {
+    size_t with_object_part = 0;
+    for (NormConjunct& conjunct : effective_query.disjuncts) {
+      SplitConjunct split = SplitObjectComponents(conjunct);
+      DisjunctPlan entry;
+      entry.reduced = std::move(split.reduced);
+      entry.object_part = std::move(split.object_part);
+      if (entry.object_part.has_value()) ++with_object_part;
+      plan.disjuncts_.push_back(std::move(entry));
+    }
+    PassRecord record{QueryPassId::kObjectSplit, with_object_part > 0, ""};
+    record.detail = with_object_part > 0
+                        ? Plural(with_object_part, "disjunct") +
+                              " carry an object-only component"
+                        : "no object-only components";
+    plan.passes_.push_back(std::move(record));
+  }
+
+  // Pass 6: engine classification (static; the db-dependent demotions —
+  // database inequalities, ground-fact filtering — happen at Evaluate).
+  {
+    bool all_monadic = true;
+    for (DisjunctPlan& entry : plan.disjuncts_) {
+      entry.monadic_order_only = entry.reduced.IsMonadicOrderOnly();
+      entry.order_vars = entry.reduced.num_order_vars();
+      entry.width = entry.reduced.Width();
+      entry.engine = entry.monadic_order_only ? EngineKind::kBoundedWidth
+                                              : EngineKind::kBruteForce;
+      all_monadic = all_monadic && entry.monadic_order_only;
+    }
+    if (options.engine != EngineKind::kAuto) {
+      plan.planned_engine_ = options.engine;
+    } else if (!all_monadic) {
+      plan.planned_engine_ = EngineKind::kBruteForce;
+    } else {
+      plan.planned_engine_ = plan.disjuncts_.size() == 1
+                                 ? EngineKind::kBoundedWidth
+                                 : EngineKind::kDisjunctiveSearch;
+    }
+    PassRecord record{QueryPassId::kEngineClassification, true, ""};
+    record.detail = std::string("planned engine: ") +
+                    EngineKindName(plan.planned_engine_);
+    plan.passes_.push_back(std::move(record));
+  }
+
+  // With no object parts, ground-fact filtering never drops a disjunct,
+  // so the assembled query is database-independent: build it once here
+  // and let every evaluation borrow it.
+  bool any_object_part = false;
+  for (const DisjunctPlan& entry : plan.disjuncts_) {
+    any_object_part = any_object_part || entry.object_part.has_value();
+  }
+  if (!any_object_part) {
+    NormQuery split_query;
+    split_query.vocab = plan.vocab_;
+    split_query.trivially_true = plan.trivially_true_;
+    for (const DisjunctPlan& entry : plan.disjuncts_) {
+      if (entry.reduced.IsEmpty()) split_query.trivially_true = true;
+      split_query.disjuncts.push_back(entry.reduced);
+    }
+    plan.static_split_ = std::move(split_query);
+  }
+
+  return plan;
+}
+
+PreparedQuery MustPrepare(const VocabularyPtr& vocab, const Query& query,
+                          const EntailOptions& options) {
+  Result<PreparedQuery> plan = Prepare(vocab, query, options);
+  IODB_CHECK(plan.ok());
+  return std::move(plan.value());
+}
+
+Result<const NormDb*> PreparedQuery::NormDbFor(const Database& db) const {
+  // Predicate ids in the compiled disjuncts are only meaningful against
+  // the vocabulary the query was prepared with; a mismatch would produce
+  // silently wrong verdicts.
+  if (db.vocab() != vocab_) {
+    return Status::InvalidArgument(
+        "database and prepared query use different vocabularies");
+  }
+  if (!NeedsDbTransform()) return db.NormView();
+
+  auto it = transform_cache_.find(db.uid());
+  const bool was_present = it != transform_cache_.end();
+  if (was_present && it->second->revision == db.revision()) {
+    const Result<NormDb>& cached = it->second->ndb;
+    if (!cached.ok()) return cached.status();
+    return &cached.value();
+  }
+
+  Database working = db;
+  for (const ConstantShift::Marker& marker : markers_) {
+    int cid = working.GetOrAddConstant(marker.constant, marker.sort);
+    working.AddProperAtom(marker.pred, {{marker.sort, cid}});
+  }
+  if (needs_sentinels_) {
+    working = AddIntegerSentinels(working, sentinel_vars_);
+  }
+  if (!was_present && transform_cache_.size() >= kMaxTransformCacheEntries) {
+    transform_cache_.clear();
+  }
+  auto entry = std::make_shared<const TransformCache>(
+      TransformCache{db.revision(), Normalize(working)});
+  transform_cache_[db.uid()] = entry;
+  if (!entry->ndb.ok()) return entry->ndb.status();
+  return &entry->ndb.value();
+}
+
+std::optional<NormQuery> PreparedQuery::AssembleSplitQuery(
+    const NormDb& ndb) const {
+  if (static_split_.has_value()) return std::nullopt;  // precomputed
+  NormQuery split_query;
+  split_query.vocab = vocab_;
+  split_query.trivially_true = trivially_true_;
+  std::optional<FiniteModel> facts;  // built lazily, shared by disjuncts
+  for (const DisjunctPlan& entry : disjuncts_) {
+    if (entry.object_part.has_value()) {
+      if (!facts.has_value()) facts = GroundObjectFacts(ndb);
+      // Object component false in `ndb`: the disjunct is false in every
+      // model of the database.
+      if (!Satisfies(*facts, *entry.object_part)) continue;
+    }
+    if (entry.reduced.IsEmpty()) split_query.trivially_true = true;
+    split_query.disjuncts.push_back(entry.reduced);
+  }
+  return split_query;
+}
+
+Result<EntailResult> PreparedQuery::Evaluate(const Database& db) const {
+  Result<const NormDb*> view = NormDbFor(db);
+  if (!view.ok()) return view.status();
+  const NormDb& ndb = *view.value();
+  const std::optional<NormQuery> assembled = AssembleSplitQuery(ndb);
+  const NormQuery& split_query =
+      assembled.has_value() ? *assembled : *static_split_;
+
+  EntailResult result;
+  if (split_query.trivially_true) {
+    result.entailed = true;
+    result.engine_used = EngineKind::kAuto;
+    return result;
+  }
+  if (split_query.disjuncts.empty()) {
+    // The query reduced to FALSE: any minimal model is a countermodel.
+    result.entailed = false;
+    result.engine_used = EngineKind::kAuto;
+    if (options_.want_countermodel) {
+      result.countermodel = FirstMinimalModel(ndb);
+    }
+    return result;
+  }
+
+  // Dispatch. The conjunctive engines need an inequality-free database;
+  // the Theorem 5.3 engine handles database inequalities via the
+  // Section 7 sorting modification.
+  const bool monadic_ok = split_query.IsMonadicOrderOnly();
+  const bool db_neq_free = ndb.inequalities.empty();
+  const bool conjunctive = split_query.IsConjunctive();
+
+  EngineKind engine = options_.engine;
+  if (engine == EngineKind::kAuto) {
+    engine = monadic_ok ? ((conjunctive && db_neq_free)
+                               ? EngineKind::kBoundedWidth
+                               : EngineKind::kDisjunctiveSearch)
+                        : EngineKind::kBruteForce;
+  } else if (engine == EngineKind::kPathDecomposition ||
+             engine == EngineKind::kBoundedWidth) {
+    if (!monadic_ok || !conjunctive || !db_neq_free) {
+      return Status::Unsupported(
+          "conjunctive monadic engine requested for a non-conjunctive, "
+          "non-monadic, or inequality-carrying instance");
+    }
+  } else if (engine == EngineKind::kDisjunctiveSearch) {
+    if (!monadic_ok) {
+      return Status::Unsupported(
+          "disjunctive monadic engine requested for a non-monadic instance");
+    }
+  }
+  result.engine_used = engine;
+
+  switch (engine) {
+    case EngineKind::kBruteForce: {
+      BruteForceOutcome outcome = EntailBruteForce(ndb, split_query);
+      result.entailed = outcome.entailed;
+      result.models_enumerated = outcome.models_enumerated;
+      if (options_.want_countermodel) {
+        result.countermodel = std::move(outcome.countermodel);
+      }
+      break;
+    }
+    case EngineKind::kPathDecomposition: {
+      PathEngineOutcome outcome =
+          EntailByPaths(ndb, split_query.disjuncts[0]);
+      result.entailed = outcome.entailed;
+      result.states_visited = outcome.paths_checked;
+      if (!result.entailed && options_.want_countermodel) {
+        // The path engine proves non-entailment without a witness; the
+        // bounded-width engine reconstructs one.
+        BoundedWidthOutcome witness =
+            EntailBoundedWidth(ndb, split_query.disjuncts[0], true);
+        IODB_CHECK(!witness.entailed);
+        result.countermodel = std::move(witness.countermodel);
+      }
+      break;
+    }
+    case EngineKind::kBoundedWidth: {
+      BoundedWidthOutcome outcome = EntailBoundedWidth(
+          ndb, split_query.disjuncts[0], options_.want_countermodel);
+      result.entailed = outcome.entailed;
+      result.states_visited = outcome.states_visited;
+      if (options_.want_countermodel) {
+        result.countermodel = std::move(outcome.countermodel);
+      }
+      break;
+    }
+    case EngineKind::kDisjunctiveSearch: {
+      DisjunctiveOutcome outcome = EntailDisjunctive(ndb, split_query);
+      result.entailed = outcome.entailed;
+      result.states_visited = outcome.states_visited;
+      if (options_.want_countermodel) {
+        result.countermodel = std::move(outcome.countermodel);
+      }
+      break;
+    }
+    case EngineKind::kAuto:
+      IODB_CHECK(false);  // resolved above
+  }
+  return result;
+}
+
+std::vector<Result<EntailResult>> PreparedQuery::EvaluateBatch(
+    std::span<const Database* const> dbs) const {
+  std::vector<Result<EntailResult>> results;
+  results.reserve(dbs.size());
+  for (const Database* db : dbs) {
+    IODB_CHECK(db != nullptr);
+    results.push_back(Evaluate(*db));
+  }
+  return results;
+}
+
+Result<long long> PreparedQuery::EnumerateCountermodels(
+    const Database& db,
+    const std::function<bool(const FiniteModel&)>& on_countermodel) const {
+  IODB_CHECK(on_countermodel != nullptr);
+  Result<const NormDb*> view = NormDbFor(db);
+  if (!view.ok()) return view.status();
+  const NormDb& ndb = *view.value();
+  const std::optional<NormQuery> assembled = AssembleSplitQuery(ndb);
+  const NormQuery& split_query =
+      assembled.has_value() ? *assembled : *static_split_;
+
+  if (split_query.trivially_true) return 0;  // no model falsifies TRUE
+
+  long long reported = 0;
+  if (split_query.IsMonadicOrderOnly() && !split_query.disjuncts.empty()) {
+    DisjunctiveOptions engine_options;
+    engine_options.on_countermodel = [&](const FiniteModel& model) {
+      ++reported;
+      return on_countermodel(model);
+    };
+    EntailDisjunctive(ndb, split_query, engine_options);
+    return reported;
+  }
+
+  // Generic fallback (n-ary predicates or the FALSE query): enumerate the
+  // minimal models and filter.
+  ModelVisitor visitor;
+  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    FiniteModel model = BuildMinimalModel(ndb, groups);
+    if (Satisfies(model, split_query)) return true;
+    ++reported;
+    return on_countermodel(model);
+  };
+  ForEachMinimalModel(ndb, visitor);
+  return reported;
+}
+
+std::string PreparedQuery::Explain() const {
+  auto pad = [](const char* text, size_t width) {
+    std::string out = text;
+    while (out.size() < width) out += ' ';
+    return out;
+  };
+  std::string out = "prepared query: " + Plural(disjuncts_.size(), "disjunct") +
+                    ", semantics=" + OrderSemanticsName(options_.semantics) +
+                    ", engine=" + EngineKindName(options_.engine) + "\n";
+  if (trivially_true_) out += "  (trivially true)\n";
+  out += "passes:\n";
+  for (const PassRecord& record : passes_) {
+    out += "  " + pad(QueryPassName(record.id), 22) +
+           (record.applied ? "applied  " : "no-op    ") + record.detail + "\n";
+  }
+  if (!disjuncts_.empty()) out += "disjuncts:\n";
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    const DisjunctPlan& entry = disjuncts_[i];
+    out += "  #" + std::to_string(i) +
+           " monadic=" + (entry.monadic_order_only ? "yes" : "no") +
+           " order-vars=" + std::to_string(entry.order_vars) +
+           " width=" + std::to_string(entry.width) +
+           (entry.object_part.has_value() ? " object-part=yes" : "") +
+           " engine=" + EngineKindName(entry.engine) + "\n";
+  }
+  out += std::string("dispatch: ") + EngineKindName(planned_engine_) +
+         " (database-dependent filtering may adjust)\n";
+  return out;
+}
+
+}  // namespace iodb

@@ -1,0 +1,215 @@
+// Pass-based query compilation (the compile-once / evaluate-many shape
+// of production query processors, after rdf3x).
+//
+// `Prepare()` runs the database-independent passes of the entailment
+// cascade exactly once over a query:
+//
+//   constant-elimination   constants -> marker-guarded fresh variables
+//                          (Section 2); the marker *facts* are recorded
+//                          for evaluation-time injection
+//   inequality-rewrite     query "!=" atoms -> disjunction blowup
+//                          (Section 7), when it fits the budget
+//   normalize              rules N1/N2, dag + label views per disjunct
+//   semantics-reduction    Z sentinels / Q closure (Propositions 2.2/2.3,
+//                          Corollary 2.6) for nontight queries
+//   object-split           per disjunct, atom components touching no
+//                          order variable are carved off (Section 4);
+//                          checking them against ground facts is the
+//                          evaluation-time half
+//   engine-classification  per-disjunct static engine choice
+//
+// The resulting `PreparedQuery` is an inspectable plan: `Evaluate(db)`
+// finishes the cheap database-dependent work (memoized normalization via
+// Database::NormView, ground-fact filtering, dispatch), `EvaluateBatch`
+// amortizes one plan across many databases, and `Explain()` renders the
+// plan as text. `Entails()` in core/engine.h is a thin wrapper over
+// Prepare + Evaluate, so both paths return identical verdicts and engine
+// choices by construction.
+
+#ifndef IODB_CORE_PREPARE_H_
+#define IODB_CORE_PREPARE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/database.h"
+#include "core/engine.h"
+#include "core/model.h"
+#include "core/query.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// The compilation passes run by Prepare(), in execution order.
+enum class QueryPassId {
+  kConstantElimination,
+  kInequalityRewrite,
+  kNormalize,
+  kSemanticsReduction,
+  kObjectSplit,
+  kEngineClassification,
+};
+
+/// Returns the pass name, e.g. "constant-elimination".
+const char* QueryPassName(QueryPassId id);
+
+/// Provenance: what one pass did to the plan.
+struct PassRecord {
+  QueryPassId id;
+  /// True if the pass transformed the plan; false for a recorded no-op.
+  bool applied = false;
+  /// One-line human-readable note, e.g. "2 constant(s) -> marker atoms".
+  std::string detail;
+};
+
+/// Per-disjunct plan entry: the compiled disjunct plus its static
+/// classification.
+struct DisjunctPlan {
+  /// The disjunct after normalization, semantics reduction and the static
+  /// object/order split (object components disconnected from every order
+  /// variable are stripped).
+  NormConjunct reduced;
+  /// The stripped object-only sub-conjunct, if nonempty. At evaluation
+  /// time a database whose ground object facts falsify it kills the whole
+  /// disjunct.
+  std::optional<NormConjunct> object_part;
+  /// True if `reduced` is in the monadic-order fragment of Sections 4-6.
+  bool monadic_order_only = false;
+  int order_vars = 0;
+  int width = 0;
+  /// The engine this disjunct runs on when it is the only survivor
+  /// against an inequality-free database (the conjunctive case).
+  EngineKind engine = EngineKind::kBruteForce;
+};
+
+/// A compiled entailment query: the output of Prepare(). Cheap to
+/// evaluate repeatedly; copyable; independent of any database (databases
+/// evaluated against must share the plan's vocabulary — a mismatch is an
+/// InvalidArgument error).
+/// NOT thread-safe: Evaluate fills internal caches (and the database's
+/// memoized view) under const, so concurrent use of one plan or one
+/// database needs external synchronization.
+class PreparedQuery {
+ public:
+  /// Decides db |= query. Equivalent to Entails(db, query, options) for
+  /// the prepared (query, options), but all query compilation has already
+  /// happened, and db-side normalization is memoized (Database::NormView
+  /// for plain plans; a per-plan cache keyed by (db.uid, db.revision) for
+  /// plans that must inject marker facts or sentinels).
+  Result<EntailResult> Evaluate(const Database& db) const;
+
+  /// Evaluates the plan against every database of the batch. One plan,
+  /// many stores — the seam for future sharded/parallel evaluation.
+  std::vector<Result<EntailResult>> EvaluateBatch(
+      std::span<const Database* const> dbs) const;
+
+  /// Enumerates the countermodels of the prepared query in `db`; see
+  /// EnumerateCountermodels in core/engine.h for the contract.
+  Result<long long> EnumerateCountermodels(
+      const Database& db,
+      const std::function<bool(const FiniteModel&)>& on_countermodel) const;
+
+  /// Renders the plan: passes with provenance, per-disjunct
+  /// classification, and the planned engine.
+  std::string Explain() const;
+
+  /// Pass provenance, in execution order (one record per pass).
+  const std::vector<PassRecord>& passes() const { return passes_; }
+
+  /// The compiled disjuncts with their static classification.
+  const std::vector<DisjunctPlan>& disjuncts() const { return disjuncts_; }
+
+  /// The options the query was prepared with.
+  const EntailOptions& options() const { return options_; }
+
+  /// True if compilation already proved the query TRUE in every model.
+  bool trivially_true() const { return trivially_true_; }
+
+  /// The statically planned engine: the dispatch choice assuming every
+  /// disjunct survives ground-fact filtering against an inequality-free
+  /// database. Evaluate() reports the actual choice per database.
+  EngineKind planned_engine() const { return planned_engine_; }
+
+  /// Marker facts injected into each evaluated database (the db-side half
+  /// of constant elimination); empty for constant-free queries.
+  const std::vector<ConstantShift::Marker>& markers() const {
+    return markers_;
+  }
+
+ private:
+  PreparedQuery() = default;
+  friend Result<PreparedQuery> Prepare(const VocabularyPtr& vocab,
+                                       const Query& query,
+                                       const EntailOptions& options);
+
+  /// True if Evaluate must transform the database (marker facts or
+  /// integer sentinels) instead of using Database::NormView directly.
+  bool NeedsDbTransform() const {
+    return !markers_.empty() || needs_sentinels_;
+  }
+
+  /// The normalized database the engines run on: the memoized NormView
+  /// for plain plans, a per-plan cached transformed copy otherwise. The
+  /// pointer stays valid until the next Evaluate/mutation.
+  Result<const NormDb*> NormDbFor(const Database& db) const;
+
+  /// Evaluation-time half of the object/order split: drops the disjuncts
+  /// whose object part fails against the ground facts of `ndb`. When no
+  /// disjunct carries an object part the result is database-independent;
+  /// `static_split_` holds it precomputed and this returns nothing.
+  std::optional<NormQuery> AssembleSplitQuery(const NormDb& ndb) const;
+
+  VocabularyPtr vocab_;
+  EntailOptions options_;
+  std::vector<PassRecord> passes_;
+  std::vector<DisjunctPlan> disjuncts_;
+  std::vector<ConstantShift::Marker> markers_;
+  bool needs_sentinels_ = false;
+  int sentinel_vars_ = 0;
+  bool trivially_true_ = false;
+  EngineKind planned_engine_ = EngineKind::kAuto;
+  // The assembled query, precomputed when no disjunct has an object part
+  // (then ground-fact filtering never drops anything, so the split is
+  // database-independent and evaluations skip the per-call rebuild). A
+  // second copy of the reduced conjuncts: plan-sized memory traded for
+  // evaluation-path speed.
+  std::optional<NormQuery> static_split_;
+
+  // Per-database cache of the transformed-and-normalized view for plans
+  // with NeedsDbTransform(), keyed by Database::uid with a revision stamp
+  // (the pair identifies immutable content), so batch rounds over a fleet
+  // amortize the transform per store. Bounded: once full, a miss on a new
+  // database evicts everything, keeping long-lived plans from
+  // accumulating entries for short-lived databases.
+  struct TransformCache {
+    uint64_t revision;
+    Result<NormDb> ndb;
+  };
+  static constexpr size_t kMaxTransformCacheEntries = 64;
+  mutable std::unordered_map<uint64_t,
+                             std::shared_ptr<const TransformCache>>
+      transform_cache_;
+};
+
+/// Compiles (query, options) into a PreparedQuery. `vocab` must be the
+/// query's vocabulary; marker predicates for constant elimination are
+/// registered into it. Fails exactly when the query-side passes of
+/// Entails() fail (malformed query, unknown predicate, inequality-rewrite
+/// budget under Z/Q semantics).
+Result<PreparedQuery> Prepare(const VocabularyPtr& vocab, const Query& query,
+                              const EntailOptions& options = {});
+
+/// Convenience wrapper that aborts on error; for fixtures and examples
+/// where the query is known to be well-formed.
+PreparedQuery MustPrepare(const VocabularyPtr& vocab, const Query& query,
+                          const EntailOptions& options = {});
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_PREPARE_H_

@@ -321,11 +321,12 @@ Result<NormQuery> NormalizeQuery(const Query& query) {
   return norm;
 }
 
-Result<ConstantFreePair> EliminateConstants(const Database& db,
-                                            const Query& query) {
-  Database new_db = db;
-  Query new_query(query.vocab());
+Result<ConstantShift> ShiftConstants(const Query& query) {
+  ConstantShift shift{Query(query.vocab()), {}};
   Vocabulary& vocab = *query.vocab();
+  // constant name -> marker already recorded (markers are per query, not
+  // per conjunct: one fact suffices however often the constant occurs)
+  std::unordered_map<std::string, size_t> marker_index;
 
   for (const QueryConjunct& conjunct : query.disjuncts()) {
     QueryConjunct rewritten = conjunct;
@@ -345,10 +346,10 @@ Result<ConstantFreePair> EliminateConstants(const Database& db,
           return Status::InvalidArgument("constant '" + constant +
                                          "' used with conflicting sorts");
         }
-        // Add the marker fact to the database copy (interning the constant
-        // if the database does not mention it).
-        int cid = new_db.GetOrAddConstant(constant, sort);
-        new_db.AddProperAtom(pred.value(), {{sort, cid}});
+        if (marker_index.find(constant) == marker_index.end()) {
+          marker_index.emplace(constant, shift.markers.size());
+          shift.markers.push_back({constant, sort, pred.value()});
+        }
         rewritten.Exists(var);
         rewritten.Atom(marker, {var});
         it = fresh.emplace(constant, var).first;
@@ -391,9 +392,23 @@ Result<ConstantFreePair> EliminateConstants(const Database& db,
         if (!s.ok()) return s;
       }
     }
-    new_query.AddDisjunct(std::move(rewritten));
+    shift.query.AddDisjunct(std::move(rewritten));
   }
-  return ConstantFreePair{std::move(new_db), std::move(new_query)};
+  return shift;
+}
+
+Result<ConstantFreePair> EliminateConstants(const Database& db,
+                                            const Query& query) {
+  Result<ConstantShift> shift = ShiftConstants(query);
+  if (!shift.ok()) return shift.status();
+  Database new_db = db;
+  for (const ConstantShift::Marker& marker : shift.value().markers) {
+    // Intern the constant if the database does not mention it.
+    int cid = new_db.GetOrAddConstant(marker.constant, marker.sort);
+    new_db.AddProperAtom(marker.pred, {{marker.sort, cid}});
+  }
+  return ConstantFreePair{std::move(new_db),
+                          std::move(shift.value().query)};
 }
 
 NormConjunct FullClosure(const NormConjunct& conjunct) {

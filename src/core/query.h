@@ -164,10 +164,29 @@ struct NormQuery {
 /// arity mismatches, or conflicting sort usage.
 Result<NormQuery> NormalizeQuery(const Query& query);
 
-/// The standard constant-elimination construction (Section 2): each
-/// constant u occurring in `query` is replaced by a fresh variable t plus
-/// a marker atom @is_u(t), and the fact @is_u(u) is added to a copy of
-/// `db`. Returns the rewritten pair; entailment is preserved.
+/// The query-side half of the constant-elimination construction
+/// (Section 2): each constant u occurring in `query` is replaced by a
+/// fresh variable t guarded by a marker atom @is_u(t), with the marker
+/// predicates registered in the query's vocabulary. The database-side
+/// half — asserting the fact @is_u(u) — is returned as `markers`, one per
+/// distinct constant, so callers can inject it into any database the
+/// rewritten query is later evaluated against (see PreparedQuery).
+struct ConstantShift {
+  /// A marker fact @is_<constant>(<constant>) to add to the database.
+  struct Marker {
+    std::string constant;
+    Sort sort;
+    int pred;  // the @is_<constant> predicate id
+  };
+
+  Query query;
+  std::vector<Marker> markers;
+};
+Result<ConstantShift> ShiftConstants(const Query& query);
+
+/// The full constant-elimination construction: ShiftConstants on the
+/// query plus the marker facts added to a copy of `db`. Returns the
+/// rewritten pair; entailment is preserved.
 struct ConstantFreePair {
   Database db;
   Query query;

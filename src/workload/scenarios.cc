@@ -80,9 +80,26 @@ EspionageScenario MakeEspionageScenario() {
   return scenario;
 }
 
+EspionagePlans PrepareEspionagePlans(const EspionageScenario& scenario) {
+  EntailOptions dense;
+  dense.semantics = OrderSemantics::kRational;
+  return EspionagePlans{
+      MustPrepare(scenario.vocab, scenario.integrity, dense),
+      MustPrepare(scenario.vocab, scenario.twice_a, dense),
+      MustPrepare(scenario.vocab, scenario.twice_b, dense),
+      MustPrepare(scenario.vocab, scenario.twice_either, dense),
+      MustPrepare(scenario.vocab, scenario.twice_someone, dense)};
+}
+
 SchedulingScenario MakeSchedulingScenario(int num_workers,
                                           int tasks_per_worker, Rng& rng) {
-  auto vocab = std::make_shared<Vocabulary>();
+  return MakeSchedulingScenario(num_workers, tasks_per_worker, rng,
+                                std::make_shared<Vocabulary>());
+}
+
+SchedulingScenario MakeSchedulingScenario(int num_workers,
+                                          int tasks_per_worker, Rng& rng,
+                                          VocabularyPtr vocab) {
   for (const char* pred : {"Acquire", "Compute", "Release"}) {
     vocab->MustAddPredicate(pred, {Sort::kOrder});
   }
@@ -114,6 +131,10 @@ SchedulingScenario MakeSchedulingScenario(int num_workers,
   conjunct.Order("t1", OrderRel::kLt, "t2");
   conjunct.Atom("Acquire", {"t2"});
   return scenario;
+}
+
+PreparedQuery PrepareForbiddenPlan(const SchedulingScenario& scenario) {
+  return MustPrepare(scenario.vocab, scenario.forbidden);
 }
 
 }  // namespace iodb

@@ -13,6 +13,7 @@
 #define IODB_WORKLOAD_SCENARIOS_H_
 
 #include "core/database.h"
+#include "core/prepare.h"
 #include "core/query.h"
 #include "util/random.h"
 
@@ -35,6 +36,18 @@ struct EspionageScenario {
 };
 EspionageScenario MakeEspionageScenario();
 
+/// The five scenario queries compiled once under the rational semantics
+/// (time is dense in Example 1.1). This is the repeated-evaluation
+/// fixture: every question against the evolving evidence reuses a plan.
+struct EspionagePlans {
+  PreparedQuery integrity;
+  PreparedQuery twice_a;
+  PreparedQuery twice_b;
+  PreparedQuery twice_either;
+  PreparedQuery twice_someone;
+};
+EspionagePlans PrepareEspionagePlans(const EspionageScenario& scenario);
+
 /// A partially ordered plan: `num_workers` chains of `tasks_per_worker`
 /// steps, each step labelled with one of the monadic step-kind predicates
 /// Acquire / Compute / Release.
@@ -48,6 +61,18 @@ struct SchedulingScenario {
 };
 SchedulingScenario MakeSchedulingScenario(int num_workers,
                                           int tasks_per_worker, Rng& rng);
+
+/// As above, but interning the step-kind predicates into a caller-provided
+/// vocabulary, so a fleet of scenario databases can share one compiled
+/// plan (PreparedQuery::EvaluateBatch).
+SchedulingScenario MakeSchedulingScenario(int num_workers,
+                                          int tasks_per_worker, Rng& rng,
+                                          VocabularyPtr vocab);
+
+/// The forbidden-pattern query of `scenario`, compiled once (finite
+/// semantics). Valid-schedule enumeration and repeated what-if checks
+/// against plan variants all evaluate this one plan.
+PreparedQuery PrepareForbiddenPlan(const SchedulingScenario& scenario);
 
 }  // namespace iodb
 

@@ -217,5 +217,89 @@ TEST(PrinterTest, DotOutput) {
   EXPECT_NE(dot.find("{P}"), std::string::npos);
 }
 
+TEST(NormViewTest, MemoizedUntilMutation) {
+  auto vocab = MakeVocab();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Database db(vocab);
+  db.AddOrder("u", OrderRel::kLt, "v");
+  EXPECT_TRUE(db.AddFact("P", {"u"}).ok());
+  uint64_t revision = db.revision();
+
+  Result<const NormDb*> first = db.NormView();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(db.norm_view_computations(), 1);
+  EXPECT_EQ(first.value()->num_points(), 2);
+  EXPECT_EQ(db.revision(), revision);  // reading does not mutate
+
+  // Back-to-back views reuse the computation: pointer identity.
+  Result<const NormDb*> second = db.NormView();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), first.value());
+  EXPECT_EQ(db.norm_view_computations(), 1);
+
+  // Every mutation kind invalidates: proper atom, order atom, inequality,
+  // bare constant.
+  EXPECT_TRUE(db.AddFact("P", {"v"}).ok());
+  EXPECT_GT(db.revision(), revision);
+  Result<const NormDb*> after_fact = db.NormView();
+  ASSERT_TRUE(after_fact.ok());
+  EXPECT_EQ(db.norm_view_computations(), 2);
+  EXPECT_TRUE(after_fact.value()->labels[1].Contains(0));
+
+  db.AddOrder("v", OrderRel::kLt, "w");
+  ASSERT_TRUE(db.NormView().ok());
+  EXPECT_EQ(db.norm_view_computations(), 3);
+
+  db.AddNotEqual("u", "w");
+  ASSERT_TRUE(db.NormView().ok());
+  EXPECT_EQ(db.norm_view_computations(), 4);
+
+  db.GetOrAddConstant("z", Sort::kOrder);
+  Result<const NormDb*> after_constant = db.NormView();
+  ASSERT_TRUE(after_constant.ok());
+  EXPECT_EQ(db.norm_view_computations(), 5);
+  EXPECT_EQ(after_constant.value()->num_points(), 4);
+
+  // Re-interning an existing constant is a no-op and keeps the view.
+  db.GetOrAddConstant("z", Sort::kOrder);
+  ASSERT_TRUE(db.NormView().ok());
+  EXPECT_EQ(db.norm_view_computations(), 5);
+}
+
+TEST(NormViewTest, FailureMemoizedToo) {
+  Database db(MakeVocab());
+  db.AddOrder("u", OrderRel::kLt, "v");
+  db.AddOrder("v", OrderRel::kLt, "u");
+  EXPECT_FALSE(db.NormView().ok());
+  EXPECT_FALSE(db.NormView().ok());
+  EXPECT_EQ(db.norm_view_computations(), 1);
+}
+
+TEST(NormViewTest, CopiesShareTheViewButNotMutations) {
+  auto vocab = MakeVocab();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Database db(vocab);
+  EXPECT_TRUE(db.AddFact("P", {"u"}).ok());
+  Result<const NormDb*> original = db.NormView();
+  ASSERT_TRUE(original.ok());
+
+  Database copy = db;
+  EXPECT_NE(copy.uid(), db.uid());  // fresh identity
+  // The copy reuses the cached view (identical content, zero recompute)...
+  Result<const NormDb*> copied = copy.NormView();
+  ASSERT_TRUE(copied.ok());
+  EXPECT_EQ(copied.value(), original.value());
+
+  // ...until it diverges; the original's view is untouched.
+  EXPECT_TRUE(copy.AddFact("P", {"w"}).ok());
+  Result<const NormDb*> diverged = copy.NormView();
+  ASSERT_TRUE(diverged.ok());
+  EXPECT_EQ(diverged.value()->num_points(), 2);
+  Result<const NormDb*> still_original = db.NormView();
+  ASSERT_TRUE(still_original.ok());
+  EXPECT_EQ(still_original.value(), original.value());
+  EXPECT_EQ(still_original.value()->num_points(), 1);
+}
+
 }  // namespace
 }  // namespace iodb

@@ -8,6 +8,22 @@
 namespace iodb {
 namespace {
 
+TEST(EngineTest, EngineNamesRoundTrip) {
+  for (EngineKind kind :
+       {EngineKind::kAuto, EngineKind::kBruteForce,
+        EngineKind::kPathDecomposition, EngineKind::kBoundedWidth,
+        EngineKind::kDisjunctiveSearch}) {
+    EXPECT_EQ(ParseEngineKind(EngineKindName(kind)), std::optional(kind));
+  }
+  // Historical CLI shorthands stay accepted.
+  EXPECT_EQ(ParseEngineKind("paths"),
+            std::optional(EngineKind::kPathDecomposition));
+  EXPECT_EQ(ParseEngineKind("disjunctive"),
+            std::optional(EngineKind::kDisjunctiveSearch));
+  EXPECT_EQ(ParseEngineKind("warp-drive"), std::nullopt);
+  EXPECT_EQ(ParseEngineKind(""), std::nullopt);
+}
+
 TEST(EngineTest, AutoPicksBoundedWidthForConjunctiveMonadic) {
   auto vocab = std::make_shared<Vocabulary>();
   Result<Database> db = ParseDatabase("P(u)\nQ(v)\nu < v", vocab);

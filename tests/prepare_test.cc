@@ -1,0 +1,441 @@
+// The query-compilation pipeline (core/prepare.h): pass provenance,
+// static engine classification, Explain() rendering, plan/legacy
+// agreement across the full engine matrix, batch evaluation, and the
+// normalization-cache interplay with Database mutation.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/model_check.h"
+#include "core/parser.h"
+#include "core/prepare.h"
+#include "workload/generators.h"
+#include "workload/scenarios.h"
+
+namespace iodb {
+namespace {
+
+std::optional<PassRecord> FindPass(const PreparedQuery& plan,
+                                   QueryPassId id) {
+  for (const PassRecord& record : plan.passes()) {
+    if (record.id == id) return record;
+  }
+  return std::nullopt;
+}
+
+TEST(PrepareTest, PassProvenanceRecordsEveryPassInOrder) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase("P(u)\nP(v)\nu < v", vocab);
+  ASSERT_TRUE(db.ok());
+  // Constants (u), an inequality, and a non-proper variable (w) under the
+  // rational semantics exercise every pass.
+  Result<Query> query = ParseQuery(
+      "exists t1 t2 w: P(t1) & P(t2) & t1 != t2 & t1 < w & u <= t1", vocab);
+  ASSERT_TRUE(query.ok());
+  EntailOptions dense;
+  dense.semantics = OrderSemantics::kRational;
+  Result<PreparedQuery> plan = Prepare(vocab, query.value(), dense);
+  ASSERT_TRUE(plan.ok());
+
+  const std::vector<QueryPassId> expected_order = {
+      QueryPassId::kConstantElimination, QueryPassId::kInequalityRewrite,
+      QueryPassId::kNormalize,           QueryPassId::kSemanticsReduction,
+      QueryPassId::kObjectSplit,         QueryPassId::kEngineClassification,
+  };
+  ASSERT_EQ(plan.value().passes().size(), expected_order.size());
+  for (size_t i = 0; i < expected_order.size(); ++i) {
+    EXPECT_EQ(plan.value().passes()[i].id, expected_order[i]) << "pass " << i;
+    EXPECT_FALSE(plan.value().passes()[i].detail.empty()) << "pass " << i;
+  }
+
+  EXPECT_TRUE(FindPass(plan.value(), QueryPassId::kConstantElimination)
+                  ->applied);
+  ASSERT_EQ(plan.value().markers().size(), 1u);
+  EXPECT_EQ(plan.value().markers()[0].constant, "u");
+  // t1 != t2 doubles the disjunct.
+  EXPECT_TRUE(FindPass(plan.value(), QueryPassId::kInequalityRewrite)
+                  ->applied);
+  EXPECT_EQ(plan.value().disjuncts().size(), 2u);
+  // The marker atom @is_u(t) makes the rewritten disjuncts nontight, so
+  // the rational reduction applies.
+  EXPECT_TRUE(FindPass(plan.value(), QueryPassId::kSemanticsReduction)
+                  ->applied);
+}
+
+TEST(PrepareTest, NoOpPassesAreRecordedAsNoOps) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase("P(u)\nQ(v)\nu < v", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<Query> query =
+      ParseQuery("exists t1 t2: P(t1) & t1 < t2 & Q(t2)", vocab);
+  ASSERT_TRUE(query.ok());
+  Result<PreparedQuery> plan = Prepare(vocab, query.value());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(FindPass(plan.value(), QueryPassId::kConstantElimination)
+                   ->applied);
+  EXPECT_FALSE(FindPass(plan.value(), QueryPassId::kInequalityRewrite)
+                   ->applied);
+  EXPECT_FALSE(FindPass(plan.value(), QueryPassId::kSemanticsReduction)
+                   ->applied);
+  EXPECT_FALSE(FindPass(plan.value(), QueryPassId::kObjectSplit)->applied);
+  EXPECT_TRUE(plan.value().markers().empty());
+}
+
+TEST(PrepareTest, EngineClassificationMonadicConjunctive) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase("P(u)\nQ(v)\nu < v", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<Query> query =
+      ParseQuery("exists t1 t2: P(t1) & t1 < t2 & Q(t2)", vocab);
+  ASSERT_TRUE(query.ok());
+  Result<PreparedQuery> plan = Prepare(vocab, query.value());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().planned_engine(), EngineKind::kBoundedWidth);
+  ASSERT_EQ(plan.value().disjuncts().size(), 1u);
+  const DisjunctPlan& entry = plan.value().disjuncts()[0];
+  EXPECT_TRUE(entry.monadic_order_only);
+  EXPECT_EQ(entry.order_vars, 2);
+  EXPECT_EQ(entry.width, 1);
+  EXPECT_EQ(entry.engine, EngineKind::kBoundedWidth);
+
+  Result<EntailResult> result = plan.value().Evaluate(db.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().entailed);
+  EXPECT_EQ(result.value().engine_used, EngineKind::kBoundedWidth);
+}
+
+TEST(PrepareTest, EngineClassificationDisjunctive) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db =
+      ParseDatabase("pred P(order)\npred Q(order)\nP(u)\nQ(v)", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<Query> query = ParseQuery("exists t: P(t) | exists s: Q(s)", vocab);
+  ASSERT_TRUE(query.ok());
+  Result<PreparedQuery> plan = Prepare(vocab, query.value());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().planned_engine(), EngineKind::kDisjunctiveSearch);
+  ASSERT_EQ(plan.value().disjuncts().size(), 2u);
+  for (const DisjunctPlan& entry : plan.value().disjuncts()) {
+    EXPECT_TRUE(entry.monadic_order_only);
+    EXPECT_EQ(entry.engine, EngineKind::kBoundedWidth);  // conjunctive case
+  }
+  Result<EntailResult> result = plan.value().Evaluate(db.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().engine_used, EngineKind::kDisjunctiveSearch);
+}
+
+TEST(PrepareTest, EngineClassificationNary) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db =
+      ParseDatabase("pred B(object, order)\nB(a, t1)\nt1 < t2", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<Query> query = ParseQuery("exists x s: B(x, s)", vocab);
+  ASSERT_TRUE(query.ok());
+  Result<PreparedQuery> plan = Prepare(vocab, query.value());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().planned_engine(), EngineKind::kBruteForce);
+  ASSERT_EQ(plan.value().disjuncts().size(), 1u);
+  EXPECT_FALSE(plan.value().disjuncts()[0].monadic_order_only);
+  EXPECT_EQ(plan.value().disjuncts()[0].engine, EngineKind::kBruteForce);
+  Result<EntailResult> result = plan.value().Evaluate(db.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().engine_used, EngineKind::kBruteForce);
+}
+
+TEST(PrepareTest, ObjectSplitRecordedStatically) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase(R"(
+    pred Person(object)
+    pred P(order)
+    Person(alice)
+    P(u)
+    u < v
+  )",
+                                      vocab);
+  ASSERT_TRUE(db.ok());
+  Result<Query> query = ParseQuery("exists x t: Person(x) & P(t)", vocab);
+  ASSERT_TRUE(query.ok());
+  Result<PreparedQuery> plan = Prepare(vocab, query.value());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(FindPass(plan.value(), QueryPassId::kObjectSplit)->applied);
+  ASSERT_EQ(plan.value().disjuncts().size(), 1u);
+  const DisjunctPlan& entry = plan.value().disjuncts()[0];
+  ASSERT_TRUE(entry.object_part.has_value());
+  EXPECT_EQ(entry.object_part->num_object_vars(), 1);
+  // The stripped disjunct is monadic, so the fast engine applies even
+  // though the surface query mentions an object atom.
+  EXPECT_TRUE(entry.monadic_order_only);
+  Result<EntailResult> result = plan.value().Evaluate(db.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().entailed);
+  EXPECT_EQ(result.value().engine_used, EngineKind::kBoundedWidth);
+}
+
+TEST(PrepareTest, ExplainGoldenOutput) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  vocab->MustAddPredicate("Q", {Sort::kOrder});
+  Result<Query> query =
+      ParseQuery("exists t1 t2: P(t1) & t1 < t2 & Q(t2)", vocab);
+  ASSERT_TRUE(query.ok());
+  Result<PreparedQuery> plan = Prepare(vocab, query.value());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().Explain(),
+            "prepared query: 1 disjunct(s), semantics=finite, engine=auto\n"
+            "passes:\n"
+            "  constant-elimination  no-op    no constants\n"
+            "  inequality-rewrite    no-op    no query inequalities\n"
+            "  normalize             applied  kept 1 of 1 disjunct(s)\n"
+            "  semantics-reduction   no-op    finite semantics\n"
+            "  object-split          no-op    no object-only components\n"
+            "  engine-classification applied  planned engine: bounded-width\n"
+            "disjuncts:\n"
+            "  #0 monadic=yes order-vars=2 width=1 engine=bounded-width\n"
+            "dispatch: bounded-width (database-dependent filtering may "
+            "adjust)\n");
+}
+
+// The heart of the acceptance criteria: Prepare+Evaluate must agree with
+// the legacy one-shot facade on verdict AND engine choice, for every
+// engine forcing, on random monadic instances — including error cases
+// (unsupported forcings surface identically).
+TEST(PrepareTest, EvaluateAgreesWithEntailsAcrossEngineMatrix) {
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(seed + 52000);
+    auto vocab = std::make_shared<Vocabulary>();
+    MonadicDbParams params;
+    params.num_chains = 2;
+    params.chain_length = 3;
+    params.num_predicates = 3;
+    Database db = RandomMonadicDb(params, vocab, rng);
+    Query query = rng.Bernoulli(0.5)
+                      ? RandomConjunctiveMonadicQuery(3, 3, 0.4, 0.4, 0.3,
+                                                      vocab, rng)
+                      : RandomDisjunctiveSequentialQuery(2, 3, 3, 0.3, 0.3,
+                                                        vocab, rng);
+    for (EngineKind kind :
+         {EngineKind::kAuto, EngineKind::kBruteForce,
+          EngineKind::kPathDecomposition, EngineKind::kBoundedWidth,
+          EngineKind::kDisjunctiveSearch}) {
+      EntailOptions options;
+      options.engine = kind;
+      options.want_countermodel = true;
+      Result<EntailResult> legacy = Entails(db, query, options);
+      Result<PreparedQuery> plan = Prepare(vocab, query, options);
+      ASSERT_TRUE(plan.ok()) << "seed " << seed;
+      Result<EntailResult> prepared = plan.value().Evaluate(db);
+      ASSERT_EQ(prepared.ok(), legacy.ok())
+          << "seed " << seed << " engine " << EngineKindName(kind);
+      if (!legacy.ok()) {
+        EXPECT_EQ(prepared.status().code(), legacy.status().code());
+        continue;
+      }
+      EXPECT_EQ(prepared.value().entailed, legacy.value().entailed)
+          << "seed " << seed << " engine " << EngineKindName(kind);
+      EXPECT_EQ(prepared.value().engine_used, legacy.value().engine_used)
+          << "seed " << seed << " engine " << EngineKindName(kind);
+      EXPECT_EQ(prepared.value().countermodel.has_value(),
+                legacy.value().countermodel.has_value());
+    }
+  }
+}
+
+TEST(PrepareTest, SemanticsVariantsAgreeWithEntails) {
+  EspionageScenario scenario = MakeEspionageScenario();
+  for (OrderSemantics semantics :
+       {OrderSemantics::kFinite, OrderSemantics::kInteger,
+        OrderSemantics::kRational}) {
+    EntailOptions options;
+    options.semantics = semantics;
+    for (const Query* query :
+         {&scenario.integrity, &scenario.twice_a, &scenario.twice_either,
+          &scenario.twice_someone}) {
+      Result<EntailResult> legacy = Entails(scenario.db, *query, options);
+      ASSERT_TRUE(legacy.ok());
+      Result<PreparedQuery> plan = Prepare(scenario.vocab, *query, options);
+      ASSERT_TRUE(plan.ok());
+      Result<EntailResult> prepared = plan.value().Evaluate(scenario.db);
+      ASSERT_TRUE(prepared.ok());
+      EXPECT_EQ(prepared.value().entailed, legacy.value().entailed)
+          << OrderSemanticsName(semantics);
+      EXPECT_EQ(prepared.value().engine_used, legacy.value().engine_used);
+    }
+  }
+}
+
+TEST(PrepareTest, ScenarioPlansReproduceTheExpectedVerdicts) {
+  EspionageScenario scenario = MakeEspionageScenario();
+  EspionagePlans plans = PrepareEspionagePlans(scenario);
+  auto entailed = [&](const PreparedQuery& plan) {
+    Result<EntailResult> result = plan.Evaluate(scenario.db);
+    IODB_CHECK(result.ok());
+    return result.value().entailed;
+  };
+  EXPECT_FALSE(entailed(plans.integrity));
+  EXPECT_FALSE(entailed(plans.twice_a));
+  EXPECT_FALSE(entailed(plans.twice_b));
+  EXPECT_TRUE(entailed(plans.twice_either));
+  EXPECT_TRUE(entailed(plans.twice_someone));
+}
+
+TEST(PrepareTest, EvaluateBatchMatchesIndividualEvaluates) {
+  auto vocab = std::make_shared<Vocabulary>();
+  std::vector<SchedulingScenario> fleet;
+  for (int i = 0; i < 6; ++i) {
+    Rng rng(300 + i);
+    fleet.push_back(MakeSchedulingScenario(2, 3, rng, vocab));
+  }
+  PreparedQuery plan = PrepareForbiddenPlan(fleet[0]);
+  std::vector<const Database*> dbs;
+  for (const SchedulingScenario& scenario : fleet) dbs.push_back(&scenario.db);
+  std::vector<Result<EntailResult>> batch = plan.EvaluateBatch(dbs);
+  ASSERT_EQ(batch.size(), fleet.size());
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok());
+    Result<EntailResult> single = plan.Evaluate(fleet[i].db);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch[i].value().entailed, single.value().entailed) << i;
+    EXPECT_EQ(batch[i].value().engine_used, single.value().engine_used) << i;
+  }
+}
+
+TEST(PrepareTest, EnumerateCountermodelsMatchesFacade) {
+  Rng rng(17);
+  SchedulingScenario scenario = MakeSchedulingScenario(2, 3, rng);
+  PreparedQuery plan = PrepareForbiddenPlan(scenario);
+  std::set<std::string> via_plan;
+  Result<long long> from_plan = plan.EnumerateCountermodels(
+      scenario.db, [&](const FiniteModel& model) {
+        via_plan.insert(model.ToString());
+        return true;
+      });
+  ASSERT_TRUE(from_plan.ok());
+  std::set<std::string> via_facade;
+  Result<long long> from_facade = EnumerateCountermodels(
+      scenario.db, scenario.forbidden, [&](const FiniteModel& model) {
+        via_facade.insert(model.ToString());
+        return true;
+      });
+  ASSERT_TRUE(from_facade.ok());
+  EXPECT_EQ(from_plan.value(), from_facade.value());
+  EXPECT_EQ(via_plan, via_facade);
+  EXPECT_FALSE(via_plan.empty());
+}
+
+TEST(PrepareTest, VocabularyMismatchIsAnError) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Result<Query> query = ParseQuery("exists t: P(t)", vocab);
+  ASSERT_TRUE(query.ok());
+  PreparedQuery plan = MustPrepare(vocab, query.value());
+  // A content-identical but distinct vocabulary is still a misuse:
+  // predicate ids are only comparable within one interning table.
+  auto other_vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase("P(u)", other_vocab);
+  ASSERT_TRUE(db.ok());
+  Result<EntailResult> result = plan.Evaluate(db.value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PrepareTest, InconsistentDatabaseSurfacesAtEvaluate) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> db = ParseDatabase("u < v\nv < u", vocab);
+  ASSERT_TRUE(db.ok());
+  Result<Query> query = ParseQuery("exists t1 t2: t1 < t2", vocab);
+  ASSERT_TRUE(query.ok());
+  // Compilation is database-independent and succeeds...
+  Result<PreparedQuery> plan = Prepare(vocab, query.value());
+  ASSERT_TRUE(plan.ok());
+  // ...the inconsistency is an evaluation-time error.
+  Result<EntailResult> result = plan.value().Evaluate(db.value());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInconsistent);
+}
+
+// --- Normalization caching through the prepared pipeline -------------------
+
+TEST(PrepareTest, RepeatedEvaluateReusesTheNormView) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> parsed = ParseDatabase("P(u)\nQ(v)\nu < v", vocab);
+  ASSERT_TRUE(parsed.ok());
+  Database db = std::move(parsed.value());
+  Result<Query> query =
+      ParseQuery("exists t1 t2: P(t1) & t1 < t2 & Q(t2)", vocab);
+  ASSERT_TRUE(query.ok());
+  PreparedQuery plan = MustPrepare(vocab, query.value());
+
+  ASSERT_TRUE(plan.Evaluate(db).ok());
+  EXPECT_EQ(db.norm_view_computations(), 1);
+  ASSERT_TRUE(plan.Evaluate(db).ok());
+  ASSERT_TRUE(plan.Evaluate(db).ok());
+  EXPECT_EQ(db.norm_view_computations(), 1);  // memoized across evaluations
+}
+
+TEST(PrepareTest, MutationInvalidatesTheCachedNormalization) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  vocab->MustAddPredicate("Q", {Sort::kOrder});
+  Database db(vocab);
+  ASSERT_TRUE(db.AddFact("P", {"u"}).ok());
+  Result<Query> query =
+      ParseQuery("exists t1 t2: P(t1) & t1 < t2 & Q(t2)", vocab);
+  ASSERT_TRUE(query.ok());
+  PreparedQuery plan = MustPrepare(vocab, query.value());
+
+  Result<EntailResult> before = plan.Evaluate(db);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before.value().entailed);
+  EXPECT_EQ(db.norm_view_computations(), 1);
+
+  // AddProperAtom (via AddFact) and AddOrderAtom (via AddOrder) both
+  // invalidate; the next evaluation sees the new facts and flips.
+  db.AddOrder("u", OrderRel::kLt, "v");
+  ASSERT_TRUE(db.AddFact("Q", {"v"}).ok());
+  Result<EntailResult> after = plan.Evaluate(db);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().entailed);
+  EXPECT_EQ(db.norm_view_computations(), 2);
+}
+
+TEST(PrepareTest, TransformedPlansCachePerDatabaseRevision) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<Database> parsed = ParseDatabase("P(u)\nQ(v)\nu < v", vocab);
+  ASSERT_TRUE(parsed.ok());
+  Database db = std::move(parsed.value());
+  // The constant u forces marker-fact injection at evaluation time.
+  Result<Query> query = ParseQuery("exists t: u < t & Q(t)", vocab);
+  ASSERT_TRUE(query.ok());
+  PreparedQuery plan = MustPrepare(vocab, query.value());
+  ASSERT_FALSE(plan.markers().empty());
+
+  Result<EntailResult> first = plan.Evaluate(db);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().entailed);
+  // The transformed normalization is cached per (uid, revision): repeat
+  // evaluations do not touch the database's own view counter.
+  EXPECT_EQ(db.norm_view_computations(), 0);
+  ASSERT_TRUE(plan.Evaluate(db).ok());
+
+  // Mutating the database invalidates the per-plan cache too: retract
+  // nothing, but extend the order so the verdict flips for a new query
+  // shape — here simply verify the evaluation tracks fresh facts.
+  Result<Query> after_v = ParseQuery("exists t: v < t & P(t)", vocab);
+  ASSERT_TRUE(after_v.ok());
+  PreparedQuery plan2 = MustPrepare(vocab, after_v.value());
+  Result<EntailResult> before_mutation = plan2.Evaluate(db);
+  ASSERT_TRUE(before_mutation.ok());
+  EXPECT_FALSE(before_mutation.value().entailed);
+  db.AddOrder("v", OrderRel::kLt, "w");
+  ASSERT_TRUE(db.AddFact("P", {"w"}).ok());
+  Result<EntailResult> after_mutation = plan2.Evaluate(db);
+  ASSERT_TRUE(after_mutation.ok());
+  EXPECT_TRUE(after_mutation.value().entailed);
+}
+
+}  // namespace
+}  // namespace iodb

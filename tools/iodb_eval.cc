@@ -1,51 +1,75 @@
 // iodb_eval: command-line entailment checker.
 //
 // Usage:
-//   iodb_eval DB_FILE QUERY [--semantics=finite|integer|rational]
-//             [--engine=auto|brute-force|paths|bounded-width|disjunctive]
-//             [--countermodel]
+//   iodb_eval DB_FILE [QUERY] [--query-file=PATH]
+//             [--semantics=finite|integer|rational]
+//             [--engine=auto|brute-force|path-decomposition|bounded-width
+//                     |disjunctive-search]
+//             [--countermodel] [--explain]
 //
-// Reads a database in the parser's text format from DB_FILE, evaluates the
-// query (also text format) and prints the verdict. Exit code 0 = entailed,
-// 1 = not entailed, 2 = error.
+// Reads a database in the parser's text format from DB_FILE and evaluates
+// the query (also text format) against it. The query comes from exactly
+// one source: the QUERY argument, `-` to read it from stdin, or
+// --query-file=PATH. --explain prints the compiled plan (passes with
+// provenance, per-disjunct classification) before the verdict. Engine
+// names are the ones printed by the tool itself (EngineKindName), so
+// output and flags round-trip; the historical shorthands "paths" and
+// "disjunctive" are still accepted. Exit code 0 = entailed, 1 = not
+// entailed, 2 = error.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/engine.h"
 #include "core/parser.h"
+#include "core/prepare.h"
 #include "core/printer.h"
 
 namespace {
+
+constexpr char kUsage[] =
+    "usage: iodb_eval DB_FILE [QUERY] [--query-file=PATH] "
+    "[--semantics=...] [--engine=...] [--countermodel] [--explain]; "
+    "QUERY may be '-' to read from stdin";
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "iodb_eval: %s\n", message.c_str());
   return 2;
 }
 
+std::string ReadAll(std::istream& in) {
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace iodb;
-  if (argc < 3) {
-    return Fail(
-        "usage: iodb_eval DB_FILE QUERY [--semantics=...] [--engine=...] "
-        "[--countermodel]");
-  }
+  if (argc < 2) return Fail(kUsage);
 
   std::ifstream file(argv[1]);
   if (!file) return Fail(std::string("cannot open ") + argv[1]);
-  std::stringstream buffer;
-  buffer << file.rdbuf();
+  const std::string db_text = ReadAll(file);
 
   EntailOptions options;
-  for (int i = 3; i < argc; ++i) {
+  bool explain = false;
+  std::string query_arg;
+  std::string query_file;
+  for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--countermodel") {
       options.want_countermodel = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg.rfind("--query-file=", 0) == 0) {
+      query_file = arg.substr(13);
+      if (query_file.empty()) return Fail("--query-file needs a path");
     } else if (arg.rfind("--semantics=", 0) == 0) {
       std::string value = arg.substr(12);
       if (value == "finite") {
@@ -59,31 +83,51 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--engine=", 0) == 0) {
       std::string value = arg.substr(9);
-      if (value == "auto") {
-        options.engine = EngineKind::kAuto;
-      } else if (value == "brute-force") {
-        options.engine = EngineKind::kBruteForce;
-      } else if (value == "paths") {
-        options.engine = EngineKind::kPathDecomposition;
-      } else if (value == "bounded-width") {
-        options.engine = EngineKind::kBoundedWidth;
-      } else if (value == "disjunctive") {
-        options.engine = EngineKind::kDisjunctiveSearch;
-      } else {
-        return Fail("unknown engine '" + value + "'");
-      }
-    } else {
+      std::optional<EngineKind> kind = ParseEngineKind(value);
+      if (!kind.has_value()) return Fail("unknown engine '" + value + "'");
+      options.engine = *kind;
+    } else if (arg.rfind("--", 0) == 0) {
       return Fail("unknown flag '" + arg + "'");
+    } else if (query_arg.empty()) {
+      query_arg = arg;
+    } else {
+      return Fail(kUsage);
     }
   }
 
+  // Resolve the query text from its single source; a positional '-' is
+  // shorthand for --query-file=-.
+  if (!query_file.empty() && !query_arg.empty()) {
+    return Fail("pass either QUERY or --query-file, not both");
+  }
+  if (query_arg == "-") {
+    query_file = "-";
+    query_arg.clear();
+  }
+  std::string query_text;
+  if (query_file == "-") {
+    query_text = ReadAll(std::cin);
+  } else if (!query_file.empty()) {
+    std::ifstream qfile(query_file);
+    if (!qfile) return Fail("cannot open " + query_file);
+    query_text = ReadAll(qfile);
+  } else if (!query_arg.empty()) {
+    query_text = query_arg;
+  } else {
+    return Fail(kUsage);
+  }
+
   auto vocab = std::make_shared<Vocabulary>();
-  Result<Database> db = ParseDatabase(buffer.str(), vocab);
+  Result<Database> db = ParseDatabase(db_text, vocab);
   if (!db.ok()) return Fail("database: " + db.status().ToString());
-  Result<Query> query = ParseQuery(argv[2], vocab);
+  Result<Query> query = ParseQuery(query_text, vocab);
   if (!query.ok()) return Fail("query: " + query.status().ToString());
 
-  Result<EntailResult> result = Entails(db.value(), query.value(), options);
+  Result<PreparedQuery> prepared = Prepare(vocab, query.value(), options);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+  if (explain) std::printf("%s", prepared.value().Explain().c_str());
+
+  Result<EntailResult> result = prepared.value().Evaluate(db.value());
   if (!result.ok()) return Fail(result.status().ToString());
 
   std::printf("%s  [engine: %s, semantics: %s]\n",

@@ -39,9 +39,40 @@ expect_run(0 "^ENTAILED.*brute-force"
   "${db}" "exists t1 t2: P(t1) & t1 < t2 & Q(t2)"
   "--engine=brute-force" "--semantics=integer")
 
-# Error paths: missing arguments, unknown flag, unreadable database.
+# Engine names round-trip: the canonical name printed in the output is
+# accepted back as a flag value (alongside the historical shorthand).
+expect_run(0 "^ENTAILED.*path-decomposition"
+  "${db}" "exists t1 t2: P(t1) & t1 < t2 & Q(t2)"
+  "--engine=path-decomposition")
+expect_run(0 "^ENTAILED.*path-decomposition"
+  "${db}" "exists t1 t2: P(t1) & t1 < t2 & Q(t2)" "--engine=paths")
+
+# The query can come from a file ...
+set(query_file "${WORK_DIR}/iodb_eval_cli.query")
+file(WRITE "${query_file}" "exists t1 t2: P(t1) & t1 < t2 & Q(t2)\n")
+expect_run(0 "^ENTAILED" "${db}" "--query-file=${query_file}")
+
+# ... or from stdin via '-'.
+execute_process(COMMAND ${IODB_EVAL} "${db}" "-"
+  INPUT_FILE "${query_file}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT "${out}" MATCHES "^ENTAILED")
+  message(FATAL_ERROR "iodb_eval stdin query: exit ${rc}\n"
+    "stdout: ${out}\nstderr: ${err}")
+endif()
+
+# --explain prints the compiled plan (passes + dispatch) before the verdict.
+expect_run(0 "passes:.*engine-classification.*dispatch: bounded-width.*ENTAILED"
+  "${db}" "exists t1 t2: P(t1) & t1 < t2 & Q(t2)" "--explain")
+
+# Error paths: missing arguments, unknown flag, unreadable database,
+# conflicting query sources.
 expect_run(2 "usage:" "${db}")
 expect_run(2 "unknown flag" "${db}" "exists t: P(t)" "--bogus")
 expect_run(2 "cannot open" "${WORK_DIR}/no_such_file.db" "exists t: P(t)")
+expect_run(2 "not both" "${db}" "exists t: P(t)" "--query-file=${query_file}")
+expect_run(2 "unknown engine" "${db}" "exists t: P(t)" "--engine=warp")
 
 message(STATUS "iodb_eval CLI test passed")

@@ -184,5 +184,43 @@ void BM_BatchPrepared(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchPrepared)->Arg(16);
 
+// --- Parallel batch: the scheduling fleet sharded across workers -----------
+// Same workload as BM_BatchPrepared with a larger fleet of heavier plan
+// variants, evaluated through ParallelEvaluateBatch. Args: (fleet size,
+// workers). Workers=1 is the serial baseline through the same code path;
+// scaling tops out at the machine's core count (this is a per-database
+// sharding, so a 16-db fleet feeds at most 16 workers).
+
+void BM_BatchParallel(benchmark::State& state) {
+  auto vocab = std::make_shared<Vocabulary>();
+  std::vector<SchedulingScenario> fleet;
+  const int fleet_size = static_cast<int>(state.range(0));
+  fleet.reserve(fleet_size);
+  for (int i = 0; i < fleet_size; ++i) {
+    Rng rng(100 + i);
+    fleet.push_back(MakeSchedulingScenario(3, 5, rng, vocab));
+  }
+  PreparedQuery plan = PrepareForbiddenPlan(fleet[0]);
+  std::vector<const Database*> dbs;
+  dbs.reserve(fleet.size());
+  for (const SchedulingScenario& scenario : fleet) {
+    dbs.push_back(&scenario.db);
+  }
+  const int workers = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    std::vector<Result<EntailResult>> results =
+        plan.ParallelEvaluateBatch(dbs, workers);
+    for (const Result<EntailResult>& result : results) {
+      IODB_CHECK(result.ok());
+      benchmark::DoNotOptimize(result.value().entailed);
+    }
+  }
+}
+BENCHMARK(BM_BatchParallel)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace iodb

@@ -18,6 +18,7 @@
 
 #include "core/database.h"
 #include "core/model.h"
+#include "core/model_check.h"
 #include "core/query.h"
 #include "core/semantics.h"
 #include "util/status.h"
@@ -63,6 +64,14 @@ struct EntailResult {
   /// Work counters (meaning depends on the engine).
   long long states_visited = 0;
   long long models_enumerated = 0;
+  /// Incremental-core counters (brute-force engine): group push/pop
+  /// operations of the in-place model builder.
+  long long groups_pushed = 0;
+  long long groups_popped = 0;
+  /// Model-check counters summed over every prefix/model check (brute
+  /// force; zero for the monadic automata engines, which never
+  /// materialize models during the decision).
+  ModelCheckStats check_stats;
 };
 
 /// Decides db |= query under the chosen semantics. Fails with

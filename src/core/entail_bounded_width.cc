@@ -113,12 +113,19 @@ struct Engine {
 
 BoundedWidthOutcome EntailBoundedWidth(const NormDb& db,
                                        const NormConjunct& raw_conjunct,
-                                       bool want_countermodel) {
+                                       bool want_countermodel,
+                                       bool already_reduced) {
   IODB_CHECK(raw_conjunct.IsMonadicOrderOnly());
   IODB_CHECK(db.inequalities.empty());
   // Redundant query atoms would add shortcut paths to the search without
-  // changing the constraints; drop them up front.
-  NormConjunct conjunct = TransitiveReduceConjunct(raw_conjunct);
+  // changing the constraints; drop them up front (unless the caller's
+  // plan already did, once, at prepare time).
+  NormConjunct reduced_storage;
+  if (!already_reduced) {
+    reduced_storage = TransitiveReduceConjunct(raw_conjunct);
+  }
+  const NormConjunct& conjunct =
+      already_reduced ? raw_conjunct : reduced_storage;
   BoundedWidthOutcome outcome;
   if (conjunct.num_order_vars() == 0) return outcome;  // empty: trivially true
 

@@ -39,10 +39,14 @@ struct BoundedWidthOutcome {
 };
 
 /// Decides db |= conjunct for a monadic-order-only conjunct over a
-/// database without inequality constraints.
+/// database without inequality constraints. `already_reduced` skips the
+/// internal transitive reduction when the caller passes a conjunct that
+/// is already reduced (PreparedQuery memoizes the reduction at Prepare()
+/// time so repeated evaluations don't pay it).
 BoundedWidthOutcome EntailBoundedWidth(const NormDb& db,
                                        const NormConjunct& conjunct,
-                                       bool want_countermodel = false);
+                                       bool want_countermodel = false,
+                                       bool already_reduced = false);
 
 }  // namespace iodb
 

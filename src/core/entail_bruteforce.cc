@@ -1,25 +1,31 @@
 #include "core/entail_bruteforce.h"
 
+#include <atomic>
+#include <limits>
+#include <utility>
+
 #include "core/minimal_models.h"
-#include "core/model_check.h"
+#include "core/model_builder.h"
+#include "util/parallel.h"
 
 namespace iodb {
+namespace {
 
-BruteForceOutcome EntailBruteForce(const NormDb& db, const NormQuery& query,
-                                   const BruteForceOptions& options) {
+// Legacy reference path: rebuild the prefix model from scratch per group
+// append and run the generic checker. Kept verbatim as the oracle for the
+// differential test suite.
+BruteForceOutcome EntailRebuildPerModel(const NormDb& db,
+                                        const NormQuery& query,
+                                        const BruteForceOptions& options) {
   BruteForceOutcome outcome;
-  if (query.trivially_true) return outcome;
-
   ModelVisitor visitor;
-  // Prefix models are rebuilt per group append. Rebuilding is O(prefix)
-  // and is dominated by the model check itself.
   std::vector<std::vector<int>> prefix;
   if (options.prune_satisfied_prefix) {
     visitor.on_group = [&](int depth, const std::vector<int>& group) {
       prefix.resize(depth);
       prefix.push_back(group);
       FiniteModel model = BuildPrefixModel(db, prefix);
-      if (Satisfies(model, query)) {
+      if (Satisfies(model, query, &outcome.check_stats)) {
         ++outcome.prefixes_pruned;
         return false;  // no countermodel below a satisfied prefix
       }
@@ -32,8 +38,9 @@ BruteForceOutcome EntailBruteForce(const NormDb& db, const NormQuery& query,
     // With pruning on, every level of this sort was already checked and
     // found unsatisfied — the complete model is a countermodel. Without
     // pruning, check now.
-    bool satisfied =
-        options.prune_satisfied_prefix ? false : Satisfies(model, query);
+    bool satisfied = options.prune_satisfied_prefix
+                         ? false
+                         : Satisfies(model, query, &outcome.check_stats);
     if (!satisfied) {
       outcome.entailed = false;
       outcome.countermodel = std::move(model);
@@ -48,6 +55,168 @@ BruteForceOutcome EntailBruteForce(const NormDb& db, const NormQuery& query,
   };
   ForEachMinimalModel(db, visitor);
   return outcome;
+}
+
+// One incremental enumeration run: serial, optionally restricted to the
+// subtree below `prefix` (empty = whole forest), optionally aborting when
+// `aborted` fires (cross-worker early exit). `context`, when given, is
+// the shared read-only enumeration state (the parallel engine builds it
+// once instead of once per subtree).
+BruteForceOutcome RunIncremental(const NormDb& db, const NormQuery& query,
+                                 const BruteForceOptions& options,
+                                 const EnumerationContext* context,
+                                 const std::vector<std::vector<int>>& prefix,
+                                 const std::function<bool()>& aborted) {
+  BruteForceOutcome outcome;
+  ModelBuilder builder(db);
+  QueryMatcher matcher(query, options.compiled);
+
+  // Push (and with pruning on, check) the seeded prefix groups.
+  for (const std::vector<int>& group : prefix) {
+    builder.PushGroup(builder.depth(), group);
+    if (options.prune_satisfied_prefix &&
+        matcher.Matches(builder.view(), &builder.index(),
+                        &outcome.check_stats)) {
+      ++outcome.prefixes_pruned;
+      outcome.groups_pushed = builder.groups_pushed();
+      outcome.groups_popped = builder.groups_popped();
+      return outcome;  // the whole subtree is satisfied
+    }
+  }
+
+  ModelVisitor visitor;
+  visitor.on_group = [&](int depth, const std::vector<int>& group) {
+    if (aborted != nullptr && aborted()) return false;
+    builder.PushGroup(depth, group);
+    if (options.prune_satisfied_prefix &&
+        matcher.Matches(builder.view(), &builder.index(),
+                        &outcome.check_stats)) {
+      ++outcome.prefixes_pruned;
+      return false;
+    }
+    return true;
+  };
+  visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    if (aborted != nullptr && aborted()) return false;
+    ++outcome.models_enumerated;
+    // The builder tracked every on_group append, so the complete model is
+    // already materialized and indexed — no rebuild.
+    builder.PopToDepth(static_cast<int>(groups.size()));
+    bool satisfied =
+        options.prune_satisfied_prefix
+            ? false
+            : matcher.Matches(builder.view(), &builder.index(),
+                              &outcome.check_stats);
+    if (!satisfied) {
+      outcome.entailed = false;
+      outcome.countermodel = builder.Snapshot();
+      return false;
+    }
+    if (options.max_models >= 0 &&
+        outcome.models_enumerated >= options.max_models) {
+      outcome.limit_hit = true;
+      return false;
+    }
+    return true;
+  };
+  if (context != nullptr) {
+    ForEachMinimalModelFrom(db, *context, prefix, visitor);
+  } else if (prefix.empty()) {
+    ForEachMinimalModel(db, visitor);
+  } else {
+    ForEachMinimalModelFrom(db, prefix, visitor);
+  }
+  outcome.groups_pushed = builder.groups_pushed();
+  outcome.groups_popped = builder.groups_popped();
+  return outcome;
+}
+
+void MergeCounters(BruteForceOutcome& into, const BruteForceOutcome& from) {
+  into.models_enumerated += from.models_enumerated;
+  into.prefixes_pruned += from.prefixes_pruned;
+  into.groups_pushed += from.groups_pushed;
+  into.groups_popped += from.groups_popped;
+  into.check_stats.Accumulate(from.check_stats);
+  into.limit_hit = into.limit_hit || from.limit_hit;
+}
+
+// Root-sharded parallel search: one task per first-group choice.
+BruteForceOutcome EntailParallel(const NormDb& db, const NormQuery& query,
+                                 const BruteForceOptions& options) {
+  // The read-only enumeration state (O(points²) closure) is built once
+  // and shared by the root collection and every subtree worker.
+  EnumerationContext context(db);
+
+  // Collect the first-level groups; each is the root of an independent
+  // enumeration subtree.
+  std::vector<std::vector<int>> roots;
+  ModelVisitor collect;
+  collect.on_group = [&](int depth, const std::vector<int>& group) {
+    IODB_CHECK_EQ(depth, 0);
+    roots.push_back(group);
+    return false;  // record the root, skip its subtree
+  };
+  collect.on_model = [](const std::vector<std::vector<int>>&) {
+    return true;
+  };
+  ForEachMinimalModelFrom(db, context, {}, collect);
+
+  if (roots.size() <= 1) {
+    return RunIncremental(db, query, options, &context, {}, nullptr);
+  }
+
+  // Lowest subtree index that produced a countermodel so far. A subtree k
+  // aborts only when some i < k already found one — then k's outcome can
+  // no longer be the reported countermodel — so the final winner is the
+  // first countermodel of the lowest-indexed subtree containing any:
+  // exactly what the serial search reports.
+  std::atomic<int> found_min{std::numeric_limits<int>::max()};
+  std::vector<BruteForceOutcome> outcomes(roots.size());
+  ParallelFor(static_cast<int>(roots.size()), options.num_threads,
+              [&](int k) {
+                if (found_min.load(std::memory_order_relaxed) < k) {
+                  return;  // a lower subtree already holds the verdict
+                }
+                auto aborted = [&found_min, k]() {
+                  return found_min.load(std::memory_order_relaxed) < k;
+                };
+                outcomes[k] = RunIncremental(db, query, options, &context,
+                                             {roots[k]}, aborted);
+                if (!outcomes[k].entailed) {
+                  int seen = found_min.load(std::memory_order_relaxed);
+                  while (k < seen &&
+                         !found_min.compare_exchange_weak(
+                             seen, k, std::memory_order_relaxed)) {
+                  }
+                }
+              });
+
+  BruteForceOutcome merged;
+  const int winner = found_min.load(std::memory_order_relaxed);
+  for (size_t k = 0; k < outcomes.size(); ++k) {
+    MergeCounters(merged, outcomes[k]);
+  }
+  if (winner != std::numeric_limits<int>::max()) {
+    merged.entailed = false;
+    merged.countermodel = std::move(outcomes[winner].countermodel);
+  }
+  return merged;
+}
+
+}  // namespace
+
+BruteForceOutcome EntailBruteForce(const NormDb& db, const NormQuery& query,
+                                   const BruteForceOptions& options) {
+  if (query.trivially_true) return BruteForceOutcome{};
+  if (options.compiled != nullptr) {
+    IODB_CHECK_EQ(options.compiled->size(), query.disjuncts.size());
+  }
+  if (!options.use_incremental) return EntailRebuildPerModel(db, query, options);
+  // A model budget is a global counter; sharding would make it racy.
+  if (options.num_threads > 1 && options.max_models < 0) {
+    return EntailParallel(db, query, options);
+  }
+  return RunIncremental(db, query, options, nullptr, {}, nullptr);
 }
 
 }  // namespace iodb

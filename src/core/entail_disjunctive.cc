@@ -227,12 +227,17 @@ DisjunctiveOutcome EntailDisjunctive(const NormDb& db,
   if (raw_query.trivially_true) return trivial;
 
   // Drop redundant query atoms so per-disjunct path automata track only
-  // maximal paths (see TransitiveReduceConjunct).
-  NormQuery query;
-  query.vocab = raw_query.vocab;
-  for (const NormConjunct& conjunct : raw_query.disjuncts) {
-    query.disjuncts.push_back(TransitiveReduceConjunct(conjunct));
+  // maximal paths (see TransitiveReduceConjunct) — unless the caller's
+  // plan already holds the reduced disjuncts (memoized at prepare time).
+  NormQuery reduced_storage;
+  if (!options.already_reduced) {
+    reduced_storage.vocab = raw_query.vocab;
+    for (const NormConjunct& conjunct : raw_query.disjuncts) {
+      reduced_storage.disjuncts.push_back(TransitiveReduceConjunct(conjunct));
+    }
   }
+  const NormQuery& query =
+      options.already_reduced ? raw_query : reduced_storage;
 
   Engine engine(db, query, options);
 

@@ -41,6 +41,9 @@ struct DisjunctiveOptions {
   /// paper's enumeration has the same redundancy). Return false to stop.
   /// When unset, the search stops at the first countermodel.
   std::function<bool(const FiniteModel&)> on_countermodel;
+  /// The query's disjuncts are already transitively reduced; skip the
+  /// per-call reduction (PreparedQuery memoizes it at Prepare() time).
+  bool already_reduced = false;
 };
 
 /// Outcome of the disjunctive engine.

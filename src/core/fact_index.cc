@@ -1,0 +1,98 @@
+#include "core/fact_index.h"
+
+#include <bit>
+
+namespace iodb {
+
+FactIndex::FactIndex(const VocabularyPtr& vocab, int max_points)
+    : max_points_(max_points), words_((max_points + 63) / 64) {
+  IODB_CHECK(vocab != nullptr);
+  const int n = vocab->num_predicates();
+  arity_.reserve(n);
+  for (int p = 0; p < n; ++p) arity_.push_back(vocab->predicate(p).arity());
+  buckets_.resize(n);
+  tuple_count_.assign(n, 0);
+  point_bits_.assign(static_cast<size_t>(n) * words_, 0);
+}
+
+FactIndex FactIndex::FromModel(const FiniteModel& model) {
+  FactIndex index(model.vocab, model.num_points);
+  for (int p = 0; p < model.num_points; ++p) {
+    index.SetPointLabel(p, model.point_labels[p]);
+  }
+  for (const ProperAtom& fact : model.other_facts) index.AddFact(fact);
+  return index;
+}
+
+void FactIndex::SetPointLabel(int point, const PredSet& label) {
+  IODB_CHECK_GE(point, 0);
+  IODB_CHECK_LT(point, max_points_);
+  const std::vector<uint64_t>& words = label.words();
+  const uint64_t bit = uint64_t{1} << (point & 63);
+  const size_t slot = static_cast<size_t>(point) >> 6;
+  for (size_t w = 0; w < words.size(); ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int pred = static_cast<int>(w) * 64 + std::countr_zero(bits);
+      bits &= bits - 1;
+      point_bits_[static_cast<size_t>(pred) * words_ + slot] |= bit;
+    }
+  }
+}
+
+void FactIndex::ClearPointLabel(int point, const PredSet& label) {
+  const std::vector<uint64_t>& words = label.words();
+  const uint64_t bit = uint64_t{1} << (point & 63);
+  const size_t slot = static_cast<size_t>(point) >> 6;
+  for (size_t w = 0; w < words.size(); ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int pred = static_cast<int>(w) * 64 + std::countr_zero(bits);
+      bits &= bits - 1;
+      point_bits_[static_cast<size_t>(pred) * words_ + slot] &= ~bit;
+    }
+  }
+}
+
+void FactIndex::AddFact(const ProperAtom& atom) {
+  IODB_CHECK_EQ(static_cast<int>(atom.args.size()), arity_[atom.pred]);
+  std::vector<int>& bucket = buckets_[atom.pred];
+  for (const Term& term : atom.args) bucket.push_back(term.id);
+  ++tuple_count_[atom.pred];
+  undo_preds_.push_back(atom.pred);
+}
+
+void FactIndex::RewindTo(size_t mark) {
+  IODB_CHECK_LE(mark, undo_preds_.size());
+  while (undo_preds_.size() > mark) {
+    const int pred = undo_preds_.back();
+    undo_preds_.pop_back();
+    std::vector<int>& bucket = buckets_[pred];
+    bucket.resize(bucket.size() - arity_[pred]);
+    --tuple_count_[pred];
+  }
+}
+
+bool FactIndex::ContainsTuple(int pred, const int* args, int arity,
+                              ModelCheckStats* stats) const {
+  IODB_CHECK_EQ(arity, arity_[pred]);
+  const std::vector<int>& bucket = buckets_[pred];
+  if (stats != nullptr) ++stats->index_probes;
+  if (arity == 0) return tuple_count_[pred] > 0;
+  const size_t tuples = bucket.size() / arity;
+  if (stats != nullptr) stats->facts_scanned += static_cast<long long>(tuples);
+  for (size_t t = 0; t < tuples; ++t) {
+    const int* fact = bucket.data() + t * arity;
+    bool match = true;
+    for (int i = 0; i < arity; ++i) {
+      if (fact[i] != args[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+}  // namespace iodb

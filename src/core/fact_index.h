@@ -1,0 +1,87 @@
+// FactIndex: interned, predicate-bucketed fact storage for model checking.
+//
+// Facts are bucketed by predicate id in flat int vectors (argument ids
+// flattened in signature order, stride = arity), so a Satisfies() probe is
+// a stride scan over contiguous memory instead of a per-call hash-map
+// rebuild — the co-located index layout of RDF-3X applied to the
+// enumerate-and-probe loop of the brute-force engine. The index also
+// keeps the transposed monadic-label matrix (predicate -> bitset of model
+// points), which the compiled matcher intersects to enumerate the
+// candidate points of an order variable directly instead of testing every
+// point's label for subset inclusion.
+//
+// Both structures support O(1) amortized incremental append and strict
+// LIFO rewind, so ModelBuilder maintains them across push/pop of
+// enumeration groups without ever rebuilding (the "index once" half of
+// the incremental evaluation core).
+
+#ifndef IODB_CORE_FACT_INDEX_H_
+#define IODB_CORE_FACT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/model.h"
+#include "core/model_check.h"
+#include "core/types.h"
+
+namespace iodb {
+
+class FactIndex {
+ public:
+  /// An index over models with at most `max_points` order points, for the
+  /// predicates of `vocab` (the vocabulary must not grow afterwards).
+  FactIndex(const VocabularyPtr& vocab, int max_points);
+
+  /// Convenience for non-incremental callers: indexes every non-monadic
+  /// fact and every point label of `model` in one pass.
+  static FactIndex FromModel(const FiniteModel& model);
+
+  int num_predicates() const { return static_cast<int>(arity_.size()); }
+  int max_points() const { return max_points_; }
+
+  // --- incremental maintenance (LIFO) --------------------------------------
+
+  /// Records that `point` carries exactly the monadic labels of `label`.
+  /// The point must currently be unlabelled (freshly pushed).
+  void SetPointLabel(int point, const PredSet& label);
+  /// Clears the labels of `point` again; `label` must be the set passed to
+  /// the matching SetPointLabel.
+  void ClearPointLabel(int point, const PredSet& label);
+
+  /// Appends a non-monadic fact (argument ids flattened in signature
+  /// order; order-sort ids are model points).
+  void AddFact(const ProperAtom& atom);
+
+  /// Position marker for RewindTo: facts added after Mark() are removed,
+  /// in LIFO order, by RewindTo(mark).
+  size_t Mark() const { return undo_preds_.size(); }
+  void RewindTo(size_t mark);
+
+  // --- probes --------------------------------------------------------------
+
+  /// True if the tuple pred(args[0..arity-1]) was added (and not rewound).
+  bool ContainsTuple(int pred, const int* args, int arity,
+                     ModelCheckStats* stats) const;
+
+  /// The point bitset of `pred`: bit p of word p/64 is set iff point p
+  /// carries the label `pred`. Always words_per_point_set() words long.
+  const uint64_t* PointsWith(int pred) const {
+    return point_bits_.data() + static_cast<size_t>(pred) * words_;
+  }
+  int words_per_point_set() const { return words_; }
+
+ private:
+  int max_points_ = 0;
+  int words_ = 0;                          // words per point bitset
+  std::vector<int> arity_;                 // per predicate
+  std::vector<std::vector<int>> buckets_;  // per predicate, flattened args
+  std::vector<long long> tuple_count_;     // per predicate (covers arity 0)
+  std::vector<int> undo_preds_;            // predicate ids in add order
+  std::vector<uint64_t> point_bits_;       // [pred * words_ + w]
+};
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_FACT_INDEX_H_

@@ -1,55 +1,113 @@
 #include "core/minimal_models.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "graph/topo.h"
 
 namespace iodb {
 namespace {
 
+// Incremental enumerator. The removed set is always a down-set of the
+// dag (groups are down-closures of minor antichains), so for alive u, v a
+// strict path u -> v in the full dag never passes through a removed
+// vertex; hence "v is minor within the alive subgraph" is exactly
+// "strict_in_[v] == 0" where strict_in_[v] counts the alive u with a
+// strict path u -> v. Push/pop of a group maintains the counts via the
+// precomputed strict-reachability adjacency instead of re-deriving minor
+// vertices from scratch per node.
 struct Enumerator {
   const NormDb& db;
   const ModelVisitor& visitor;
-  Reachability reach;
-  std::vector<bool> alive;
+  const EnumerationContext& ctx;
+  std::vector<uint8_t> alive;
+  std::vector<int> strict_in;
+  std::vector<uint8_t> in_group;  // scratch for inequality checks
   int alive_count;
-  std::vector<std::vector<int>> groups;
 
-  Enumerator(const NormDb& d, const ModelVisitor& v)
+  // The exact group prefix handed to the callbacks. Popped inner vectors
+  // park in `spare` so their capacity is reused (no steady-state
+  // allocation).
+  std::vector<std::vector<int>> groups;
+  std::vector<std::vector<int>> spare;
+
+  // Per-depth scratch (candidates + chosen antichain). Sized up front so
+  // references stay valid across recursion.
+  struct Level {
+    std::vector<int> candidates;
+    std::vector<int> chosen;
+  };
+  std::vector<Level> levels;
+
+  Enumerator(const NormDb& d, const EnumerationContext& c,
+             const ModelVisitor& v)
       : db(d),
         visitor(v),
-        reach(ComputeReachability(d.dag)),
-        alive(d.num_points(), true),
-        alive_count(d.num_points()) {}
+        ctx(c),
+        alive(d.num_points(), 1),
+        strict_in(c.strict_in_all_alive),
+        in_group(d.num_points(), 0),
+        alive_count(d.num_points()),
+        levels(d.num_points() + 1) {
+    groups.reserve(d.num_points());
+    spare.reserve(d.num_points());
+  }
 
   bool Comparable(int u, int v) const {
-    return reach.reach.Get(u, v) || reach.reach.Get(v, u);
+    return ctx.reach.reach.Get(u, v) || ctx.reach.reach.Get(v, u);
   }
 
-  // The down-closure of antichain `chosen` within the minor set: all minor
-  // vertices that reach a chosen vertex. (Paths between minors stay within
-  // the minor set and use only "<=" edges; see DESIGN.md.)
-  std::vector<int> Closure(const std::vector<int>& minors,
-                           const std::vector<int>& chosen) const {
-    std::vector<int> group;
-    for (int m : minors) {
-      for (int a : chosen) {
-        if (reach.reach.Get(m, a)) {
-          group.push_back(m);
-          break;
-        }
+  bool GroupRespectsInequalities(const std::vector<int>& group) {
+    if (db.inequalities.empty()) return true;
+    for (int g : group) in_group[g] = 1;
+    bool ok = true;
+    for (const auto& [u, v] : db.inequalities) {
+      if (in_group[u] && in_group[v]) {
+        ok = false;
+        break;
       }
     }
-    return group;
+    for (int g : group) in_group[g] = 0;
+    return ok;
   }
 
-  bool GroupRespectsInequalities(const std::vector<int>& group) const {
-    for (const auto& [u, v] : db.inequalities) {
-      bool has_u = std::find(group.begin(), group.end(), u) != group.end();
-      bool has_v = std::find(group.begin(), group.end(), v) != group.end();
-      if (has_u && has_v) return false;
+  // Borrows a pooled vector as groups[depth] (depth == groups.size()).
+  std::vector<int>& AcquireGroupBuffer() {
+    if (spare.empty()) {
+      groups.emplace_back();
+    } else {
+      groups.push_back(std::move(spare.back()));
+      spare.pop_back();
     }
-    return true;
+    groups.back().clear();
+    return groups.back();
+  }
+
+  void ReleaseGroupBuffer() {
+    spare.push_back(std::move(groups.back()));
+    groups.pop_back();
+  }
+
+  void Apply(const std::vector<int>& group) {
+    for (int g : group) {
+      alive[g] = 0;
+      --alive_count;
+      for (int k = ctx.strict_out_off[g]; k < ctx.strict_out_off[g + 1];
+           ++k) {
+        --strict_in[ctx.strict_out[k]];
+      }
+    }
+  }
+
+  void Unapply(const std::vector<int>& group) {
+    for (int g : group) {
+      alive[g] = 1;
+      ++alive_count;
+      for (int k = ctx.strict_out_off[g]; k < ctx.strict_out_off[g + 1];
+           ++k) {
+        ++strict_in[ctx.strict_out[k]];
+      }
+    }
   }
 
   // Returns false iff the enumeration was stopped by on_model.
@@ -57,55 +115,117 @@ struct Enumerator {
     if (alive_count == 0) {
       return visitor.on_model == nullptr || visitor.on_model(groups);
     }
-    std::vector<bool> minor = MinorVertices(db.dag, alive);
-    std::vector<int> candidates;
+    const int depth = static_cast<int>(groups.size());
+    Level& level = levels[depth];
+    level.candidates.clear();
     for (int v = 0; v < db.num_points(); ++v) {
-      if (alive[v] && minor[v]) candidates.push_back(v);
+      if (alive[v] && strict_in[v] == 0) level.candidates.push_back(v);
     }
     // A consistent database always has a minor vertex while nonempty.
-    IODB_CHECK(!candidates.empty());
-    std::vector<int> chosen;
-    return EnumerateAntichains(candidates, 0, chosen);
+    IODB_CHECK(!level.candidates.empty());
+    level.chosen.clear();
+    return EnumerateAntichains(depth, 0);
   }
 
-  bool EnumerateAntichains(const std::vector<int>& candidates, size_t next,
-                           std::vector<int>& chosen) {
-    for (size_t i = next; i < candidates.size(); ++i) {
-      int v = candidates[i];
+  bool EnumerateAntichains(int depth, size_t next) {
+    Level& level = levels[depth];
+    for (size_t i = next; i < level.candidates.size(); ++i) {
+      const int v = level.candidates[i];
       bool independent = true;
-      for (int u : chosen) {
+      for (int u : level.chosen) {
         if (Comparable(u, v)) {
           independent = false;
           break;
         }
       }
       if (!independent) continue;
-      chosen.push_back(v);
-      std::vector<int> group = Closure(candidates, chosen);
-      if (GroupRespectsInequalities(group) &&
-          (visitor.on_group == nullptr ||
-           visitor.on_group(static_cast<int>(groups.size()), group))) {
-        for (int g : group) alive[g] = false;
-        alive_count -= static_cast<int>(group.size());
-        groups.push_back(group);
-        bool keep_going = Recurse();
-        groups.pop_back();
-        for (int g : group) alive[g] = true;
-        alive_count += static_cast<int>(group.size());
-        if (!keep_going) return false;
+      level.chosen.push_back(v);
+      // The down-closure of the chosen antichain within the minor set.
+      std::vector<int>& group = AcquireGroupBuffer();
+      for (int m : level.candidates) {
+        for (int a : level.chosen) {
+          if (ctx.reach.reach.Get(m, a)) {
+            group.push_back(m);
+            break;
+          }
+        }
       }
-      if (!EnumerateAntichains(candidates, i + 1, chosen)) return false;
-      chosen.pop_back();
+      if (GroupRespectsInequalities(group) &&
+          (visitor.on_group == nullptr || visitor.on_group(depth, group))) {
+        Apply(group);
+        const bool keep_going = Recurse();
+        Unapply(groups.back());
+        ReleaseGroupBuffer();
+        if (!keep_going) return false;
+      } else {
+        ReleaseGroupBuffer();
+      }
+      if (!EnumerateAntichains(depth, i + 1)) return false;
+      level.chosen.pop_back();
     }
     return true;
+  }
+
+  // Seeds the enumeration with an already-chosen prefix. Each group must
+  // consist of currently-minor vertices (checked), i.e. be a group the
+  // unseeded enumeration could have produced at that depth.
+  void SeedPrefix(const std::vector<std::vector<int>>& prefix) {
+    for (const std::vector<int>& group : prefix) {
+      IODB_CHECK(!group.empty());
+      for (int g : group) {
+        IODB_CHECK(alive[g]);
+        IODB_CHECK_EQ(strict_in[g], 0);
+      }
+      std::vector<int>& stored = AcquireGroupBuffer();
+      stored.assign(group.begin(), group.end());
+      Apply(stored);
+    }
   }
 };
 
 }  // namespace
 
+EnumerationContext::EnumerationContext(const NormDb& db)
+    : reach(ComputeReachability(db.dag)) {
+  const int n = db.num_points();
+  strict_in_all_alive.assign(n, 0);
+  strict_out_off.assign(n + 1, 0);
+  for (int u = 0; u < n; ++u) {
+    int degree = 0;
+    for (int v = 0; v < n; ++v) degree += reach.strict.Get(u, v) ? 1 : 0;
+    strict_out_off[u + 1] = strict_out_off[u] + degree;
+  }
+  strict_out.resize(strict_out_off[n]);
+  for (int u = 0, k = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (reach.strict.Get(u, v)) {
+        strict_out[k++] = v;
+        ++strict_in_all_alive[v];
+      }
+    }
+  }
+}
+
 bool ForEachMinimalModel(const NormDb& db, const ModelVisitor& visitor) {
-  Enumerator e(db, visitor);
+  EnumerationContext context(db);
+  Enumerator e(db, context, visitor);
   return e.Recurse();
+}
+
+bool ForEachMinimalModelFrom(const NormDb& db,
+                             const EnumerationContext& context,
+                             const std::vector<std::vector<int>>& prefix,
+                             const ModelVisitor& visitor) {
+  Enumerator e(db, context, visitor);
+  e.SeedPrefix(prefix);
+  return e.Recurse();
+}
+
+bool ForEachMinimalModelFrom(const NormDb& db,
+                             const std::vector<std::vector<int>>& prefix,
+                             const ModelVisitor& visitor) {
+  EnumerationContext context(db);
+  return ForEachMinimalModelFrom(db, context, prefix, visitor);
 }
 
 long long CountMinimalModels(const NormDb& db, long long limit) {

@@ -15,9 +15,22 @@
 
 namespace iodb {
 
-/// Statistics of a model-check call.
+/// Statistics of a model-check call. Counters accumulate across calls
+/// when the same struct is passed repeatedly (the brute-force engine sums
+/// over every prefix check of an enumeration).
 struct ModelCheckStats {
+  /// Variable -> value assignments attempted by the backtracking search.
   long long assignments_tried = 0;
+  /// FactIndex bucket lookups (per fully-assigned proper atom checked).
+  long long index_probes = 0;
+  /// Fact tuples compared during index probes (bucket scan length).
+  long long facts_scanned = 0;
+
+  void Accumulate(const ModelCheckStats& other) {
+    assignments_tried += other.assignments_tried;
+    index_probes += other.index_probes;
+    facts_scanned += other.facts_scanned;
+  }
 };
 
 /// True if `model` satisfies the conjunct (with its variables existentially

@@ -1,0 +1,218 @@
+#include "core/model_matcher.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "graph/topo.h"
+
+namespace iodb {
+
+CompiledConjunct CompileConjunct(const NormConjunct& conjunct) {
+  CompiledConjunct out;
+  const int nv = conjunct.num_order_vars();
+  const int no = conjunct.num_object_vars();
+
+  std::vector<int> topo = TopologicalOrder(conjunct.dag);
+  out.var_order.reserve(topo.size() + no);
+  std::vector<int> pos_of_order(nv, -1);
+  for (int t : topo) {
+    pos_of_order[t] = static_cast<int>(out.var_order.size());
+    out.var_order.push_back({Sort::kOrder, t});
+  }
+  std::vector<int> pos_of_object(no, -1);
+  for (int x = 0; x < no; ++x) {
+    pos_of_object[x] = static_cast<int>(out.var_order.size());
+    out.var_order.push_back({Sort::kObject, x});
+  }
+
+  out.in_arcs.resize(nv);
+  for (int t = 0; t < nv; ++t) {
+    for (const Digraph::Arc& arc : conjunct.dag.in(t)) {
+      out.in_arcs[t].push_back({arc.vertex, arc.rel == OrderRel::kLt});
+    }
+  }
+
+  out.ineq_partners.resize(nv);
+  for (const auto& [a, b] : conjunct.inequalities) {
+    // Checked at whichever endpoint is assigned later.
+    if (pos_of_order[a] < pos_of_order[b]) {
+      out.ineq_partners[b].push_back(a);
+    } else {
+      out.ineq_partners[a].push_back(b);
+    }
+  }
+
+  out.label_preds.resize(nv);
+  for (int t = 0; t < nv; ++t) out.label_preds[t] = conjunct.labels[t].Elements();
+
+  out.atoms_at.resize(out.var_order.size());
+  for (size_t ai = 0; ai < conjunct.other_atoms.size(); ++ai) {
+    const ProperAtom& atom = conjunct.other_atoms[ai];
+    int last = -1;
+    for (const Term& term : atom.args) {
+      const int pos = term.sort == Sort::kOrder ? pos_of_order[term.id]
+                                                : pos_of_object[term.id];
+      last = std::max(last, pos);
+    }
+    // Variable-free atoms were never checked by the generic checker
+    // (nothing mentions them); keep the same contract.
+    if (last >= 0) out.atoms_at[last].push_back(static_cast<int>(ai));
+  }
+  return out;
+}
+
+ConjunctMatcher::ConjunctMatcher(const NormConjunct& conjunct,
+                                 const CompiledConjunct* compiled)
+    : conjunct_(&conjunct), external_(compiled) {
+  if (compiled == nullptr) owned_ = CompileConjunct(conjunct);
+  order_assignment_.assign(conjunct.num_order_vars(), -1);
+  object_assignment_.assign(conjunct.num_object_vars(), -1);
+}
+
+bool ConjunctMatcher::Matches(const FiniteModel& model, const FactIndex* index,
+                              ModelCheckStats* stats) {
+  model_ = &model;
+  index_ = index;
+  stats_ = stats;
+  const bool found = Search(0);
+  std::fill(order_assignment_.begin(), order_assignment_.end(), -1);
+  std::fill(object_assignment_.begin(), object_assignment_.end(), -1);
+  return found;
+}
+
+bool ConjunctMatcher::AtomsHold(size_t pos) {
+  for (int ai : compiled().atoms_at[pos]) {
+    const ProperAtom& atom = conjunct_->other_atoms[ai];
+    const int arity = static_cast<int>(atom.args.size());
+    atom_args_.resize(arity);
+    for (int i = 0; i < arity; ++i) {
+      const Term& term = atom.args[i];
+      atom_args_[i] = term.sort == Sort::kOrder ? order_assignment_[term.id]
+                                                : object_assignment_[term.id];
+    }
+    if (index_ != nullptr) {
+      if (!index_->ContainsTuple(atom.pred, atom_args_.data(), arity,
+                                 stats_)) {
+        return false;
+      }
+      continue;
+    }
+    // No index: scan the model's facts for this predicate.
+    if (stats_ != nullptr) ++stats_->index_probes;
+    bool holds = false;
+    for (const ProperAtom& fact : model_->other_facts) {
+      if (fact.pred != atom.pred) continue;
+      if (stats_ != nullptr) ++stats_->facts_scanned;
+      bool match = true;
+      for (int i = 0; i < arity; ++i) {
+        if (fact.args[i].id != atom_args_[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        holds = true;
+        break;
+      }
+    }
+    if (!holds) return false;
+  }
+  return true;
+}
+
+bool ConjunctMatcher::TryPoint(int var, size_t pos, int point) {
+  for (int partner : compiled().ineq_partners[var]) {
+    if (order_assignment_[partner] == point) return false;
+  }
+  if (stats_ != nullptr) ++stats_->assignments_tried;
+  order_assignment_[var] = point;
+  if (AtomsHold(pos) && Search(pos + 1)) return true;
+  order_assignment_[var] = -1;
+  return false;
+}
+
+bool ConjunctMatcher::Search(size_t pos) {
+  const CompiledConjunct& cc = compiled();
+  if (pos == cc.var_order.size()) return true;
+  const auto [sort, id] = cc.var_order[pos];
+
+  if (sort == Sort::kObject) {
+    const int domain = static_cast<int>(model_->object_names.size());
+    for (int value = 0; value < domain; ++value) {
+      if (stats_ != nullptr) ++stats_->assignments_tried;
+      object_assignment_[id] = value;
+      if (AtomsHold(pos) && Search(pos + 1)) return true;
+    }
+    object_assignment_[id] = -1;
+    return false;
+  }
+
+  // Order variable: the dag predecessors (all assigned earlier) induce an
+  // exact lower bound, so the scan starts there instead of at 0.
+  int start = 0;
+  for (const CompiledConjunct::InArc& arc : cc.in_arcs[id]) {
+    const int v = order_assignment_[arc.var];
+    start = std::max(start, v + (arc.strict ? 1 : 0));
+  }
+  const int num_points = model_->num_points;
+  const std::vector<int>& labels = cc.label_preds[id];
+
+  if (index_ == nullptr || labels.empty()) {
+    // Domain scan with per-point label subset tests.
+    const PredSet& required = conjunct_->labels[id];
+    for (int point = start; point < num_points; ++point) {
+      if (!labels.empty() && !required.IsSubsetOf(model_->point_labels[point])) {
+        continue;
+      }
+      if (TryPoint(id, pos, point)) return true;
+    }
+    order_assignment_[id] = -1;
+    return false;
+  }
+
+  // Candidate points from the transposed label index: the AND of the
+  // required predicates' point bitsets, masked to [start, num_points).
+  const int words = index_->words_per_point_set();
+  const int start_word = start >> 6;
+  for (int w = start_word; w < words; ++w) {
+    uint64_t bits = index_->PointsWith(labels[0])[w];
+    for (size_t l = 1; l < labels.size(); ++l) {
+      bits &= index_->PointsWith(labels[l])[w];
+    }
+    if (w == start_word && (start & 63) != 0) {
+      bits &= ~uint64_t{0} << (start & 63);
+    }
+    while (bits != 0) {
+      const int point = w * 64 + std::countr_zero(bits);
+      bits &= bits - 1;
+      if (TryPoint(id, pos, point)) return true;
+    }
+  }
+  order_assignment_[id] = -1;
+  return false;
+}
+
+QueryMatcher::QueryMatcher(
+    const NormQuery& query,
+    const std::vector<const CompiledConjunct*>* compiled)
+    : query_(&query) {
+  if (compiled != nullptr) {
+    IODB_CHECK_EQ(compiled->size(), query.disjuncts.size());
+  }
+  matchers_.reserve(query.disjuncts.size());
+  for (size_t i = 0; i < query.disjuncts.size(); ++i) {
+    matchers_.emplace_back(query.disjuncts[i],
+                           compiled != nullptr ? (*compiled)[i] : nullptr);
+  }
+}
+
+bool QueryMatcher::Matches(const FiniteModel& model, const FactIndex* index,
+                           ModelCheckStats* stats) {
+  if (query_->trivially_true) return true;
+  for (ConjunctMatcher& matcher : matchers_) {
+    if (matcher.Matches(model, index, stats)) return true;
+  }
+  return false;
+}
+
+}  // namespace iodb

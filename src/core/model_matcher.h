@@ -1,0 +1,123 @@
+// Compiled model checking: prepare-once / probe-many satisfaction tests.
+//
+// The generic checker in model_check.h recomputes, on EVERY Satisfies()
+// call, the conjunct's variable order (a topological sort), a hash map of
+// the model's facts by predicate, and fresh assignment buffers. Inside
+// the enumeration engines that call is made at every node of the
+// enumeration tree, so the setup dominates the actual search.
+//
+// This header splits the work the way the rest of the pipeline does:
+//
+//   CompileConjunct   once per conjunct (at Prepare() time for plans):
+//                     topological variable order, per-variable in-arc /
+//                     inequality / label schedules, and the position at
+//                     which each proper atom becomes fully assigned;
+//   ConjunctMatcher   a reusable search state (assignment buffers) that
+//                     checks one conjunct against a model, probing a
+//                     FactIndex instead of hashing facts; candidate
+//                     points for an order variable are enumerated from
+//                     the index's transposed label bitsets and from the
+//                     dag lower bound induced by already-assigned
+//                     predecessors;
+//   QueryMatcher      the disjunction wrapper used by the engines.
+//
+// Verdicts are identical to model_check.h's Satisfies() (the generic
+// checker remains the reference implementation, compared against in the
+// differential test suite); only the work counters differ.
+
+#ifndef IODB_CORE_MODEL_MATCHER_H_
+#define IODB_CORE_MODEL_MATCHER_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/fact_index.h"
+#include "core/model.h"
+#include "core/model_check.h"
+#include "core/query.h"
+
+namespace iodb {
+
+/// The memoized per-conjunct evaluation schedule (see header comment).
+struct CompiledConjunct {
+  /// An order-dag arc whose source is assigned before its target.
+  struct InArc {
+    int var = 0;       // the earlier-assigned source variable
+    bool strict = false;  // "<" (true) vs "<=" (false)
+  };
+
+  /// Variable processing order: order variables in topological order of
+  /// the conjunct dag, then object variables.
+  std::vector<std::pair<Sort, int>> var_order;
+  /// in_arcs[t]: dag arcs into order variable t (sources precede t).
+  std::vector<std::vector<InArc>> in_arcs;
+  /// ineq_partners[t]: order variables u with u != t assigned before t.
+  std::vector<std::vector<int>> ineq_partners;
+  /// label_preds[t]: the monadic predicates required of t, as a list.
+  std::vector<std::vector<int>> label_preds;
+  /// atoms_at[pos]: indices into other_atoms of the proper atoms whose
+  /// last variable (in var_order) sits at position pos.
+  std::vector<std::vector<int>> atoms_at;
+};
+
+/// Compiles the schedule of `conjunct`. Plans memoize this at Prepare()
+/// time; standalone callers may compile per engine run (still once per
+/// run instead of once per model).
+CompiledConjunct CompileConjunct(const NormConjunct& conjunct);
+
+/// Reusable satisfaction checker for one conjunct. Holds the assignment
+/// buffers across calls, so the per-model cost is the search itself.
+/// The conjunct (and compiled schedule, if external) must outlive the
+/// matcher. Not thread-safe; each worker owns its matchers.
+class ConjunctMatcher {
+ public:
+  /// With `compiled` null the schedule is compiled and owned internally.
+  explicit ConjunctMatcher(const NormConjunct& conjunct,
+                           const CompiledConjunct* compiled = nullptr);
+
+  /// True if `model` satisfies the conjunct. `index` may be null (labels
+  /// are then tested per point and facts scanned from the model).
+  bool Matches(const FiniteModel& model, const FactIndex* index,
+               ModelCheckStats* stats = nullptr);
+
+ private:
+  const CompiledConjunct& compiled() const {
+    return external_ != nullptr ? *external_ : owned_;
+  }
+  bool Search(size_t pos);
+  bool AtomsHold(size_t pos);
+  bool TryPoint(int var, size_t pos, int point);
+
+  const NormConjunct* conjunct_;
+  const CompiledConjunct* external_;
+  CompiledConjunct owned_;
+
+  const FiniteModel* model_ = nullptr;
+  const FactIndex* index_ = nullptr;
+  ModelCheckStats* stats_ = nullptr;
+  std::vector<int> order_assignment_;
+  std::vector<int> object_assignment_;
+  std::vector<int> atom_args_;  // scratch for fact probes
+};
+
+/// The disjunction wrapper: one matcher per disjunct, first match wins.
+class QueryMatcher {
+ public:
+  /// `compiled`, when given, must be parallel to query.disjuncts (the
+  /// plan-memoized schedules); null compiles internally. The query must
+  /// outlive the matcher.
+  explicit QueryMatcher(
+      const NormQuery& query,
+      const std::vector<const CompiledConjunct*>* compiled = nullptr);
+
+  bool Matches(const FiniteModel& model, const FactIndex* index,
+               ModelCheckStats* stats = nullptr);
+
+ private:
+  const NormQuery* query_;
+  std::vector<ConjunctMatcher> matchers_;
+};
+
+}  // namespace iodb
+
+#endif  // IODB_CORE_MODEL_MATCHER_H_

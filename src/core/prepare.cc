@@ -10,8 +10,10 @@
 #include "core/entail_paths.h"
 #include "core/inequality.h"
 #include "core/minimal_models.h"
+#include "core/model_builder.h"
 #include "core/model_check.h"
 #include "core/semantics.h"
+#include "util/parallel.h"
 
 namespace iodb {
 
@@ -264,6 +266,11 @@ Result<PreparedQuery> Prepare(const VocabularyPtr& vocab, const Query& query,
       DisjunctPlan entry;
       entry.reduced = std::move(split.reduced);
       entry.object_part = std::move(split.object_part);
+      // Memoized evaluation artifacts: the monadic engines' transitive
+      // reduction and the brute-force matcher's variable-order schedule
+      // are computed once here, never per evaluation.
+      entry.reduced_transitive = TransitiveReduceConjunct(entry.reduced);
+      entry.compiled = CompileConjunct(entry.reduced);
       if (entry.object_part.has_value()) ++with_object_part;
       plan.disjuncts_.push_back(std::move(entry));
     }
@@ -313,11 +320,18 @@ Result<PreparedQuery> Prepare(const VocabularyPtr& vocab, const Query& query,
     NormQuery split_query;
     split_query.vocab = plan.vocab_;
     split_query.trivially_true = plan.trivially_true_;
+    NormQuery reduced_query;
+    reduced_query.vocab = plan.vocab_;
     for (const DisjunctPlan& entry : plan.disjuncts_) {
       if (entry.reduced.IsEmpty()) split_query.trivially_true = true;
       split_query.disjuncts.push_back(entry.reduced);
+      reduced_query.disjuncts.push_back(entry.reduced_transitive);
+      plan.static_plan_index_.push_back(
+          static_cast<int>(plan.static_plan_index_.size()));
     }
+    reduced_query.trivially_true = split_query.trivially_true;
     plan.static_split_ = std::move(split_query);
+    plan.static_reduced_split_ = std::move(reduced_query);
   }
 
   return plan;
@@ -330,7 +344,31 @@ PreparedQuery MustPrepare(const VocabularyPtr& vocab, const Query& query,
   return std::move(plan.value());
 }
 
-Result<const NormDb*> PreparedQuery::NormDbFor(const Database& db) const {
+PreparedQuery::PreparedQuery(const PreparedQuery& other)
+    : vocab_(other.vocab_),
+      options_(other.options_),
+      passes_(other.passes_),
+      disjuncts_(other.disjuncts_),
+      markers_(other.markers_),
+      needs_sentinels_(other.needs_sentinels_),
+      sentinel_vars_(other.sentinel_vars_),
+      trivially_true_(other.trivially_true_),
+      planned_engine_(other.planned_engine_),
+      static_split_(other.static_split_),
+      static_reduced_split_(other.static_reduced_split_),
+      static_plan_index_(other.static_plan_index_) {
+  // Copies start with a cold transform cache (and their own mutex).
+}
+
+PreparedQuery& PreparedQuery::operator=(const PreparedQuery& other) {
+  if (this == &other) return *this;
+  PreparedQuery copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Result<PreparedQuery::NormDbRef> PreparedQuery::NormDbFor(
+    const Database& db) const {
   // Predicate ids in the compiled disjuncts are only meaningful against
   // the vocabulary the query was prepared with; a mismatch would produce
   // silently wrong verdicts.
@@ -338,16 +376,26 @@ Result<const NormDb*> PreparedQuery::NormDbFor(const Database& db) const {
     return Status::InvalidArgument(
         "database and prepared query use different vocabularies");
   }
-  if (!NeedsDbTransform()) return db.NormView();
-
-  auto it = transform_cache_.find(db.uid());
-  const bool was_present = it != transform_cache_.end();
-  if (was_present && it->second->revision == db.revision()) {
-    const Result<NormDb>& cached = it->second->ndb;
-    if (!cached.ok()) return cached.status();
-    return &cached.value();
+  if (!NeedsDbTransform()) {
+    Result<const NormDb*> view = db.NormView();
+    if (!view.ok()) return view.status();
+    return NormDbRef{view.value(), nullptr};
   }
 
+  {
+    std::scoped_lock lock(*cache_mu_);
+    auto it = transform_cache_.find(db.uid());
+    if (it != transform_cache_.end() &&
+        it->second->revision == db.revision()) {
+      const std::shared_ptr<const TransformCache>& entry = it->second;
+      if (!entry->ndb.ok()) return entry->ndb.status();
+      return NormDbRef{&entry->ndb.value(), entry};
+    }
+  }
+
+  // Transform and normalize outside the lock (the expensive part); a
+  // racing worker on the same (uid, revision) just computes it twice and
+  // last-write-wins — both entries are equivalent.
   Database working = db;
   for (const ConstantShift::Marker& marker : markers_) {
     int cid = working.GetOrAddConstant(marker.constant, marker.sort);
@@ -356,43 +404,56 @@ Result<const NormDb*> PreparedQuery::NormDbFor(const Database& db) const {
   if (needs_sentinels_) {
     working = AddIntegerSentinels(working, sentinel_vars_);
   }
-  if (!was_present && transform_cache_.size() >= kMaxTransformCacheEntries) {
-    transform_cache_.clear();
-  }
   auto entry = std::make_shared<const TransformCache>(
       TransformCache{db.revision(), Normalize(working)});
-  transform_cache_[db.uid()] = entry;
+  {
+    std::scoped_lock lock(*cache_mu_);
+    if (transform_cache_.find(db.uid()) == transform_cache_.end() &&
+        transform_cache_.size() >= kMaxTransformCacheEntries) {
+      transform_cache_.clear();
+    }
+    transform_cache_[db.uid()] = entry;
+  }
   if (!entry->ndb.ok()) return entry->ndb.status();
-  return &entry->ndb.value();
+  return NormDbRef{&entry->ndb.value(), entry};
 }
 
-std::optional<NormQuery> PreparedQuery::AssembleSplitQuery(
+std::optional<PreparedQuery::AssembledQuery> PreparedQuery::AssembleSplitQuery(
     const NormDb& ndb) const {
   if (static_split_.has_value()) return std::nullopt;  // precomputed
-  NormQuery split_query;
-  split_query.vocab = vocab_;
-  split_query.trivially_true = trivially_true_;
+  AssembledQuery assembled;
+  assembled.query.vocab = vocab_;
+  assembled.query.trivially_true = trivially_true_;
   std::optional<FiniteModel> facts;  // built lazily, shared by disjuncts
-  for (const DisjunctPlan& entry : disjuncts_) {
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    const DisjunctPlan& entry = disjuncts_[i];
     if (entry.object_part.has_value()) {
       if (!facts.has_value()) facts = GroundObjectFacts(ndb);
       // Object component false in `ndb`: the disjunct is false in every
       // model of the database.
       if (!Satisfies(*facts, *entry.object_part)) continue;
     }
-    if (entry.reduced.IsEmpty()) split_query.trivially_true = true;
-    split_query.disjuncts.push_back(entry.reduced);
+    if (entry.reduced.IsEmpty()) assembled.query.trivially_true = true;
+    assembled.query.disjuncts.push_back(entry.reduced);
+    assembled.plan_index.push_back(static_cast<int>(i));
   }
-  return split_query;
+  return assembled;
 }
 
 Result<EntailResult> PreparedQuery::Evaluate(const Database& db) const {
-  Result<const NormDb*> view = NormDbFor(db);
+  return EvaluateWith(db, 1);
+}
+
+Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
+                                                 int num_threads) const {
+  Result<NormDbRef> view = NormDbFor(db);
   if (!view.ok()) return view.status();
-  const NormDb& ndb = *view.value();
-  const std::optional<NormQuery> assembled = AssembleSplitQuery(ndb);
+  const NormDb& ndb = *view.value().ndb;
+  const std::optional<AssembledQuery> assembled = AssembleSplitQuery(ndb);
   const NormQuery& split_query =
-      assembled.has_value() ? *assembled : *static_split_;
+      assembled.has_value() ? assembled->query : *static_split_;
+  const std::vector<int>& plan_index =
+      assembled.has_value() ? assembled->plan_index : static_plan_index_;
 
   EntailResult result;
   if (split_query.trivially_true) {
@@ -440,9 +501,23 @@ Result<EntailResult> PreparedQuery::Evaluate(const Database& db) const {
 
   switch (engine) {
     case EngineKind::kBruteForce: {
-      BruteForceOutcome outcome = EntailBruteForce(ndb, split_query);
+      BruteForceOptions bf_options;
+      bf_options.num_threads = num_threads;
+      // Hand the engine the plan-memoized matcher schedules, parallel to
+      // the surviving disjuncts.
+      std::vector<const CompiledConjunct*> compiled;
+      compiled.reserve(plan_index.size());
+      for (int idx : plan_index) {
+        compiled.push_back(&disjuncts_[idx].compiled);
+      }
+      bf_options.compiled = &compiled;
+      BruteForceOutcome outcome =
+          EntailBruteForce(ndb, split_query, bf_options);
       result.entailed = outcome.entailed;
       result.models_enumerated = outcome.models_enumerated;
+      result.groups_pushed = outcome.groups_pushed;
+      result.groups_popped = outcome.groups_popped;
+      result.check_stats = outcome.check_stats;
       if (options_.want_countermodel) {
         result.countermodel = std::move(outcome.countermodel);
       }
@@ -456,8 +531,9 @@ Result<EntailResult> PreparedQuery::Evaluate(const Database& db) const {
       if (!result.entailed && options_.want_countermodel) {
         // The path engine proves non-entailment without a witness; the
         // bounded-width engine reconstructs one.
-        BoundedWidthOutcome witness =
-            EntailBoundedWidth(ndb, split_query.disjuncts[0], true);
+        BoundedWidthOutcome witness = EntailBoundedWidth(
+            ndb, disjuncts_[plan_index[0]].reduced_transitive, true,
+            /*already_reduced=*/true);
         IODB_CHECK(!witness.entailed);
         result.countermodel = std::move(witness.countermodel);
       }
@@ -465,7 +541,8 @@ Result<EntailResult> PreparedQuery::Evaluate(const Database& db) const {
     }
     case EngineKind::kBoundedWidth: {
       BoundedWidthOutcome outcome = EntailBoundedWidth(
-          ndb, split_query.disjuncts[0], options_.want_countermodel);
+          ndb, disjuncts_[plan_index[0]].reduced_transitive,
+          options_.want_countermodel, /*already_reduced=*/true);
       result.entailed = outcome.entailed;
       result.states_visited = outcome.states_visited;
       if (options_.want_countermodel) {
@@ -474,7 +551,22 @@ Result<EntailResult> PreparedQuery::Evaluate(const Database& db) const {
       break;
     }
     case EngineKind::kDisjunctiveSearch: {
-      DisjunctiveOutcome outcome = EntailDisjunctive(ndb, split_query);
+      DisjunctiveOptions engine_options;
+      engine_options.already_reduced = true;
+      DisjunctiveOutcome outcome;
+      if (static_reduced_split_.has_value()) {
+        outcome = EntailDisjunctive(ndb, *static_reduced_split_,
+                                    engine_options);
+      } else {
+        NormQuery reduced_query;
+        reduced_query.vocab = vocab_;
+        reduced_query.trivially_true = split_query.trivially_true;
+        for (int idx : plan_index) {
+          reduced_query.disjuncts.push_back(
+              disjuncts_[idx].reduced_transitive);
+        }
+        outcome = EntailDisjunctive(ndb, reduced_query, engine_options);
+      }
       result.entailed = outcome.entailed;
       result.states_visited = outcome.states_visited;
       if (options_.want_countermodel) {
@@ -499,38 +591,96 @@ std::vector<Result<EntailResult>> PreparedQuery::EvaluateBatch(
   return results;
 }
 
+std::vector<Result<EntailResult>> PreparedQuery::ParallelEvaluateBatch(
+    std::span<const Database* const> dbs, int num_workers) const {
+  for (const Database* db : dbs) IODB_CHECK(db != nullptr);
+  if (num_workers <= 1) return EvaluateBatch(dbs);
+  if (dbs.size() == 1) {
+    // One hard query: shard its enumeration subtrees instead.
+    std::vector<Result<EntailResult>> results;
+    results.push_back(EvaluateWith(*dbs[0], num_workers));
+    return results;
+  }
+
+  // Duplicate pointers must not be evaluated concurrently (a Database's
+  // NormView fills lazily); evaluate the first occurrence, copy the rest.
+  std::unordered_map<const Database*, size_t> first_of;
+  std::vector<size_t> owners(dbs.size());
+  std::vector<size_t> unique;
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    auto [it, inserted] = first_of.try_emplace(dbs[i], i);
+    owners[i] = it->second;
+    if (inserted) unique.push_back(i);
+  }
+
+  std::vector<Result<EntailResult>> results(
+      dbs.size(), Result<EntailResult>(EntailResult{}));
+  ParallelFor(static_cast<int>(unique.size()), num_workers, [&](int k) {
+    const size_t i = unique[k];
+    results[i] = Evaluate(*dbs[i]);
+  });
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    if (owners[i] != i) results[i] = results[owners[i]];
+  }
+  return results;
+}
+
 Result<long long> PreparedQuery::EnumerateCountermodels(
     const Database& db,
     const std::function<bool(const FiniteModel&)>& on_countermodel) const {
   IODB_CHECK(on_countermodel != nullptr);
-  Result<const NormDb*> view = NormDbFor(db);
+  Result<NormDbRef> view = NormDbFor(db);
   if (!view.ok()) return view.status();
-  const NormDb& ndb = *view.value();
-  const std::optional<NormQuery> assembled = AssembleSplitQuery(ndb);
+  const NormDb& ndb = *view.value().ndb;
+  const std::optional<AssembledQuery> assembled = AssembleSplitQuery(ndb);
   const NormQuery& split_query =
-      assembled.has_value() ? *assembled : *static_split_;
+      assembled.has_value() ? assembled->query : *static_split_;
+  const std::vector<int>& plan_index =
+      assembled.has_value() ? assembled->plan_index : static_plan_index_;
 
   if (split_query.trivially_true) return 0;  // no model falsifies TRUE
 
   long long reported = 0;
   if (split_query.IsMonadicOrderOnly() && !split_query.disjuncts.empty()) {
     DisjunctiveOptions engine_options;
+    engine_options.already_reduced = true;
     engine_options.on_countermodel = [&](const FiniteModel& model) {
       ++reported;
       return on_countermodel(model);
     };
-    EntailDisjunctive(ndb, split_query, engine_options);
+    if (static_reduced_split_.has_value()) {
+      EntailDisjunctive(ndb, *static_reduced_split_, engine_options);
+    } else {
+      NormQuery reduced_query;
+      reduced_query.vocab = vocab_;
+      for (int idx : plan_index) {
+        reduced_query.disjuncts.push_back(
+            disjuncts_[idx].reduced_transitive);
+      }
+      EntailDisjunctive(ndb, reduced_query, engine_options);
+    }
     return reported;
   }
 
   // Generic fallback (n-ary predicates or the FALSE query): enumerate the
-  // minimal models and filter.
+  // minimal models through the incremental builder and filter with the
+  // plan-memoized matchers; only actual countermodels are materialized.
+  std::vector<const CompiledConjunct*> compiled;
+  compiled.reserve(plan_index.size());
+  for (int idx : plan_index) compiled.push_back(&disjuncts_[idx].compiled);
+  ModelBuilder builder(ndb);
+  QueryMatcher matcher(split_query,
+                       split_query.disjuncts.empty() ? nullptr : &compiled);
   ModelVisitor visitor;
+  visitor.on_group = [&](int depth, const std::vector<int>& group) {
+    builder.PushGroup(depth, group);
+    return true;
+  };
   visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
-    FiniteModel model = BuildMinimalModel(ndb, groups);
-    if (Satisfies(model, split_query)) return true;
+    builder.PopToDepth(static_cast<int>(groups.size()));
+    if (matcher.Matches(builder.view(), &builder.index())) return true;
     ++reported;
-    return on_countermodel(model);
+    return on_countermodel(builder.Snapshot());
   };
   ForEachMinimalModel(ndb, visitor);
   return reported;
@@ -563,6 +713,32 @@ std::string PreparedQuery::Explain() const {
   }
   out += std::string("dispatch: ") + EngineKindName(planned_engine_) +
          " (database-dependent filtering may adjust)\n";
+  return out;
+}
+
+std::string PreparedQuery::Explain(const EntailResult& result) const {
+  return Explain() + ExplainEvaluation(result);
+}
+
+std::string PreparedQuery::ExplainEvaluation(const EntailResult& result) const {
+  std::string out = "evaluation:\n";
+  out += std::string("  engine                ") +
+         EngineKindName(result.engine_used) + "\n";
+  out += std::string("  verdict               ") +
+         (result.entailed ? "entailed" : "not entailed") + "\n";
+  auto counter = [&out](const char* name, long long value) {
+    std::string line = "  ";
+    line += name;
+    while (line.size() < 24) line += ' ';
+    out += line + std::to_string(value) + "\n";
+  };
+  counter("states-visited", result.states_visited);
+  counter("models-enumerated", result.models_enumerated);
+  counter("groups-pushed", result.groups_pushed);
+  counter("groups-popped", result.groups_popped);
+  counter("assignments-tried", result.check_stats.assignments_tried);
+  counter("index-probes", result.check_stats.index_probes);
+  counter("facts-scanned", result.check_stats.facts_scanned);
   return out;
 }
 

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -41,6 +42,7 @@
 #include "core/database.h"
 #include "core/engine.h"
 #include "core/model.h"
+#include "core/model_matcher.h"
 #include "core/query.h"
 #include "util/status.h"
 
@@ -75,6 +77,13 @@ struct DisjunctPlan {
   /// object/order split (object components disconnected from every order
   /// variable are stripped).
   NormConjunct reduced;
+  /// `reduced` after labelled transitive reduction, memoized here so the
+  /// monadic automata engines never pay the reduction per evaluation.
+  NormConjunct reduced_transitive;
+  /// The memoized model-check schedule of `reduced` (topological variable
+  /// order, constraint/atom schedules) for the brute-force matcher: the
+  /// topological sort runs once at prepare time, not per model.
+  CompiledConjunct compiled;
   /// The stripped object-only sub-conjunct, if nonempty. At evaluation
   /// time a database whose ground object facts falsify it kills the whole
   /// disjunct.
@@ -89,14 +98,21 @@ struct DisjunctPlan {
 };
 
 /// A compiled entailment query: the output of Prepare(). Cheap to
-/// evaluate repeatedly; copyable; independent of any database (databases
-/// evaluated against must share the plan's vocabulary — a mismatch is an
-/// InvalidArgument error).
-/// NOT thread-safe: Evaluate fills internal caches (and the database's
-/// memoized view) under const, so concurrent use of one plan or one
-/// database needs external synchronization.
+/// evaluate repeatedly; copyable (copies start with cold caches);
+/// independent of any database (databases evaluated against must share
+/// the plan's vocabulary — a mismatch is an InvalidArgument error).
+///
+/// Thread-safety: the plan's own caches are internally synchronized, so
+/// concurrent Evaluate calls on ONE plan against DISTINCT Database
+/// objects are safe (ParallelEvaluateBatch relies on this). A single
+/// Database object still must not be evaluated concurrently — its
+/// memoized NormView fills lazily under const.
 class PreparedQuery {
  public:
+  PreparedQuery(const PreparedQuery& other);
+  PreparedQuery& operator=(const PreparedQuery& other);
+  PreparedQuery(PreparedQuery&& other) noexcept = default;
+  PreparedQuery& operator=(PreparedQuery&& other) noexcept = default;
   /// Decides db |= query. Equivalent to Entails(db, query, options) for
   /// the prepared (query, options), but all query compilation has already
   /// happened, and db-side normalization is memoized (Database::NormView
@@ -105,9 +121,20 @@ class PreparedQuery {
   Result<EntailResult> Evaluate(const Database& db) const;
 
   /// Evaluates the plan against every database of the batch. One plan,
-  /// many stores — the seam for future sharded/parallel evaluation.
+  /// many stores.
   std::vector<Result<EntailResult>> EvaluateBatch(
       std::span<const Database* const> dbs) const;
+
+  /// As EvaluateBatch, sharded across a small worker pool. Results are
+  /// written to their input slots (deterministic merge: result[i] is
+  /// always db[i]'s verdict, independent of scheduling); duplicate
+  /// Database pointers are evaluated once and their result copied. A
+  /// single-database batch with a brute-force plan shards the enumeration
+  /// subtrees of that one query instead. `num_workers <= 1` degrades to
+  /// EvaluateBatch; callers pick DefaultWorkerCount() (util/parallel.h)
+  /// for "whatever the machine has".
+  std::vector<Result<EntailResult>> ParallelEvaluateBatch(
+      std::span<const Database* const> dbs, int num_workers) const;
 
   /// Enumerates the countermodels of the prepared query in `db`; see
   /// EnumerateCountermodels in core/engine.h for the contract.
@@ -118,6 +145,15 @@ class PreparedQuery {
   /// Renders the plan: passes with provenance, per-disjunct
   /// classification, and the planned engine.
   std::string Explain() const;
+
+  /// As Explain(), followed by ExplainEvaluation(result).
+  std::string Explain(const EntailResult& result) const;
+
+  /// Renders just the "evaluation:" section: the work counters of
+  /// `result` (models enumerated, incremental push/pop operations, index
+  /// probes, assignments tried), so speedups are observable rather than
+  /// asserted.
+  std::string ExplainEvaluation(const EntailResult& result) const;
 
   /// Pass provenance, in execution order (one record per pass).
   const std::vector<PassRecord>& passes() const { return passes_; }
@@ -154,16 +190,36 @@ class PreparedQuery {
     return !markers_.empty() || needs_sentinels_;
   }
 
+  /// A borrowed normalized view. `owner` (when set) keeps the plan's
+  /// cache entry alive, so a concurrent eviction cannot free the view
+  /// while a worker still evaluates against it.
+  struct NormDbRef {
+    const NormDb* ndb = nullptr;
+    std::shared_ptr<const void> owner;
+  };
+
   /// The normalized database the engines run on: the memoized NormView
-  /// for plain plans, a per-plan cached transformed copy otherwise. The
-  /// pointer stays valid until the next Evaluate/mutation.
-  Result<const NormDb*> NormDbFor(const Database& db) const;
+  /// for plain plans, a per-plan cached transformed copy otherwise.
+  Result<NormDbRef> NormDbFor(const Database& db) const;
+
+  /// The evaluation-time assembly: the surviving disjuncts plus their
+  /// indices into disjuncts_ (for the memoized per-disjunct artifacts).
+  struct AssembledQuery {
+    NormQuery query;
+    /// query.disjuncts[i] == disjuncts_[plan_index[i]].reduced.
+    std::vector<int> plan_index;
+  };
 
   /// Evaluation-time half of the object/order split: drops the disjuncts
   /// whose object part fails against the ground facts of `ndb`. When no
   /// disjunct carries an object part the result is database-independent;
   /// `static_split_` holds it precomputed and this returns nothing.
-  std::optional<NormQuery> AssembleSplitQuery(const NormDb& ndb) const;
+  std::optional<AssembledQuery> AssembleSplitQuery(const NormDb& ndb) const;
+
+  /// Evaluate with the brute-force enumeration sharded over num_threads
+  /// workers (1 = serial; Evaluate() is EvaluateWith(db, 1)).
+  Result<EntailResult> EvaluateWith(const Database& db,
+                                    int num_threads) const;
 
   VocabularyPtr vocab_;
   EntailOptions options_;
@@ -178,20 +234,28 @@ class PreparedQuery {
   // (then ground-fact filtering never drops anything, so the split is
   // database-independent and evaluations skip the per-call rebuild). A
   // second copy of the reduced conjuncts: plan-sized memory traded for
-  // evaluation-path speed.
+  // evaluation-path speed. static_reduced_split_ is the same query with
+  // the memoized transitive-reduced disjuncts, handed to the disjunctive
+  // automata engine. Both share static_plan_index_ (identity).
   std::optional<NormQuery> static_split_;
+  std::optional<NormQuery> static_reduced_split_;
+  std::vector<int> static_plan_index_;
 
   // Per-database cache of the transformed-and-normalized view for plans
   // with NeedsDbTransform(), keyed by Database::uid with a revision stamp
   // (the pair identifies immutable content), so batch rounds over a fleet
   // amortize the transform per store. Bounded: once full, a miss on a new
   // database evicts everything, keeping long-lived plans from
-  // accumulating entries for short-lived databases.
+  // accumulating entries for short-lived databases. Guarded by cache_mu_
+  // (ParallelEvaluateBatch workers share the plan); entries are
+  // shared_ptrs so an eviction never frees a view a worker still holds.
   struct TransformCache {
     uint64_t revision;
     Result<NormDb> ndb;
   };
   static constexpr size_t kMaxTransformCacheEntries = 64;
+  mutable std::unique_ptr<std::mutex> cache_mu_ =
+      std::make_unique<std::mutex>();
   mutable std::unordered_map<uint64_t,
                              std::shared_ptr<const TransformCache>>
       transform_cache_;

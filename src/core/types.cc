@@ -1,5 +1,6 @@
 #include "core/types.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace iodb {
@@ -57,6 +58,10 @@ void PredSet::Remove(int id) {
   IODB_CHECK_GE(id, 0);
   size_t word = static_cast<size_t>(id) >> 6;
   if (word < words_.size()) words_[word] &= ~(uint64_t{1} << (id & 63));
+}
+
+void PredSet::Clear() {
+  std::fill(words_.begin(), words_.end(), 0);
 }
 
 bool PredSet::Contains(int id) const {

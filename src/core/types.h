@@ -89,6 +89,9 @@ class PredSet {
   void Add(int id);
   /// Removes predicate `id` if present.
   void Remove(int id);
+  /// Removes every predicate, keeping the allocated capacity (so label
+  /// slots can be refilled in place by the incremental model builder).
+  void Clear();
   /// Membership test.
   bool Contains(int id) const;
   /// True if no predicate is in the set.
@@ -106,6 +109,11 @@ class PredSet {
 
   /// Value hash for container keys.
   size_t Hash() const;
+
+  /// Raw 64-bit words (bit i of word w = membership of predicate 64w+i).
+  /// Trailing zero words may be absent; exposed so index structures can
+  /// iterate members without materializing Elements().
+  const std::vector<uint64_t>& words() const { return words_; }
 
   friend bool operator==(const PredSet& a, const PredSet& b);
 

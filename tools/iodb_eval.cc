@@ -11,7 +11,9 @@
 // the query (also text format) against it. The query comes from exactly
 // one source: the QUERY argument, `-` to read it from stdin, or
 // --query-file=PATH. --explain prints the compiled plan (passes with
-// provenance, per-disjunct classification) before the verdict. Engine
+// provenance, per-disjunct classification) before the verdict and the
+// evaluation work counters (models enumerated, incremental push/pop
+// operations, index probes, assignments) after it. Engine
 // names are the ones printed by the tool itself (EngineKindName), so
 // output and flags round-trip; the historical shorthands "paths" and
 // "disjunctive" are still accepted. Exit code 0 = entailed, 1 = not
@@ -138,6 +140,10 @@ int main(int argc, char** argv) {
       result.value().countermodel.has_value()) {
     std::printf("countermodel: %s\n",
                 result.value().countermodel->ToString().c_str());
+  }
+  if (explain) {
+    std::printf("%s",
+                prepared.value().ExplainEvaluation(result.value()).c_str());
   }
   return result.value().entailed ? 0 : 1;
 }

@@ -12,9 +12,17 @@
 # Extra benchmark flags can be passed via BENCH_ARGS, e.g.
 #   BENCH_ARGS='--benchmark_min_time=0.01' tools/run_benches.sh build
 #
-# The output file is a JSON object {"runs": [<per-binary benchmark JSON>...]},
-# i.e. each element is the unmodified --benchmark_format=json report of one
-# binary, so downstream tooling can diff context + benchmarks per run.
+# The build must be configured with -DCMAKE_BUILD_TYPE=Release: numbers
+# from unoptimized binaries are not baselines and silently poison the
+# perf trajectory. A non-Release build is refused; set
+# IODB_ALLOW_DEBUG_BENCH=1 to force a run anyway — the output is then
+# loudly tagged BENCH_DEBUG_<timestamp>.json so it can never be mistaken
+# for a baseline.
+#
+# The output file is a JSON object
+#   {"cmake_build_type": "...", "runs": [<per-binary benchmark JSON>...]},
+# i.e. each run element is the unmodified --benchmark_format=json report of
+# one binary, so downstream tooling can diff context + benchmarks per run.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -26,6 +34,24 @@ if [[ ! -d "${bench_dir}" ]]; then
   echo "run_benches.sh: no such directory '${bench_dir}'" \
        "(build first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j)" >&2
   exit 1
+fi
+
+# Refuse (or loudly tag) non-Release builds.
+build_type=""
+if [[ -f "${build_dir}/CMakeCache.txt" ]]; then
+  build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${build_dir}/CMakeCache.txt" | head -n 1)"
+fi
+out_prefix="BENCH"
+if [[ "${build_type}" != "Release" ]]; then
+  if [[ "${IODB_ALLOW_DEBUG_BENCH:-0}" != "1" ]]; then
+    echo "run_benches.sh: refusing to benchmark a '${build_type:-unknown}' build." >&2
+    echo "  Configure with: cmake -B ${build_dir} -S . -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "  (or set IODB_ALLOW_DEBUG_BENCH=1 to record a loudly-tagged debug run)" >&2
+    exit 1
+  fi
+  out_prefix="BENCH_DEBUG"
+  echo "run_benches.sh: WARNING: '${build_type:-unknown}' build —" \
+       "output tagged ${out_prefix}_*, NOT a perf baseline" >&2
 fi
 
 matches_filter() {
@@ -50,14 +76,14 @@ if [[ ${#binaries[@]} -eq 0 ]]; then
   exit 1
 fi
 
-out="BENCH_$(date +%Y%m%d_%H%M%S).json"
+out="${out_prefix}_$(date +%Y%m%d_%H%M%S).json"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
 
 # Assemble in the temp dir and move into place at the end, so a crashing
 # bench binary never leaves a truncated ${out} behind as a baseline.
 {
-  printf '{"runs": [\n'
+  printf '{"cmake_build_type": "%s",\n"runs": [\n' "${build_type}"
   first=1
   for bin in "${binaries[@]}"; do
     name="$(basename "${bin}")"

@@ -310,6 +310,15 @@ Result<Query> ParseQuery(const std::string& text, VocabularyPtr vocab) {
                                        cursor.Peek().text + "'");
       }
       std::string first = cursor.Next().text;
+      // Bare `true` is the empty conjunction: it contributes no atom, so
+      // a disjunct that quantifies variables without constraining them
+      // ("exists t0 t1: true", the printer's form) parses back exactly.
+      // A predicate named "true" still works — it is followed by '('.
+      if (first == "true" && cursor.Peek().kind != TokKind::kLParen &&
+          !IsRel(cursor.Peek().kind)) {
+        if (cursor.Accept(TokKind::kAmp)) continue;
+        break;
+      }
       if (cursor.Peek().kind == TokKind::kLParen) {
         cursor.Next();
         QueryProperAtom atom;

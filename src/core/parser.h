@@ -15,6 +15,9 @@
 //   | exists t: R(t)
 // Names listed after `exists` are variables of that disjunct; every other
 // name is a constant. Variable sorts are inferred during normalization.
+// A bare `true` is the empty conjunction, so a disjunct that quantifies
+// variables without constraining them ("exists t0 t1: true") parses; the
+// printer emits exactly that form for atomless disjuncts.
 
 #ifndef IODB_CORE_PARSER_H_
 #define IODB_CORE_PARSER_H_

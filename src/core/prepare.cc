@@ -167,6 +167,7 @@ Result<PreparedQuery> Prepare(const VocabularyPtr& vocab, const Query& query,
   PreparedQuery plan;
   plan.vocab_ = vocab;
   plan.options_ = options;
+  plan.fingerprint_ = FingerprintPlanInputs(query, options);
 
   // Pass 1: constant elimination (query side; the marker facts are
   // recorded for evaluation-time injection).
@@ -344,9 +345,25 @@ PreparedQuery MustPrepare(const VocabularyPtr& vocab, const Query& query,
   return std::move(plan.value());
 }
 
+uint64_t FingerprintPlanInputs(const Query& query,
+                               const EntailOptions& options) {
+  // 64-bit mixing throughout (not size_t HashCombine): the query
+  // fingerprint's ~2^-64 collision bound must survive on 32-bit targets.
+  uint64_t hash = FingerprintQuery(query);
+  auto mix = [&hash](uint64_t value) {
+    hash ^= value + 0x9E3779B97F4A7C15ULL + (hash << 6) + (hash >> 2);
+  };
+  mix(static_cast<uint64_t>(options.semantics));
+  mix(static_cast<uint64_t>(options.engine));
+  mix(static_cast<uint64_t>(options.want_countermodel));
+  mix(static_cast<uint64_t>(options.max_rewritten_disjuncts));
+  return hash;
+}
+
 PreparedQuery::PreparedQuery(const PreparedQuery& other)
     : vocab_(other.vocab_),
       options_(other.options_),
+      fingerprint_(other.fingerprint_),
       passes_(other.passes_),
       disjuncts_(other.disjuncts_),
       markers_(other.markers_),

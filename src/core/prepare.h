@@ -164,6 +164,11 @@ class PreparedQuery {
   /// The options the query was prepared with.
   const EntailOptions& options() const { return options_; }
 
+  /// The plan fingerprint: FingerprintPlanInputs(query, options) of the
+  /// inputs this plan was compiled from, recorded at Prepare() time. Plan
+  /// caches key on (Vocabulary::uid(), fingerprint()).
+  uint64_t fingerprint() const { return fingerprint_; }
+
   /// True if compilation already proved the query TRUE in every model.
   bool trivially_true() const { return trivially_true_; }
 
@@ -223,6 +228,7 @@ class PreparedQuery {
 
   VocabularyPtr vocab_;
   EntailOptions options_;
+  uint64_t fingerprint_ = 0;
   std::vector<PassRecord> passes_;
   std::vector<DisjunctPlan> disjuncts_;
   std::vector<ConstantShift::Marker> markers_;
@@ -273,6 +279,15 @@ Result<PreparedQuery> Prepare(const VocabularyPtr& vocab, const Query& query,
 /// where the query is known to be well-formed.
 PreparedQuery MustPrepare(const VocabularyPtr& vocab, const Query& query,
                           const EntailOptions& options = {});
+
+/// Fingerprint of the full Prepare() input: the structural query
+/// fingerprint (FingerprintQuery) mixed with every option that changes
+/// the compiled plan or its verdict payload — semantics, forced engine,
+/// countermodel request, inequality-rewrite budget. Two Prepare() calls
+/// with equal fingerprints over the same vocabulary produce
+/// interchangeable plans, which is exactly the plan-cache contract.
+uint64_t FingerprintPlanInputs(const Query& query,
+                               const EntailOptions& options);
 
 }  // namespace iodb
 

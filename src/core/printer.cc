@@ -82,7 +82,9 @@ std::string ToString(const Query& query) {
     for (const QueryInequality& atom : conjunct.inequalities) {
       atoms.push_back(atom.lhs.name + "!=" + atom.rhs.name);
     }
-    d += Join(atoms, " & ");
+    // An atomless disjunct is the empty conjunction; print the `true`
+    // the parser accepts back, so every query round-trips.
+    d += atoms.empty() ? "true" : Join(atoms, " & ");
     disjuncts.push_back(d);
   }
   return Join(disjuncts, " | ");

@@ -78,6 +78,56 @@ bool Query::HasConstants() const {
   return false;
 }
 
+namespace {
+
+// Incremental FNV-1a, fed length-prefixed fields so adjacent strings
+// cannot alias ("ab","c" vs "a","bc") and structure tags separate the
+// atom kinds.
+struct Fnv1a {
+  uint64_t hash = 1469598103934665603ULL;
+
+  void Byte(uint8_t b) {
+    hash ^= b;
+    hash *= 1099511628211ULL;
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) Byte(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    for (char c : s) Byte(static_cast<uint8_t>(c));
+  }
+};
+
+}  // namespace
+
+uint64_t FingerprintQuery(const Query& query) {
+  Fnv1a fnv;
+  fnv.U64(query.disjuncts().size());
+  for (const QueryConjunct& conjunct : query.disjuncts()) {
+    fnv.Byte('D');
+    fnv.U64(conjunct.variables.size());
+    for (const std::string& var : conjunct.variables) fnv.Str(var);
+    for (const QueryProperAtom& atom : conjunct.proper_atoms) {
+      fnv.Byte('P');
+      fnv.Str(atom.pred);
+      fnv.U64(atom.args.size());
+      for (const QueryTerm& term : atom.args) fnv.Str(term.name);
+    }
+    for (const QueryOrderAtom& atom : conjunct.order_atoms) {
+      fnv.Byte(atom.rel == OrderRel::kLt ? '<' : 'L');
+      fnv.Str(atom.lhs.name);
+      fnv.Str(atom.rhs.name);
+    }
+    for (const QueryInequality& atom : conjunct.inequalities) {
+      fnv.Byte('!');
+      fnv.Str(atom.lhs.name);
+      fnv.Str(atom.rhs.name);
+    }
+  }
+  return fnv.hash;
+}
+
 bool NormConjunct::IsEmpty() const {
   return num_order_vars() == 0 && num_object_vars() == 0 &&
          other_atoms.empty();

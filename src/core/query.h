@@ -158,6 +158,16 @@ struct NormQuery {
   int MaxOrderVars() const;
 };
 
+/// Structural 64-bit fingerprint of a surface query: a platform-stable
+/// FNV-1a hash over the disjuncts in order — variable lists, proper atoms
+/// (predicate names and argument names), order atoms with their
+/// relations, and inequalities. Structurally identical queries fingerprint
+/// identically in every process and on every platform (no std::hash), so
+/// the value can key plan caches and name fuzz repros; distinct queries
+/// collide with probability ~2^-64. The fingerprint deliberately ignores
+/// the vocabulary object — cache keys pair it with Vocabulary::uid().
+uint64_t FingerprintQuery(const Query& query);
+
 /// Normalizes a constant-free query: resolves variable sorts, applies
 /// N1/N2 per disjunct, builds dags and label sets. Fails on constants
 /// (eliminate them first, see EliminateConstants), unknown predicates,

@@ -14,6 +14,13 @@ const char* OrderSemanticsName(OrderSemantics semantics) {
   return "unknown";
 }
 
+std::optional<OrderSemantics> ParseOrderSemantics(const std::string& name) {
+  if (name == "finite") return OrderSemantics::kFinite;
+  if (name == "integer") return OrderSemantics::kInteger;
+  if (name == "rational") return OrderSemantics::kRational;
+  return std::nullopt;
+}
+
 Database AddIntegerSentinels(const Database& db, int num_query_order_vars) {
   Database out = db;
   const int n = num_query_order_vars;

@@ -16,6 +16,9 @@
 #ifndef IODB_CORE_SEMANTICS_H_
 #define IODB_CORE_SEMANTICS_H_
 
+#include <optional>
+#include <string>
+
 #include "core/database.h"
 #include "core/query.h"
 
@@ -30,6 +33,11 @@ enum class OrderSemantics {
 
 /// Returns "finite", "integer" or "rational".
 const char* OrderSemanticsName(OrderSemantics semantics);
+
+/// Parses a semantics name back into its value: exactly the strings
+/// produced by OrderSemanticsName() round-trip (the shared mapping for
+/// every CLI flag and trace field). Returns nullopt for anything else.
+std::optional<OrderSemantics> ParseOrderSemantics(const std::string& name);
 
 /// The Proposition 2.3 construction: returns D plus fresh sentinel chains
 /// @l1 < ... < @ln and @r1 < ... < @rn with @ln < u < @r1 for every order

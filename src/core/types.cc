@@ -1,12 +1,38 @@
 #include "core/types.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
 namespace iodb {
 
 const char* SortName(Sort sort) {
   return sort == Sort::kObject ? "object" : "order";
+}
+
+namespace {
+
+uint64_t NextVocabularyUid() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary() : uid_(NextVocabularyUid()) {}
+
+Vocabulary::Vocabulary(const Vocabulary& other)
+    : uid_(NextVocabularyUid()),
+      predicates_(other.predicates_),
+      index_(other.index_) {}
+
+Vocabulary& Vocabulary::operator=(const Vocabulary& other) {
+  if (this == &other) return *this;
+  // The predicate table changes meaning, so this object is a new identity.
+  uid_ = NextVocabularyUid();
+  predicates_ = other.predicates_;
+  index_ = other.index_;
+  return *this;
 }
 
 Result<int> Vocabulary::GetOrAddPredicate(const std::string& name,

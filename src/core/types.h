@@ -43,6 +43,18 @@ struct PredicateInfo {
 /// predicates, so predicate ids are directly comparable.
 class Vocabulary {
  public:
+  Vocabulary();
+  Vocabulary(const Vocabulary& other);
+  Vocabulary& operator=(const Vocabulary& other);
+
+  /// Identity of this vocabulary object. Unique per live object (copies
+  /// get a fresh uid), so external caches keyed by (vocabulary uid, query
+  /// fingerprint) never confuse plans compiled against different
+  /// vocabularies. Predicate registration does NOT change the uid:
+  /// registering new predicates only extends the id space, it never
+  /// re-means an existing id.
+  uint64_t uid() const { return uid_; }
+
   /// Registers `name` with the given signature, or returns the existing id.
   /// Fails (via Result) if `name` exists with a different signature.
   Result<int> GetOrAddPredicate(const std::string& name,
@@ -66,6 +78,7 @@ class Vocabulary {
   bool AllMonadicOrder() const;
 
  private:
+  uint64_t uid_;
   std::vector<PredicateInfo> predicates_;
   std::unordered_map<std::string, int> index_;
 };

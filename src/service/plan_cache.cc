@@ -1,0 +1,67 @@
+#include "service/plan_cache.h"
+
+#include "util/check.h"
+
+namespace iodb {
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+  IODB_CHECK_GT(capacity_, 0u);
+}
+
+std::shared_ptr<const PreparedQuery> PlanCache::Get(const PlanKey& key) {
+  std::scoped_lock lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->second;
+}
+
+void PlanCache::Put(const PlanKey& key,
+                    std::shared_ptr<const PreparedQuery> plan) {
+  IODB_CHECK(plan != nullptr);
+  std::scoped_lock lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.emplace_front(key, std::move(plan));
+  index_[key] = order_.begin();
+  while (order_.size() > capacity_) {
+    index_.erase(order_.back().first);
+    order_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::Clear() {
+  std::scoped_lock lock(mu_);
+  index_.clear();
+  order_.clear();
+}
+
+std::vector<PlanKey> PlanCache::KeysByRecency() const {
+  std::scoped_lock lock(mu_);
+  std::vector<PlanKey> keys;
+  keys.reserve(order_.size());
+  for (const auto& [key, plan] : order_) keys.push_back(key);
+  return keys;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::scoped_lock lock(mu_);
+  PlanCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = static_cast<long long>(order_.size());
+  stats.capacity = static_cast<long long>(capacity_);
+  return stats;
+}
+
+}  // namespace iodb

@@ -1,0 +1,103 @@
+// Bounded LRU cache of compiled query plans.
+//
+// The serving layer compiles queries once (core/prepare.h) and reuses the
+// plan across requests; this cache is the reuse point. Keys pair the
+// vocabulary identity with the structural plan fingerprint
+// (Vocabulary::uid(), FingerprintPlanInputs), so textual re-submissions
+// of the same query hit, while plans compiled against different
+// vocabularies — whose predicate ids are incomparable — can never be
+// confused. Values are shared immutable plans: a Get() returns a
+// shared_ptr that stays valid after the entry is evicted, so in-flight
+// evaluations never race an eviction.
+//
+// Thread-safe: all operations take an internal mutex. PreparedQuery's own
+// evaluation caches are internally synchronized as well, so a cached plan
+// may be evaluated from many workers concurrently (against distinct
+// Database objects).
+
+#ifndef IODB_SERVICE_PLAN_CACHE_H_
+#define IODB_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/prepare.h"
+
+namespace iodb {
+
+/// Cache key: the vocabulary identity plus the plan-input fingerprint.
+struct PlanKey {
+  uint64_t vocab_uid = 0;
+  uint64_t fingerprint = 0;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+/// Hash functor for PlanKey.
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& key) const {
+    size_t seed = static_cast<size_t>(key.vocab_uid);
+    HashCombine(seed, static_cast<size_t>(key.fingerprint));
+    return seed;
+  }
+};
+
+/// Counter snapshot; see PlanCache::stats().
+struct PlanCacheStats {
+  long long hits = 0;
+  long long misses = 0;
+  long long evictions = 0;
+  long long entries = 0;   // current size
+  long long capacity = 0;  // configured bound
+};
+
+/// Bounded, thread-safe LRU map from PlanKey to shared compiled plans.
+class PlanCache {
+ public:
+  /// `capacity` is the maximum number of cached plans; must be positive.
+  explicit PlanCache(size_t capacity);
+
+  /// Looks up `key`, refreshing its recency on a hit. Counts one hit or
+  /// one miss. Returns nullptr on a miss.
+  std::shared_ptr<const PreparedQuery> Get(const PlanKey& key);
+
+  /// Inserts (or replaces) the plan under `key` as the most recent entry,
+  /// evicting least-recently-used entries while over capacity. Replacing
+  /// an existing key is not an eviction.
+  void Put(const PlanKey& key, std::shared_ptr<const PreparedQuery> plan);
+
+  /// Drops every entry (stats are kept; no evictions are counted).
+  void Clear();
+
+  /// The cached keys, most recently used first (test hook for asserting
+  /// the LRU order).
+  std::vector<PlanKey> KeysByRecency() const;
+
+  PlanCacheStats stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  // Front = most recently used. The index maps keys to list positions.
+  std::list<std::pair<PlanKey, std::shared_ptr<const PreparedQuery>>> order_;
+  std::unordered_map<
+      PlanKey,
+      std::list<std::pair<PlanKey,
+                          std::shared_ptr<const PreparedQuery>>>::iterator,
+      PlanKeyHash>
+      index_;
+  long long hits_ = 0;
+  long long misses_ = 0;
+  long long evictions_ = 0;
+};
+
+}  // namespace iodb
+
+#endif  // IODB_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,84 @@
+#include "service/request.h"
+
+#include <vector>
+
+#include "core/semantics.h"
+#include "util/strings.h"
+
+namespace iodb {
+
+namespace {
+
+// Splits off the next whitespace-delimited token of `rest`; returns empty
+// when exhausted. `rest` is advanced past the token and any following
+// whitespace.
+std::string_view NextToken(std::string_view& rest) {
+  rest = StripWhitespace(rest);
+  size_t end = 0;
+  while (end < rest.size() && rest[end] != ' ' && rest[end] != '\t') ++end;
+  std::string_view token = rest.substr(0, end);
+  rest = StripWhitespace(rest.substr(end));
+  return token;
+}
+
+}  // namespace
+
+Result<EvalRequest> ParseEvalRequest(const std::string& line) {
+  std::string_view rest = line;
+  EvalRequest request;
+  request.db = std::string(NextToken(rest));
+  if (request.db.empty()) {
+    return Status::InvalidArgument("EVAL request needs a database name");
+  }
+  while (rest.rfind("--", 0) == 0) {
+    std::string flag(NextToken(rest));
+    if (flag == "--countermodel") {
+      request.options.want_countermodel = true;
+    } else if (flag == "--explain") {
+      request.explain = true;
+    } else if (flag.rfind("--semantics=", 0) == 0) {
+      std::optional<OrderSemantics> semantics =
+          ParseOrderSemantics(flag.substr(12));
+      if (!semantics.has_value()) {
+        return Status::InvalidArgument("unknown semantics in '" + flag + "'");
+      }
+      request.options.semantics = *semantics;
+    } else if (flag.rfind("--engine=", 0) == 0) {
+      std::optional<EngineKind> engine = ParseEngineKind(flag.substr(9));
+      if (!engine.has_value()) {
+        return Status::InvalidArgument("unknown engine in '" + flag + "'");
+      }
+      request.options.engine = *engine;
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'");
+    }
+  }
+  request.query = std::string(rest);
+  if (request.query.empty()) {
+    return Status::InvalidArgument("EVAL request needs a query");
+  }
+  return request;
+}
+
+std::string FormatEvalRequest(const EvalRequest& request) {
+  std::string out = request.db;
+  if (request.options.semantics != OrderSemantics::kFinite) {
+    out += std::string(" --semantics=") +
+           OrderSemanticsName(request.options.semantics);
+  }
+  if (request.options.engine != EngineKind::kAuto) {
+    out += std::string(" --engine=") + EngineKindName(request.options.engine);
+  }
+  if (request.options.want_countermodel) out += " --countermodel";
+  if (request.explain) out += " --explain";
+  return out + " " + request.query;
+}
+
+std::string FormatResponseLine(const EvalResponse& response) {
+  std::string out = response.entailed ? "ENTAILED" : "NOT ENTAILED";
+  out += std::string("  [engine: ") + EngineKindName(response.engine_used) +
+         ", cache: " + (response.plan_cache_hit ? "hit" : "miss") + "]";
+  return out;
+}
+
+}  // namespace iodb

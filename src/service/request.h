@@ -1,0 +1,69 @@
+// Request/response types of the evaluation service, plus their
+// line-oriented wire forms (shared by tools/iodb_serve and
+// tools/iodb_replay so the interactive protocol and replayed traces parse
+// identically).
+//
+// Wire form of an EVAL request (one line):
+//
+//   <db-name> [--semantics=finite|integer|rational] [--engine=NAME]
+//             [--countermodel] [--explain] <query text>
+//
+// Flags follow the database name; the first token that is not a flag
+// starts the query text (query text never begins with "--"). Flag names
+// and values match tools/iodb_eval, so request lines and CLI invocations
+// stay interchangeable.
+
+#ifndef IODB_SERVICE_REQUEST_H_
+#define IODB_SERVICE_REQUEST_H_
+
+#include <optional>
+#include <string>
+
+#include "core/engine.h"
+#include "core/model.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// One evaluation request against a registered database.
+struct EvalRequest {
+  /// Name the database was registered under.
+  std::string db;
+  /// Query text in the parser's format.
+  std::string query;
+  /// Evaluation options (semantics, forced engine, countermodel request,
+  /// rewrite budget). Part of the plan-cache key.
+  EntailOptions options;
+  /// Attach the rendered plan + evaluation counters to the response.
+  bool explain = false;
+};
+
+/// The verdict payload of one request.
+struct EvalResponse {
+  bool entailed = false;
+  /// The engine that produced the verdict.
+  EngineKind engine_used = EngineKind::kAuto;
+  /// True if the compiled plan came from the service's plan cache.
+  bool plan_cache_hit = false;
+  /// Falsifying minimal model, when requested and not entailed.
+  std::optional<FiniteModel> countermodel;
+  /// PreparedQuery::Explain(result) rendering; nonempty iff requested.
+  std::string explain;
+};
+
+/// Parses the wire form above. Fails on an empty line, a missing query,
+/// or an unknown flag/semantics/engine value.
+Result<EvalRequest> ParseEvalRequest(const std::string& line);
+
+/// Renders the wire form of `request` (canonical flag order; a parse
+/// round-trips).
+std::string FormatEvalRequest(const EvalRequest& request);
+
+/// Renders the one-line verdict, e.g.
+/// "ENTAILED [engine: bounded-width, cache: hit]". Countermodel and
+/// explain payloads are multi-line and rendered by the caller.
+std::string FormatResponseLine(const EvalResponse& response);
+
+}  // namespace iodb
+
+#endif  // IODB_SERVICE_REQUEST_H_

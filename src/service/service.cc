@@ -1,0 +1,210 @@
+#include "service/service.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "core/parser.h"
+#include "util/parallel.h"
+
+namespace iodb {
+
+std::string ServiceStats::ToString() const {
+  auto line = [](const char* name, long long value) {
+    std::string out = name;
+    while (out.size() < 22) out += ' ';
+    return out + std::to_string(value) + "\n";
+  };
+  std::string out;
+  out += line("requests", requests);
+  out += line("batches", batches);
+  out += line("plans-compiled", plans_compiled);
+  out += line("databases", databases);
+  out += line("plan-cache-hits", plan_cache.hits);
+  out += line("plan-cache-misses", plan_cache.misses);
+  out += line("plan-cache-evictions", plan_cache.evictions);
+  out += line("plan-cache-entries", plan_cache.entries);
+  out += line("plan-cache-capacity", plan_cache.capacity);
+  return out;
+}
+
+EvaluationService::EvaluationService(ServiceOptions options)
+    : vocab_(std::make_shared<Vocabulary>()),
+      num_workers_(options.num_workers > 0 ? options.num_workers
+                                           : DefaultWorkerCount()),
+      plan_cache_(options.plan_cache_capacity) {}
+
+Result<DbInfo> EvaluationService::Load(const std::string& name,
+                                       const std::string& text) {
+  if (name.empty()) {
+    return Status::InvalidArgument("database name must be nonempty");
+  }
+  Result<Database> db = ParseDatabase(text, vocab_);
+  if (!db.ok()) return db.status();
+  return Register(name, std::move(db.value()));
+}
+
+Result<DbInfo> EvaluationService::Register(const std::string& name,
+                                           Database db) {
+  if (name.empty()) {
+    return Status::InvalidArgument("database name must be nonempty");
+  }
+  if (db.vocab() != vocab_) {
+    return Status::InvalidArgument(
+        "registered databases must share the service vocabulary "
+        "(build against vocab())");
+  }
+  auto stored = std::make_unique<Database>(std::move(db));
+  DbInfo info{name, stored->SizeAtoms(), stored->uid(), stored->revision()};
+  databases_[name] = std::move(stored);
+  return info;
+}
+
+const Database* EvaluationService::database(const std::string& name) const {
+  auto it = databases_.find(name);
+  return it == databases_.end() ? nullptr : it->second.get();
+}
+
+Database* EvaluationService::mutable_database(const std::string& name) {
+  auto it = databases_.find(name);
+  return it == databases_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> EvaluationService::database_names() const {
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [name, db] : databases_) names.push_back(name);
+  return names;
+}
+
+Result<std::shared_ptr<const PreparedQuery>> EvaluationService::PlanFor(
+    const std::string& query_text, const EntailOptions& options,
+    bool* cache_hit) {
+  Result<Query> query = ParseQuery(query_text, vocab_);
+  if (!query.ok()) return query.status();
+  const PlanKey key{vocab_->uid(),
+                    FingerprintPlanInputs(query.value(), options)};
+  if (std::shared_ptr<const PreparedQuery> plan = plan_cache_.Get(key)) {
+    *cache_hit = true;
+    return plan;
+  }
+  *cache_hit = false;
+  Result<PreparedQuery> prepared = Prepare(vocab_, query.value(), options);
+  if (!prepared.ok()) return prepared.status();
+  auto plan = std::make_shared<const PreparedQuery>(
+      std::move(prepared.value()));
+  ++plans_compiled_;
+  plan_cache_.Put(key, plan);
+  return std::shared_ptr<const PreparedQuery>(plan);
+}
+
+EvalResponse EvaluationService::MakeResponse(const PreparedQuery& plan,
+                                             EntailResult result,
+                                             bool cache_hit,
+                                             bool explain) const {
+  EvalResponse response;
+  response.entailed = result.entailed;
+  response.engine_used = result.engine_used;
+  response.plan_cache_hit = cache_hit;
+  if (explain) response.explain = plan.Explain(result);
+  response.countermodel = std::move(result.countermodel);
+  return response;
+}
+
+Result<EvalResponse> EvaluationService::Eval(const EvalRequest& request) {
+  ++requests_;
+  const Database* db = database(request.db);
+  if (db == nullptr) {
+    return Status::InvalidArgument("unknown database '" + request.db + "'");
+  }
+  bool cache_hit = false;
+  Result<std::shared_ptr<const PreparedQuery>> plan =
+      PlanFor(request.query, request.options, &cache_hit);
+  if (!plan.ok()) return plan.status();
+  Result<EntailResult> result = plan.value()->Evaluate(*db);
+  if (!result.ok()) return result.status();
+  return MakeResponse(*plan.value(), std::move(result.value()), cache_hit,
+                      request.explain);
+}
+
+std::vector<Result<EvalResponse>> EvaluationService::EvalBatch(
+    std::span<const EvalRequest> requests) {
+  ++batches_;
+  requests_ += static_cast<long long>(requests.size());
+
+  // Phase 1 (serial): resolve databases and plans. Parsing and compiling
+  // touch the shared vocabulary and plan cache; evaluation is the part
+  // worth fanning out.
+  struct Slot {
+    const Database* db = nullptr;
+    std::shared_ptr<const PreparedQuery> plan;
+    bool cache_hit = false;
+  };
+  std::vector<Result<EvalResponse>> results(
+      requests.size(), Result<EvalResponse>(EvalResponse{}));
+  std::vector<Slot> slots(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const EvalRequest& request = requests[i];
+    Slot& slot = slots[i];
+    slot.db = database(request.db);
+    if (slot.db == nullptr) {
+      results[i] =
+          Status::InvalidArgument("unknown database '" + request.db + "'");
+      continue;
+    }
+    Result<std::shared_ptr<const PreparedQuery>> plan =
+        PlanFor(request.query, request.options, &slot.cache_hit);
+    if (!plan.ok()) {
+      results[i] = plan.status();
+      continue;
+    }
+    slot.plan = std::move(plan.value());
+  }
+
+  // Phase 2: group the healthy slots by plan (one group = one
+  // ParallelEvaluateBatch call over its databases) in first-appearance
+  // order, so scheduling is deterministic.
+  std::unordered_map<const PreparedQuery*, size_t> group_of;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].plan == nullptr) continue;
+    auto [it, inserted] =
+        group_of.try_emplace(slots[i].plan.get(), groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+
+  // Phase 3: evaluate group by group; the pool shards within a group
+  // (duplicate databases are deduped inside ParallelEvaluateBatch, and a
+  // single-database brute-force group shards its enumeration subtrees).
+  for (const std::vector<size_t>& group : groups) {
+    const PreparedQuery& plan = *slots[group[0]].plan;
+    std::vector<const Database*> dbs;
+    dbs.reserve(group.size());
+    for (size_t slot : group) dbs.push_back(slots[slot].db);
+    std::vector<Result<EntailResult>> verdicts =
+        plan.ParallelEvaluateBatch(dbs, num_workers_);
+    for (size_t k = 0; k < group.size(); ++k) {
+      const size_t i = group[k];
+      if (!verdicts[k].ok()) {
+        results[i] = verdicts[k].status();
+        continue;
+      }
+      results[i] =
+          MakeResponse(plan, std::move(verdicts[k].value()),
+                       slots[i].cache_hit, requests[i].explain);
+    }
+  }
+  return results;
+}
+
+ServiceStats EvaluationService::stats() const {
+  ServiceStats stats;
+  stats.requests = requests_;
+  stats.batches = batches_;
+  stats.plans_compiled = plans_compiled_;
+  stats.databases = static_cast<long long>(databases_.size());
+  stats.plan_cache = plan_cache_.stats();
+  return stats;
+}
+
+}  // namespace iodb

@@ -1,0 +1,155 @@
+// In-process evaluation service: the serving layer over the whole
+// pipeline.
+//
+// The service owns the lifecycle every caller used to hand-manage:
+//
+//   * one shared Vocabulary for all registered databases and parsed
+//     queries (predicate ids stay comparable across the fleet, which is
+//     what lets one compiled plan serve every database);
+//   * named databases with Database's built-in uid/revision identity —
+//     mutating a registered database bumps its revision, which
+//     invalidates the memoized NormView and every per-plan transformed
+//     view keyed by (uid, revision), so no request can be served from a
+//     stale derived structure;
+//   * a bounded LRU plan cache (service/plan_cache.h) keyed by
+//     (vocabulary uid, plan fingerprint) with hit/miss/eviction counters;
+//   * batch scheduling onto the PR-3 worker pool
+//     (PreparedQuery::ParallelEvaluateBatch): a batch is grouped by
+//     compiled plan, each group fans its databases across the workers,
+//     and results land in their request slots — the response order is
+//     deterministic and independent of scheduling.
+//
+// Thread-safety: the plan cache and the plans' own evaluation caches are
+// internally synchronized. Registration (Load/Register) and mutation
+// (mutable_database) must not race evaluations; concurrent Eval calls
+// are safe when they target distinct databases (a single Database's
+// NormView fills lazily under const) AND every concurrently compiled
+// query is constant-free — compiling a constant-bearing query registers
+// its marker predicates into the shared vocabulary, a single-writer
+// operation (pre-warm such plans with one Eval, or serialize the
+// misses). EvalBatch is the supported in-process concurrency seam — its
+// compile phase is serial and it dedupes duplicate databases before
+// sharding.
+
+#ifndef IODB_SERVICE_SERVICE_H_
+#define IODB_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/prepare.h"
+#include "service/plan_cache.h"
+#include "service/request.h"
+#include "util/status.h"
+
+namespace iodb {
+
+/// Construction-time knobs.
+struct ServiceOptions {
+  /// Maximum number of cached plans.
+  size_t plan_cache_capacity = 128;
+  /// Worker threads for batch evaluation; 0 picks DefaultWorkerCount().
+  int num_workers = 0;
+};
+
+/// Registration summary of one database.
+struct DbInfo {
+  std::string name;
+  int atoms = 0;
+  uint64_t uid = 0;
+  uint64_t revision = 0;
+};
+
+/// Aggregate counters; see EvaluationService::stats().
+struct ServiceStats {
+  /// Evaluation requests served (batch members count individually).
+  long long requests = 0;
+  /// EvalBatch calls.
+  long long batches = 0;
+  /// Prepare() runs (== plan-cache misses that compiled successfully).
+  long long plans_compiled = 0;
+  /// Registered databases.
+  long long databases = 0;
+  PlanCacheStats plan_cache;
+
+  /// Multi-line "name value" rendering (the STATS payload of iodb_serve).
+  std::string ToString() const;
+};
+
+/// The in-process serving layer. See the file comment for the contract.
+class EvaluationService {
+ public:
+  explicit EvaluationService(ServiceOptions options = {});
+
+  /// The vocabulary shared by every registered database and parsed query.
+  const VocabularyPtr& vocab() const { return vocab_; }
+
+  /// Parses `text` (parser database format) and registers it under
+  /// `name`, replacing any previous registration (the replacement is a
+  /// fresh Database object, so its uid differs and no cache can confuse
+  /// the two). New predicates are registered into the service vocabulary.
+  Result<DbInfo> Load(const std::string& name, const std::string& text);
+
+  /// Registers an externally built database. It must share the service
+  /// vocabulary (build it against vocab()), or the compiled plans'
+  /// predicate ids would be meaningless against it.
+  Result<DbInfo> Register(const std::string& name, Database db);
+
+  /// The registered database, or nullptr. The mutable overload is the
+  /// in-process mutation seam: adding facts through it bumps the
+  /// database's revision, which invalidates every derived cache.
+  const Database* database(const std::string& name) const;
+  Database* mutable_database(const std::string& name);
+
+  /// Registered names in registration-independent (sorted) order.
+  std::vector<std::string> database_names() const;
+
+  /// Serves one request: resolves the database, fetches the compiled plan
+  /// from the cache (compiling on a miss), evaluates, and renders the
+  /// optional explain payload.
+  Result<EvalResponse> Eval(const EvalRequest& request);
+
+  /// Serves a batch: requests are grouped by compiled plan, each group's
+  /// databases are fanned across the worker pool, and results[i] is
+  /// always the verdict of requests[i] regardless of scheduling. Per-
+  /// request failures (unknown database, parse errors) fail only their
+  /// own slot.
+  std::vector<Result<EvalResponse>> EvalBatch(
+      std::span<const EvalRequest> requests);
+
+  ServiceStats stats() const;
+
+  /// The plan cache (exposed for tests and tools).
+  PlanCache& plan_cache() { return plan_cache_; }
+
+ private:
+  /// Parses the query and returns the cached-or-compiled plan for
+  /// (query, options), recording whether it was a cache hit.
+  Result<std::shared_ptr<const PreparedQuery>> PlanFor(
+      const std::string& query_text, const EntailOptions& options,
+      bool* cache_hit);
+
+  /// Assembles the response from an evaluation result.
+  EvalResponse MakeResponse(const PreparedQuery& plan, EntailResult result,
+                            bool cache_hit, bool explain) const;
+
+  VocabularyPtr vocab_;
+  int num_workers_;
+  PlanCache plan_cache_;
+  // Ordered map so database_names() needs no extra sort.
+  std::map<std::string, std::unique_ptr<Database>> databases_;
+  // Atomic so concurrent Eval calls (distinct databases) stay race-free.
+  std::atomic<long long> requests_{0};
+  std::atomic<long long> batches_{0};
+  std::atomic<long long> plans_compiled_{0};
+};
+
+}  // namespace iodb
+
+#endif  // IODB_SERVICE_SERVICE_H_

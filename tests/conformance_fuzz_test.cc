@@ -1,0 +1,282 @@
+// Randomized cross-engine conformance fuzzer: the safety net under the
+// serving layer.
+//
+// Each seeded instance draws a k-observer database (RandomMonadicDb) and
+// a query from one of the generator families (conjunctive monadic /
+// sequential / disjunctive sequential), then decides entailment through
+// every applicable path:
+//
+//   * Entails() with engine=auto (the facade),
+//   * the brute-force engine, incremental and legacy-rebuild cores,
+//   * the bounded-width and path-decomposition engines (conjunctive
+//     monadic instances),
+//   * the disjunctive-search engine,
+//   * the EvaluationService single-request path (which also round-trips
+//     the query through Print -> Parse and the plan cache), and
+//   * the EvaluationService batch path (requests chunked through
+//     EvalBatch onto the worker pool).
+//
+// All verdicts must be identical. A mismatch aborts the suite and prints
+// a self-contained repro: the seed plus the database and query rendered
+// by the printer (both parse back with tools/iodb_eval).
+//
+// Knobs (environment):
+//   IODB_FUZZ_ITERATIONS  instance count (default 2000; nightly CI
+//                         raises it — see .github/workflows/ci.yml)
+//   IODB_FUZZ_SEED        run exactly one instance with this seed (the
+//                         repro knob: take the seed from a failure log)
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/entail_bruteforce.h"
+#include "core/printer.h"
+#include "service/service.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+int FuzzIterations() {
+  const char* env = std::getenv("IODB_FUZZ_ITERATIONS");
+  if (env != nullptr) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 2000;  // ~1 s; the nightly CI profile runs far more
+}
+
+std::optional<uint64_t> FuzzSingleSeed() {
+  const char* env = std::getenv("IODB_FUZZ_SEED");
+  if (env == nullptr) return std::nullopt;
+  return std::strtoull(env, nullptr, 10);
+}
+
+// Seeds are absolute (not derived from the iteration index at run time),
+// so any failing instance reruns alone via IODB_FUZZ_SEED.
+constexpr uint64_t kSeedBase = 20260730000ULL;
+
+// One named verdict source.
+struct Verdict {
+  std::string source;
+  bool entailed = false;
+};
+
+// The drawn instance. All queries are constant-free and monadic-order
+// (the generator families), so the disjunctive engine always applies and
+// the conjunctive engines apply iff the query has one disjunct.
+struct Instance {
+  Database db;
+  Query query;
+  OrderSemantics semantics = OrderSemantics::kFinite;
+  int family = 0;  // 0 = conjunctive, 1 = sequential, 2 = disjunctive
+};
+
+Instance DrawInstance(uint64_t seed, const VocabularyPtr& vocab) {
+  Rng rng(seed);
+  MonadicDbParams params;
+  params.num_chains = rng.UniformInt(1, 3);
+  // Keep the brute-force search spaces small: 3 mutually unordered
+  // chains blow up the interleaving count, so they stay short.
+  params.chain_length =
+      params.num_chains == 3 ? rng.UniformInt(2, 3) : rng.UniformInt(2, 5);
+  params.num_predicates = rng.UniformInt(2, 3);
+  params.label_probability = rng.UniformInt(30, 70) / 100.0;
+  params.le_probability = rng.UniformInt(0, 40) / 100.0;
+  Database db = RandomMonadicDb(params, vocab, rng);
+
+  const int family = rng.UniformInt(0, 2);
+  Query query = [&] {
+    switch (family) {
+      case 0:
+        return RandomConjunctiveMonadicQuery(
+            rng.UniformInt(2, 4), params.num_predicates,
+            /*edge_probability=*/rng.UniformInt(30, 60) / 100.0,
+            /*label_probability=*/rng.UniformInt(30, 70) / 100.0,
+            /*le_probability=*/0.3, vocab, rng);
+      case 1:
+        return RandomSequentialQuery(rng.UniformInt(2, 5),
+                                     params.num_predicates,
+                                     /*label_probability=*/0.4,
+                                     /*le_probability=*/0.3, vocab, rng);
+      default:
+        return RandomDisjunctiveSequentialQuery(
+            rng.UniformInt(2, 3), rng.UniformInt(2, 4),
+            params.num_predicates, /*label_probability=*/0.4,
+            /*le_probability=*/0.3, vocab, rng);
+    }
+  }();
+
+  // Mostly finite semantics; the Z and Q reductions get a steady trickle.
+  OrderSemantics semantics = OrderSemantics::kFinite;
+  const int roll = rng.UniformInt(0, 9);
+  if (roll == 8) semantics = OrderSemantics::kInteger;
+  if (roll == 9) semantics = OrderSemantics::kRational;
+
+  return Instance{std::move(db), std::move(query), semantics, family};
+}
+
+// The self-contained repro block printed on any mismatch. Both payloads
+// are in the parser's format:
+//   iodb_eval <(echo "$db") "$query" --semantics=...
+std::string Repro(uint64_t seed, const Instance& instance) {
+  std::string out;
+  out += "=== conformance repro (seed " + std::to_string(seed) + ") ===\n";
+  out += "rerun: IODB_FUZZ_SEED=" + std::to_string(seed) +
+         " ./conformance_fuzz_test\n";
+  out += std::string("semantics: ") + OrderSemanticsName(instance.semantics) +
+         "\n";
+  out += "--- database ---\n" + ToString(instance.db);
+  out += "--- query ---\n" + ToString(instance.query) + "\n";
+  return out;
+}
+
+// Collects every applicable engine verdict for the instance. Returns
+// nullopt (with a recorded failure) if any path errors out.
+std::optional<std::vector<Verdict>> EngineVerdicts(const Instance& instance) {
+  std::vector<Verdict> verdicts;
+  EntailOptions options;
+  options.semantics = instance.semantics;
+
+  auto run = [&](const char* source, EngineKind engine) -> bool {
+    EntailOptions forced = options;
+    forced.engine = engine;
+    Result<EntailResult> result = Entails(instance.db, instance.query,
+                                          forced);
+    if (!result.ok()) {
+      ADD_FAILURE() << source << " failed: " << result.status().ToString();
+      return false;
+    }
+    verdicts.push_back({source, result.value().entailed});
+    return true;
+  };
+
+  if (!run("entails-auto", EngineKind::kAuto)) return std::nullopt;
+  if (!run("brute-force", EngineKind::kBruteForce)) return std::nullopt;
+  if (!run("disjunctive-search", EngineKind::kDisjunctiveSearch)) {
+    return std::nullopt;
+  }
+  if (instance.family != 2) {  // conjunctive instance
+    if (!run("bounded-width", EngineKind::kBoundedWidth)) return std::nullopt;
+    if (!run("path-decomposition", EngineKind::kPathDecomposition)) {
+      return std::nullopt;
+    }
+  }
+
+  // The legacy rebuild-per-model brute-force core, run directly on the
+  // normalized pair (it implements the finite semantics only).
+  if (instance.semantics == OrderSemantics::kFinite) {
+    Result<NormDb> ndb = Normalize(instance.db);
+    Result<NormQuery> nquery = NormalizeQuery(instance.query);
+    if (!ndb.ok() || !nquery.ok()) {
+      ADD_FAILURE() << "normalization failed on a generated instance";
+      return std::nullopt;
+    }
+    BruteForceOptions rebuild;
+    rebuild.use_incremental = false;
+    verdicts.push_back(
+        {"brute-force-rebuild",
+         EntailBruteForce(ndb.value(), nquery.value(), rebuild).entailed});
+  }
+  return verdicts;
+}
+
+TEST(ConformanceFuzzTest, AllEnginesAndServiceAgree) {
+  // One service shared by the whole corpus: its vocabulary hosts every
+  // generated instance, its plan cache churns through the random query
+  // stream (hits, misses and evictions included), and the fuzz loop
+  // doubles as a soak test of the serving layer.
+  EvaluationService service;
+
+  const std::optional<uint64_t> single = FuzzSingleSeed();
+  const int iterations = single.has_value() ? 1 : FuzzIterations();
+
+  // Batch accumulator: every chunk is re-served through EvalBatch and
+  // compared against the verdicts the single-request path produced.
+  constexpr int kBatchChunk = 32;
+  std::vector<EvalRequest> pending_requests;
+  std::vector<bool> pending_expected;
+  std::vector<uint64_t> pending_seeds;
+  auto flush_batch = [&] {
+    if (pending_requests.empty()) return;
+    std::vector<Result<EvalResponse>> responses =
+        service.EvalBatch(pending_requests);
+    ASSERT_EQ(responses.size(), pending_requests.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].ok())
+          << "service-batch failed (seed " << pending_seeds[i]
+          << "): " << responses[i].status().ToString();
+      ASSERT_EQ(responses[i].value().entailed, pending_expected[i])
+          << "service-batch disagrees with the single-request path for "
+             "seed "
+          << pending_seeds[i];
+    }
+    pending_requests.clear();
+    pending_expected.clear();
+    pending_seeds.clear();
+  };
+
+  for (int i = 0; i < iterations; ++i) {
+    const uint64_t seed =
+        single.has_value() ? *single : kSeedBase + static_cast<uint64_t>(i);
+    Instance instance = DrawInstance(seed, service.vocab());
+
+    std::optional<std::vector<Verdict>> verdicts = EngineVerdicts(instance);
+    ASSERT_TRUE(verdicts.has_value()) << Repro(seed, instance);
+
+    // The service path: registers the database and round-trips the query
+    // through the printer, the parser, the plan cache and Evaluate.
+    const std::string db_name = "fuzz" + std::to_string(i);
+    ASSERT_TRUE(
+        service.Register(db_name, Database(instance.db)).ok())
+        << Repro(seed, instance);
+    EvalRequest request;
+    request.db = db_name;
+    request.query = ToString(instance.query);
+    request.options.semantics = instance.semantics;
+    Result<EvalResponse> response = service.Eval(request);
+    ASSERT_TRUE(response.ok()) << "service-eval failed: "
+                               << response.status().ToString() << "\n"
+                               << Repro(seed, instance);
+    verdicts->push_back({"service-eval", response.value().entailed});
+
+    const bool expected = verdicts->front().entailed;
+    for (const Verdict& verdict : *verdicts) {
+      if (verdict.entailed != expected) {
+        std::string table;
+        for (const Verdict& v : *verdicts) {
+          table += "  " + v.source + ": " +
+                   (v.entailed ? "ENTAILED" : "NOT ENTAILED") + "\n";
+        }
+        FAIL() << "engines disagree:\n" << table << Repro(seed, instance);
+      }
+    }
+
+    pending_requests.push_back(std::move(request));
+    pending_expected.push_back(expected);
+    pending_seeds.push_back(seed);
+    if (static_cast<int>(pending_requests.size()) >= kBatchChunk) {
+      flush_batch();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  flush_batch();
+
+  // The corpus must have actually exercised both verdicts and the cache.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<long long>(iterations) * 2);  // eval + batch replay
+  if (!single.has_value()) {
+    EXPECT_GT(stats.plan_cache.hits, 0);
+    EXPECT_GT(stats.plan_cache.misses, 0);
+  }
+}
+
+}  // namespace
+}  // namespace iodb

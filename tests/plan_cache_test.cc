@@ -1,0 +1,220 @@
+// Plan cache unit tests: LRU mechanics, revision-based invalidation
+// through the service (a mutated database must never be served from a
+// stale derived structure), and a multi-threaded hammer that runs under
+// the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/prepare.h"
+#include "service/plan_cache.h"
+#include "service/service.h"
+#include "util/random.h"
+
+namespace iodb {
+namespace {
+
+// A minimal compiled plan to populate cache slots with.
+std::shared_ptr<const PreparedQuery> TrivialPlan() {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->MustAddPredicate("P", {Sort::kOrder});
+  Query query(vocab);
+  query.AddDisjunct().Exists("t").Atom("P", {"t"});
+  return std::make_shared<const PreparedQuery>(MustPrepare(vocab, query));
+}
+
+PlanKey Key(uint64_t fingerprint) { return PlanKey{1, fingerprint}; }
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  PlanCache cache(3);
+  std::shared_ptr<const PreparedQuery> plan = TrivialPlan();
+  cache.Put(Key(1), plan);
+  cache.Put(Key(2), plan);
+  cache.Put(Key(3), plan);
+  EXPECT_EQ(cache.KeysByRecency(),
+            (std::vector<PlanKey>{Key(3), Key(2), Key(1)}));
+
+  // A hit refreshes recency, so key 2 becomes the LRU victim.
+  EXPECT_NE(cache.Get(Key(1)), nullptr);
+  cache.Put(Key(4), plan);
+  EXPECT_EQ(cache.KeysByRecency(),
+            (std::vector<PlanKey>{Key(4), Key(1), Key(3)}));
+  EXPECT_EQ(cache.Get(Key(2)), nullptr);
+
+  // Overflowing further evicts in LRU order: 3, then 1.
+  cache.Put(Key(5), plan);
+  EXPECT_EQ(cache.Get(Key(3)), nullptr);
+  cache.Put(Key(6), plan);
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 3);
+  EXPECT_EQ(stats.entries, 3);
+  EXPECT_EQ(stats.capacity, 3);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 3);
+}
+
+TEST(PlanCacheTest, ReplacingAKeyIsNotAnEviction) {
+  PlanCache cache(2);
+  std::shared_ptr<const PreparedQuery> plan = TrivialPlan();
+  cache.Put(Key(1), plan);
+  cache.Put(Key(2), plan);
+  cache.Put(Key(1), plan);  // replacement, refreshes recency
+  EXPECT_EQ(cache.KeysByRecency(),
+            (std::vector<PlanKey>{Key(1), Key(2)}));
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_EQ(cache.stats().entries, 2);
+}
+
+TEST(PlanCacheTest, EvictedPlansStayAliveForHolders) {
+  PlanCache cache(1);
+  std::shared_ptr<const PreparedQuery> plan = TrivialPlan();
+  cache.Put(Key(1), plan);
+  std::shared_ptr<const PreparedQuery> held = cache.Get(Key(1));
+  ASSERT_NE(held, nullptr);
+  cache.Put(Key(2), TrivialPlan());  // evicts key 1
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
+  // The holder's pointer is unaffected by the eviction.
+  EXPECT_EQ(held->disjuncts().size(), 1u);
+}
+
+// Mutating a registered database must not serve a stale derived view.
+// The constant query compiles to a plan that transforms the database
+// (marker-fact injection) and caches the transformed view keyed by
+// (uid, revision) — the mutation bumps the revision, so the next request
+// recomputes even though the plan itself is a cache hit.
+TEST(PlanCacheInvalidationTest, MutationInvalidatesTransformedPlanView) {
+  EvaluationService service;
+  ASSERT_TRUE(service.Load("db", "P(u)\nu < v").ok());
+
+  EvalRequest request;
+  request.db = "db";
+  request.query = "exists t: P(t) & t < c";  // c is a constant
+  Result<EvalResponse> before = service.Eval(request);
+  ASSERT_TRUE(before.ok());
+  // Nothing orders any P-point below c, so some minimal completion
+  // places c first: not entailed.
+  EXPECT_FALSE(before.value().entailed);
+  EXPECT_FALSE(before.value().plan_cache_hit);
+
+  // Same request again: plan hit, same verdict.
+  Result<EvalResponse> again = service.Eval(request);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().entailed);
+  EXPECT_TRUE(again.value().plan_cache_hit);
+
+  // Mutate the registered database: now u < c is asserted, so P(u) sits
+  // below c in every completion.
+  service.mutable_database("db")->AddOrder("u", OrderRel::kLt, "c");
+  Result<EvalResponse> after = service.Eval(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().plan_cache_hit);  // the plan itself is reused
+  EXPECT_TRUE(after.value().entailed);        // ... but not its stale view
+}
+
+// Same property for plain (transform-free) plans, which evaluate through
+// the database's memoized NormView.
+TEST(PlanCacheInvalidationTest, MutationInvalidatesNormView) {
+  EvaluationService service;
+  ASSERT_TRUE(service.Load("db", "P(u)\nQ(v)\nu < v").ok());
+
+  EvalRequest request;
+  request.db = "db";
+  request.query = "exists t1 t2: Q(t1) & t1 < t2";
+  Result<EvalResponse> before = service.Eval(request);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before.value().entailed);  // nothing above the Q-point
+
+  service.mutable_database("db")->AddOrder("v", OrderRel::kLt, "w");
+  Result<EvalResponse> after = service.Eval(request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().plan_cache_hit);
+  EXPECT_TRUE(after.value().entailed);
+}
+
+// Multi-threaded hammer (run under the TSan CI job): concurrent Get/Put
+// over a key space larger than the capacity, with stats and recency
+// snapshots mixed in, so hits, misses, evictions and refreshes all race.
+TEST(PlanCacheTest, ConcurrentHammer) {
+  PlanCache cache(8);
+  std::shared_ptr<const PreparedQuery> plan = TrivialPlan();
+  constexpr int kThreads = 4;
+  constexpr int kOps = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &plan, t] {
+      Rng rng(static_cast<uint64_t>(t));
+      for (int i = 0; i < kOps; ++i) {
+        PlanKey key{rng.Uniform(2) + 1, rng.Uniform(24)};
+        if (rng.Bernoulli(0.4)) {
+          cache.Put(key, plan);
+        } else if (std::shared_ptr<const PreparedQuery> got =
+                       cache.Get(key)) {
+          // Use the plan through the shared pointer.
+          EXPECT_EQ(got->disjuncts().size(), 1u);
+        }
+        if (i % 512 == 0) {
+          (void)cache.stats();
+          (void)cache.KeysByRecency();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, 8);
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.misses, 0);
+  EXPECT_GT(stats.evictions, 0);
+}
+
+// Concurrent single-request serving on distinct databases: the supported
+// multi-threaded use of the service (the plan cache and the plans' own
+// evaluation caches are shared across the threads). Constant-free
+// queries only — compiling a constant query registers marker predicates
+// into the shared vocabulary, which is a single-writer operation.
+TEST(PlanCacheTest, ConcurrentServiceEvalOnDistinctDatabases) {
+  EvaluationService service;
+  constexpr int kThreads = 4;
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(service
+                    .Load("db" + std::to_string(t),
+                          "P(u)\nQ(v)\nu < v\nv < w\nQ(w)")
+                    .ok());
+  }
+  const std::vector<std::string> queries = {
+      "exists t1 t2: P(t1) & t1 < t2 & Q(t2)",
+      "exists t1 t2: Q(t1) & t1 < t2 & P(t2)",
+      "exists t1 t2 t3: P(t1) & t1 < t2 & Q(t2) & t2 < t3 & Q(t3)",
+      "exists t: P(t) & Q(t)",
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &queries, t] {
+      for (int i = 0; i < 200; ++i) {
+        EvalRequest request;
+        request.db = "db" + std::to_string(t);
+        request.query = queries[static_cast<size_t>(i) % queries.size()];
+        Result<EvalResponse> response = service.Eval(request);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, kThreads * 200);
+  EXPECT_EQ(stats.plan_cache.hits + stats.plan_cache.misses,
+            kThreads * 200);
+  EXPECT_GT(stats.plan_cache.hits, 0);
+}
+
+}  // namespace
+}  // namespace iodb

@@ -74,15 +74,11 @@ int main(int argc, char** argv) {
       if (query_file.empty()) return Fail("--query-file needs a path");
     } else if (arg.rfind("--semantics=", 0) == 0) {
       std::string value = arg.substr(12);
-      if (value == "finite") {
-        options.semantics = OrderSemantics::kFinite;
-      } else if (value == "integer") {
-        options.semantics = OrderSemantics::kInteger;
-      } else if (value == "rational") {
-        options.semantics = OrderSemantics::kRational;
-      } else {
+      std::optional<OrderSemantics> semantics = ParseOrderSemantics(value);
+      if (!semantics.has_value()) {
         return Fail("unknown semantics '" + value + "'");
       }
+      options.semantics = *semantics;
     } else if (arg.rfind("--engine=", 0) == 0) {
       std::string value = arg.substr(9);
       std::optional<EngineKind> kind = ParseEngineKind(value);

@@ -1,0 +1,183 @@
+// iodb_serve: line-oriented request server over the in-process
+// EvaluationService (stdin/stdout; one process per client, inetd-style).
+//
+// Protocol (one command per line; blank lines and '#' comments ignored):
+//
+//   LOAD <name>          start loading a database; the following lines
+//                        are parser-format database text, terminated by
+//                        a line containing only "END"
+//                        -> "OK db=<name> atoms=<n>"
+//   EVAL <request>       <request> is the wire form of service/request.h:
+//                        <db> [--semantics=...] [--engine=...]
+//                        [--countermodel] [--explain] <query>
+//                        -> verdict line "ENTAILED  [engine: ..., cache:
+//                        hit|miss]", then optional "countermodel: ..."
+//                        and explain lines
+//   BATCH <n>            the next n lines are EVAL request lines, served
+//                        as one batch through the worker pool
+//                        -> n verdict lines, in request order
+//   STATS                -> the service counters, one "name value" per
+//                        line, terminated by "OK"
+//   QUIT                 -> exit 0 (EOF does the same)
+//
+// Every failure is reported as a single "ERR <message>" line; the session
+// continues. Flags: --workers=N (worker pool size, default: machine),
+// --plan-cache=N (plan cache capacity, default 128).
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace iodb;
+
+void Err(const std::string& message) {
+  std::printf("ERR %s\n", message.c_str());
+}
+
+// Prints the full response of one served request: the verdict line plus
+// the optional countermodel and explain payloads.
+void PrintResponse(const Result<EvalResponse>& response) {
+  if (!response.ok()) {
+    Err(response.status().ToString());
+    return;
+  }
+  std::printf("%s\n", FormatResponseLine(response.value()).c_str());
+  if (response.value().countermodel.has_value()) {
+    std::printf("countermodel: %s\n",
+                response.value().countermodel->ToString().c_str());
+  }
+  if (!response.value().explain.empty()) {
+    std::printf("%s", response.value().explain.c_str());
+  }
+}
+
+// Reads database text up to the "END" terminator; false on EOF.
+bool ReadUntilEnd(std::istream& in, std::string* text) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (std::string(StripWhitespace(line)) == "END") return true;
+    *text += line;
+    *text += '\n';
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) {
+      options.num_workers = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--plan-cache=", 0) == 0) {
+      int capacity = std::atoi(arg.c_str() + 13);
+      if (capacity <= 0) {
+        std::fprintf(stderr, "iodb_serve: --plan-cache needs a positive "
+                             "capacity\n");
+        return 2;
+      }
+      options.plan_cache_capacity = static_cast<size_t>(capacity);
+    } else {
+      std::fprintf(stderr,
+                   "usage: iodb_serve [--workers=N] [--plan-cache=N]\n");
+      return 2;
+    }
+  }
+
+  EvaluationService service(options);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string_view rest = StripWhitespace(line);
+    if (rest.empty() || rest[0] == '#') continue;
+    size_t space = rest.find(' ');
+    std::string command(rest.substr(0, space));
+    std::string args = space == std::string_view::npos
+                           ? std::string()
+                           : std::string(StripWhitespace(rest.substr(space)));
+
+    if (command == "QUIT") {
+      break;
+    } else if (command == "LOAD") {
+      if (args.empty()) {
+        Err("LOAD needs a database name");
+        continue;
+      }
+      std::string text;
+      if (!ReadUntilEnd(std::cin, &text)) {
+        Err("unterminated LOAD (missing END)");
+        break;
+      }
+      Result<DbInfo> info = service.Load(args, text);
+      if (!info.ok()) {
+        Err(info.status().ToString());
+      } else {
+        std::printf("OK db=%s atoms=%d\n", info.value().name.c_str(),
+                    info.value().atoms);
+      }
+    } else if (command == "EVAL") {
+      Result<EvalRequest> request = ParseEvalRequest(args);
+      if (!request.ok()) {
+        Err(request.status().ToString());
+        continue;
+      }
+      PrintResponse(service.Eval(request.value()));
+    } else if (command == "BATCH") {
+      // Bounded so a single protocol line cannot force a huge
+      // pre-allocation; large workloads stream multiple batches.
+      constexpr int kMaxBatch = 65536;
+      int n = std::atoi(args.c_str());
+      if (n <= 0 || n > kMaxBatch) {
+        Err("BATCH needs a request count in [1, " +
+            std::to_string(kMaxBatch) + "]");
+        continue;
+      }
+      // Consume all n request lines BEFORE parsing: a parse failure must
+      // not leave unread batch payload to be re-interpreted as protocol
+      // commands.
+      std::vector<std::string> request_lines(static_cast<size_t>(n));
+      bool eof = false;
+      for (int i = 0; i < n && !eof; ++i) {
+        eof = !std::getline(std::cin, request_lines[static_cast<size_t>(i)]);
+      }
+      if (eof) {
+        Err("unexpected EOF inside BATCH");
+        return 0;
+      }
+      std::vector<EvalRequest> requests;
+      bool parse_failed = false;
+      for (int i = 0; i < n; ++i) {
+        Result<EvalRequest> request =
+            ParseEvalRequest(request_lines[static_cast<size_t>(i)]);
+        if (!request.ok()) {
+          // Abort the whole batch: slots after a dropped line would shift.
+          if (!parse_failed) {
+            Err("request " + std::to_string(i) + ": " +
+                request.status().ToString());
+          }
+          parse_failed = true;
+        } else {
+          requests.push_back(std::move(request.value()));
+        }
+      }
+      if (parse_failed) continue;
+      for (const Result<EvalResponse>& response :
+           service.EvalBatch(requests)) {
+        PrintResponse(response);
+      }
+    } else if (command == "STATS") {
+      std::printf("%sOK\n", service.stats().ToString().c_str());
+    } else {
+      Err("unknown command '" + command + "'");
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+# CLI test for iodb_serve and iodb_replay, run via ctest as
+#   cmake -DIODB_SERVE=<binary> -DIODB_REPLAY=<binary> -DWORK_DIR=<dir>
+#         -P iodb_serve_test.cmake
+#
+# Drives a scripted LOAD/EVAL/BATCH/STATS session through iodb_serve and
+# compares the full stdout against a golden transcript (the protocol is
+# deterministic by design: verdicts, engine names, cache hit/miss states
+# and counters are all scheduling-independent). Then replays an
+# equivalent JSON trace through iodb_replay and checks the report's
+# deterministic lines (request/verdict/cache counts; timings are not
+# matched).
+
+if(NOT DEFINED IODB_SERVE OR NOT DEFINED IODB_REPLAY OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "pass -DIODB_SERVE=<binary> -DIODB_REPLAY=<binary> -DWORK_DIR=<dir>")
+endif()
+
+# --- iodb_serve: golden session --------------------------------------------
+
+set(session "${WORK_DIR}/iodb_serve_cli.session")
+file(WRITE "${session}" "# scripted session (comments are ignored)
+LOAD base
+P(u)
+Q(v)
+u < v
+END
+EVAL base exists t1 t2: P(t1) & t1 < t2 & Q(t2)
+EVAL base exists t1 t2: P(t1) & t1 < t2 & Q(t2)
+EVAL base exists t1 t2: Q(t1) & t1 < t2 & P(t2)
+BATCH 3
+base exists t1 t2: P(t1) & t1 < t2 & Q(t2)
+base exists t: P(t)
+nosuchdb exists t: P(t)
+EVAL base --engine=brute-force exists t: P(t)
+STATS
+QUIT
+")
+
+# The second EVAL of an identical request line is the plan-cache hit; the
+# BATCH reuses one cached plan (hit) and compiles one new one (miss); the
+# unknown database fails only its own slot; forcing a different engine is
+# a different plan key, so it misses.
+set(expected "OK db=base atoms=3
+ENTAILED  [engine: bounded-width, cache: miss]
+ENTAILED  [engine: bounded-width, cache: hit]
+NOT ENTAILED  [engine: bounded-width, cache: miss]
+ENTAILED  [engine: bounded-width, cache: hit]
+ENTAILED  [engine: bounded-width, cache: miss]
+ERR INVALID_ARGUMENT: unknown database 'nosuchdb'
+ENTAILED  [engine: brute-force, cache: miss]
+requests              7
+batches               1
+plans-compiled        4
+databases             1
+plan-cache-hits       2
+plan-cache-misses     4
+plan-cache-evictions  0
+plan-cache-entries    4
+plan-cache-capacity   128
+OK
+")
+
+execute_process(COMMAND ${IODB_SERVE}
+  INPUT_FILE "${session}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "iodb_serve: exit ${rc}\nstdout: ${out}\nstderr: ${err}")
+endif()
+if(NOT "${out}" STREQUAL "${expected}")
+  message(FATAL_ERROR "iodb_serve transcript mismatch\n"
+    "--- got ---\n${out}\n--- want ---\n${expected}")
+endif()
+
+# A malformed request line aborts its batch but must still consume every
+# batch payload line — otherwise the remainder would be re-interpreted as
+# protocol commands. The "LOAD evil" line here is batch payload; if the
+# server ran it as a command it would answer "OK db=evil ...".
+set(desync_session "${WORK_DIR}/iodb_serve_cli.desync")
+file(WRITE "${desync_session}" "LOAD base
+P(u)
+END
+BATCH 2
+base
+LOAD evil
+STATS
+QUIT
+")
+execute_process(COMMAND ${IODB_SERVE}
+  INPUT_FILE "${desync_session}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "iodb_serve desync session: exit ${rc}\n${out}\n${err}")
+endif()
+if("${out}" MATCHES "db=evil")
+  message(FATAL_ERROR "batch payload executed as a command:\n${out}")
+endif()
+if(NOT "${out}" MATCHES "ERR request 0: INVALID_ARGUMENT"
+   OR NOT "${out}" MATCHES "databases +1\n")
+  message(FATAL_ERROR "iodb_serve desync transcript unexpected:\n${out}")
+endif()
+
+# Flag errors exit 2 before serving anything.
+execute_process(COMMAND ${IODB_SERVE} --bogus
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2 OR NOT "${err}" MATCHES "usage:")
+  message(FATAL_ERROR "iodb_serve --bogus: exit ${rc}, want 2 + usage\n${err}")
+endif()
+
+# --- iodb_replay: deterministic report lines -------------------------------
+
+set(trace "${WORK_DIR}/iodb_serve_cli.trace.json")
+file(WRITE "${trace}" "[
+  {\"op\": \"load\", \"db\": \"base\", \"text\": \"P(u)\\nQ(v)\\nu < v\"},
+  {\"op\": \"eval\", \"db\": \"base\",
+   \"query\": \"exists t1 t2: P(t1) & t1 < t2 & Q(t2)\"},
+  {\"op\": \"eval\", \"db\": \"base\",
+   \"query\": \"exists t1 t2: Q(t1) & t1 < t2 & P(t2)\"},
+  {\"op\": \"eval\", \"db\": \"base\", \"query\": \"exists t: P(t)\",
+   \"engine\": \"brute-force\"}
+]
+")
+
+execute_process(COMMAND ${IODB_REPLAY} "${trace}" --repeat=3
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "iodb_replay: exit ${rc}\nstdout: ${out}\nstderr: ${err}")
+endif()
+foreach(pattern
+    "replayed 9 request\\(s\\)"
+    "verdicts: 6 entailed, 3 not entailed, 0 error\\(s\\)"
+    "latency us: p50="
+    "plan cache: 6 hit\\(s\\), 3 miss\\(es\\), 0 eviction\\(s\\), 3 compiled")
+  if(NOT "${out}" MATCHES "${pattern}")
+    message(FATAL_ERROR "iodb_replay output does not match '${pattern}'\n${out}")
+  endif()
+endforeach()
+
+# The batched path serves the same verdicts through the worker pool.
+execute_process(COMMAND ${IODB_REPLAY} "${trace}" --batch=3 --workers=2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "iodb_replay --batch: exit ${rc}\n${out}\n${err}")
+endif()
+if(NOT "${out}" MATCHES "verdicts: 2 entailed, 1 not entailed, 0 error\\(s\\)")
+  message(FATAL_ERROR "iodb_replay --batch verdict mismatch\n${out}")
+endif()
+
+# A malformed trace is a usage error, not a crash.
+set(bad_trace "${WORK_DIR}/iodb_serve_cli.bad.json")
+file(WRITE "${bad_trace}" "{\"op\": \"eval\"}")
+execute_process(COMMAND ${IODB_REPLAY} "${bad_trace}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2 OR NOT "${err}" MATCHES "trace must be a JSON array")
+  message(FATAL_ERROR "iodb_replay bad trace: exit ${rc}, want 2\n${err}")
+endif()
+
+# ... including a malformed number (the scanner accepts it; stod rejects).
+set(bad_number "${WORK_DIR}/iodb_serve_cli.badnum.json")
+file(WRITE "${bad_number}" "[{\"op\": \"eval\", \"db\": \"a\", \"n\": -}]")
+execute_process(COMMAND ${IODB_REPLAY} "${bad_number}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2 OR NOT "${err}" MATCHES "malformed number")
+  message(FATAL_ERROR "iodb_replay bad number: exit ${rc}, want 2\n${err}")
+endif()
+
+message(STATUS "iodb_serve/iodb_replay CLI test passed")

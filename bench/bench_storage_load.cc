@@ -1,0 +1,110 @@
+// bench_storage_load: text-parse load vs binary snapshot open.
+//
+// The acceptance bar of the storage layer: opening a large generated
+// database from a snapshot must be an order of magnitude faster than
+// re-parsing its text rendering — the snapshot's predicate-bucketed
+// flat segments decode by bounds-checked byte reads instead of
+// tokenization, identifier interning and sort inference.
+//
+// BM_TextParseLoad and BM_SnapshotOpen consume the SAME database at
+// each size (rendered to text vs encoded to a snapshot, both
+// in-memory), so their ratio is the pure format effect.
+// BM_SnapshotOpenFile adds the filesystem read on top.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/parser.h"
+#include "core/printer.h"
+#include "storage/snapshot.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace iodb {
+namespace {
+
+// A k-observer database with `chains` chains of `length` labelled
+// events: the paper's motivating shape at serving scale.
+Database MakeDatabase(int chains, int length, VocabularyPtr vocab) {
+  Rng rng(42);
+  MonadicDbParams params;
+  params.num_chains = chains;
+  params.chain_length = length;
+  params.num_predicates = 8;
+  params.label_probability = 0.5;
+  params.le_probability = 0.2;
+  return RandomMonadicDb(params, vocab, rng);
+}
+
+void BM_TextParseLoad(benchmark::State& state) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MakeDatabase(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(1)), vocab);
+  const std::string text = ToString(db);
+  for (auto _ : state) {
+    auto fresh = std::make_shared<Vocabulary>();
+    Result<Database> parsed = ParseDatabase(text, fresh);
+    if (!parsed.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+  state.counters["atoms"] = static_cast<double>(db.SizeAtoms());
+}
+
+void BM_SnapshotOpen(benchmark::State& state) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MakeDatabase(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(1)), vocab);
+  const std::string bytes = storage::EncodeSnapshot(db);
+  for (auto _ : state) {
+    Result<Database> opened = storage::DecodeSnapshot(bytes);
+    if (!opened.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["atoms"] = static_cast<double>(db.SizeAtoms());
+}
+
+void BM_SnapshotOpenFile(benchmark::State& state) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MakeDatabase(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(1)), vocab);
+  const std::string path = "bench_storage_load.tmp.snap";
+  if (!storage::SaveSnapshot(db, path).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  for (auto _ : state) {
+    Result<Database> opened = storage::OpenSnapshot(path);
+    if (!opened.ok()) state.SkipWithError("open failed");
+    benchmark::DoNotOptimize(opened);
+  }
+  std::remove(path.c_str());
+}
+
+void BM_SnapshotEncode(benchmark::State& state) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MakeDatabase(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(1)), vocab);
+  for (auto _ : state) {
+    std::string bytes = storage::EncodeSnapshot(db);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+
+// (chains, chain length): ~200, ~2k and ~20k events.
+#define STORAGE_SIZES                                                     \
+  Args({4, 50})->Args({8, 250})->Args({16, 1250})
+
+BENCHMARK(BM_TextParseLoad)->STORAGE_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnapshotOpen)->STORAGE_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnapshotOpenFile)->STORAGE_SIZES->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnapshotEncode)->STORAGE_SIZES->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace iodb

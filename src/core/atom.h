@@ -8,6 +8,8 @@
 #ifndef IODB_CORE_ATOM_H_
 #define IODB_CORE_ATOM_H_
 
+#include <cstddef>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -27,10 +29,110 @@ struct Term {
   friend bool operator==(const Term&, const Term&) = default;
 };
 
+/// Argument list of a proper atom, with inline storage for the common
+/// arities. Monadic and binary predicates dominate every workload in
+/// this domain (the paper's language is mostly monadic-order), so atom
+/// construction — the inner loop of database restore from binary
+/// snapshots and of countermodel assembly — stays malloc-free for
+/// arity <= 2 and spills to the heap only beyond. The API is the
+/// read/append subset of std::vector<Term> the codebase uses.
+class TermVec {
+ public:
+  TermVec() = default;
+  TermVec(std::initializer_list<Term> terms) {
+    reserve(terms.size());
+    for (const Term& term : terms) push_back(term);
+  }
+  explicit TermVec(const std::vector<Term>& terms) {
+    reserve(terms.size());
+    for (const Term& term : terms) push_back(term);
+  }
+
+  TermVec(const TermVec&) = default;
+  TermVec& operator=(const TermVec&) = default;
+  // Moves must keep the moved-from object consistent: a vector move
+  // empties spill_, so size_ has to follow it to zero or data()/end()
+  // would read past the inline array on the source.
+  TermVec(TermVec&& other) noexcept
+      : size_(other.size_), spill_(std::move(other.spill_)) {
+    for (size_t i = 0; i < kInline; ++i) inline_[i] = other.inline_[i];
+    other.size_ = 0;
+    other.spill_.clear();
+  }
+  TermVec& operator=(TermVec&& other) noexcept {
+    if (this == &other) return *this;
+    for (size_t i = 0; i < kInline; ++i) inline_[i] = other.inline_[i];
+    size_ = other.size_;
+    spill_ = std::move(other.spill_);
+    other.size_ = 0;
+    other.spill_.clear();
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pre-sizes the spill buffer when `n` exceeds the inline capacity
+  /// (no-op otherwise).
+  void reserve(size_t n) {
+    if (n > kInline) {
+      Spill();
+      spill_.reserve(n);
+    }
+  }
+
+  void push_back(const Term& term) {
+    if (!spill_.empty()) {
+      spill_.push_back(term);
+    } else if (size_ < kInline) {
+      inline_[size_] = term;
+    } else {
+      Spill();
+      spill_.push_back(term);
+    }
+    ++size_;
+  }
+
+  Term* begin() { return data(); }
+  Term* end() { return data() + size_; }
+  const Term* begin() const { return data(); }
+  const Term* end() const { return data() + size_; }
+
+  Term& operator[](size_t i) { return data()[i]; }
+  const Term& operator[](size_t i) const { return data()[i]; }
+
+  friend bool operator==(const TermVec& a, const TermVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr size_t kInline = 2;
+
+  Term* data() { return spill_.empty() ? inline_ : spill_.data(); }
+  const Term* data() const {
+    return spill_.empty() ? inline_ : spill_.data();
+  }
+  // Moves the inline elements into the spill buffer; afterwards every
+  // element lives in spill_ (the invariant data() relies on).
+  void Spill() {
+    if (spill_.empty()) {
+      spill_.assign(inline_, inline_ + size_);
+    }
+  }
+
+  Term inline_[kInline] = {};
+  size_t size_ = 0;
+  std::vector<Term> spill_;
+};
+
 /// A proper atom over resolved terms.
 struct ProperAtom {
   int pred = 0;
-  std::vector<Term> args;
+  TermVec args;
 
   friend bool operator==(const ProperAtom&, const ProperAtom&) = default;
 };

@@ -11,9 +11,13 @@ namespace iodb {
 
 namespace {
 
-uint64_t NextDatabaseUid() {
+std::atomic<uint64_t>& DatabaseUidCounter() {
   static std::atomic<uint64_t> next{0};
-  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return next;
+}
+
+uint64_t NextDatabaseUid() {
+  return DatabaseUidCounter().fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace
@@ -122,7 +126,7 @@ void Database::AddProperAtom(int pred, std::vector<Term> args) {
     IODB_CHECK_GE(args[i].id, 0);
     IODB_CHECK_LT(args[i].id, table_size);
   }
-  proper_atoms_.push_back({pred, std::move(args)});
+  proper_atoms_.push_back({pred, TermVec(args)});
   BumpRevision();
 }
 
@@ -162,7 +166,7 @@ Status Database::AddFact(const std::string& pred_name,
     }
     args.push_back({sort, GetOrAddConstant(constant_names[i], sort)});
   }
-  proper_atoms_.push_back({pred.value(), std::move(args)});
+  proper_atoms_.push_back({pred.value(), TermVec(args)});
   BumpRevision();
   return Status::Ok();
 }
@@ -196,6 +200,86 @@ void Database::AddNotEqual(const std::string& u, const std::string& v) {
   int uid = GetOrAddConstant(u, Sort::kOrder);
   int vid = GetOrAddConstant(v, Sort::kOrder);
   AddInequality(uid, vid);
+}
+
+void Database::ReserveAtoms(size_t proper_atoms, size_t order_atoms,
+                            size_t inequalities) {
+  proper_atoms_.reserve(proper_atoms_.size() + proper_atoms);
+  order_atoms_.reserve(order_atoms_.size() + order_atoms);
+  inequalities_.reserve(inequalities_.size() + inequalities);
+}
+
+Status Database::RestoreConstantTables(
+    std::vector<std::string> object_names,
+    std::vector<std::string> order_names) {
+  IODB_CHECK_EQ(num_object_constants(), 0);
+  IODB_CHECK_EQ(num_order_constants(), 0);
+  object_names_ = std::move(object_names);
+  order_names_ = std::move(order_names);
+  constant_index_.reserve(object_names_.size() + order_names_.size());
+  for (size_t sort = 0; sort < 2; ++sort) {
+    const std::vector<std::string>& table =
+        sort == 0 ? object_names_ : order_names_;
+    for (size_t i = 0; i < table.size(); ++i) {
+      auto [it, inserted] = constant_index_.emplace(
+          table[i], std::make_pair(static_cast<Sort>(sort),
+                                   static_cast<int>(i)));
+      if (!inserted) {
+        // Build the message before the rollback: clear() frees the
+        // node `it` points into.
+        Status status = Status::InvalidArgument("duplicate constant name '" +
+                                                it->first + "'");
+        // Roll the half-built tables back so the database stays usable.
+        object_names_.clear();
+        order_names_.clear();
+        constant_index_.clear();
+        return status;
+      }
+    }
+  }
+  revision_ += object_names_.size() + order_names_.size();
+  return Status::Ok();
+}
+
+void Database::AppendFactSegment(int pred, const int* flat_args,
+                                 size_t count) {
+  const PredicateInfo& info = vocab_->predicate(pred);
+  const size_t arity = static_cast<size_t>(info.arity());
+  // One range-validation pass per (segment, argument position) instead
+  // of per fact: same invariant AddProperAtom enforces, hoisted.
+  for (size_t a = 0; a < arity; ++a) {
+    const int limit = info.arg_sorts[a] == Sort::kObject
+                          ? num_object_constants()
+                          : num_order_constants();
+    for (size_t t = 0; t < count; ++t) {
+      const int id = flat_args[t * arity + a];
+      IODB_CHECK_GE(id, 0);
+      IODB_CHECK_LT(id, limit);
+    }
+  }
+  proper_atoms_.reserve(proper_atoms_.size() + count);
+  for (size_t t = 0; t < count; ++t) {
+    TermVec args;
+    args.reserve(arity);
+    for (size_t a = 0; a < arity; ++a) {
+      args.push_back({info.arg_sorts[a], flat_args[t * arity + a]});
+    }
+    proper_atoms_.push_back({pred, std::move(args)});
+  }
+  revision_ += count;  // one bump per fact, as repeated AddProperAtom
+}
+
+void Database::RestoreIdentity(uint64_t uid, uint64_t revision) {
+  uid_ = uid;
+  revision_ = revision;
+  norm_cache_.reset();
+  norm_cache_revision_ = revision;
+  std::atomic<uint64_t>& counter = DatabaseUidCounter();
+  uint64_t seen = counter.load(std::memory_order_relaxed);
+  while (seen < uid &&
+         !counter.compare_exchange_weak(seen, uid,
+                                        std::memory_order_relaxed)) {
+  }
 }
 
 Result<const NormDb*> Database::NormView() const {

@@ -123,6 +123,36 @@ class Database {
   /// for asserting cache reuse).
   long long norm_view_computations() const { return norm_view_computations_; }
 
+  /// Storage-layer hook: pre-sizes the atom tables for a bulk restore.
+  void ReserveAtoms(size_t proper_atoms, size_t order_atoms,
+                    size_t inequalities);
+
+  /// Storage-layer hook: restores both constant tables wholesale on a
+  /// database that has no constants yet (ids are the vector indices —
+  /// the persisted interning order). Equivalent to GetOrAddConstant per
+  /// name (including revision bumps) minus the per-call overhead; a
+  /// duplicate name across or within the tables is a Status error, so
+  /// corrupt input never trips an internal invariant.
+  Status RestoreConstantTables(std::vector<std::string> object_names,
+                               std::vector<std::string> order_names);
+
+  /// Storage-layer hook: bulk-appends one predicate-bucketed fact
+  /// segment — `count` ground facts of `pred` with argument ids
+  /// flattened in signature order (the snapshot segment layout).
+  /// Equivalent to `count` AddProperAtom calls (including one revision
+  /// bump each) without per-call overhead; ids are range-checked per
+  /// segment, so callers decoding untrusted bytes must validate first.
+  void AppendFactSegment(int pred, const int* flat_args, size_t count);
+
+  /// Storage-layer hook: adopts a persisted (uid, revision) identity, so
+  /// caches keyed by (uid, revision) recognize a database restored from a
+  /// snapshot as the same content they saw before the restart. The
+  /// process-wide uid counter is advanced past `uid` (fresh databases can
+  /// never collide with a restored identity) and the memoized NormView is
+  /// dropped. Only the storage layer should call this, and only right
+  /// after reconstructing the content the identity describes.
+  void RestoreIdentity(uint64_t uid, uint64_t revision);
+
  private:
   void BumpRevision() { ++revision_; }
 

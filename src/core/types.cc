@@ -12,9 +12,13 @@ const char* SortName(Sort sort) {
 
 namespace {
 
-uint64_t NextVocabularyUid() {
+std::atomic<uint64_t>& VocabularyUidCounter() {
   static std::atomic<uint64_t> next{0};
-  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return next;
+}
+
+uint64_t NextVocabularyUid() {
+  return VocabularyUidCounter().fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace
@@ -58,6 +62,18 @@ int Vocabulary::MustAddPredicate(const std::string& name,
   Result<int> result = GetOrAddPredicate(name, std::move(arg_sorts));
   IODB_CHECK(result.ok());
   return result.value();
+}
+
+void Vocabulary::RestoreUid(uint64_t uid) {
+  uid_ = uid;
+  // Advance the counter to at least `uid` so no later-constructed
+  // vocabulary is handed the restored identity.
+  std::atomic<uint64_t>& counter = VocabularyUidCounter();
+  uint64_t seen = counter.load(std::memory_order_relaxed);
+  while (seen < uid &&
+         !counter.compare_exchange_weak(seen, uid,
+                                        std::memory_order_relaxed)) {
+  }
 }
 
 std::optional<int> Vocabulary::FindPredicate(const std::string& name) const {

@@ -67,6 +67,13 @@ class Vocabulary {
   /// Looks up a predicate id by name.
   std::optional<int> FindPredicate(const std::string& name) const;
 
+  /// Storage-layer hook: adopts a persisted identity. The process-wide uid
+  /// counter is advanced past `uid`, so vocabularies constructed later can
+  /// never collide with a restored identity. Only the storage layer should
+  /// call this, and only on a vocabulary whose plans/caches have not been
+  /// published yet (re-identifying a vocabulary re-keys every cache).
+  void RestoreUid(uint64_t uid);
+
   const PredicateInfo& predicate(int id) const {
     IODB_CHECK_GE(id, 0);
     IODB_CHECK_LT(id, num_predicates());

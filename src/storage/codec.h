@@ -1,0 +1,133 @@
+// Byte-level codec shared by the storage formats (snapshot + WAL).
+//
+// Every multi-byte integer on disk is LITTLE-ENDIAN, encoded and decoded
+// with explicit byte arithmetic (never memcpy of a host integer), so the
+// formats are identical on little- and big-endian hosts and a snapshot
+// written on one is readable on the other. Strings are u32
+// length-prefixed raw bytes. Integrity is FNV-1a 64 over the exact bytes
+// of a section/record payload.
+//
+// ByteReader is the safety boundary against corrupt or truncated input:
+// every read is bounds-checked and reports failure as a value (the
+// storage layer must never crash on a bad file — see the WAL
+// crash-recovery contract in storage/wal.h).
+
+#ifndef IODB_STORAGE_CODEC_H_
+#define IODB_STORAGE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace iodb::storage {
+
+// --- little-endian primitives ------------------------------------------------
+
+inline void AppendU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+inline void AppendU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+inline void AppendU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+inline void AppendString(std::string* out, std::string_view value) {
+  AppendU32(out, static_cast<uint32_t>(value.size()));
+  out->append(value.data(), value.size());
+}
+
+/// FNV-1a 64 over `bytes` (the checksum of every section and record).
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Bounds-checked sequential reader over an in-memory byte buffer. All
+/// failures are reported as Status values; no read ever touches memory
+/// outside [data, data+size).
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(std::string_view bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  Status ReadU8(uint8_t* value) {
+    if (remaining() < 1) return Truncated("u8");
+    *value = static_cast<uint8_t>(data_[pos_++]);
+    return Status::Ok();
+  }
+
+  Status ReadU32(uint32_t* value) {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t out = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      out |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+             << shift;
+    }
+    *value = out;
+    return Status::Ok();
+  }
+
+  Status ReadU64(uint64_t* value) {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t out = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      out |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+             << shift;
+    }
+    *value = out;
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string* value) {
+    uint32_t length = 0;
+    Status status = ReadU32(&length);
+    if (!status.ok()) return status;
+    if (remaining() < length) return Truncated("string payload");
+    value->assign(data_ + pos_, length);
+    pos_ += length;
+    return Status::Ok();
+  }
+
+  /// Returns a view of the next `length` bytes and advances past them.
+  Status ReadBytes(size_t length, std::string_view* bytes) {
+    if (remaining() < length) return Truncated("byte span");
+    *bytes = std::string_view(data_ + pos_, length);
+    pos_ += length;
+    return Status::Ok();
+  }
+
+ private:
+  Status Truncated(const char* what) const {
+    return Status::InvalidArgument(
+        std::string("truncated input: need ") + what + " at offset " +
+        std::to_string(pos_) + " of " + std::to_string(size_));
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace iodb::storage
+
+#endif  // IODB_STORAGE_CODEC_H_

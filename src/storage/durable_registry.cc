@@ -1,0 +1,234 @@
+#include "storage/durable_registry.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace iodb::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kVocabFileName[] = "vocab.iodb";
+constexpr char kSnapshotSuffix[] = ".snap";
+constexpr char kWalSuffix[] = ".wal";
+
+bool IsPlainByte(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string DurableRegistry::EncodeDbFileName(const std::string& name) {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (IsPlainByte(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> DurableRegistry::DecodeDbFileName(
+    const std::string& stem) {
+  std::string out;
+  out.reserve(stem.size());
+  for (size_t i = 0; i < stem.size(); ++i) {
+    char c = stem[i];
+    if (c == '%') {
+      if (i + 2 >= stem.size()) return std::nullopt;
+      int hi = HexValue(stem[i + 1]);
+      int lo = HexValue(stem[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (IsPlainByte(c)) {
+      out.push_back(c);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::string DurableRegistry::SnapshotPath(const std::string& name) const {
+  return (fs::path(dir_) / (EncodeDbFileName(name) + kSnapshotSuffix))
+      .string();
+}
+
+std::string DurableRegistry::WalPath(const std::string& name) const {
+  return (fs::path(dir_) / (EncodeDbFileName(name) + kWalSuffix)).string();
+}
+
+Result<std::unique_ptr<DurableRegistry>> DurableRegistry::Open(
+    const std::string& dir, ServiceOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create directory '" + dir +
+                                   "': " + ec.message());
+  }
+  std::unique_ptr<DurableRegistry> registry(
+      new DurableRegistry(dir, options));
+
+  // 1. The vocabulary sidecar pins predicate ids and the vocabulary uid
+  //    before any database or plan touches the service vocabulary.
+  const std::string vocab_path =
+      (fs::path(dir) / kVocabFileName).string();
+  if (fs::exists(vocab_path)) {
+    Status status = RestoreVocabularyInto(
+        vocab_path, registry->service_.vocab().get());
+    if (!status.ok()) return status;
+  }
+
+  // 2. Restore databases in sorted-name order (deterministic open).
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != kSnapshotSuffix) continue;
+    std::optional<std::string> name = DecodeDbFileName(path.stem().string());
+    if (!name.has_value()) {
+      return Status::InvalidArgument("unrecognized snapshot file name '" +
+                                     path.filename().string() + "'");
+    }
+    names.push_back(std::move(*name));
+  }
+  std::sort(names.begin(), names.end());
+
+  for (const std::string& name : names) {
+    Result<Database> db = OpenSnapshotInto(registry->SnapshotPath(name),
+                                           registry->service_.vocab());
+    if (!db.ok()) {
+      return Status(db.status().code(), "database '" + name + "': " +
+                                            db.status().message());
+    }
+    const uint64_t base_uid = db.value().uid();
+    const uint64_t base_revision = db.value().revision();
+    const std::string wal_path = registry->WalPath(name);
+    if (fs::exists(wal_path)) {
+      Result<WalReplayStats> replay =
+          ReplayWal(wal_path, base_uid, base_revision, &db.value());
+      if (!replay.ok()) {
+        return Status(replay.status().code(), "database '" + name + "': " +
+                                                  replay.status().message());
+      }
+      if (replay.value().truncated_tail) {
+        // Drop the torn bytes NOW: an append after them would commit a
+        // group the next open can never reach past the damage.
+        fs::resize_file(wal_path, replay.value().clean_prefix_bytes, ec);
+        if (ec) {
+          return Status::InvalidArgument(
+              "database '" + name + "': cannot truncate torn WAL tail: " +
+              ec.message());
+        }
+      }
+    } else {
+      Status status = CreateWal(wal_path, base_uid, base_revision);
+      if (!status.ok()) return status;
+    }
+    Result<DbInfo> info =
+        registry->service_.Register(name, std::move(db.value()));
+    if (!info.ok()) return info.status();
+    registry->base_[name] = {base_uid, base_revision};
+  }
+  return registry;
+}
+
+Status DurableRegistry::PersistVocabulary() {
+  return SaveVocabulary(*service_.vocab(),
+                        (fs::path(dir_) / kVocabFileName).string());
+}
+
+Result<DbInfo> DurableRegistry::PersistDatabase(const std::string& name) {
+  const Database* db = service_.database(name);
+  if (db == nullptr) {
+    return Status::InvalidArgument("unknown database '" + name + "'");
+  }
+  Status status = SaveSnapshot(*db, SnapshotPath(name));
+  if (!status.ok()) return status;
+  status = CreateWal(WalPath(name), db->uid(), db->revision());
+  if (!status.ok()) return status;
+  status = PersistVocabulary();
+  if (!status.ok()) return status;
+  base_[name] = {db->uid(), db->revision()};
+  return DbInfo{name, db->SizeAtoms(), db->uid(), db->revision()};
+}
+
+Result<DbInfo> DurableRegistry::Load(const std::string& name,
+                                     const std::string& text) {
+  Result<DbInfo> info = service_.Load(name, text);
+  if (!info.ok()) return info;
+  return PersistDatabase(name);
+}
+
+Result<DbInfo> DurableRegistry::AppendText(const std::string& name,
+                                           const std::string& text) {
+  Database* db = service_.mutable_database(name);
+  if (db == nullptr) {
+    return Status::InvalidArgument("unknown database '" + name + "'");
+  }
+  Result<std::vector<WalRecord>> records =
+      ParseMutationText(text, service_.vocab());
+  if (!records.ok()) return records.status();
+  // Parsing may have registered new predicates; persist the vocabulary
+  // before anything that could reference them is durable.
+  Status status = PersistVocabulary();
+  if (!status.ok()) return status;
+  // Apply to the live database first: a record the live database
+  // rejects (e.g. a sort clash with existing constants) must never
+  // reach the log, or replay would diverge. The group append is one
+  // buffered write; a crash between apply and append loses at most this
+  // group (re-appendable), never tears it.
+  status = ApplyWalRecords(records.value(), db);
+  if (!status.ok()) return status;
+  status = AppendWalGroup(WalPath(name), records.value());
+  if (!status.ok()) {
+    return Status(status.code(),
+                  status.message() +
+                      " (the mutation is applied in memory but not "
+                      "logged; compact to restore durability)");
+  }
+  return DbInfo{name, db->SizeAtoms(), db->uid(), db->revision()};
+}
+
+Result<DbInfo> DurableRegistry::Compact(const std::string& name) {
+  return PersistDatabase(name);
+}
+
+Status DurableRegistry::CompactAll() {
+  for (const std::string& name : service_.database_names()) {
+    Result<DbInfo> info = Compact(name);
+    if (!info.ok()) return info.status();
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> DurableRegistry::WalBytes(const std::string& name) const {
+  std::error_code ec;
+  uint64_t size = fs::file_size(WalPath(name), ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot stat WAL of '" + name +
+                                   "': " + ec.message());
+  }
+  return size;
+}
+
+}  // namespace iodb::storage

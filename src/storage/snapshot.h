@@ -1,0 +1,125 @@
+// Versioned, checksummed binary snapshots of Vocabulary + Database.
+//
+// A snapshot is the durable form of one database: the interned symbol
+// tables (predicates, object/order constants), the facts laid out as
+// predicate-bucketed flat argument segments (the same shape FactIndex
+// buckets use at evaluation time, and the reason a snapshot open is a
+// decode instead of a parse), the order atoms and inequalities, and the
+// persisted (uid, revision) identity — so a database restored from disk
+// is recognized by every (uid, revision)-keyed cache (NormView, per-plan
+// transformed views) as the content it saw before the restart.
+//
+// File layout (all integers little-endian; see storage/codec.h and
+// docs/SNAPSHOT_FORMAT.md for the byte-level spec):
+//
+//   header:   magic "IODBSNAP" | u32 version | u32 endian tag
+//             | u32 section count | u64 section-table checksum
+//   table:    per section: u32 id | u32 reserved | u64 offset
+//             | u64 length | u64 FNV-1a-64 checksum of the payload
+//   payloads: vocabulary, constants, fact segments, order atoms,
+//             inequalities, identity
+//
+// Determinism: encoding is a pure function of database content — facts
+// are written bucketed by predicate id (insertion order within a
+// bucket), so encode(decode(encode(db))) == encode(db) byte for byte.
+//
+// Robustness: decoding never crashes on corrupt input. Every read is
+// bounds-checked, every section checksummed, and every id range-checked
+// before it reaches a Database mutator; failures come back as Status.
+
+#ifndef IODB_STORAGE_SNAPSHOT_H_
+#define IODB_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/database.h"
+#include "util/status.h"
+
+namespace iodb::storage {
+
+/// Current snapshot format version. Readers reject other versions (the
+/// layout has no compatibility shims yet; see docs/SNAPSHOT_FORMAT.md
+/// for the versioning rules).
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// One section-table entry, as stored (offsets are absolute file
+/// offsets).
+struct SectionInfo {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t checksum = 0;
+
+  /// Human name of a v1 section id ("vocabulary", "constants", ...).
+  static const char* Name(uint32_t id);
+};
+
+/// Parsed header + summary counts (the `iodb_pack inspect` payload).
+struct SnapshotInfo {
+  uint32_t format_version = 0;
+  uint64_t vocab_uid = 0;
+  uint64_t db_uid = 0;
+  uint64_t revision = 0;
+  uint32_t num_predicates = 0;
+  uint32_t num_object_constants = 0;
+  uint32_t num_order_constants = 0;
+  uint64_t num_proper_atoms = 0;
+  uint64_t num_order_atoms = 0;
+  uint64_t num_inequalities = 0;
+  uint64_t file_bytes = 0;
+  std::vector<SectionInfo> sections;
+
+  /// Multi-line "name value" rendering.
+  std::string ToString() const;
+};
+
+/// Encodes `db` (with its vocabulary) into snapshot bytes.
+std::string EncodeSnapshot(const Database& db);
+
+/// Decodes a snapshot into a Database over a FRESH vocabulary restored
+/// from the file (predicate ids and the vocabulary uid are exactly the
+/// persisted ones). This is the standalone-open used by iodb_eval
+/// --db-snapshot.
+Result<Database> DecodeSnapshot(std::string_view bytes);
+
+/// Decodes a snapshot into a Database over the caller's `vocab`
+/// (registering absent predicates and remapping persisted predicate ids
+/// by name). The database (uid, revision) identity is restored; the
+/// vocabulary keeps its own identity. This is the registry-open: every
+/// database of a directory shares the service vocabulary.
+Result<Database> DecodeSnapshotInto(std::string_view bytes,
+                                    VocabularyPtr vocab);
+
+/// Reads the header, section table and summary counts without building a
+/// Database. Verifies every checksum.
+Result<SnapshotInfo> InspectSnapshot(std::string_view bytes);
+
+/// File convenience wrappers. Saves are atomic (write to a sibling temp
+/// file, then rename), so a crash mid-save never leaves a torn snapshot
+/// under the target name.
+Status SaveSnapshot(const Database& db, const std::string& path);
+Result<Database> OpenSnapshot(const std::string& path);
+Result<Database> OpenSnapshotInto(const std::string& path,
+                                  VocabularyPtr vocab);
+Result<SnapshotInfo> InspectSnapshotFile(const std::string& path);
+
+/// Vocabulary-only file (the registry's shared-vocabulary sidecar:
+/// restoring it first pins the vocabulary uid and the predicate id
+/// order, so plan-cache keys survive a restart).
+std::string EncodeVocabulary(const Vocabulary& vocab);
+Status SaveVocabulary(const Vocabulary& vocab, const std::string& path);
+/// Registers the persisted predicates into `vocab` (in persisted id
+/// order) and restores the persisted uid. Fails if an existing predicate
+/// clashes in signature or position.
+Status RestoreVocabularyInto(const std::string& path, Vocabulary* vocab);
+
+/// Shared small-file helpers (also used by the WAL).
+Result<std::string> ReadFileBytes(const std::string& path);
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+}  // namespace iodb::storage
+
+#endif  // IODB_STORAGE_SNAPSHOT_H_

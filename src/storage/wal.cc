@@ -1,0 +1,341 @@
+#include "storage/wal.h"
+
+#include <fstream>
+#include <utility>
+
+#include "core/parser.h"
+#include "storage/codec.h"
+#include "storage/snapshot.h"
+
+namespace iodb::storage {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'I', 'O', 'D', 'B', 'W', 'A', 'L', '1'};
+constexpr uint32_t kWalFormatVersion = 1;
+constexpr uint32_t kEndianTag = 0x1A2B3C4D;
+// magic + version + endian + db_uid + base_revision + header checksum.
+constexpr size_t kWalHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
+
+Status WalError(const std::string& message) {
+  return Status::InvalidArgument("wal: " + message);
+}
+
+std::string EncodeRecordPayload(const WalRecord& record) {
+  std::string payload;
+  switch (record.kind) {
+    case WalRecord::Kind::kBegin:
+    case WalRecord::Kind::kCommit:
+      break;
+    case WalRecord::Kind::kFact:
+      AppendString(&payload, record.pred);
+      AppendU32(&payload, static_cast<uint32_t>(record.args.size()));
+      for (const std::string& arg : record.args) {
+        AppendString(&payload, arg);
+      }
+      break;
+    case WalRecord::Kind::kOrder:
+      AppendString(&payload, record.lhs);
+      AppendU8(&payload, static_cast<uint8_t>(record.rel));
+      AppendString(&payload, record.rhs);
+      break;
+    case WalRecord::Kind::kNotEqual:
+      AppendString(&payload, record.lhs);
+      AppendString(&payload, record.rhs);
+      break;
+  }
+  return payload;
+}
+
+// Record wire form: u8 type | u32 payload length | payload | u64
+// FNV-1a-64 over (type byte + payload).
+void AppendRecord(std::string* out, const WalRecord& record) {
+  const std::string payload = EncodeRecordPayload(record);
+  AppendU8(out, static_cast<uint8_t>(record.kind));
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  *out += payload;
+  std::string checked;
+  checked.push_back(static_cast<char>(record.kind));
+  checked += payload;
+  AppendU64(out, Fnv1a64(checked));
+}
+
+Status DecodeRecordPayload(WalRecord::Kind kind, std::string_view payload,
+                           WalRecord* record) {
+  ByteReader reader(payload);
+  Status status;
+  record->kind = kind;
+  switch (kind) {
+    case WalRecord::Kind::kBegin:
+    case WalRecord::Kind::kCommit:
+      break;
+    case WalRecord::Kind::kFact: {
+      uint32_t argc = 0;
+      if (!(status = reader.ReadString(&record->pred)).ok() ||
+          !(status = reader.ReadU32(&argc)).ok()) {
+        return WalError(status.message());
+      }
+      if (argc > reader.remaining()) {
+        return WalError("fact record argument count extends past record");
+      }
+      record->args.resize(argc);
+      for (uint32_t i = 0; i < argc; ++i) {
+        if (!(status = reader.ReadString(&record->args[i])).ok()) {
+          return WalError(status.message());
+        }
+      }
+      break;
+    }
+    case WalRecord::Kind::kOrder: {
+      uint8_t rel = 0;
+      if (!(status = reader.ReadString(&record->lhs)).ok() ||
+          !(status = reader.ReadU8(&rel)).ok() ||
+          !(status = reader.ReadString(&record->rhs)).ok()) {
+        return WalError(status.message());
+      }
+      if (rel > 1) return WalError("bad order relation byte");
+      record->rel = static_cast<OrderRel>(rel);
+      break;
+    }
+    case WalRecord::Kind::kNotEqual:
+      if (!(status = reader.ReadString(&record->lhs)).ok() ||
+          !(status = reader.ReadString(&record->rhs)).ok()) {
+        return WalError(status.message());
+      }
+      break;
+  }
+  if (!reader.AtEnd()) return WalError("trailing bytes in record payload");
+  return Status::Ok();
+}
+
+// Pre-checks the sort of an order-constant name so a clashing record
+// comes back as a Status instead of aborting inside GetOrAddConstant.
+Status RequireOrderSort(const Database& db, const std::string& name) {
+  if (db.FindConstant(name, Sort::kObject).has_value()) {
+    return WalError("constant '" + name +
+                    "' is an object constant but used in an order atom");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<WalRecord>> ParseMutationText(const std::string& text,
+                                                 VocabularyPtr vocab) {
+  // The statement grammar IS the database grammar, so the front half is
+  // the parser; the parsed temp database is then re-read as records, and
+  // the records are the single source of truth for application + replay.
+  Result<Database> parsed = ParseDatabase(text, std::move(vocab));
+  if (!parsed.ok()) return parsed.status();
+  const Database& db = parsed.value();
+  std::vector<WalRecord> records;
+  records.reserve(db.proper_atoms().size() + db.order_atoms().size() +
+                  db.inequalities().size());
+  for (const ProperAtom& atom : db.proper_atoms()) {
+    WalRecord record;
+    record.kind = WalRecord::Kind::kFact;
+    record.pred = db.vocab()->predicate(atom.pred).name;
+    record.args.reserve(atom.args.size());
+    for (const Term& term : atom.args) {
+      record.args.push_back(term.sort == Sort::kObject
+                                ? db.object_name(term.id)
+                                : db.order_name(term.id));
+    }
+    records.push_back(std::move(record));
+  }
+  for (const OrderAtom& atom : db.order_atoms()) {
+    WalRecord record;
+    record.kind = WalRecord::Kind::kOrder;
+    record.lhs = db.order_name(atom.lhs);
+    record.rel = atom.rel;
+    record.rhs = db.order_name(atom.rhs);
+    records.push_back(std::move(record));
+  }
+  for (const InequalityAtom& atom : db.inequalities()) {
+    WalRecord record;
+    record.kind = WalRecord::Kind::kNotEqual;
+    record.lhs = db.order_name(atom.lhs);
+    record.rhs = db.order_name(atom.rhs);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Status ApplyWalRecords(const std::vector<WalRecord>& records, Database* db) {
+  for (const WalRecord& record : records) {
+    switch (record.kind) {
+      case WalRecord::Kind::kFact: {
+        Status status = db->AddFact(record.pred, record.args);
+        if (!status.ok()) return status;
+        break;
+      }
+      case WalRecord::Kind::kOrder: {
+        Status status = RequireOrderSort(*db, record.lhs);
+        if (!status.ok()) return status;
+        status = RequireOrderSort(*db, record.rhs);
+        if (!status.ok()) return status;
+        db->AddOrder(record.lhs, record.rel, record.rhs);
+        break;
+      }
+      case WalRecord::Kind::kNotEqual: {
+        Status status = RequireOrderSort(*db, record.lhs);
+        if (!status.ok()) return status;
+        status = RequireOrderSort(*db, record.rhs);
+        if (!status.ok()) return status;
+        db->AddNotEqual(record.lhs, record.rhs);
+        break;
+      }
+      case WalRecord::Kind::kBegin:
+      case WalRecord::Kind::kCommit:
+        return WalError("group delimiter in a mutation record list");
+    }
+  }
+  return Status::Ok();
+}
+
+Status CreateWal(const std::string& path, uint64_t db_uid,
+                 uint64_t base_revision) {
+  std::string body;
+  AppendU32(&body, kWalFormatVersion);
+  AppendU32(&body, kEndianTag);
+  AppendU64(&body, db_uid);
+  AppendU64(&body, base_revision);
+  std::string out;
+  out.append(kWalMagic, sizeof(kWalMagic));
+  out += body;
+  AppendU64(&out, Fnv1a64(body));
+  return WriteFileAtomic(path, out);
+}
+
+Status AppendWalGroup(const std::string& path,
+                      const std::vector<WalRecord>& records) {
+  std::string group;
+  WalRecord delimiter;
+  delimiter.kind = WalRecord::Kind::kBegin;
+  AppendRecord(&group, delimiter);
+  for (const WalRecord& record : records) {
+    if (record.kind == WalRecord::Kind::kBegin ||
+        record.kind == WalRecord::Kind::kCommit) {
+      return WalError("group delimiter in a mutation record list");
+    }
+    AppendRecord(&group, record);
+  }
+  delimiter.kind = WalRecord::Kind::kCommit;
+  AppendRecord(&group, delimiter);
+
+  std::ofstream file(path, std::ios::binary | std::ios::app);
+  if (!file) return WalError("cannot open '" + path + "' for append");
+  file.write(group.data(), static_cast<std::streamsize>(group.size()));
+  file.flush();
+  if (!file.good()) return WalError("error appending to '" + path + "'");
+  return Status::Ok();
+}
+
+Result<WalReplayStats> ReplayWal(const std::string& path,
+                                 uint64_t expect_db_uid,
+                                 uint64_t expect_base_revision,
+                                 Database* db) {
+  Result<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  ByteReader reader(bytes.value());
+
+  // Header. A file too short to hold it counts as torn only if it is a
+  // strict prefix of a valid header; simplest correct rule: a short or
+  // mismatched header is a hard error (the registry always writes the
+  // header atomically via CreateWal, so a torn header never occurs in
+  // the crash model — only record appends tear).
+  std::string_view magic;
+  Status status = reader.ReadBytes(8, &magic);
+  if (!status.ok()) return WalError("missing header: " + status.message());
+  if (magic != std::string_view(kWalMagic, 8)) {
+    return WalError("bad magic (not a WAL file)");
+  }
+  uint32_t version = 0, endian = 0;
+  uint64_t db_uid = 0, base_revision = 0, header_checksum = 0;
+  if (!(status = reader.ReadU32(&version)).ok() ||
+      !(status = reader.ReadU32(&endian)).ok() ||
+      !(status = reader.ReadU64(&db_uid)).ok() ||
+      !(status = reader.ReadU64(&base_revision)).ok() ||
+      !(status = reader.ReadU64(&header_checksum)).ok()) {
+    return WalError("truncated header: " + status.message());
+  }
+  {
+    std::string body;
+    AppendU32(&body, version);
+    AppendU32(&body, endian);
+    AppendU64(&body, db_uid);
+    AppendU64(&body, base_revision);
+    if (Fnv1a64(body) != header_checksum) {
+      return WalError("header checksum mismatch");
+    }
+  }
+  if (version != kWalFormatVersion) {
+    return WalError("unsupported WAL version " + std::to_string(version));
+  }
+  if (endian != kEndianTag) return WalError("endian tag mismatch");
+  if (db_uid != expect_db_uid || base_revision != expect_base_revision) {
+    return WalError(
+        "WAL belongs to snapshot identity (uid=" + std::to_string(db_uid) +
+        ", revision=" + std::to_string(base_revision) + "), expected (uid=" +
+        std::to_string(expect_db_uid) + ", revision=" +
+        std::to_string(expect_base_revision) + ")");
+  }
+
+  WalReplayStats stats;
+  stats.clean_prefix_bytes = reader.position();  // end of the header
+  bool in_group = false;
+  std::vector<WalRecord> group;
+  while (!reader.AtEnd()) {
+    // A record that runs past EOF at any field is a torn tail: stop and
+    // discard the open group. Anything structurally complete but wrong
+    // (bad checksum, unknown type, delimiter misuse) is a hard error.
+    uint8_t type = 0;
+    uint32_t length = 0;
+    if (!reader.ReadU8(&type).ok() || !reader.ReadU32(&length).ok()) {
+      stats.truncated_tail = true;
+      break;
+    }
+    std::string_view payload;
+    uint64_t checksum = 0;
+    if (!reader.ReadBytes(length, &payload).ok() ||
+        !reader.ReadU64(&checksum).ok()) {
+      stats.truncated_tail = true;
+      break;
+    }
+    std::string checked;
+    checked.push_back(static_cast<char>(type));
+    checked.append(payload.data(), payload.size());
+    if (Fnv1a64(checked) != checksum) {
+      return WalError("record checksum mismatch at offset " +
+                      std::to_string(reader.position()));
+    }
+    if (type < 1 || type > 5) {
+      return WalError("unknown record type " + std::to_string(type));
+    }
+    const WalRecord::Kind kind = static_cast<WalRecord::Kind>(type);
+    WalRecord record;
+    status = DecodeRecordPayload(kind, payload, &record);
+    if (!status.ok()) return status;
+
+    if (kind == WalRecord::Kind::kBegin) {
+      if (in_group) return WalError("BEGIN inside an open group");
+      in_group = true;
+      group.clear();
+    } else if (kind == WalRecord::Kind::kCommit) {
+      if (!in_group) return WalError("COMMIT without BEGIN");
+      status = ApplyWalRecords(group, db);
+      if (!status.ok()) return status;
+      stats.records_applied += static_cast<long long>(group.size());
+      ++stats.groups_applied;
+      stats.clean_prefix_bytes = reader.position();
+      in_group = false;
+    } else {
+      if (!in_group) return WalError("mutation record outside a group");
+      group.push_back(std::move(record));
+    }
+  }
+  if (in_group) stats.truncated_tail = true;  // uncommitted group discarded
+  return stats;
+}
+
+}  // namespace iodb::storage

@@ -1,0 +1,115 @@
+// Write-ahead log of database mutations.
+//
+// A WAL file sits next to a snapshot and records the mutations applied
+// to the database SINCE that snapshot, as name-based records (predicate
+// and constant names, not ids), grouped into atomic BEGIN ... COMMIT
+// units. Opening a database is: decode the snapshot, then replay the
+// WAL's committed groups through the exact same application path the
+// live mutation used — so the restored database has the same facts, the
+// same interned ids, and (because every mutator bump is replayed) the
+// same revision counter the live one had.
+//
+// Crash-recovery contract (tested byte-by-byte in
+// tests/storage_wal_test.cc): for ANY prefix of a WAL file, replay
+// either
+//   * applies a clean prefix of the committed groups (a torn tail — an
+//     incomplete record or an uncommitted group — is discarded and
+//     reported via WalReplayStats::truncated_tail), or
+//   * fails with a checksum/format Status.
+// It never crashes and never applies a partial group.
+//
+// Durability note: writes are flushed to the OS on every append; the
+// format is fsync-friendly (append-only, self-delimiting records) but
+// this layer does not fsync — a serving deployment that needs
+// power-loss durability should run on a journaled filesystem or add an
+// fsync hook at the AppendWalGroup seam.
+
+#ifndef IODB_STORAGE_WAL_H_
+#define IODB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace iodb::storage {
+
+/// One logged mutation, by name (ids are process-local; names are the
+/// durable identity). Kind values are the on-disk record type bytes.
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kBegin = 1,     // group delimiter (internal to the file format)
+    kFact = 2,      // pred(args...): Database::AddFact
+    kOrder = 3,     // lhs rel rhs:   Database::AddOrder
+    kNotEqual = 4,  // lhs != rhs:    Database::AddNotEqual
+    kCommit = 5,    // group delimiter (internal to the file format)
+  };
+
+  Kind kind = Kind::kFact;
+  // kFact:
+  std::string pred;
+  std::vector<std::string> args;
+  // kOrder / kNotEqual:
+  std::string lhs;
+  std::string rhs;
+  OrderRel rel = OrderRel::kLt;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// Parses database-format statement text (facts, order chains,
+/// inequalities, predicate declarations) into mutation records,
+/// registering any new predicates into `vocab`. This is the shared
+/// front half of every WAL-logged mutation: the serving APPEND verb and
+/// DurableRegistry::AppendText both parse through here, and replay
+/// applies the identical records.
+Result<std::vector<WalRecord>> ParseMutationText(const std::string& text,
+                                                 VocabularyPtr vocab);
+
+/// Applies mutation records to `db` in order. All failures (unknown
+/// sort clashes, arity mismatches) are reported as Status — never a
+/// crash — and may leave a prefix of `records` applied; WAL-logged
+/// callers apply to the durable state first, so a failed apply is a
+/// corrupt-input error, not a torn transaction.
+Status ApplyWalRecords(const std::vector<WalRecord>& records, Database* db);
+
+/// Creates (or truncates) the WAL at `path` with a header binding it to
+/// the snapshot identity it applies on top of.
+Status CreateWal(const std::string& path, uint64_t db_uid,
+                 uint64_t base_revision);
+
+/// Appends one committed group (BEGIN, records..., COMMIT) to an
+/// existing WAL. The group bytes are written in one buffered write and
+/// flushed before returning.
+Status AppendWalGroup(const std::string& path,
+                      const std::vector<WalRecord>& records);
+
+/// Replay summary.
+struct WalReplayStats {
+  long long groups_applied = 0;
+  long long records_applied = 0;
+  /// True if the file ended inside a record or an uncommitted group
+  /// (the torn tail was discarded — the normal crash shape).
+  bool truncated_tail = false;
+  /// File offset just past the last committed group (the header alone
+  /// when none committed). When `truncated_tail` is set the caller must
+  /// truncate the file to this length before appending again — a group
+  /// appended after torn bytes would be unreachable garbage that turns
+  /// the next open into a checksum error.
+  uint64_t clean_prefix_bytes = 0;
+};
+
+/// Replays the committed groups of the WAL at `path` onto `db`. The
+/// header must match the identity of the snapshot `db` was restored
+/// from (`expect_db_uid`, `expect_base_revision`); a mismatch means the
+/// WAL belongs to a different snapshot generation and is a hard error.
+Result<WalReplayStats> ReplayWal(const std::string& path,
+                                 uint64_t expect_db_uid,
+                                 uint64_t expect_base_revision, Database* db);
+
+}  // namespace iodb::storage
+
+#endif  // IODB_STORAGE_WAL_H_

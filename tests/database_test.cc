@@ -301,5 +301,74 @@ TEST(NormViewTest, CopiesShareTheViewButNotMutations) {
   EXPECT_EQ(still_original.value()->num_points(), 1);
 }
 
+TEST(TermVecTest, InlineAndSpilledSemantics) {
+  TermVec small{{Sort::kOrder, 1}, {Sort::kOrder, 2}};
+  EXPECT_EQ(small.size(), 2u);
+  EXPECT_EQ(small[1].id, 2);
+
+  TermVec big;
+  for (int i = 0; i < 5; ++i) big.push_back({Sort::kObject, i});
+  EXPECT_EQ(big.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(big[static_cast<size_t>(i)].id, i);
+
+  // Copies are independent; equality is elementwise.
+  TermVec copy = big;
+  EXPECT_EQ(copy, big);
+  copy.push_back({Sort::kObject, 99});
+  EXPECT_EQ(big.size(), 5u);
+  EXPECT_FALSE(copy == big);
+}
+
+TEST(TermVecTest, MovedFromIsEmptyAndReusable) {
+  // A moved-from TermVec must stay internally consistent (size follows
+  // the spill buffer), whether it was inline or spilled.
+  for (int count : {1, 2, 3, 7}) {
+    TermVec source;
+    for (int i = 0; i < count; ++i) source.push_back({Sort::kOrder, i});
+    TermVec target = std::move(source);
+    EXPECT_EQ(target.size(), static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      EXPECT_EQ(target[static_cast<size_t>(i)].id, i);
+    }
+    EXPECT_EQ(source.size(), 0u);  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(source.empty());
+    source.push_back({Sort::kObject, 42});  // reusable after move
+    EXPECT_EQ(source.size(), 1u);
+    EXPECT_EQ(source[0].id, 42);
+
+    TermVec assigned;
+    assigned.push_back({Sort::kObject, 7});
+    assigned = std::move(target);
+    EXPECT_EQ(assigned.size(), static_cast<size_t>(count));
+    EXPECT_EQ(target.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  }
+}
+
+TEST(DatabaseTest, RestoreConstantTablesRejectsDuplicates) {
+  // Duplicate names (same or cross sort) are a Status, never a crash,
+  // and the database stays usable afterwards.
+  auto vocab = MakeVocab();
+  {
+    Database db(vocab);
+    Status status = db.RestoreConstantTables({"a", "a"}, {});
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("duplicate"), std::string::npos);
+    EXPECT_EQ(db.num_object_constants(), 0);
+    EXPECT_EQ(db.GetOrAddConstant("fresh", Sort::kObject), 0);
+  }
+  {
+    Database db(vocab);
+    Status status = db.RestoreConstantTables({"x"}, {"x"});
+    ASSERT_FALSE(status.ok());
+  }
+  {
+    Database db(vocab);
+    ASSERT_TRUE(db.RestoreConstantTables({"a", "b"}, {"u", "v"}).ok());
+    EXPECT_EQ(db.object_name(1), "b");
+    EXPECT_EQ(db.FindConstant("u", Sort::kOrder), std::optional<int>(0));
+    EXPECT_EQ(db.revision(), 4u);  // one bump per restored constant
+  }
+}
+
 }  // namespace
 }  // namespace iodb

@@ -1,0 +1,299 @@
+// DurableRegistry tests (storage/durable_registry.h): kill-and-restart
+// semantics. A registry opened on the directory of a previous registry
+// must restore every named database with identical content AND
+// identical identity — database (uid, revision) and the shared
+// vocabulary uid — so plan fingerprints and every (uid, revision)-keyed
+// cache mean the same thing after the restart.
+
+#include "storage/durable_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "storage/snapshot.h"
+
+namespace iodb {
+namespace {
+
+namespace fs = std::filesystem;
+
+using storage::DurableRegistry;
+
+// Fresh directory per test, removed on destruction.
+struct TempStore {
+  explicit TempStore(const std::string& name)
+      : path(testing::TempDir() + "/iodb_registry_" + name) {
+    fs::remove_all(path);
+  }
+  ~TempStore() { fs::remove_all(path); }
+  std::string path;
+};
+
+Result<std::unique_ptr<DurableRegistry>> OpenStore(const TempStore& store) {
+  return DurableRegistry::Open(store.path);
+}
+
+constexpr char kBaseText[] = "P(u)\nQ(v)\nu < v\n";
+constexpr char kQuery[] = "exists t1 t2: P(t1) & t1 < t2 & Q(t2)";
+
+TEST(DurableRegistry, LoadPersistsAndReopenRestoresIdentity) {
+  TempStore store("load_reopen");
+  uint64_t uid = 0, revision = 0, vocab_uid = 0;
+  {
+    Result<std::unique_ptr<DurableRegistry>> registry = OpenStore(store);
+    ASSERT_TRUE(registry.ok()) << registry.status().ToString();
+    Result<DbInfo> info = registry.value()->Load("base", kBaseText);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info.value().atoms, 3);
+    uid = info.value().uid;
+    revision = info.value().revision;
+    vocab_uid = registry.value()->service().vocab()->uid();
+
+    EvalRequest request;
+    request.db = "base";
+    request.query = kQuery;
+    Result<EvalResponse> response = registry.value()->service().Eval(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response.value().entailed);
+  }  // registry destroyed = process killed
+
+  Result<std::unique_ptr<DurableRegistry>> reopened = OpenStore(store);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->service().database_names(),
+            std::vector<std::string>{"base"});
+  const Database* db = reopened.value()->service().database("base");
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->uid(), uid);
+  EXPECT_EQ(db->revision(), revision);
+  EXPECT_EQ(reopened.value()->service().vocab()->uid(), vocab_uid);
+
+  EvalRequest request;
+  request.db = "base";
+  request.query = kQuery;
+  Result<EvalResponse> response = reopened.value()->service().Eval(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response.value().entailed);
+}
+
+TEST(DurableRegistry, AppendTextIsWalLoggedAndReplayed) {
+  TempStore store("append_replay");
+  uint64_t live_revision = 0;
+  int live_atoms = 0;
+  {
+    Result<std::unique_ptr<DurableRegistry>> registry = OpenStore(store);
+    ASSERT_TRUE(registry.ok());
+    ASSERT_TRUE(registry.value()->Load("base", kBaseText).ok());
+    Result<DbInfo> info =
+        registry.value()->AppendText("base", "R(w)\nv < w\n");
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info.value().atoms, 5);
+    Result<DbInfo> info2 = registry.value()->AppendText("base", "P(w)\n");
+    ASSERT_TRUE(info2.ok());
+    live_revision = info2.value().revision;
+    live_atoms = info2.value().atoms;
+    // Two groups in the WAL beyond the header.
+    Result<uint64_t> wal_bytes = registry.value()->WalBytes("base");
+    ASSERT_TRUE(wal_bytes.ok());
+    EXPECT_GT(wal_bytes.value(), 40u);
+  }
+
+  Result<std::unique_ptr<DurableRegistry>> reopened = OpenStore(store);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const Database* db = reopened.value()->service().database("base");
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->SizeAtoms(), live_atoms);
+  EXPECT_EQ(db->revision(), live_revision);
+
+  EvalRequest request;
+  request.db = "base";
+  request.query = "exists t: R(t) & P(t)";
+  Result<EvalResponse> response = reopened.value()->service().Eval(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.value().entailed);  // w carries both R and P
+}
+
+TEST(DurableRegistry, CompactFoldsWalAndPreservesState) {
+  TempStore store("compact");
+  int live_atoms = 0;
+  uint64_t live_revision = 0;
+  {
+    Result<std::unique_ptr<DurableRegistry>> registry = OpenStore(store);
+    ASSERT_TRUE(registry.ok());
+    ASSERT_TRUE(registry.value()->Load("base", kBaseText).ok());
+    ASSERT_TRUE(registry.value()->AppendText("base", "R(w)\nv < w\n").ok());
+    Result<uint64_t> before = registry.value()->WalBytes("base");
+    ASSERT_TRUE(before.ok());
+    Result<DbInfo> info = registry.value()->Compact("base");
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    live_atoms = info.value().atoms;
+    live_revision = info.value().revision;
+    Result<uint64_t> after = registry.value()->WalBytes("base");
+    ASSERT_TRUE(after.ok());
+    EXPECT_LT(after.value(), before.value());  // log folded into snapshot
+  }
+  Result<std::unique_ptr<DurableRegistry>> reopened = OpenStore(store);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const Database* db = reopened.value()->service().database("base");
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->SizeAtoms(), live_atoms);
+  EXPECT_EQ(db->revision(), live_revision);
+}
+
+TEST(DurableRegistry, MultipleDatabasesShareOneVocabulary) {
+  TempStore store("multi");
+  {
+    Result<std::unique_ptr<DurableRegistry>> registry = OpenStore(store);
+    ASSERT_TRUE(registry.ok());
+    // `u <= u` marks u as an order constant, so P registers as an
+    // order predicate both databases can share.
+    ASSERT_TRUE(registry.value()->Load("alpha", "P(u)\nu <= u\n").ok());
+    ASSERT_TRUE(registry.value()->Load("beta", "P(x)\nQ(y)\nx < y\n").ok());
+  }
+  Result<std::unique_ptr<DurableRegistry>> reopened = OpenStore(store);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->service().database_names(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  // One shared vocabulary: predicate ids comparable across databases.
+  EXPECT_EQ(reopened.value()->service().database("alpha")->vocab().get(),
+            reopened.value()->service().database("beta")->vocab().get());
+  // A plan compiled once serves both (smoke: both answer).
+  EvalRequest request;
+  request.db = "alpha";
+  request.query = "exists t: P(t)";
+  EXPECT_TRUE(reopened.value()->service().Eval(request).ok());
+  request.db = "beta";
+  EXPECT_TRUE(reopened.value()->service().Eval(request).ok());
+}
+
+TEST(DurableRegistry, LoadReplacesAndRestartSeesTheReplacement) {
+  TempStore store("replace");
+  uint64_t second_uid = 0;
+  {
+    Result<std::unique_ptr<DurableRegistry>> registry = OpenStore(store);
+    ASSERT_TRUE(registry.ok());
+    ASSERT_TRUE(registry.value()->Load("base", kBaseText).ok());
+    Result<DbInfo> info = registry.value()->Load("base", "P(only)\n");
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.value().atoms, 1);
+    second_uid = info.value().uid;
+  }
+  Result<std::unique_ptr<DurableRegistry>> reopened = OpenStore(store);
+  ASSERT_TRUE(reopened.ok());
+  const Database* db = reopened.value()->service().database("base");
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->SizeAtoms(), 1);
+  EXPECT_EQ(db->uid(), second_uid);
+}
+
+TEST(DurableRegistry, HostileDatabaseNamesAreEncodedSafely) {
+  TempStore store("names");
+  const std::string hostile = "../we ird/na%me.snap";
+  {
+    Result<std::unique_ptr<DurableRegistry>> registry = OpenStore(store);
+    ASSERT_TRUE(registry.ok());
+    Result<DbInfo> info = registry.value()->Load(hostile, "P(u)\n");
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    // The file landed INSIDE the store directory.
+    EXPECT_TRUE(fs::exists(registry.value()->SnapshotPath(hostile)));
+    EXPECT_EQ(fs::path(registry.value()->SnapshotPath(hostile))
+                  .parent_path()
+                  .string(),
+              store.path);
+  }
+  Result<std::unique_ptr<DurableRegistry>> reopened = OpenStore(store);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_NE(reopened.value()->service().database(hostile), nullptr);
+}
+
+TEST(DurableRegistry, FileNameEncodingRoundTrips) {
+  const std::string names[] = {"base", "a b", "../x", "emoji\xF0\x9F\x8C\x90",
+                               "%25", "UPPER_lower-123"};
+  for (const std::string& name : names) {
+    const std::string encoded = DurableRegistry::EncodeDbFileName(name);
+    for (char c : encoded) {
+      EXPECT_TRUE((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '%')
+          << "unsafe byte in encoding of '" << name << "'";
+    }
+    EXPECT_EQ(DurableRegistry::DecodeDbFileName(encoded), name);
+  }
+  EXPECT_FALSE(DurableRegistry::DecodeDbFileName("bad%zz").has_value());
+  EXPECT_FALSE(DurableRegistry::DecodeDbFileName("trunc%4").has_value());
+  EXPECT_FALSE(DurableRegistry::DecodeDbFileName("sp ace").has_value());
+}
+
+TEST(DurableRegistry, AppendToUnknownDatabaseFails) {
+  TempStore store("unknown");
+  Result<std::unique_ptr<DurableRegistry>> registry = OpenStore(store);
+  ASSERT_TRUE(registry.ok());
+  EXPECT_FALSE(registry.value()->AppendText("nosuch", "P(u)\n").ok());
+  EXPECT_FALSE(registry.value()->Compact("nosuch").ok());
+}
+
+TEST(DurableRegistry, TornWalTailIsTruncatedSoAppendsStayReachable) {
+  // Crash model: a group append torn mid-write. Open must drop the torn
+  // bytes, so a post-recovery append lands after the clean prefix and
+  // the NEXT open still succeeds — an append after garbage would be
+  // acknowledged and then unreachable forever.
+  TempStore store("torn_tail");
+  {
+    Result<std::unique_ptr<DurableRegistry>> registry = OpenStore(store);
+    ASSERT_TRUE(registry.ok());
+    ASSERT_TRUE(registry.value()->Load("base", kBaseText).ok());
+    ASSERT_TRUE(registry.value()->AppendText("base", "R(w)\nv < w\n").ok());
+  }
+  const std::string wal_path =
+      (fs::path(store.path) / "base.wal").string();
+  const uint64_t full_size = fs::file_size(wal_path);
+  fs::resize_file(wal_path, full_size - 3);  // tear the last record
+
+  int recovered_atoms = 0;
+  {
+    Result<std::unique_ptr<DurableRegistry>> reopened = OpenStore(store);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    recovered_atoms = reopened.value()->service().database("base")->SizeAtoms();
+    EXPECT_LT(fs::file_size(wal_path), full_size - 3);  // tail dropped
+    Result<DbInfo> info =
+        reopened.value()->AppendText("base", "S(x)\nw < x\n");
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info.value().atoms, recovered_atoms + 2);
+  }
+  // The open after the post-recovery append must see everything.
+  Result<std::unique_ptr<DurableRegistry>> again = OpenStore(store);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value()->service().database("base")->SizeAtoms(),
+            recovered_atoms + 2);
+  EvalRequest request;
+  request.db = "base";
+  request.query = "exists t: S(t)";
+  Result<EvalResponse> response = again.value()->service().Eval(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response.value().entailed);
+}
+
+TEST(DurableRegistry, CorruptSnapshotSurfacesAsAnOpenError) {
+  TempStore store("corrupt");
+  {
+    Result<std::unique_ptr<DurableRegistry>> registry = OpenStore(store);
+    ASSERT_TRUE(registry.ok());
+    ASSERT_TRUE(registry.value()->Load("base", kBaseText).ok());
+  }
+  // Flip a byte in the snapshot body.
+  const std::string snap_path =
+      (fs::path(store.path) / "base.snap").string();
+  Result<std::string> bytes = storage::ReadFileBytes(snap_path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupt = bytes.value();
+  corrupt[corrupt.size() / 2] =
+      static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x5A);
+  ASSERT_TRUE(storage::WriteFileAtomic(snap_path, corrupt).ok());
+  Result<std::unique_ptr<DurableRegistry>> reopened = OpenStore(store);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_NE(reopened.status().message().find("base"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,315 @@
+// Write-ahead log tests (storage/wal.h), centered on the
+// crash-recovery contract: a recorded session's WAL, truncated at EVERY
+// byte boundary, must either replay a clean prefix of its committed
+// groups or fail with a checksum/format error — never crash, never
+// apply a partial group, never silently corrupt. A bit-flip sweep
+// checks the same for corruption, and unit tests cover record parsing,
+// group atomicity, replay determinism (content AND revision), and
+// compaction via the snapshot.
+
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/snapshot.h"
+
+namespace iodb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadBytes(const std::string& path) {
+  Result<std::string> bytes = storage::ReadFileBytes(path);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? bytes.value() : std::string();
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+// One recorded session: a base database, its snapshot, and a WAL of
+// three committed mutation groups. Returns the per-prefix valid states
+// (atom count and revision after 0..3 groups).
+struct RecordedSession {
+  std::string snapshot_bytes;
+  std::string wal_path;
+  std::string vocab_path;
+  uint64_t base_uid = 0;
+  uint64_t base_revision = 0;
+  std::vector<int> atoms_after;           // [0..groups]
+  std::vector<uint64_t> revision_after;   // [0..groups]
+};
+
+RecordedSession RecordSession(const std::string& wal_name) {
+  RecordedSession session;
+  auto vocab = std::make_shared<Vocabulary>();
+  // Build the base database through the same record path replay uses.
+  Database db(vocab);
+  Result<std::vector<storage::WalRecord>> base_records =
+      storage::ParseMutationText("P(u)\nQ(v)\nu < v\n", vocab);
+  EXPECT_TRUE(base_records.ok());
+  EXPECT_TRUE(storage::ApplyWalRecords(base_records.value(), &db).ok());
+
+  session.snapshot_bytes = storage::EncodeSnapshot(db);
+  session.base_uid = db.uid();
+  session.base_revision = db.revision();
+  session.wal_path = TestPath(wal_name);
+  EXPECT_TRUE(storage::CreateWal(session.wal_path, session.base_uid,
+                                 session.base_revision)
+                  .ok());
+  session.atoms_after.push_back(db.SizeAtoms());
+  session.revision_after.push_back(db.revision());
+
+  const char* groups[] = {
+      "R(w)\nv < w\n",
+      "P(w); u != w\n",
+      "pred IC(order, order, object)\nIC(u, w, A)\n",
+  };
+  for (const char* text : groups) {
+    Result<std::vector<storage::WalRecord>> records =
+        storage::ParseMutationText(text, vocab);
+    EXPECT_TRUE(records.ok()) << records.status().ToString();
+    EXPECT_TRUE(storage::ApplyWalRecords(records.value(), &db).ok());
+    EXPECT_TRUE(
+        storage::AppendWalGroup(session.wal_path, records.value()).ok());
+    session.atoms_after.push_back(db.SizeAtoms());
+    session.revision_after.push_back(db.revision());
+  }
+  // The vocabulary sidecar carries the predicates the WAL groups
+  // registered after the snapshot was taken (the registry persists it on
+  // every append); replay needs it for sort-correct name resolution.
+  session.vocab_path = TestPath(wal_name + ".vocab");
+  EXPECT_TRUE(storage::SaveVocabulary(*vocab, session.vocab_path).ok());
+  return session;
+}
+
+// The registry's open sequence: vocabulary sidecar, then the snapshot
+// decoded into it.
+Result<Database> RestoreBase(const RecordedSession& session) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Status status = storage::RestoreVocabularyInto(session.vocab_path,
+                                                 vocab.get());
+  if (!status.ok()) return status;
+  return storage::DecodeSnapshotInto(session.snapshot_bytes, vocab);
+}
+
+TEST(Wal, ParseMutationTextProducesNameRecords) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Result<std::vector<storage::WalRecord>> records =
+      storage::ParseMutationText("P(u)\nu < v\nv <= w\nu != w\n", vocab);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records.value().size(), 4u);
+  EXPECT_EQ(records.value()[0].kind, storage::WalRecord::Kind::kFact);
+  EXPECT_EQ(records.value()[0].pred, "P");
+  EXPECT_EQ(records.value()[0].args, std::vector<std::string>{"u"});
+  EXPECT_EQ(records.value()[1].kind, storage::WalRecord::Kind::kOrder);
+  EXPECT_EQ(records.value()[1].rel, OrderRel::kLt);
+  EXPECT_EQ(records.value()[2].kind, storage::WalRecord::Kind::kOrder);
+  EXPECT_EQ(records.value()[2].rel, OrderRel::kLe);
+  EXPECT_EQ(records.value()[3].kind, storage::WalRecord::Kind::kNotEqual);
+  EXPECT_EQ(records.value()[3].lhs, "u");
+  EXPECT_EQ(records.value()[3].rhs, "w");
+}
+
+TEST(Wal, ReplayReproducesContentAndRevision) {
+  RecordedSession session = RecordSession("wal_replay.wal");
+  Result<Database> restored = RestoreBase(session);
+  ASSERT_TRUE(restored.ok());
+  Result<storage::WalReplayStats> stats =
+      storage::ReplayWal(session.wal_path, session.base_uid,
+                         session.base_revision, &restored.value());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().groups_applied, 3);
+  EXPECT_FALSE(stats.value().truncated_tail);
+  // Replay converges to the live session's exact state: atoms AND the
+  // revision counter (every mutator bump is replayed), which is what
+  // keeps (uid, revision)-keyed caches valid across restarts.
+  EXPECT_EQ(restored.value().SizeAtoms(), session.atoms_after.back());
+  EXPECT_EQ(restored.value().revision(), session.revision_after.back());
+  EXPECT_EQ(restored.value().uid(), session.base_uid);
+}
+
+TEST(Wal, ReplayRejectsMismatchedSnapshotIdentity) {
+  RecordedSession session = RecordSession("wal_mismatch.wal");
+  Result<Database> restored = RestoreBase(session);
+  ASSERT_TRUE(restored.ok());
+  Result<storage::WalReplayStats> stats = storage::ReplayWal(
+      session.wal_path, session.base_uid + 1, session.base_revision,
+      &restored.value());
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("identity"), std::string::npos);
+}
+
+TEST(Wal, TruncationAtEveryByteBoundaryIsPrefixOrError) {
+  RecordedSession session = RecordSession("wal_truncate.wal");
+  const std::string wal = ReadBytes(session.wal_path);
+  ASSERT_GT(wal.size(), 0u);
+  const std::set<int> valid_atoms(session.atoms_after.begin(),
+                                  session.atoms_after.end());
+  const std::set<uint64_t> valid_revisions(session.revision_after.begin(),
+                                           session.revision_after.end());
+  const std::string truncated_path = TestPath("wal_truncate_prefix.wal");
+  for (size_t length = 0; length <= wal.size(); ++length) {
+    WriteBytes(truncated_path, wal.substr(0, length));
+    Result<Database> restored = RestoreBase(session);
+    ASSERT_TRUE(restored.ok());
+    Result<storage::WalReplayStats> stats =
+        storage::ReplayWal(truncated_path, session.base_uid,
+                           session.base_revision, &restored.value());
+    if (stats.ok()) {
+      // A clean prefix: the restored state must be exactly one of the
+      // states the live session passed through — anything else is
+      // silent corruption.
+      EXPECT_TRUE(valid_atoms.count(restored.value().SizeAtoms()) == 1)
+          << "prefix " << length << " replayed to "
+          << restored.value().SizeAtoms() << " atoms";
+      // The reported clean prefix must itself replay to the same state
+      // (it is what the registry truncates a torn file to).
+      ASSERT_LE(stats.value().clean_prefix_bytes, length);
+      WriteBytes(truncated_path,
+                 wal.substr(0, static_cast<size_t>(
+                                   stats.value().clean_prefix_bytes)));
+      Result<Database> reclean = RestoreBase(session);
+      ASSERT_TRUE(reclean.ok());
+      Result<storage::WalReplayStats> restat =
+          storage::ReplayWal(truncated_path, session.base_uid,
+                             session.base_revision, &reclean.value());
+      ASSERT_TRUE(restat.ok()) << "clean prefix of " << length << ": "
+                               << restat.status().ToString();
+      EXPECT_FALSE(restat.value().truncated_tail) << "prefix " << length;
+      EXPECT_EQ(reclean.value().SizeAtoms(), restored.value().SizeAtoms())
+          << "prefix " << length;
+      EXPECT_TRUE(valid_revisions.count(restored.value().revision()) == 1)
+          << "prefix " << length;
+      if (length == wal.size()) {
+        EXPECT_FALSE(stats.value().truncated_tail);
+        EXPECT_EQ(restored.value().SizeAtoms(), session.atoms_after.back());
+      }
+    }
+    // !ok is equally acceptable (header or structural damage) — the
+    // contract is "prefix or error", and the ASSERTs above guarantee
+    // we got here without crashing.
+  }
+}
+
+TEST(Wal, BitFlipAtEveryByteIsPrefixOrError) {
+  RecordedSession session = RecordSession("wal_bitflip.wal");
+  const std::string wal = ReadBytes(session.wal_path);
+  const std::set<int> valid_atoms(session.atoms_after.begin(),
+                                  session.atoms_after.end());
+  const std::string flipped_path = TestPath("wal_bitflip_mut.wal");
+  for (size_t i = 0; i < wal.size(); ++i) {
+    std::string flipped = wal;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x5A);
+    WriteBytes(flipped_path, flipped);
+    Result<Database> restored = RestoreBase(session);
+    ASSERT_TRUE(restored.ok());
+    Result<storage::WalReplayStats> stats =
+        storage::ReplayWal(flipped_path, session.base_uid,
+                           session.base_revision, &restored.value());
+    if (stats.ok()) {
+      EXPECT_TRUE(valid_atoms.count(restored.value().SizeAtoms()) == 1)
+          << "flip at byte " << i << " replayed to "
+          << restored.value().SizeAtoms() << " atoms";
+    }
+  }
+}
+
+TEST(Wal, UncommittedGroupIsDiscarded) {
+  RecordedSession session = RecordSession("wal_uncommitted.wal");
+  // Append a BEGIN + one record with no COMMIT, byte-identical to a
+  // crash between the group write being half-flushed: reuse the file
+  // bytes of a real group minus its COMMIT record (records are
+  // self-delimiting, so chop the last 13 bytes: type + length + empty
+  // payload + checksum).
+  const std::string before = ReadBytes(session.wal_path);
+  const std::string group_path = TestPath("wal_uncommitted_cut.wal");
+  {
+    // Record a fourth group, then cut its COMMIT.
+    Result<Database> restored = RestoreBase(session);
+    ASSERT_TRUE(restored.ok());
+    Result<std::vector<storage::WalRecord>> records =
+        storage::ParseMutationText("Q(u)\n", restored.value().vocab());
+    ASSERT_TRUE(records.ok());
+    ASSERT_TRUE(
+        storage::AppendWalGroup(session.wal_path, records.value()).ok());
+    const std::string after = ReadBytes(session.wal_path);
+    ASSERT_GT(after.size(), before.size());
+    constexpr size_t kCommitBytes = 1 + 4 + 0 + 8;
+    WriteBytes(group_path, after.substr(0, after.size() - kCommitBytes));
+  }
+  Result<Database> restored = RestoreBase(session);
+  ASSERT_TRUE(restored.ok());
+  Result<storage::WalReplayStats> stats =
+      storage::ReplayWal(group_path, session.base_uid,
+                         session.base_revision, &restored.value());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats.value().truncated_tail);
+  EXPECT_EQ(stats.value().groups_applied, 3);
+  EXPECT_EQ(restored.value().SizeAtoms(), session.atoms_after[3]);
+}
+
+TEST(Wal, CompactionFoldsTheLogIntoAFreshSnapshot) {
+  RecordedSession session = RecordSession("wal_compact.wal");
+  // Open: snapshot + replay.
+  Result<Database> live = RestoreBase(session);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(storage::ReplayWal(session.wal_path, session.base_uid,
+                                 session.base_revision, &live.value())
+                  .ok());
+  // Compact: fresh snapshot of the replayed state + empty WAL on the
+  // new base identity.
+  const std::string compacted_snap = storage::EncodeSnapshot(live.value());
+  ASSERT_TRUE(storage::CreateWal(session.wal_path, live.value().uid(),
+                                 live.value().revision())
+                  .ok());
+  // Re-open from the compacted pair: identical state, empty replay.
+  Result<Database> reopened = storage::DecodeSnapshot(compacted_snap);
+  ASSERT_TRUE(reopened.ok());
+  Result<storage::WalReplayStats> stats =
+      storage::ReplayWal(session.wal_path, reopened.value().uid(),
+                         reopened.value().revision(), &reopened.value());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().groups_applied, 0);
+  EXPECT_EQ(reopened.value().SizeAtoms(), session.atoms_after.back());
+  EXPECT_EQ(reopened.value().revision(), session.revision_after.back());
+}
+
+TEST(Wal, ApplyRejectsSortClashInsteadOfAborting) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  ASSERT_TRUE(db.AddFact("Owns", {"A", "B"}).ok());  // A is object-sort
+  storage::WalRecord record;
+  record.kind = storage::WalRecord::Kind::kOrder;
+  record.lhs = "A";
+  record.rel = OrderRel::kLt;
+  record.rhs = "fresh";
+  Status status = storage::ApplyWalRecords({record}, &db);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("object constant"), std::string::npos);
+}
+
+TEST(Wal, MissingFileIsAnError) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  Result<storage::WalReplayStats> stats =
+      storage::ReplayWal(TestPath("no_such.wal"), db.uid(), db.revision(),
+                         &db);
+  EXPECT_FALSE(stats.ok());
+}
+
+}  // namespace
+}  // namespace iodb

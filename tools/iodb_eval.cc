@@ -2,13 +2,17 @@
 //
 // Usage:
 //   iodb_eval DB_FILE [QUERY] [--query-file=PATH]
+//             [--db-snapshot=PATH]
 //             [--semantics=finite|integer|rational]
 //             [--engine=auto|brute-force|path-decomposition|bounded-width
 //                     |disjunctive-search]
 //             [--countermodel] [--explain]
 //
 // Reads a database in the parser's text format from DB_FILE and evaluates
-// the query (also text format) against it. The query comes from exactly
+// the query (also text format) against it. --db-snapshot=PATH replaces
+// DB_FILE with a binary snapshot (storage/snapshot.h; write one with
+// iodb_pack) and skips the text parser entirely — the vocabulary and
+// database identity come from the file. The query comes from exactly
 // one source: the QUERY argument, `-` to read it from stdin, or
 // --query-file=PATH. --explain prints the compiled plan (passes with
 // provenance, per-disjunct classification) before the verdict and the
@@ -30,13 +34,15 @@
 #include "core/parser.h"
 #include "core/prepare.h"
 #include "core/printer.h"
+#include "storage/snapshot.h"
 
 namespace {
 
 constexpr char kUsage[] =
     "usage: iodb_eval DB_FILE [QUERY] [--query-file=PATH] "
-    "[--semantics=...] [--engine=...] [--countermodel] [--explain]; "
-    "QUERY may be '-' to read from stdin";
+    "[--db-snapshot=PATH] [--semantics=...] [--engine=...] "
+    "[--countermodel] [--explain]; QUERY may be '-' to read from stdin; "
+    "--db-snapshot replaces DB_FILE";
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "iodb_eval: %s\n", message.c_str());
@@ -55,15 +61,14 @@ int main(int argc, char** argv) {
   using namespace iodb;
   if (argc < 2) return Fail(kUsage);
 
-  std::ifstream file(argv[1]);
-  if (!file) return Fail(std::string("cannot open ") + argv[1]);
-  const std::string db_text = ReadAll(file);
-
   EntailOptions options;
   bool explain = false;
+  std::string db_file;
+  std::string db_snapshot;
   std::string query_arg;
   std::string query_file;
-  for (int i = 2; i < argc; ++i) {
+  int positionals = 0;
+  for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--countermodel") {
       options.want_countermodel = true;
@@ -72,6 +77,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--query-file=", 0) == 0) {
       query_file = arg.substr(13);
       if (query_file.empty()) return Fail("--query-file needs a path");
+    } else if (arg.rfind("--db-snapshot=", 0) == 0) {
+      db_snapshot = arg.substr(14);
+      if (db_snapshot.empty()) return Fail("--db-snapshot needs a path");
     } else if (arg.rfind("--semantics=", 0) == 0) {
       std::string value = arg.substr(12);
       std::optional<OrderSemantics> semantics = ParseOrderSemantics(value);
@@ -84,13 +92,27 @@ int main(int argc, char** argv) {
       std::optional<EngineKind> kind = ParseEngineKind(value);
       if (!kind.has_value()) return Fail("unknown engine '" + value + "'");
       options.engine = *kind;
-    } else if (arg.rfind("--", 0) == 0) {
+    } else if (arg.rfind("--", 0) == 0 && arg != "-") {
       return Fail("unknown flag '" + arg + "'");
+    } else if (positionals == 0 && db_snapshot.empty()) {
+      // Without --db-snapshot the first positional is the database
+      // text file; with it, every positional is query text.
+      db_file = arg;
+      ++positionals;
     } else if (query_arg.empty()) {
       query_arg = arg;
+      ++positionals;
     } else {
       return Fail(kUsage);
     }
+  }
+  if (db_file.empty() && db_snapshot.empty()) return Fail(kUsage);
+  if (!db_snapshot.empty() && !db_file.empty()) {
+    // --db-snapshot appeared after a positional: that positional was
+    // really the query.
+    if (!query_arg.empty()) return Fail(kUsage);
+    query_arg = db_file;
+    db_file.clear();
   }
 
   // Resolve the query text from its single source; a positional '-' is
@@ -115,9 +137,26 @@ int main(int argc, char** argv) {
     return Fail(kUsage);
   }
 
-  auto vocab = std::make_shared<Vocabulary>();
-  Result<Database> db = ParseDatabase(db_text, vocab);
-  if (!db.ok()) return Fail("database: " + db.status().ToString());
+  // Resolve the database: binary snapshot (vocabulary restored from the
+  // file, no text parse) or parser-format text.
+  VocabularyPtr vocab;
+  std::optional<Result<Database>> opened;
+  if (!db_snapshot.empty()) {
+    opened = storage::OpenSnapshot(db_snapshot);
+    if (!opened->ok()) {
+      return Fail("snapshot: " + opened->status().ToString());
+    }
+    vocab = opened->value().vocab();
+  } else {
+    std::ifstream file(db_file);
+    if (!file) return Fail("cannot open " + db_file);
+    vocab = std::make_shared<Vocabulary>();
+    opened = ParseDatabase(ReadAll(file), vocab);
+    if (!opened->ok()) {
+      return Fail("database: " + opened->status().ToString());
+    }
+  }
+  Result<Database>& db = *opened;
   Result<Query> query = ParseQuery(query_text, vocab);
   if (!query.ok()) return Fail("query: " + query.status().ToString());
 

@@ -14,6 +14,12 @@
 //
 //   iodb_replay TRACE.json [--batch=N] [--repeat=K]
 //               [--workers=N] [--plan-cache=N]
+//               [--db-snapshot=NAME=PATH ...]
+//
+// --db-snapshot registers the binary snapshot at PATH (written by
+// iodb_pack or the durable registry) under NAME before the trace's own
+// loads run, so a replay against a large database skips the text parser
+// entirely. The flag repeats.
 //
 // --batch=N groups consecutive evals into batches of N served through the
 // worker pool (default 1: individual Eval calls); a batched request's
@@ -35,6 +41,7 @@
 
 #include "core/semantics.h"
 #include "service/service.h"
+#include "storage/snapshot.h"
 
 namespace {
 
@@ -316,12 +323,14 @@ double Percentile(std::vector<double>& sorted_us, double q) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     return Fail("usage: iodb_replay TRACE.json [--batch=N] [--repeat=K] "
-                "[--workers=N] [--plan-cache=N]");
+                "[--workers=N] [--plan-cache=N] "
+                "[--db-snapshot=NAME=PATH ...]");
   }
   ServiceOptions options;
   int batch_size = 1;
   int repeat = 1;
   int plan_cache = static_cast<int>(options.plan_cache_capacity);
+  std::vector<std::pair<std::string, std::string>> snapshots;  // (name, path)
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--batch=", 0) == 0) {
@@ -332,6 +341,13 @@ int main(int argc, char** argv) {
       options.num_workers = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--plan-cache=", 0) == 0) {
       plan_cache = std::atoi(arg.c_str() + 13);
+    } else if (arg.rfind("--db-snapshot=", 0) == 0) {
+      const std::string value = arg.substr(14);
+      const size_t eq = value.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == value.size()) {
+        return Fail("--db-snapshot needs NAME=PATH");
+      }
+      snapshots.emplace_back(value.substr(0, eq), value.substr(eq + 1));
     } else {
       return Fail("unknown flag '" + arg + "'");
     }
@@ -354,6 +370,16 @@ int main(int argc, char** argv) {
   if (trace.value().evals.empty()) return Fail("trace has no eval ops");
 
   EvaluationService service(options);
+  for (const auto& [name, path] : snapshots) {
+    Result<Database> db = storage::OpenSnapshotInto(path, service.vocab());
+    if (!db.ok()) {
+      return Fail("snapshot '" + path + "': " + db.status().ToString());
+    }
+    Result<DbInfo> info = service.Register(name, std::move(db.value()));
+    if (!info.ok()) {
+      return Fail("snapshot '" + name + "': " + info.status().ToString());
+    }
+  }
   for (const auto& [name, db_text] : trace.value().loads) {
     Result<DbInfo> info = service.Load(name, db_text);
     if (!info.ok()) {

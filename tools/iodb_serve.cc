@@ -7,6 +7,25 @@
 //                        are parser-format database text, terminated by
 //                        a line containing only "END"
 //                        -> "OK db=<name> atoms=<n>"
+//                        With a durable registry open (--data-dir or
+//                        OPEN), the database is persisted: a restarted
+//                        server restores it under the same name with
+//                        the same (uid, revision) identity.
+//   APPEND <name>        append parser-format statements (same END
+//                        terminator) to a registered database; with a
+//                        registry open the mutation is logged to the
+//                        database's write-ahead log first
+//                        -> "OK db=<name> atoms=<n> revision=<r>"
+//   OPEN <dir>           open (creating if needed) a durable registry;
+//                        replaces the session's service with one
+//                        restored from <dir>
+//                        -> "OK dir=<dir> databases=<n>"
+//   SAVE <name>          fold the write-ahead log of <name> into a
+//                        fresh snapshot (registry required)
+//                        -> "OK db=<name> atoms=<n>"
+//   INFO [<name>]        -> "OK db=<name> atoms=<n> uid=<u> revision=<r>"
+//                        or, with no name, the service identity:
+//                        "OK databases=<n> vocab-uid=<u>"
 //   EVAL <request>       <request> is the wire form of service/request.h:
 //                        <db> [--semantics=...] [--engine=...]
 //                        [--countermodel] [--explain] <query>
@@ -20,17 +39,22 @@
 //                        line, terminated by "OK"
 //   QUIT                 -> exit 0 (EOF does the same)
 //
-// Every failure is reported as a single "ERR <message>" line; the session
-// continues. Flags: --workers=N (worker pool size, default: machine),
-// --plan-cache=N (plan cache capacity, default 128).
+// Every failure is reported as a single "ERR <message>" line and the
+// session continues; an unrecognized verb is the structured
+// "ERR unknown-verb '<verb>'". Flags: --workers=N (worker pool size,
+// default: machine), --plan-cache=N (plan cache capacity, default 128),
+// --data-dir=DIR (open a durable registry at startup).
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "service/service.h"
+#include "storage/durable_registry.h"
+#include "storage/wal.h"
 #include "util/strings.h"
 
 namespace {
@@ -69,10 +93,118 @@ bool ReadUntilEnd(std::istream& in, std::string* text) {
   return false;
 }
 
+// The session's serving state: a bare in-memory service, swapped for a
+// durable registry's service when one is open.
+struct Session {
+  ServiceOptions options;
+  std::unique_ptr<EvaluationService> bare;
+  std::unique_ptr<storage::DurableRegistry> registry;
+
+  explicit Session(ServiceOptions opts)
+      : options(opts), bare(std::make_unique<EvaluationService>(opts)) {}
+
+  EvaluationService& service() {
+    return registry != nullptr ? registry->service() : *bare;
+  }
+};
+
+void HandleLoad(Session& session, const std::string& name,
+                const std::string& text) {
+  Result<DbInfo> info =
+      session.registry != nullptr ? session.registry->Load(name, text)
+                                  : session.service().Load(name, text);
+  if (!info.ok()) {
+    Err(info.status().ToString());
+  } else {
+    std::printf("OK db=%s atoms=%d\n", info.value().name.c_str(),
+                info.value().atoms);
+  }
+}
+
+void HandleAppend(Session& session, const std::string& name,
+                  const std::string& text) {
+  if (session.registry != nullptr) {
+    Result<DbInfo> info = session.registry->AppendText(name, text);
+    if (!info.ok()) {
+      Err(info.status().ToString());
+      return;
+    }
+    std::printf("OK db=%s atoms=%d revision=%llu\n",
+                info.value().name.c_str(), info.value().atoms,
+                static_cast<unsigned long long>(info.value().revision));
+    return;
+  }
+  EvaluationService& service = session.service();
+  Database* db = service.mutable_database(name);
+  if (db == nullptr) {
+    Err("INVALID_ARGUMENT: unknown database '" + name + "'");
+    return;
+  }
+  Result<std::vector<storage::WalRecord>> records =
+      storage::ParseMutationText(text, service.vocab());
+  if (!records.ok()) {
+    Err(records.status().ToString());
+    return;
+  }
+  Status status = storage::ApplyWalRecords(records.value(), db);
+  if (!status.ok()) {
+    Err(status.ToString());
+    return;
+  }
+  std::printf("OK db=%s atoms=%d revision=%llu\n", name.c_str(),
+              db->SizeAtoms(),
+              static_cast<unsigned long long>(db->revision()));
+}
+
+void HandleOpen(Session& session, const std::string& dir) {
+  Result<std::unique_ptr<storage::DurableRegistry>> registry =
+      storage::DurableRegistry::Open(dir, session.options);
+  if (!registry.ok()) {
+    Err(registry.status().ToString());
+    return;
+  }
+  session.registry = std::move(registry.value());
+  std::printf("OK dir=%s databases=%zu\n", dir.c_str(),
+              session.registry->service().database_names().size());
+}
+
+void HandleSave(Session& session, const std::string& name) {
+  if (session.registry == nullptr) {
+    Err("SAVE needs an open registry (use OPEN <dir> or --data-dir)");
+    return;
+  }
+  Result<DbInfo> info = session.registry->Compact(name);
+  if (!info.ok()) {
+    Err(info.status().ToString());
+    return;
+  }
+  std::printf("OK db=%s atoms=%d\n", info.value().name.c_str(),
+              info.value().atoms);
+}
+
+void HandleInfo(Session& session, const std::string& name) {
+  EvaluationService& service = session.service();
+  if (name.empty()) {
+    std::printf("OK databases=%zu vocab-uid=%llu\n",
+                service.database_names().size(),
+                static_cast<unsigned long long>(service.vocab()->uid()));
+    return;
+  }
+  const Database* db = service.database(name);
+  if (db == nullptr) {
+    Err("INVALID_ARGUMENT: unknown database '" + name + "'");
+    return;
+  }
+  std::printf("OK db=%s atoms=%d uid=%llu revision=%llu\n", name.c_str(),
+              db->SizeAtoms(), static_cast<unsigned long long>(db->uid()),
+              static_cast<unsigned long long>(db->revision()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ServiceOptions options;
+  std::string data_dir;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
@@ -85,14 +217,32 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.plan_cache_capacity = static_cast<size_t>(capacity);
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      data_dir = arg.substr(11);
+      if (data_dir.empty()) {
+        std::fprintf(stderr, "iodb_serve: --data-dir needs a path\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: iodb_serve [--workers=N] [--plan-cache=N]\n");
+                   "usage: iodb_serve [--workers=N] [--plan-cache=N] "
+                   "[--data-dir=DIR]\n");
       return 2;
     }
   }
 
-  EvaluationService service(options);
+  Session session(options);
+  if (!data_dir.empty()) {
+    Result<std::unique_ptr<storage::DurableRegistry>> registry =
+        storage::DurableRegistry::Open(data_dir, options);
+    if (!registry.ok()) {
+      std::fprintf(stderr, "iodb_serve: --data-dir: %s\n",
+                   registry.status().ToString().c_str());
+      return 2;
+    }
+    session.registry = std::move(registry.value());
+  }
+
   std::string line;
   while (std::getline(std::cin, line)) {
     std::string_view rest = StripWhitespace(line);
@@ -105,30 +255,42 @@ int main(int argc, char** argv) {
 
     if (command == "QUIT") {
       break;
-    } else if (command == "LOAD") {
+    } else if (command == "LOAD" || command == "APPEND") {
       if (args.empty()) {
-        Err("LOAD needs a database name");
+        Err(command + " needs a database name");
         continue;
       }
       std::string text;
       if (!ReadUntilEnd(std::cin, &text)) {
-        Err("unterminated LOAD (missing END)");
+        Err("unterminated " + command + " (missing END)");
         break;
       }
-      Result<DbInfo> info = service.Load(args, text);
-      if (!info.ok()) {
-        Err(info.status().ToString());
+      if (command == "LOAD") {
+        HandleLoad(session, args, text);
       } else {
-        std::printf("OK db=%s atoms=%d\n", info.value().name.c_str(),
-                    info.value().atoms);
+        HandleAppend(session, args, text);
       }
+    } else if (command == "OPEN") {
+      if (args.empty()) {
+        Err("OPEN needs a directory");
+        continue;
+      }
+      HandleOpen(session, args);
+    } else if (command == "SAVE") {
+      if (args.empty()) {
+        Err("SAVE needs a database name");
+        continue;
+      }
+      HandleSave(session, args);
+    } else if (command == "INFO") {
+      HandleInfo(session, args);
     } else if (command == "EVAL") {
       Result<EvalRequest> request = ParseEvalRequest(args);
       if (!request.ok()) {
         Err(request.status().ToString());
         continue;
       }
-      PrintResponse(service.Eval(request.value()));
+      PrintResponse(session.service().Eval(request.value()));
     } else if (command == "BATCH") {
       // Bounded so a single protocol line cannot force a huge
       // pre-allocation; large workloads stream multiple batches.
@@ -169,13 +331,15 @@ int main(int argc, char** argv) {
       }
       if (parse_failed) continue;
       for (const Result<EvalResponse>& response :
-           service.EvalBatch(requests)) {
+           session.service().EvalBatch(requests)) {
         PrintResponse(response);
       }
     } else if (command == "STATS") {
-      std::printf("%sOK\n", service.stats().ToString().c_str());
+      std::printf("%sOK\n", session.service().stats().ToString().c_str());
     } else {
-      Err("unknown command '" + command + "'");
+      // Structured so scripted clients can distinguish a typo'd verb
+      // from a failed command; the session stays alive.
+      Err("unknown-verb '" + command + "'");
     }
     std::fflush(stdout);
   }

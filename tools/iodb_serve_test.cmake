@@ -32,6 +32,7 @@ base exists t1 t2: P(t1) & t1 < t2 & Q(t2)
 base exists t: P(t)
 nosuchdb exists t: P(t)
 EVAL base --engine=brute-force exists t: P(t)
+FROBNICATE everything
 STATS
 QUIT
 ")
@@ -39,7 +40,9 @@ QUIT
 # The second EVAL of an identical request line is the plan-cache hit; the
 # BATCH reuses one cached plan (hit) and compiles one new one (miss); the
 # unknown database fails only its own slot; forcing a different engine is
-# a different plan key, so it misses.
+# a different plan key, so it misses. An unrecognized verb answers the
+# structured unknown-verb error and the session continues (the STATS
+# after it still runs).
 set(expected "OK db=base atoms=3
 ENTAILED  [engine: bounded-width, cache: miss]
 ENTAILED  [engine: bounded-width, cache: hit]
@@ -48,6 +51,7 @@ ENTAILED  [engine: bounded-width, cache: hit]
 ENTAILED  [engine: bounded-width, cache: miss]
 ERR INVALID_ARGUMENT: unknown database 'nosuchdb'
 ENTAILED  [engine: brute-force, cache: miss]
+ERR unknown-verb 'FROBNICATE'
 requests              7
 batches               1
 plans-compiled        4
@@ -108,6 +112,86 @@ execute_process(COMMAND ${IODB_SERVE} --bogus
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 2 OR NOT "${err}" MATCHES "usage:")
   message(FATAL_ERROR "iodb_serve --bogus: exit ${rc}, want 2 + usage\n${err}")
+endif()
+
+# --- durable registry: kill-and-restart golden test -------------------------
+# Session 1 loads and mutates a database in a durable registry; session 2
+# is a fresh process on the same directory. The restart must restore the
+# database under its name with the SAME (uid, revision) identity and the
+# same vocabulary uid (the plan-cache key component), and the appended
+# facts must be visible — the WAL replayed.
+
+set(store "${WORK_DIR}/iodb_serve_cli.store")
+file(REMOVE_RECURSE "${store}")
+
+set(restart1 "${WORK_DIR}/iodb_serve_cli.restart1")
+file(WRITE "${restart1}" "LOAD base
+P(u)
+Q(v)
+u < v
+END
+APPEND base
+R(w)
+v < w
+END
+EVAL base exists t1 t2: Q(t1) & t1 < t2 & R(t2)
+INFO base
+INFO
+QUIT
+")
+execute_process(COMMAND ${IODB_SERVE} --data-dir=${store}
+  INPUT_FILE "${restart1}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out1 ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "restart session 1: exit ${rc}\n${out1}\n${err}")
+endif()
+string(REGEX MATCH "OK db=base atoms=[0-9]+ uid=[0-9]+ revision=[0-9]+"
+  identity1 "${out1}")
+string(REGEX MATCH "OK databases=1 vocab-uid=[0-9]+" vocab1 "${out1}")
+if(identity1 STREQUAL "" OR vocab1 STREQUAL ""
+   OR NOT "${out1}" MATCHES "OK db=base atoms=5 revision="
+   OR NOT "${out1}" MATCHES "ENTAILED")
+  message(FATAL_ERROR "restart session 1 transcript unexpected:\n${out1}")
+endif()
+
+set(restart2 "${WORK_DIR}/iodb_serve_cli.restart2")
+file(WRITE "${restart2}" "INFO base
+INFO
+EVAL base exists t1 t2: Q(t1) & t1 < t2 & R(t2)
+SAVE base
+QUIT
+")
+execute_process(COMMAND ${IODB_SERVE} --data-dir=${store}
+  INPUT_FILE "${restart2}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out2 ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "restart session 2: exit ${rc}\n${out2}\n${err}")
+endif()
+# The identities must be byte-identical across the restart.
+if(NOT "${out2}" MATCHES "${identity1}")
+  message(FATAL_ERROR
+    "restart lost the database identity: want '${identity1}'\n${out2}")
+endif()
+if(NOT "${out2}" MATCHES "${vocab1}")
+  message(FATAL_ERROR
+    "restart lost the vocabulary identity: want '${vocab1}'\n${out2}")
+endif()
+if(NOT "${out2}" MATCHES "ENTAILED" OR NOT "${out2}" MATCHES "OK db=base")
+  message(FATAL_ERROR "restart session 2 transcript unexpected:\n${out2}")
+endif()
+
+# The OPEN verb opens the same registry mid-session.
+set(restart3 "${WORK_DIR}/iodb_serve_cli.restart3")
+file(WRITE "${restart3}" "OPEN ${store}
+INFO base
+QUIT
+")
+execute_process(COMMAND ${IODB_SERVE}
+  INPUT_FILE "${restart3}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out3 ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT "${out3}" MATCHES "OK dir=.* databases=1"
+   OR NOT "${out3}" MATCHES "${identity1}")
+  message(FATAL_ERROR "OPEN verb session unexpected (exit ${rc}):\n${out3}")
 endif()
 
 # --- iodb_replay: deterministic report lines -------------------------------

@@ -1,0 +1,220 @@
+// The reachability index against the closure it replaces: build cost,
+// probe throughput, and incremental append cost on the three dag shapes
+// that bracket the index's behaviour — deep chains (one exact interval
+// per vertex, the best case), wide antichains (no edges, trivial lists),
+// and random layered dags (cross edges force interval merging and, past
+// the cap, approximate intervals with fallback walks).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/reachability_index.h"
+#include "graph/topo.h"
+#include "util/random.h"
+
+namespace iodb {
+namespace {
+
+Digraph DeepChain(int n) {
+  Digraph g(n);
+  for (int v = 0; v + 1 < n; ++v) {
+    g.AddEdge(v, v + 1, (v % 2 == 0) ? OrderRel::kLt : OrderRel::kLe);
+  }
+  return g;
+}
+
+Digraph WideAntichain(int n) { return Digraph(n); }
+
+// Layered random dag: n vertices in layers of 8, each vertex drawing up
+// to three parents from the previous two layers. Edges go strictly
+// forward in vertex order, so the graph is acyclic by construction.
+Digraph RandomLayeredDag(int n, uint64_t seed) {
+  Rng rng(seed);
+  Digraph g(n);
+  const int kLayer = 8;
+  for (int v = kLayer; v < n; ++v) {
+    const int lo = ((v / kLayer) - 2 > 0 ? (v / kLayer) - 2 : 0) * kLayer;
+    const int parents = rng.UniformInt(1, 3);
+    for (int i = 0; i < parents; ++i) {
+      const int u = rng.UniformInt(lo, (v / kLayer) * kLayer - 1);
+      g.AddEdge(u, v, rng.UniformInt(0, 2) == 0 ? OrderRel::kLe
+                                                : OrderRel::kLt);
+    }
+  }
+  return g;
+}
+
+Digraph MakeShape(int shape, int n) {
+  switch (shape) {
+    case 0:
+      return DeepChain(n);
+    case 1:
+      return WideAntichain(n);
+    default:
+      return RandomLayeredDag(n, 97);
+  }
+}
+
+const char* ShapeName(int shape) {
+  switch (shape) {
+    case 0:
+      return "chain";
+    case 1:
+      return "antichain";
+    default:
+      return "random";
+  }
+}
+
+// --- Build: index vs closure -----------------------------------------
+
+void BM_Reach_IndexBuild(benchmark::State& state) {
+  const Digraph g = MakeShape(static_cast<int>(state.range(0)),
+                              static_cast<int>(state.range(1)));
+  size_t intervals = 0;
+  for (auto _ : state) {
+    ReachabilityIndex index(g);
+    intervals = index.total_intervals();
+    benchmark::DoNotOptimize(intervals);
+  }
+  state.SetLabel(ShapeName(static_cast<int>(state.range(0))));
+  state.counters["intervals"] = static_cast<double>(intervals);
+}
+BENCHMARK(BM_Reach_IndexBuild)
+    ->ArgsProduct({{0, 1, 2}, {64, 256, 1024}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Reach_ClosureBuild(benchmark::State& state) {
+  const Digraph g = MakeShape(static_cast<int>(state.range(0)),
+                              static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    Reachability closure = ComputeReachability(g);
+    benchmark::DoNotOptimize(closure.reach);
+  }
+  state.SetLabel(ShapeName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Reach_ClosureBuild)
+    ->ArgsProduct({{0, 1, 2}, {64, 256, 1024}})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Probe throughput -------------------------------------------------
+
+// All-pairs weak + strict probes. The fallbacks counter reports how
+// often the interval lists failed to answer outright (the acceptance
+// budget is < 5% of probes).
+void BM_Reach_IndexProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(1));
+  const Digraph g = MakeShape(static_cast<int>(state.range(0)), n);
+  const ReachabilityIndex index(g);
+  ReachProbeStats stats;
+  long long reachable = 0;
+  for (auto _ : state) {
+    reachable = 0;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        reachable += index.Reaches(u, v, &stats) ? 1 : 0;
+        reachable += index.StrictlyReaches(u, v, &stats) ? 1 : 0;
+      }
+    }
+    benchmark::DoNotOptimize(reachable);
+  }
+  state.SetLabel(ShapeName(static_cast<int>(state.range(0))));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n);
+  state.counters["reachable"] = static_cast<double>(reachable);
+  state.counters["fallback_pct"] =
+      stats.probes > 0 ? 100.0 * static_cast<double>(stats.fallbacks) /
+                             static_cast<double>(stats.probes)
+                       : 0.0;
+}
+BENCHMARK(BM_Reach_IndexProbe)
+    ->ArgsProduct({{0, 1, 2}, {64, 256}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Reach_ClosureProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(1));
+  const Digraph g = MakeShape(static_cast<int>(state.range(0)), n);
+  const Reachability closure = ComputeReachability(g);
+  long long reachable = 0;
+  for (auto _ : state) {
+    reachable = 0;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        reachable += closure.reach.Get(u, v) ? 1 : 0;
+        reachable += closure.strict.Get(u, v) ? 1 : 0;
+      }
+    }
+    benchmark::DoNotOptimize(reachable);
+  }
+  state.SetLabel(ShapeName(static_cast<int>(state.range(0))));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n);
+  state.counters["reachable"] = static_cast<double>(reachable);
+}
+BENCHMARK(BM_Reach_ClosureProbe)
+    ->ArgsProduct({{0, 1, 2}, {64, 256}})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Incremental append ----------------------------------------------
+
+// The APPEND/WAL-replay shape: an indexed base graph gains a tail of
+// fresh vertices and edges, then answers probes against the delta. The
+// closure path must rebuild from scratch for the same revision; the
+// index stays below the dirty-ratio threshold and searches the delta.
+void BM_Reach_IndexAppendProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(1));
+  const Digraph base = MakeShape(static_cast<int>(state.range(0)), n);
+  ReachabilityIndex index(base);
+  const int kTail = 8;
+  std::vector<LabeledEdge> tail;
+  for (int i = 0; i < kTail; ++i) {
+    tail.push_back({n - 1 + i, n + i, i % 2 == 0 ? OrderRel::kLt
+                                                 : OrderRel::kLe});
+  }
+  long long reachable = 0;
+  for (auto _ : state) {
+    const ReachabilityIndex::Checkpoint mark = index.Mark();
+    for (int i = 0; i < kTail; ++i) index.AddVertex();
+    index.AppendEdges(std::span<const LabeledEdge>(tail));
+    reachable = 0;
+    for (int u = 0; u < n + kTail; ++u) {
+      reachable += index.Reaches(u, n + kTail - 1) ? 1 : 0;
+    }
+    index.RewindTo(mark);
+    benchmark::DoNotOptimize(reachable);
+  }
+  state.SetLabel(ShapeName(static_cast<int>(state.range(0))));
+  state.counters["reachable"] = static_cast<double>(reachable);
+}
+BENCHMARK(BM_Reach_IndexAppendProbe)
+    ->ArgsProduct({{0, 2}, {256, 1024}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Reach_ClosureRebuildProbe(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(1));
+  Digraph g = MakeShape(static_cast<int>(state.range(0)), n);
+  const int kTail = 8;
+  for (int i = 0; i < kTail; ++i) {
+    const int v = g.AddVertex();
+    g.AddEdge(v - 1, v, i % 2 == 0 ? OrderRel::kLt : OrderRel::kLe);
+  }
+  long long reachable = 0;
+  for (auto _ : state) {
+    Reachability closure = ComputeReachability(g);
+    reachable = 0;
+    for (int u = 0; u < n + kTail; ++u) {
+      reachable += closure.reach.Get(u, n + kTail - 1) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(reachable);
+  }
+  state.SetLabel(ShapeName(static_cast<int>(state.range(0))));
+  state.counters["reachable"] = static_cast<double>(reachable);
+}
+BENCHMARK(BM_Reach_ClosureRebuildProbe)
+    ->ArgsProduct({{0, 2}, {256, 1024}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace iodb

@@ -284,9 +284,19 @@ void Database::RestoreIdentity(uint64_t uid, uint64_t revision) {
 
 Result<const NormDb*> Database::NormView() const {
   if (norm_cache_ == nullptr || norm_cache_revision_ != revision_) {
+    // Hand the outgoing view's order context to the fresh view so the
+    // reachability index can be grown across an append instead of being
+    // rebuilt (see NormDb::prev_order_context).
+    std::shared_ptr<const void> prev_context;
+    if (norm_cache_ != nullptr && norm_cache_->ok()) {
+      prev_context = norm_cache_->value().order_context_cache;
+    }
     norm_cache_ = std::make_shared<const Result<NormDb>>(Normalize(*this));
     norm_cache_revision_ = revision_;
     ++norm_view_computations_;
+    if (norm_cache_->ok()) {
+      norm_cache_->value().prev_order_context = std::move(prev_context);
+    }
   }
   if (!norm_cache_->ok()) return norm_cache_->status();
   return &norm_cache_->value();

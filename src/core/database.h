@@ -203,6 +203,23 @@ struct NormDb {
   /// Object constant names (ids are shared with the source database).
   std::vector<std::string> object_names;
 
+  /// Lazily-built shared order-reachability context, owned by
+  /// SharedEnumerationContext() (minimal_models.h); type-erased so the
+  /// core-layer type stays out of this header. Same thread contract as
+  /// Database::NormView: the lazy fill mutates under const, so the first
+  /// build on a given NormDb must not race concurrent readers (the
+  /// parallel engines build it once before spawning workers).
+  mutable std::shared_ptr<const void> order_context_cache;
+
+  /// The previous revision's order context, carried over by NormView on
+  /// re-normalization (the service APPEND / WAL-replay pattern mutates
+  /// the database and evaluates again). When this revision's dag is a
+  /// prefix-extension of the predecessor's, SharedEnumerationContext
+  /// grows the predecessor's reachability index by the appended edges
+  /// instead of rebuilding it; either way the slot is cleared after the
+  /// first context build.
+  mutable std::shared_ptr<const void> prev_order_context;
+
   int num_points() const { return dag.num_vertices(); }
 
   /// Display name for a point ("u" or "u=v=w" for merged constants).

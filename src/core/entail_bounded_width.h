@@ -24,6 +24,7 @@
 
 #include "core/database.h"
 #include "core/model.h"
+#include "core/model_check.h"
 #include "core/query.h"
 
 namespace iodb {
@@ -36,17 +37,26 @@ struct BoundedWidthOutcome {
   /// query, reconstructed from the SEQ countermodel construction along
   /// the successful reachability path.
   std::optional<FiniteModel> countermodel;
+  /// Reachability-probe counters of the incremental path (zeroes under
+  /// the oracle path, which predates the counting seam).
+  ModelCheckStats check_stats;
 };
 
 /// Decides db |= conjunct for a monadic-order-only conjunct over a
 /// database without inequality constraints. `already_reduced` skips the
 /// internal transitive reduction when the caller passes a conjunct that
 /// is already reduced (PreparedQuery memoizes the reduction at Prepare()
-/// time so repeated evaluations don't pay it).
+/// time so repeated evaluations don't pay it). `use_incremental` routes
+/// minor/minimal tests through the database's shared reachability context
+/// (single-word masks for at most 64 points, incrementally maintained
+/// in-degree counters otherwise) instead of recomputing them per state
+/// from the dag; false runs the original path, kept as the differential
+/// oracle. Both paths visit the same states in the same order.
 BoundedWidthOutcome EntailBoundedWidth(const NormDb& db,
                                        const NormConjunct& conjunct,
                                        bool want_countermodel = false,
-                                       bool already_reduced = false);
+                                       bool already_reduced = false,
+                                       bool use_incremental = true);
 
 }  // namespace iodb
 

@@ -85,6 +85,7 @@ BruteForceOutcome RunIncremental(const NormDb& db, const NormQuery& query,
   }
 
   ModelVisitor visitor;
+  visitor.stats = &outcome.check_stats;
   visitor.on_group = [&](int depth, const std::vector<int>& group) {
     if (aborted != nullptr && aborted()) return false;
     builder.PushGroup(depth, group);
@@ -143,14 +144,21 @@ void MergeCounters(BruteForceOutcome& into, const BruteForceOutcome& from) {
 // Root-sharded parallel search: one task per first-group choice.
 BruteForceOutcome EntailParallel(const NormDb& db, const NormQuery& query,
                                  const BruteForceOptions& options) {
-  // The read-only enumeration state (O(points²) closure) is built once
-  // and shared by the root collection and every subtree worker.
-  EnumerationContext context(db);
+  // The read-only enumeration state (reachability index + derived masks)
+  // is built once per database and shared by the root collection and
+  // every subtree worker. Building it here, before any worker spawns,
+  // satisfies the lazy-fill thread contract.
+  std::shared_ptr<const EnumerationContext> context =
+      SharedEnumerationContext(db);
 
   // Collect the first-level groups; each is the root of an independent
-  // enumeration subtree.
+  // enumeration subtree. The depth-0 probes are counted once, here (the
+  // subtree workers seed past depth 0), so an entailed parallel run
+  // reports exactly the serial counter totals.
   std::vector<std::vector<int>> roots;
+  ModelCheckStats root_stats;
   ModelVisitor collect;
+  collect.stats = &root_stats;
   collect.on_group = [&](int depth, const std::vector<int>& group) {
     IODB_CHECK_EQ(depth, 0);
     roots.push_back(group);
@@ -159,10 +167,12 @@ BruteForceOutcome EntailParallel(const NormDb& db, const NormQuery& query,
   collect.on_model = [](const std::vector<std::vector<int>>&) {
     return true;
   };
-  ForEachMinimalModelFrom(db, context, {}, collect);
+  ForEachMinimalModelFrom(db, *context, {}, collect);
 
   if (roots.size() <= 1) {
-    return RunIncremental(db, query, options, &context, {}, nullptr);
+    // Whole forest in one serial run; drop the collection pass counters
+    // (that run re-traverses depth 0 itself).
+    return RunIncremental(db, query, options, context.get(), {}, nullptr);
   }
 
   // Lowest subtree index that produced a countermodel so far. A subtree k
@@ -180,7 +190,7 @@ BruteForceOutcome EntailParallel(const NormDb& db, const NormQuery& query,
                 auto aborted = [&found_min, k]() {
                   return found_min.load(std::memory_order_relaxed) < k;
                 };
-                outcomes[k] = RunIncremental(db, query, options, &context,
+                outcomes[k] = RunIncremental(db, query, options, context.get(),
                                              {roots[k]}, aborted);
                 if (!outcomes[k].entailed) {
                   int seen = found_min.load(std::memory_order_relaxed);
@@ -192,6 +202,7 @@ BruteForceOutcome EntailParallel(const NormDb& db, const NormQuery& query,
               });
 
   BruteForceOutcome merged;
+  merged.check_stats.Accumulate(root_stats);
   const int winner = found_min.load(std::memory_order_relaxed);
   for (size_t k = 0; k < outcomes.size(); ++k) {
     MergeCounters(merged, outcomes[k]);

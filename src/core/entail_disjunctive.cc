@@ -1,28 +1,74 @@
 #include "core/entail_disjunctive.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <unordered_set>
 
+#include "core/minimal_models.h"
 #include "graph/topo.h"
 
 namespace iodb {
 namespace {
+
+// Packed search-state key for the mask fast path: the alive-region word
+// plus the per-disjunct path positions (12 bits each). The alive word is
+// a canonical stand-in for the seed set s (s = minimal vertices of the
+// region, the region = up-closure of s).
+struct PackedKeyHash {
+  size_t operator()(const std::pair<uint64_t, uint64_t>& k) const {
+    uint64_t h = k.first * 0x9e3779b97f4a7c15ULL;
+    h ^= k.second + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
 
 struct Engine {
   const NormDb& db;
   const NormQuery& query;
   const DisjunctiveOptions& options;
   DisjunctiveOutcome outcome;
-  Reachability reach;
+  // Oracle path: per-call closure. Incremental path: the database's
+  // shared context (interval index + masks when num_points <= 64).
+  std::optional<Reachability> reach;
+  std::shared_ptr<const EnumerationContext> ctx;
+  bool fast = false;  // mask fast path active
+  ReachProbeStats rstats;
   std::unordered_set<std::vector<int>, IntVectorHash> failed;
+  std::unordered_set<std::pair<uint64_t, uint64_t>, PackedKeyHash>
+      failed_packed;
   std::vector<std::vector<int>> groups;  // current partial sort
   bool stop = false;
 
-  Engine(const NormDb& d, const NormQuery& q, const DisjunctiveOptions& o)
-      : db(d), query(q), options(o), reach(ComputeReachability(d.dag)) {}
+  // The packed key holds 12 bits per disjunct position; the fast path
+  // additionally needs every point in one machine word.
+  static constexpr size_t kMaxPackedDisjuncts = 5;
+  static constexpr int kMaxPackedPosition = 1 << 12;
 
-  bool Comparable(int u, int v) const {
-    return reach.reach.Get(u, v) || reach.reach.Get(v, u);
+  Engine(const NormDb& d, const NormQuery& q, const DisjunctiveOptions& o)
+      : db(d), query(q), options(o) {
+    if (options.use_incremental) {
+      ctx = SharedEnumerationContext(db);
+      fast = ctx->has_masks && query.disjuncts.size() <= kMaxPackedDisjuncts;
+      for (const NormConjunct& conjunct : query.disjuncts) {
+        if (conjunct.num_order_vars() >= kMaxPackedPosition) fast = false;
+      }
+    } else {
+      reach.emplace(ComputeReachability(d.dag));
+    }
+  }
+
+  bool Comparable(int u, int v) {
+    if (reach.has_value()) {
+      return reach->reach.Get(u, v) || reach->reach.Get(v, u);
+    }
+    return ctx->Comparable(u, v, &rstats);
+  }
+
+  // Weak order-reachability m -> a (true when m == a).
+  bool Reaches(int m, int a) {
+    if (reach.has_value()) return reach->reach.Get(m, a);
+    return ctx->Reaches(m, a, &rstats);
   }
 
   std::vector<bool> AliveFrom(const std::vector<int>& s) const {
@@ -84,6 +130,14 @@ struct Engine {
     return key;
   }
 
+  static uint64_t PackPositions(const std::vector<int>& u_vec) {
+    uint64_t pack = 0;
+    for (size_t i = 0; i < u_vec.size(); ++i) {
+      pack |= static_cast<uint64_t>(u_vec[i]) << (12 * i);
+    }
+    return pack;
+  }
+
   // Reports the current complete sort as a countermodel. Returns true if
   // the search should continue looking for more countermodels.
   bool ReportCounter() {
@@ -100,6 +154,20 @@ struct Engine {
     stop = true;  // decision mode: first countermodel suffices
     return false;
   }
+
+  // Entry point: dispatches the initial state to the active path.
+  bool SearchTop(const std::vector<int>& s, const std::vector<int>& u_vec) {
+    if (fast) {
+      uint64_t alive = 0;
+      for (int v : s) alive |= ctx->desc_mask[v];
+      return SearchMask(alive, u_vec);
+    }
+    return Search(s, u_vec);
+  }
+
+  // ---------------------------------------------------------------------
+  // General path (oracle closure, or interval probes for > 64 points).
+  // ---------------------------------------------------------------------
 
   // Search for a completion of region S falsifying all disjunct paths.
   // Returns true if at least one countermodel was found below this state.
@@ -156,7 +224,7 @@ struct Engine {
     PredSet point_label(db.vocab->num_predicates());
     for (int m : minors) {
       for (int a : chosen) {
-        if (reach.reach.Get(m, a)) {
+        if (Reaches(m, a)) {
           group.push_back(m);
           point_label.UnionWith(db.labels[m]);
           break;
@@ -211,6 +279,113 @@ struct Engine {
     for (int u : advance[index]) {
       next_u[index] = u;
       ProductSearch(advance, index + 1, next_u, next_s, found);
+      if (stop) return;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Mask fast path (<= 64 points, <= 5 disjuncts). Identical state space,
+  // group enumeration order and countermodel sequence as the general
+  // path; the alive region, minor test, antichain independence and group
+  // down-closure all become single-word operations on the context masks.
+  // ---------------------------------------------------------------------
+
+  bool SearchMask(uint64_t alive, const std::vector<int>& u_vec) {
+    if (stop) return false;
+    std::pair<uint64_t, uint64_t> key{alive, PackPositions(u_vec)};
+    if (failed_packed.contains(key)) return false;
+    ++outcome.states_visited;
+
+    // A vertex is minor iff no strict ancestor is alive.
+    uint64_t minors = 0;
+    for (uint64_t rest = alive; rest != 0; rest &= rest - 1) {
+      int v = std::countr_zero(rest);
+      if ((ctx->strict_anc_mask[v] & alive) == 0) minors |= uint64_t{1} << v;
+    }
+    rstats.probes += std::popcount(alive);
+    rstats.fast_hits += std::popcount(alive);
+    IODB_CHECK(minors != 0);
+
+    bool found_any = false;
+    EnumerateGroupsMask(minors, minors, alive, /*incompat=*/0,
+                        /*chosen_anc=*/0, u_vec, found_any);
+    if (!found_any && !stop) failed_packed.insert(key);
+    return found_any;
+  }
+
+  // `rest` iterates the candidate minors in ascending vertex order (the
+  // same order the general path scans `candidates[i..]`); `incompat`
+  // accumulates every vertex comparable to a chosen one; `chosen_anc` is
+  // the union of the chosen vertices' ancestor masks, so the group's
+  // down-closure is one AND away.
+  void EnumerateGroupsMask(uint64_t minors, uint64_t rest, uint64_t alive,
+                           uint64_t incompat, uint64_t chosen_anc,
+                           const std::vector<int>& u_vec, bool& found_any) {
+    if (stop) return;
+    for (; rest != 0 && !stop; rest &= rest - 1) {
+      int v = std::countr_zero(rest);
+      ++rstats.probes;
+      ++rstats.fast_hits;
+      if ((incompat >> v) & 1) continue;
+      uint64_t next_anc = chosen_anc | ctx->anc_mask[v];
+      if (TryGroupMask(minors, next_anc, alive, u_vec)) found_any = true;
+      EnumerateGroupsMask(minors, rest & (rest - 1), alive,
+                          incompat | ctx->desc_mask[v] | ctx->anc_mask[v],
+                          next_anc, u_vec, found_any);
+    }
+  }
+
+  bool TryGroupMask(uint64_t minors, uint64_t chosen_anc, uint64_t alive,
+                    const std::vector<int>& u_vec) {
+    // Down-closure of the chosen antichain within the minor set: the
+    // minors that (weakly) reach a chosen vertex.
+    uint64_t group_mask = minors & chosen_anc;
+    rstats.probes += std::popcount(minors);
+    rstats.fast_hits += std::popcount(minors);
+    for (const auto& [u, v] : db.inequalities) {
+      if (((group_mask >> u) & 1) && ((group_mask >> v) & 1)) return false;
+    }
+
+    std::vector<int> group;
+    PredSet point_label(db.vocab->num_predicates());
+    for (uint64_t g = group_mask; g != 0; g &= g - 1) {
+      int m = std::countr_zero(g);
+      group.push_back(m);
+      point_label.UnionWith(db.labels[m]);
+    }
+
+    std::vector<std::vector<int>> advance(query.disjuncts.size());
+    for (size_t i = 0; i < query.disjuncts.size(); ++i) {
+      advance[i] =
+          ComputeAdvance(static_cast<int>(i), u_vec[i], point_label);
+      if (advance[i].empty()) return false;
+    }
+
+    uint64_t next_alive = alive & ~group_mask;
+    groups.push_back(std::move(group));
+    bool found = false;
+    std::vector<int> next_u(u_vec.size());
+    ProductSearchMask(advance, 0, next_u, next_alive, found);
+    groups.pop_back();
+    return found;
+  }
+
+  void ProductSearchMask(const std::vector<std::vector<int>>& advance,
+                         size_t index, std::vector<int>& next_u,
+                         uint64_t next_alive, bool& found) {
+    if (stop) return;
+    if (index == advance.size()) {
+      if (next_alive == 0) {
+        if (ReportCounter()) found = true;
+        found = true;
+      } else if (SearchMask(next_alive, next_u)) {
+        found = true;
+      }
+      return;
+    }
+    for (int u : advance[index]) {
+      next_u[index] = u;
+      ProductSearchMask(advance, index + 1, next_u, next_alive, found);
       if (stop) return;
     }
   }
@@ -269,7 +444,7 @@ DisjunctiveOutcome EntailDisjunctive(const NormDb& db,
   std::function<void(size_t)> product = [&](size_t index) {
     if (engine.stop) return;
     if (index == initial_choices.size()) {
-      engine.Search(s0, u0);
+      engine.SearchTop(s0, u0);
       return;
     }
     for (int u : initial_choices[index]) {
@@ -279,6 +454,9 @@ DisjunctiveOutcome EntailDisjunctive(const NormDb& db,
     }
   };
   product(0);
+  engine.outcome.check_stats.AddReachProbes(engine.rstats);
+  engine.outcome.check_stats.index_rebuilds =
+      engine.ctx != nullptr ? engine.ctx->index_rebuilds() : 0;
   return engine.outcome;
 }
 

@@ -30,6 +30,7 @@
 
 #include "core/database.h"
 #include "core/model.h"
+#include "core/model_check.h"
 #include "core/query.h"
 
 namespace iodb {
@@ -44,6 +45,12 @@ struct DisjunctiveOptions {
   /// The query's disjuncts are already transitively reduced; skip the
   /// per-call reduction (PreparedQuery memoizes it at Prepare() time).
   bool already_reduced = false;
+  /// Route order tests through the database's shared reachability context
+  /// (single-word mask probes for databases of at most 64 points, interval
+  /// probes otherwise). False runs the original per-call closure path,
+  /// kept as the differential oracle. Both paths visit the same states and
+  /// report countermodels in the same sequence.
+  bool use_incremental = true;
 };
 
 /// Outcome of the disjunctive engine.
@@ -52,6 +59,9 @@ struct DisjunctiveOutcome {
   long long states_visited = 0;
   long long countermodels_reported = 0;
   std::optional<FiniteModel> countermodel;
+  /// Reachability-probe counters of the incremental path (zeroes under
+  /// the oracle path, which predates the counting seam).
+  ModelCheckStats check_stats;
 };
 
 /// Decides db |= query for a monadic-order-only query (every disjunct).

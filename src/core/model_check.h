@@ -10,8 +10,11 @@
 #ifndef IODB_CORE_MODEL_CHECK_H_
 #define IODB_CORE_MODEL_CHECK_H_
 
+#include <algorithm>
+
 #include "core/model.h"
 #include "core/query.h"
+#include "graph/reachability_index.h"
 
 namespace iodb {
 
@@ -25,11 +28,34 @@ struct ModelCheckStats {
   long long index_probes = 0;
   /// Fact tuples compared during index probes (bucket scan length).
   long long facts_scanned = 0;
+  /// Precedence tests ("is u (strictly) before v?") answered by the
+  /// reachability layer: interval/mask probes plus matcher dag lower
+  /// bounds.
+  long long reach_probes = 0;
+  /// Probes answered in O(1) (interval containment, single-word mask
+  /// test, or a precomputed lower bound) with no graph walk.
+  long long reach_fast_hits = 0;
+  /// Probes that needed a residual walk (approximate-interval
+  /// verification or appended-edge search).
+  long long reach_fallbacks = 0;
+  /// Cumulative base rebuilds of the reachability index serving the
+  /// evaluated database (1 = built once, never dirtied past threshold).
+  long long index_rebuilds = 0;
 
   void Accumulate(const ModelCheckStats& other) {
     assignments_tried += other.assignments_tried;
     index_probes += other.index_probes;
     facts_scanned += other.facts_scanned;
+    reach_probes += other.reach_probes;
+    reach_fast_hits += other.reach_fast_hits;
+    reach_fallbacks += other.reach_fallbacks;
+    index_rebuilds = std::max(index_rebuilds, other.index_rebuilds);
+  }
+
+  void AddReachProbes(const ReachProbeStats& reach) {
+    reach_probes += reach.probes;
+    reach_fast_hits += reach.fast_hits;
+    reach_fallbacks += reach.fallbacks;
   }
 };
 

@@ -148,11 +148,17 @@ bool ConjunctMatcher::Search(size_t pos) {
   }
 
   // Order variable: the dag predecessors (all assigned earlier) induce an
-  // exact lower bound, so the scan starts there instead of at 0.
+  // exact lower bound, so the scan starts there instead of at 0. Each
+  // in-arc bound is one precedence test answered in O(1) — counted with
+  // the reachability-layer probes.
   int start = 0;
   for (const CompiledConjunct::InArc& arc : cc.in_arcs[id]) {
     const int v = order_assignment_[arc.var];
     start = std::max(start, v + (arc.strict ? 1 : 0));
+  }
+  if (stats_ != nullptr && !cc.in_arcs[id].empty()) {
+    stats_->reach_probes += static_cast<long long>(cc.in_arcs[id].size());
+    stats_->reach_fast_hits += static_cast<long long>(cc.in_arcs[id].size());
   }
   const int num_points = model_->num_points;
   const std::vector<int>& labels = cc.label_preds[id];

@@ -562,6 +562,7 @@ Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
           options_.want_countermodel, /*already_reduced=*/true);
       result.entailed = outcome.entailed;
       result.states_visited = outcome.states_visited;
+      result.check_stats = outcome.check_stats;
       if (options_.want_countermodel) {
         result.countermodel = std::move(outcome.countermodel);
       }
@@ -586,6 +587,7 @@ Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
       }
       result.entailed = outcome.entailed;
       result.states_visited = outcome.states_visited;
+      result.check_stats = outcome.check_stats;
       if (options_.want_countermodel) {
         result.countermodel = std::move(outcome.countermodel);
       }
@@ -756,6 +758,10 @@ std::string PreparedQuery::ExplainEvaluation(const EntailResult& result) const {
   counter("assignments-tried", result.check_stats.assignments_tried);
   counter("index-probes", result.check_stats.index_probes);
   counter("facts-scanned", result.check_stats.facts_scanned);
+  counter("reach-probes", result.check_stats.reach_probes);
+  counter("reach-fast-hits", result.check_stats.reach_fast_hits);
+  counter("reach-fallbacks", result.check_stats.reach_fallbacks);
+  counter("index-rebuilds", result.check_stats.index_rebuilds);
   return out;
 }
 

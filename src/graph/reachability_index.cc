@@ -1,0 +1,362 @@
+#include "graph/reachability_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace iodb {
+namespace {
+
+// Emits the two product-graph edges of one labelled dag edge. A "<=" edge
+// preserves the crossed-"<" state; a "<" edge forces it to 1.
+template <typename Emit>
+void ProductEdges(const LabeledEdge& e, Emit&& emit) {
+  if (e.rel == OrderRel::kLe) {
+    emit(2 * e.from, 2 * e.to);
+    emit(2 * e.from + 1, 2 * e.to + 1);
+  } else {
+    emit(2 * e.from, 2 * e.to + 1);
+    emit(2 * e.from + 1, 2 * e.to + 1);
+  }
+}
+
+}  // namespace
+
+ReachabilityIndex::ReachabilityIndex(const Digraph& dag, int max_intervals)
+    : n_(dag.num_vertices()),
+      max_intervals_(std::max(1, max_intervals)),
+      edge_log_(dag.edges()) {
+  Rebuild();
+}
+
+void ReachabilityIndex::Rebuild() {
+  ++rebuilds_;
+  base_vertices_ = n_;
+  base_edges_ = edge_log_.size();
+  delta_.clear();
+
+  const int P = 2 * n_;
+  // Product adjacency, CSR.
+  adj_off_.assign(P + 1, 0);
+  for (const LabeledEdge& e : edge_log_) {
+    IODB_CHECK(e.from >= 0 && e.from < n_ && e.to >= 0 && e.to < n_);
+    ProductEdges(e, [&](int a, int) { ++adj_off_[a + 1]; });
+  }
+  for (int v = 0; v < P; ++v) adj_off_[v + 1] += adj_off_[v];
+  adj_.resize(adj_off_[P]);
+  {
+    std::vector<int> cursor(adj_off_.begin(), adj_off_.end() - 1);
+    for (const LabeledEdge& e : edge_log_) {
+      ProductEdges(e, [&](int a, int b) { adj_[cursor[a]++] = b; });
+    }
+  }
+
+  // Topological order of the product (Kahn); the product of a dag is a
+  // dag, so a leftover node means the input had a cycle.
+  std::vector<int> in_deg(P, 0);
+  for (int b : adj_) ++in_deg[b];
+  std::vector<int> topo;
+  topo.reserve(P);
+  for (int v = 0; v < P; ++v) {
+    if (in_deg[v] == 0) topo.push_back(v);
+  }
+  for (size_t head = 0; head < topo.size(); ++head) {
+    const int v = topo[head];
+    for (int k = adj_off_[v]; k < adj_off_[v + 1]; ++k) {
+      if (--in_deg[adj_[k]] == 0) topo.push_back(adj_[k]);
+    }
+  }
+  IODB_CHECK_EQ(static_cast<int>(topo.size()), P);  // acyclic input only
+
+  // DFS spanning forest, postorder numbering. Subtrees are contiguous
+  // postorder ranges, so the interval merge below mostly coalesces.
+  post_.assign(P, -1);
+  node_of_post_.assign(P, 0);
+  int counter = 0;
+  std::vector<uint8_t> seen(P, 0);
+  std::vector<std::pair<int, int>> stack;  // (node, next out-arc index)
+  for (int root : topo) {
+    if (seen[root]) continue;
+    seen[root] = 1;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& top = stack.back();
+      const int v = top.first;
+      if (top.second < adj_off_[v + 1] - adj_off_[v]) {
+        const int child = adj_[adj_off_[v] + top.second++];
+        if (!seen[child]) {
+          seen[child] = 1;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        post_[v] = counter;
+        node_of_post_[counter] = v;
+        ++counter;
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Interval lists, reverse topological order (successors first): the
+  // list of v is its own postorder singleton merged with the lists of
+  // its out-neighbours, coalesced, then pruned to the cap (merging the
+  // smallest gaps first; a gap-spanning interval is approximate).
+  std::vector<std::vector<Interval>> lists(P);
+  std::vector<Interval> scratch;
+  for (int idx = P - 1; idx >= 0; --idx) {
+    const int v = topo[idx];
+    scratch.clear();
+    scratch.push_back(Interval{post_[v], post_[v], true});
+    for (int k = adj_off_[v]; k < adj_off_[v + 1]; ++k) {
+      const std::vector<Interval>& child = lists[adj_[k]];
+      scratch.insert(scratch.end(), child.begin(), child.end());
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Interval& a, const Interval& b) {
+                if (a.lo != b.lo) return a.lo < b.lo;
+                return a.hi > b.hi;  // wider first, so containment merges
+              });
+    std::vector<Interval>& out = lists[v];
+    out.clear();
+    for (const Interval& iv : scratch) {
+      if (!out.empty() && iv.lo <= out.back().hi + 1) {
+        Interval& b = out.back();
+        // The union stays exact when both parts are, when the new part
+        // sits inside an exact one, or when an exact part covers it all.
+        bool exact;
+        if (b.exact && iv.exact) {
+          exact = true;
+        } else if (b.exact && iv.hi <= b.hi) {
+          exact = true;
+        } else {
+          exact = iv.exact && iv.lo <= b.lo && iv.hi >= b.hi;
+        }
+        b.hi = std::max(b.hi, iv.hi);
+        b.exact = exact;
+      } else {
+        out.push_back(iv);
+      }
+    }
+    while (static_cast<int>(out.size()) > max_intervals_) {
+      size_t best = 0;
+      int best_gap = out[1].lo - out[0].hi;
+      for (size_t i = 1; i + 1 < out.size(); ++i) {
+        const int gap = out[i + 1].lo - out[i].hi;
+        if (gap < best_gap) {
+          best_gap = gap;
+          best = i;
+        }
+      }
+      out[best].hi = out[best + 1].hi;
+      out[best].exact = false;
+      out.erase(out.begin() + static_cast<long>(best) + 1);
+    }
+  }
+
+  interval_off_.assign(P + 1, 0);
+  for (int v = 0; v < P; ++v) {
+    interval_off_[v + 1] =
+        interval_off_[v] + static_cast<int>(lists[v].size());
+  }
+  intervals_.clear();
+  intervals_.reserve(interval_off_[P]);
+  for (int v = 0; v < P; ++v) {
+    intervals_.insert(intervals_.end(), lists[v].begin(), lists[v].end());
+  }
+}
+
+bool ReachabilityIndex::IntervalCovers(int a, int p) const {
+  const Interval* begin = intervals_.data() + interval_off_[a];
+  const Interval* end = intervals_.data() + interval_off_[a + 1];
+  // Last interval with lo <= p.
+  const Interval* it = std::upper_bound(
+      begin, end, p, [](int x, const Interval& iv) { return x < iv.lo; });
+  return it != begin && (it - 1)->hi >= p;
+}
+
+bool ReachabilityIndex::BaseReaches(int a, int b, bool* walked) const {
+  if (a == b) return true;
+  const int pb = post_[b];
+  const Interval* begin = intervals_.data() + interval_off_[a];
+  const Interval* end = intervals_.data() + interval_off_[a + 1];
+  const Interval* it = std::upper_bound(
+      begin, end, pb, [](int x, const Interval& iv) { return x < iv.lo; });
+  if (it == begin || (it - 1)->hi < pb) return false;  // outside every interval
+  if ((it - 1)->exact) return true;
+  // Approximate hit: verify by DFS pruned to branches whose interval
+  // lists still cover the target postorder.
+  *walked = true;
+  std::vector<uint8_t> seen(2 * base_vertices_, 0);
+  std::vector<int> stack{a};
+  seen[a] = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int k = adj_off_[v]; k < adj_off_[v + 1]; ++k) {
+      const int child = adj_[k];
+      if (child == b) return true;
+      if (!seen[child] && IntervalCovers(child, pb)) {
+        seen[child] = 1;
+        stack.push_back(child);
+      }
+    }
+  }
+  return false;
+}
+
+bool ReachabilityIndex::ReachesProduct(int a, int b, bool* walked) const {
+  if (a == b) return true;
+  const int base_nodes = 2 * base_vertices_;
+  const bool b_base = b < base_nodes;
+  if (a < base_nodes && b_base && BaseReaches(a, b, walked)) return true;
+  if (delta_.empty()) return false;
+  // Appended edges: bounded search alternating base-reachability hops
+  // and delta edges.
+  *walked = true;
+  std::vector<uint8_t> seen(2 * n_, 0);
+  std::vector<int> frontier{a};
+  seen[a] = 1;
+  bool ignored = false;
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const int w = frontier[head];
+    if (w == b) return true;
+    if (head > 0 && b_base && w < base_nodes && BaseReaches(w, b, &ignored)) {
+      return true;
+    }
+    for (const auto& [x, y] : delta_) {
+      if (seen[y]) continue;
+      bool hops = x == w;
+      if (!hops && w < base_nodes && x < base_nodes) {
+        hops = BaseReaches(w, x, &ignored);
+      }
+      if (hops) {
+        seen[y] = 1;
+        frontier.push_back(y);
+      }
+    }
+  }
+  return false;
+}
+
+bool ReachabilityIndex::Reaches(int u, int v, ReachProbeStats* stats) const {
+  bool walked = false;
+  bool result = true;
+  if (u != v) {
+    result = ReachesProduct(2 * u, 2 * v, &walked) ||
+             ReachesProduct(2 * u, 2 * v + 1, &walked);
+  }
+  if (stats != nullptr) {
+    ++stats->probes;
+    ++(walked ? stats->fallbacks : stats->fast_hits);
+  }
+  return result;
+}
+
+bool ReachabilityIndex::StrictlyReaches(int u, int v,
+                                        ReachProbeStats* stats) const {
+  bool walked = false;
+  const bool result = ReachesProduct(2 * u, 2 * v + 1, &walked);
+  if (stats != nullptr) {
+    ++stats->probes;
+    ++(walked ? stats->fallbacks : stats->fast_hits);
+  }
+  return result;
+}
+
+bool ReachabilityIndex::Comparable(int u, int v,
+                                   ReachProbeStats* stats) const {
+  bool walked = false;
+  bool result = u == v;
+  if (!result) {
+    result = ReachesProduct(2 * u, 2 * v, &walked) ||
+             ReachesProduct(2 * u, 2 * v + 1, &walked) ||
+             ReachesProduct(2 * v, 2 * u, &walked) ||
+             ReachesProduct(2 * v, 2 * u + 1, &walked);
+  }
+  if (stats != nullptr) {
+    ++stats->probes;
+    ++(walked ? stats->fallbacks : stats->fast_hits);
+  }
+  return result;
+}
+
+void ReachabilityIndex::CollectReachable(int u, std::vector<int>* weak,
+                                         std::vector<int>* strict,
+                                         std::vector<uint8_t>* scratch) const {
+  IODB_CHECK(scratch != nullptr);
+  std::vector<uint8_t>& seen = *scratch;
+  seen.assign(2 * static_cast<size_t>(n_), 0);
+  const int base_nodes = 2 * base_vertices_;
+  std::vector<int> stack{2 * u};
+  seen[2 * u] = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (v < base_nodes) {
+      for (int k = adj_off_[v]; k < adj_off_[v + 1]; ++k) {
+        const int child = adj_[k];
+        if (!seen[child]) {
+          seen[child] = 1;
+          stack.push_back(child);
+        }
+      }
+    }
+    if (!delta_.empty()) {
+      for (const auto& [x, y] : delta_) {
+        if (x == v && !seen[y]) {
+          seen[y] = 1;
+          stack.push_back(y);
+        }
+      }
+    }
+  }
+  for (int v = 0; v < n_; ++v) {
+    if (weak != nullptr && v != u && (seen[2 * v] || seen[2 * v + 1])) {
+      weak->push_back(v);
+    }
+    if (strict != nullptr && seen[2 * v + 1]) strict->push_back(v);
+  }
+}
+
+int ReachabilityIndex::AddVertex() { return n_++; }
+
+void ReachabilityIndex::AppendEdges(std::span<const LabeledEdge> edges) {
+  for (const LabeledEdge& e : edges) {
+    IODB_CHECK(e.from >= 0 && e.from < n_ && e.to >= 0 && e.to < n_);
+    edge_log_.push_back(e);
+    ProductEdges(e, [&](int a, int b) { delta_.emplace_back(a, b); });
+  }
+  MaybeRebuild();
+}
+
+void ReachabilityIndex::MaybeRebuild() {
+  const size_t appended = edge_log_.size() - base_edges_;
+  // Small grace so tiny graphs don't rebuild per append.
+  if (static_cast<double>(appended) >
+      kRebuildDirtyRatio * static_cast<double>(base_edges_) + 8.0) {
+    Rebuild();
+  }
+}
+
+void ReachabilityIndex::RewindTo(const Checkpoint& mark) {
+  IODB_CHECK_LE(mark.num_edges, edge_log_.size());
+  IODB_CHECK_LE(mark.num_vertices, n_);
+  edge_log_.resize(mark.num_edges);
+  n_ = mark.num_vertices;
+  if (base_edges_ > mark.num_edges || base_vertices_ > mark.num_vertices) {
+    // The base build folded in state past the mark; rebuild from the
+    // truncated log.
+    Rebuild();
+  } else {
+    delta_.resize(2 * (mark.num_edges - base_edges_));
+  }
+}
+
+bool ReachabilityIndex::all_exact() const {
+  for (const Interval& iv : intervals_) {
+    if (!iv.exact) return false;
+  }
+  return true;
+}
+
+}  // namespace iodb

@@ -1,0 +1,176 @@
+// FERRARI-style interval-list reachability index for order dags.
+//
+// Every entailment engine bottoms out in the same primitive — "is point
+// u (strictly) before point v?" — which the closure-based path answers
+// from an O(n²)-bit matrix rebuilt per database. This index answers the
+// same probes from per-vertex interval lists over a DFS postorder
+// numbering (cf. the FERRARI index of Seufert et al.): a spanning-forest
+// subtree is one exact interval, cross edges merge in further intervals,
+// and lists longer than a cap are coalesced into approximate intervals
+// whose misses fall back to a pruned DFS. Build time is near-linear in
+// the dag, probes are O(log cap) interval containment tests, and the
+// structure maintains itself incrementally under edge appends with a
+// LIFO checkpoint/rewind discipline mirroring ModelBuilder and the
+// service APPEND/WAL-replay paths.
+//
+// Strictness ("some path crosses a '<' edge") is folded in by indexing
+// the 2-state product graph: product node 2v+s stands for "at v, having
+// crossed a '<' edge iff s". A "<=" edge u->v contributes (u,0)->(v,0)
+// and (u,1)->(v,1); a "<" edge contributes (u,0)->(v,1) and (u,1)->(v,1).
+// The product of a dag is a dag, weak reachability is (u,0) ->* (v,0|1),
+// and strict reachability is (u,0) ->* (v,1) — one index serves both.
+//
+// Thread safety: all probe and collect methods are const and touch no
+// shared mutable state (fallback walks allocate locally; statistics go
+// to caller-provided out-params), so one index may serve many readers
+// concurrently. Mutating methods (AppendEdges/AddVertex/RewindTo) need
+// external exclusion, as usual.
+
+#ifndef IODB_GRAPH_REACHABILITY_INDEX_H_
+#define IODB_GRAPH_REACHABILITY_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace iodb {
+
+/// Probe-side work counters. Each public probe counts once: as a fast
+/// hit when it was answered purely from interval containment (or an
+/// empty-delta short circuit), as a fallback when any graph walk —
+/// approximate-interval verification or delta-edge search — was needed.
+struct ReachProbeStats {
+  long long probes = 0;
+  long long fast_hits = 0;
+  long long fallbacks = 0;
+
+  void Accumulate(const ReachProbeStats& other) {
+    probes += other.probes;
+    fast_hits += other.fast_hits;
+    fallbacks += other.fallbacks;
+  }
+};
+
+class ReachabilityIndex {
+ public:
+  /// Interval lists longer than the cap are coalesced (smallest gap
+  /// first) into approximate intervals. 16 keeps fallbacks rare on the
+  /// dag shapes normalization produces; tests shrink it to force the
+  /// fallback machinery.
+  static constexpr int kDefaultMaxIntervals = 16;
+
+  /// Appended edges are folded into the base structure (a full near-
+  /// linear rebuild) once the delta exceeds this fraction of the base
+  /// edge count; until then probes consult the delta by bounded search.
+  static constexpr double kRebuildDirtyRatio = 0.25;
+
+  /// Builds the index for an acyclic `dag` (aborts on a cycle, matching
+  /// ComputeReachability).
+  explicit ReachabilityIndex(const Digraph& dag,
+                             int max_intervals = kDefaultMaxIntervals);
+
+  int num_vertices() const { return n_; }
+  size_t num_edges() const { return edge_log_.size(); }
+
+  /// There is a (possibly empty) directed path u -> v.
+  bool Reaches(int u, int v, ReachProbeStats* stats = nullptr) const;
+  /// There is a path u -> v crossing a "<" edge (false for u == v).
+  bool StrictlyReaches(int u, int v, ReachProbeStats* stats = nullptr) const;
+  /// Reaches(u, v) || Reaches(v, u), counted as one probe.
+  bool Comparable(int u, int v, ReachProbeStats* stats = nullptr) const;
+
+  /// Appends every v != u with Reaches(u, v) to `weak` and every v with
+  /// StrictlyReaches(u, v) to `strict` (both in increasing vertex order;
+  /// strict is a subset of weak ∪ {u}). `scratch` is a caller-held seen
+  /// buffer reused across calls (cleared and resized internally).
+  void CollectReachable(int u, std::vector<int>* weak,
+                        std::vector<int>* strict,
+                        std::vector<uint8_t>* scratch) const;
+
+  /// Appends a fresh isolated vertex and returns its index. Counts
+  /// toward the checkpoint/rewind discipline like an edge append.
+  int AddVertex();
+
+  /// Appends edges to the indexed dag. The edges must keep the graph
+  /// acyclic (violations surface on the next rebuild, matching the
+  /// closure path's contract). May trigger a rebuild per the dirty-ratio
+  /// policy.
+  void AppendEdges(std::span<const LabeledEdge> edges);
+
+  /// A LIFO checkpoint: RewindTo(Mark()) restores the indexed graph (and
+  /// all probe answers) to the state at Mark(). Marks must be rewound in
+  /// reverse order of creation (the usual ModelBuilder discipline).
+  struct Checkpoint {
+    int num_vertices = 0;
+    size_t num_edges = 0;
+  };
+  Checkpoint Mark() const { return {n_, edge_log_.size()}; }
+  void RewindTo(const Checkpoint& mark);
+
+  /// The full logged edge history, in append order. Callers reusing an
+  /// index across graph revisions compare this against the new graph's
+  /// edge list: when it is a strict prefix, AddVertex + AppendEdges bring
+  /// the index up to date without a rebuild.
+  const std::vector<LabeledEdge>& edge_log() const { return edge_log_; }
+
+  /// Number of base rebuilds since construction (the initial build
+  /// counts as one). Surfaces through ModelCheckStats::index_rebuilds.
+  long long rebuilds() const { return rebuilds_; }
+
+  /// Appended-but-unmerged edges relative to the base build.
+  size_t delta_edges() const { return delta_.size() / 2; }
+
+  /// Introspection for tests and benches: total intervals stored, and
+  /// whether every interval is exact (no probe can ever fall back to an
+  /// approximate-interval walk).
+  size_t total_intervals() const { return intervals_.size(); }
+  bool all_exact() const;
+
+ private:
+  struct Interval {
+    int lo = 0;
+    int hi = 0;
+    bool exact = true;
+  };
+
+  // Rebuilds the base structure from the full edge log.
+  void Rebuild();
+  void MaybeRebuild();
+
+  // Product-graph probe: is product node `b` reachable from `a`?
+  // `walked` is set when the answer needed a graph walk.
+  bool ReachesProduct(int a, int b, bool* walked) const;
+  bool BaseReaches(int a, int b, bool* walked) const;
+  // Does some interval of product node `a` contain postorder `p`?
+  bool IntervalCovers(int a, int p) const;
+
+  int n_ = 0;  // vertices of the indexed dag
+  int max_intervals_;
+  long long rebuilds_ = 0;
+
+  // The full edge history; the prefix [0, base_edges_) over the first
+  // base_vertices_ vertices is what the base structure reflects.
+  std::vector<LabeledEdge> edge_log_;
+  int base_vertices_ = 0;
+  size_t base_edges_ = 0;
+
+  // Base structure over the product graph (2 * base_vertices_ nodes).
+  std::vector<int> post_;          // product node -> postorder number
+  std::vector<int> node_of_post_;  // inverse
+  std::vector<int> adj_;           // product adjacency, CSR
+  std::vector<int> adj_off_;
+  std::vector<Interval> intervals_;  // per-node interval lists, flattened
+  std::vector<int> interval_off_;
+
+  // Product edges appended after the base build; exactly two per logged
+  // edge, in log order (so RewindTo can truncate positionally).
+  std::vector<std::pair<int, int>> delta_;
+};
+
+}  // namespace iodb
+
+#endif  // IODB_GRAPH_REACHABILITY_INDEX_H_

@@ -218,5 +218,223 @@ TEST(BoundedWidthTest, EmptyDatabase) {
   EXPECT_EQ(outcome.countermodel->num_points, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Differential coverage of the incremental reachability paths: for each
+// engine, the default (index/mask) path must reproduce the oracle path's
+// full outcome — verdict, state count, and the countermodel sequence.
+// ---------------------------------------------------------------------------
+
+// Width-2 instances with > 64 points: exercises the interval-probe and
+// push/pop-counter paths that the word-mask fast path cannot serve.
+Instance LargeConjunctiveInstance(uint64_t seed) {
+  Rng rng(seed + 77000);
+  auto vocab = std::make_shared<Vocabulary>();
+  MonadicDbParams params;
+  params.num_chains = 2;
+  params.chain_length = 40;
+  params.num_predicates = 3;
+  params.label_probability = 0.5;
+  params.le_probability = 0.3;
+  Database db = RandomMonadicDb(params, vocab, rng);
+  Query query = RandomConjunctiveMonadicQuery(
+      rng.UniformInt(2, 5), 3, 0.4, 0.4, 0.3, vocab, rng);
+  Result<NormDb> ndb = Normalize(db);
+  Result<NormQuery> nq = NormalizeQuery(query);
+  IODB_CHECK(ndb.ok());
+  IODB_CHECK(nq.ok());
+  return {std::move(ndb.value()), std::move(nq.value())};
+}
+
+TEST_P(ConjunctiveEnginesTest, BoundedWidthIncrementalMatchesOracle) {
+  Instance inst = RandomConjunctiveInstance(GetParam());
+  const NormConjunct& conjunct = inst.query.disjuncts[0];
+  BoundedWidthOutcome fast = EntailBoundedWidth(
+      inst.db, conjunct, /*want_countermodel=*/true,
+      /*already_reduced=*/false, /*use_incremental=*/true);
+  BoundedWidthOutcome oracle = EntailBoundedWidth(
+      inst.db, conjunct, /*want_countermodel=*/true,
+      /*already_reduced=*/false, /*use_incremental=*/false);
+  EXPECT_EQ(fast.entailed, oracle.entailed) << "seed " << GetParam();
+  EXPECT_EQ(fast.states_visited, oracle.states_visited)
+      << "seed " << GetParam();
+  ASSERT_EQ(fast.countermodel.has_value(), oracle.countermodel.has_value());
+  if (fast.countermodel.has_value()) {
+    EXPECT_EQ(fast.countermodel->ToString(), oracle.countermodel->ToString())
+        << "seed " << GetParam();
+  }
+  if (!fast.entailed) {
+    EXPECT_GT(fast.check_stats.reach_probes, 0) << "seed " << GetParam();
+  }
+}
+
+TEST_P(DisjunctiveEngineTest, IncrementalMatchesOraclePath) {
+  Instance inst = RandomDisjunctiveInstance(GetParam());
+  // Enumeration mode: the two paths must report the same countermodels in
+  // the same order (the fast path preserves group enumeration order).
+  std::vector<std::string> fast_seq;
+  std::vector<std::string> oracle_seq;
+  DisjunctiveOptions fast_options;
+  fast_options.use_incremental = true;
+  fast_options.on_countermodel = [&](const FiniteModel& model) {
+    fast_seq.push_back(model.ToString());
+    return true;
+  };
+  DisjunctiveOutcome fast = EntailDisjunctive(inst.db, inst.query,
+                                              fast_options);
+  DisjunctiveOptions oracle_options;
+  oracle_options.use_incremental = false;
+  oracle_options.on_countermodel = [&](const FiniteModel& model) {
+    oracle_seq.push_back(model.ToString());
+    return true;
+  };
+  DisjunctiveOutcome oracle = EntailDisjunctive(inst.db, inst.query,
+                                                oracle_options);
+  EXPECT_EQ(fast.entailed, oracle.entailed) << "seed " << GetParam();
+  EXPECT_EQ(fast.states_visited, oracle.states_visited)
+      << "seed " << GetParam();
+  EXPECT_EQ(fast.countermodels_reported, oracle.countermodels_reported)
+      << "seed " << GetParam();
+  EXPECT_EQ(fast_seq, oracle_seq) << "seed " << GetParam();
+}
+
+class LargeInstanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LargeInstanceTest, BoundedWidthCounterPathMatchesOracle) {
+  Instance inst = LargeConjunctiveInstance(GetParam());
+  ASSERT_GT(inst.db.num_points(), 64);
+  const NormConjunct& conjunct = inst.query.disjuncts[0];
+  BoundedWidthOutcome fast = EntailBoundedWidth(
+      inst.db, conjunct, /*want_countermodel=*/true,
+      /*already_reduced=*/false, /*use_incremental=*/true);
+  BoundedWidthOutcome oracle = EntailBoundedWidth(
+      inst.db, conjunct, /*want_countermodel=*/true,
+      /*already_reduced=*/false, /*use_incremental=*/false);
+  EXPECT_EQ(fast.entailed, oracle.entailed) << "seed " << GetParam();
+  EXPECT_EQ(fast.states_visited, oracle.states_visited)
+      << "seed " << GetParam();
+  ASSERT_EQ(fast.countermodel.has_value(), oracle.countermodel.has_value());
+  if (fast.countermodel.has_value()) {
+    EXPECT_EQ(fast.countermodel->ToString(), oracle.countermodel->ToString())
+        << "seed " << GetParam();
+  }
+}
+
+TEST_P(LargeInstanceTest, DisjunctiveIntervalPathMatchesOracle) {
+  Instance inst = LargeConjunctiveInstance(GetParam() + 500);
+  ASSERT_GT(inst.db.num_points(), 64);
+  DisjunctiveOptions fast_options;
+  fast_options.use_incremental = true;
+  DisjunctiveOutcome fast = EntailDisjunctive(inst.db, inst.query,
+                                              fast_options);
+  DisjunctiveOptions oracle_options;
+  oracle_options.use_incremental = false;
+  DisjunctiveOutcome oracle = EntailDisjunctive(inst.db, inst.query,
+                                                oracle_options);
+  EXPECT_EQ(fast.entailed, oracle.entailed) << "seed " << GetParam();
+  EXPECT_EQ(fast.states_visited, oracle.states_visited)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LargeInstanceTest, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Cross-revision context reuse: an append that extends the dag at its
+// tail grows the previous revision's index (no rebuild); a divergent
+// re-normalization falls back to a fresh build. Either way the answers
+// match the closure oracle.
+// ---------------------------------------------------------------------------
+
+void ExpectContextMatchesClosure(const NormDb& db,
+                                 const EnumerationContext& ctx) {
+  EnumerationContext oracle(db, EnumerationContext::Mode::kClosure);
+  for (int u = 0; u < db.num_points(); ++u) {
+    for (int v = 0; v < db.num_points(); ++v) {
+      EXPECT_EQ(ctx.Reaches(u, v), oracle.Reaches(u, v))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(SharedContextReuseTest, SmallDagDerivesMasksFromClosure) {
+  // At mask width (<= 64 points) the context skips the index entirely:
+  // the dense closure is the cheaper build and the word masks answer
+  // every probe. One build is still reported through index_rebuilds().
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  for (int i = 0; i + 1 < 6; ++i) {
+    db.AddOrder("a" + std::to_string(i),
+                i % 2 == 0 ? OrderRel::kLt : OrderRel::kLe,
+                "a" + std::to_string(i + 1));
+  }
+  Result<const NormDb*> view = db.NormView();
+  ASSERT_TRUE(view.ok());
+  auto ctx = SharedEnumerationContext(*view.value());
+  EXPECT_EQ(ctx->index, nullptr);
+  EXPECT_TRUE(ctx->has_masks);
+  EXPECT_EQ(ctx->index_rebuilds(), 1);
+  ExpectContextMatchesClosure(*view.value(), *ctx);
+}
+
+// A 66-point chain a0 < a1 <= a2 < ... — just past mask width, so the
+// context runs on the interval-list index and the cross-revision reuse
+// machinery engages.
+Database LongChainDb(std::shared_ptr<Vocabulary> vocab, int n) {
+  Database db(std::move(vocab));
+  for (int i = 0; i + 1 < n; ++i) {
+    db.AddOrder("a" + std::to_string(i),
+                i % 2 == 0 ? OrderRel::kLt : OrderRel::kLe,
+                "a" + std::to_string(i + 1));
+  }
+  return db;
+}
+
+TEST(SharedContextReuseTest, TailAppendGrowsPreviousIndex) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = LongChainDb(vocab, 66);
+  Result<const NormDb*> view1 = db.NormView();
+  ASSERT_TRUE(view1.ok());
+  auto ctx1 = SharedEnumerationContext(*view1.value());
+  ASSERT_NE(ctx1->index, nullptr);
+  EXPECT_EQ(ctx1->index->rebuilds(), 1);
+
+  // Tail append: new points, edges lexicographically after the old ones.
+  db.AddOrder("a65", OrderRel::kLt, "b0");
+  db.AddOrder("b0", OrderRel::kLe, "b1");
+  Result<const NormDb*> view2 = db.NormView();
+  ASSERT_TRUE(view2.ok());
+  auto ctx2 = SharedEnumerationContext(*view2.value());
+  ASSERT_NE(ctx2->index, nullptr);
+  EXPECT_EQ(ctx2->index->rebuilds(), 1) << "append should not rebuild";
+  EXPECT_EQ(ctx2->index->delta_edges(), 2u);
+  ExpectContextMatchesClosure(*view2.value(), *ctx2);
+  // The memoized slot now holds the grown context.
+  EXPECT_EQ(SharedEnumerationContext(*view2.value()).get(), ctx2.get());
+}
+
+TEST(SharedContextReuseTest, DivergentRenormalizationRebuilds) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = LongChainDb(vocab, 66);
+  db.AddOrder("m1", OrderRel::kLt, "a0");
+  db.AddOrder("m2", OrderRel::kLt, "a0");
+  Result<const NormDb*> view1 = db.NormView();
+  ASSERT_TRUE(view1.ok());
+  auto ctx1 = SharedEnumerationContext(*view1.value());
+  ASSERT_NE(ctx1->index, nullptr);
+  const int points1 = view1.value()->num_points();
+
+  // Merging m1 and m2 (m1 <= m2 <= m1) renumbers points: the old edge
+  // log is no longer a prefix, so the context is rebuilt from scratch.
+  db.AddOrder("m1", OrderRel::kLe, "m2");
+  db.AddOrder("m2", OrderRel::kLe, "m1");
+  Result<const NormDb*> view2 = db.NormView();
+  ASSERT_TRUE(view2.ok());
+  auto ctx2 = SharedEnumerationContext(*view2.value());
+  ASSERT_NE(ctx2->index, nullptr);
+  EXPECT_EQ(ctx2->index->rebuilds(), 1);
+  EXPECT_EQ(ctx2->index->delta_edges(), 0u);
+  EXPECT_EQ(view2.value()->num_points(), points1 - 1);
+  ExpectContextMatchesClosure(*view2.value(), *ctx2);
+}
+
 }  // namespace
 }  // namespace iodb

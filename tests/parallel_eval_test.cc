@@ -148,13 +148,67 @@ TEST(ParallelBruteForceTest, SubtreeShardingMatchesSerialOnRandomCorpus) {
             << "seed " << seed << " workers " << workers;
       }
       if (serial.entailed) {
-        // No early exit: the sharded counters are exact.
+        // No early exit: the sharded counters are exact — including the
+        // reachability-probe counters (the parallel engine counts the
+        // depth-0 probes once, in the root-collection pass, and each
+        // subtree worker counts exactly its own subtree's probes).
         EXPECT_EQ(parallel.models_enumerated, serial.models_enumerated)
             << "seed " << seed << " workers " << workers;
         EXPECT_EQ(parallel.prefixes_pruned, serial.prefixes_pruned)
             << "seed " << seed << " workers " << workers;
+        EXPECT_EQ(parallel.check_stats.reach_probes,
+                  serial.check_stats.reach_probes)
+            << "seed " << seed << " workers " << workers;
+        EXPECT_EQ(parallel.check_stats.reach_fast_hits,
+                  serial.check_stats.reach_fast_hits)
+            << "seed " << seed << " workers " << workers;
+        EXPECT_EQ(parallel.check_stats.reach_fallbacks,
+                  serial.check_stats.reach_fallbacks)
+            << "seed " << seed << " workers " << workers;
+        EXPECT_EQ(parallel.check_stats.index_rebuilds,
+                  serial.check_stats.index_rebuilds)
+            << "seed " << seed << " workers " << workers;
+        EXPECT_EQ(parallel.check_stats.assignments_tried,
+                  serial.check_stats.assignments_tried)
+            << "seed " << seed << " workers " << workers;
       }
     }
+  }
+}
+
+TEST(ParallelEvaluateBatchTest, BatchSlotsReportIdenticalCounters) {
+  // Counter-aggregation audit: per-worker ModelCheckStats must merge into
+  // each slot exactly once — a serial batch and a 4-worker batch report
+  // identical per-slot counters, and duplicate database pointers (which
+  // the parallel path dedups and copies) must carry the counters too.
+  auto vocab = std::make_shared<Vocabulary>();
+  std::vector<SchedulingScenario> fleet;
+  for (int i = 0; i < 6; ++i) {
+    Rng rng(4400 + i);
+    fleet.push_back(MakeSchedulingScenario(2, 4, rng, vocab));
+  }
+  PreparedQuery plan = PrepareForbiddenPlan(fleet[0]);
+  std::vector<const Database*> dbs;
+  for (const SchedulingScenario& scenario : fleet) dbs.push_back(&scenario.db);
+  dbs.push_back(&fleet[2].db);  // duplicate slots
+  dbs.push_back(&fleet[0].db);
+
+  const std::vector<Result<EntailResult>> serial = plan.EvaluateBatch(dbs);
+  const std::vector<Result<EntailResult>> parallel =
+      plan.ParallelEvaluateBatch(dbs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].ok(), parallel[i].ok()) << "slot " << i;
+    if (!serial[i].ok()) continue;
+    const ModelCheckStats& s = serial[i].value().check_stats;
+    const ModelCheckStats& p = parallel[i].value().check_stats;
+    EXPECT_EQ(p.assignments_tried, s.assignments_tried) << "slot " << i;
+    EXPECT_EQ(p.index_probes, s.index_probes) << "slot " << i;
+    EXPECT_EQ(p.facts_scanned, s.facts_scanned) << "slot " << i;
+    EXPECT_EQ(p.reach_probes, s.reach_probes) << "slot " << i;
+    EXPECT_EQ(p.reach_fast_hits, s.reach_fast_hits) << "slot " << i;
+    EXPECT_EQ(p.reach_fallbacks, s.reach_fallbacks) << "slot " << i;
+    EXPECT_EQ(p.index_rebuilds, s.index_rebuilds) << "slot " << i;
   }
 }
 

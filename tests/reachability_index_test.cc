@@ -1,0 +1,304 @@
+// Differential property suite for ReachabilityIndex: on fuzzer-style
+// random precedence dags, every probe must agree with the closure-based
+// Reachability oracle — including under randomized append / checkpoint /
+// rewind sequences (a LIFO rewind must restore exact answers) and under
+// concurrent read-only probing (the TSan job runs this binary).
+
+#include "graph/reachability_index.h"
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/topo.h"
+
+namespace iodb {
+namespace {
+
+// A random dag: edges only point from lower to higher vertex index.
+Digraph RandomDag(std::mt19937& rng, int n, double edges_per_vertex) {
+  Digraph dag(n);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> rel(0, 1);
+  if (n < 2) return dag;
+  const double p =
+      std::min(1.0, edges_per_vertex / std::max(1.0, (n - 1) / 2.0));
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (coin(rng) < p) {
+        dag.AddEdge(u, v, rel(rng) == 0 ? OrderRel::kLt : OrderRel::kLe);
+      }
+    }
+  }
+  return dag;
+}
+
+void ExpectAgreesWithClosure(const ReachabilityIndex& index,
+                             const Digraph& dag) {
+  const Reachability closure = ComputeReachability(dag);
+  const int n = dag.num_vertices();
+  ASSERT_EQ(index.num_vertices(), n);
+  ReachProbeStats stats;
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      EXPECT_EQ(index.Reaches(u, v, &stats), closure.reach.Get(u, v))
+          << "reach " << u << " -> " << v;
+      EXPECT_EQ(index.StrictlyReaches(u, v, &stats),
+                closure.strict.Get(u, v))
+          << "strict " << u << " -> " << v;
+      EXPECT_EQ(index.Comparable(u, v, &stats),
+                closure.reach.Get(u, v) || closure.reach.Get(v, u))
+          << "comparable " << u << " <> " << v;
+    }
+  }
+  EXPECT_EQ(stats.probes, 3LL * n * n);
+  EXPECT_EQ(stats.fast_hits + stats.fallbacks, stats.probes);
+
+  // Bulk enumeration agrees as well.
+  std::vector<uint8_t> scratch;
+  std::vector<int> weak;
+  std::vector<int> strict;
+  for (int u = 0; u < n; ++u) {
+    weak.clear();
+    strict.clear();
+    index.CollectReachable(u, &weak, &strict, &scratch);
+    std::vector<int> weak_ref;
+    std::vector<int> strict_ref;
+    for (int v = 0; v < n; ++v) {
+      if (v != u && closure.reach.Get(u, v)) weak_ref.push_back(v);
+      if (closure.strict.Get(u, v)) strict_ref.push_back(v);
+    }
+    EXPECT_EQ(weak, weak_ref) << "weak set of " << u;
+    EXPECT_EQ(strict, strict_ref) << "strict set of " << u;
+  }
+}
+
+TEST(ReachabilityIndexTest, ChainExactIntervals) {
+  Digraph dag(6);
+  for (int v = 0; v + 1 < 6; ++v) {
+    dag.AddEdge(v, v + 1, v % 2 == 0 ? OrderRel::kLe : OrderRel::kLt);
+  }
+  ReachabilityIndex index(dag);
+  ExpectAgreesWithClosure(index, dag);
+  EXPECT_TRUE(index.all_exact());
+  ReachProbeStats stats;
+  EXPECT_TRUE(index.Reaches(0, 5, &stats));
+  EXPECT_TRUE(index.StrictlyReaches(0, 5, &stats));
+  EXPECT_FALSE(index.StrictlyReaches(0, 1, &stats));  // only "<=" so far
+  EXPECT_FALSE(index.Reaches(5, 0, &stats));
+  EXPECT_EQ(stats.fallbacks, 0);
+}
+
+TEST(ReachabilityIndexTest, EmptyAndSingleton) {
+  ReachabilityIndex empty{Digraph(0)};
+  EXPECT_EQ(empty.num_vertices(), 0);
+  ReachabilityIndex one{Digraph(1)};
+  EXPECT_TRUE(one.Reaches(0, 0));
+  EXPECT_FALSE(one.StrictlyReaches(0, 0));
+  EXPECT_TRUE(one.Comparable(0, 0));
+}
+
+TEST(ReachabilityIndexTest, RandomDagsMatchClosure) {
+  std::mt19937 rng(20260808);
+  for (int round = 0; round < 40; ++round) {
+    const int n = 1 + static_cast<int>(rng() % 40);
+    const Digraph dag = RandomDag(rng, n, 1.0 + (round % 4));
+    ReachabilityIndex index(dag);
+    ExpectAgreesWithClosure(index, dag);
+  }
+}
+
+// A tiny interval cap forces merged/approximate intervals, so the
+// on-miss fallback walk carries the answers; they must stay exact.
+TEST(ReachabilityIndexTest, ApproximateIntervalsFallBackCorrectly) {
+  std::mt19937 rng(7);
+  long long fallbacks = 0;
+  for (int round = 0; round < 20; ++round) {
+    const int n = 10 + static_cast<int>(rng() % 30);
+    const Digraph dag = RandomDag(rng, n, 3.0);
+    ReachabilityIndex index(dag, /*max_intervals=*/1);
+    ExpectAgreesWithClosure(index, dag);
+    const Reachability closure = ComputeReachability(dag);
+    ReachProbeStats stats;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) index.Reaches(u, v, &stats);
+    }
+    fallbacks += stats.fallbacks;
+  }
+  // The cap is adversarial; at least some probe must have walked, or the
+  // fallback path was not exercised at all.
+  EXPECT_GT(fallbacks, 0);
+}
+
+TEST(ReachabilityIndexTest, AppendMatchesRebuiltClosure) {
+  std::mt19937 rng(99);
+  for (int round = 0; round < 15; ++round) {
+    const int n = 5 + static_cast<int>(rng() % 25);
+    const Digraph full = RandomDag(rng, n, 2.5);
+    const auto& edges = full.edges();
+    const size_t half = edges.size() / 2;
+
+    Digraph base(n);
+    for (size_t i = 0; i < half; ++i) {
+      base.AddEdge(edges[i].from, edges[i].to, edges[i].rel);
+    }
+    ReachabilityIndex index(base);
+
+    // Append the second half in random-sized chunks, checking against a
+    // closure over the exact current edge set after every chunk.
+    Digraph current = base;
+    size_t next = half;
+    while (next < edges.size()) {
+      const size_t take =
+          std::min(edges.size() - next, 1 + static_cast<size_t>(rng() % 4));
+      std::vector<LabeledEdge> chunk(edges.begin() + next,
+                                     edges.begin() + next + take);
+      for (const LabeledEdge& e : chunk) {
+        current.AddEdge(e.from, e.to, e.rel);
+      }
+      index.AppendEdges(chunk);
+      next += take;
+      ExpectAgreesWithClosure(index, current);
+    }
+  }
+}
+
+TEST(ReachabilityIndexTest, LifoRewindRestoresAnswers) {
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 10; ++round) {
+    const int n = 6 + static_cast<int>(rng() % 20);
+    const Digraph full = RandomDag(rng, n, 2.0);
+    ReachabilityIndex index{Digraph(n)};
+    Digraph current(n);
+
+    struct Frame {
+      ReachabilityIndex::Checkpoint mark;
+      std::vector<LabeledEdge> edges;  // edge set at the mark
+    };
+    std::vector<Frame> marks;
+    size_t next = 0;
+    const auto& edges = full.edges();
+    for (int step = 0; step < 30; ++step) {
+      const int op = static_cast<int>(rng() % 3);
+      if (op == 0 && !marks.empty()) {
+        // Pop: rewind to the most recent mark (LIFO discipline).
+        index.RewindTo(marks.back().mark);
+        Digraph restored(n);
+        for (const LabeledEdge& e : marks.back().edges) {
+          restored.AddEdge(e.from, e.to, e.rel);
+        }
+        current = restored;
+        marks.pop_back();
+      } else if (op == 1) {
+        marks.push_back({index.Mark(), current.edges()});
+      } else if (next < edges.size()) {
+        const size_t take =
+            std::min(edges.size() - next, 1 + static_cast<size_t>(rng() % 3));
+        std::vector<LabeledEdge> chunk(edges.begin() + next,
+                                       edges.begin() + next + take);
+        for (const LabeledEdge& e : chunk) {
+          current.AddEdge(e.from, e.to, e.rel);
+        }
+        index.AppendEdges(chunk);
+        next += take;
+      }
+      ExpectAgreesWithClosure(index, current);
+    }
+  }
+}
+
+TEST(ReachabilityIndexTest, AddVertexAndRewind) {
+  Digraph dag(3);
+  dag.AddEdge(0, 1, OrderRel::kLt);
+  ReachabilityIndex index(dag);
+  const auto mark = index.Mark();
+
+  const int v = index.AddVertex();
+  EXPECT_EQ(v, 3);
+  const LabeledEdge e{1, 3, OrderRel::kLe};
+  index.AppendEdges(std::span<const LabeledEdge>(&e, 1));
+  EXPECT_TRUE(index.Reaches(0, 3));
+  EXPECT_TRUE(index.StrictlyReaches(0, 3));
+  EXPECT_FALSE(index.Reaches(2, 3));
+
+  index.RewindTo(mark);
+  EXPECT_EQ(index.num_vertices(), 3);
+  Digraph restored(3);
+  restored.AddEdge(0, 1, OrderRel::kLt);
+  ExpectAgreesWithClosure(index, restored);
+}
+
+TEST(ReachabilityIndexTest, DirtyRatioTriggersRebuild) {
+  std::mt19937 rng(5);
+  const int n = 60;
+  const Digraph full = RandomDag(rng, n, 3.0);
+  const auto& edges = full.edges();
+  ASSERT_GT(edges.size(), 40u);
+
+  Digraph base(n);
+  for (size_t i = 0; i < 20; ++i) {
+    base.AddEdge(edges[i].from, edges[i].to, edges[i].rel);
+  }
+  ReachabilityIndex index(base);
+  EXPECT_EQ(index.rebuilds(), 1);
+  for (size_t i = 20; i < edges.size(); ++i) {
+    index.AppendEdges(std::span<const LabeledEdge>(&edges[i], 1));
+  }
+  // 20 base edges, threshold 0.25 * base + 8: many single-edge appends
+  // must have crossed it (repeatedly).
+  EXPECT_GT(index.rebuilds(), 1);
+  // After the final rebuilds the delta must be bounded by the policy.
+  EXPECT_LE(static_cast<double>(index.delta_edges()),
+            ReachabilityIndex::kRebuildDirtyRatio *
+                    static_cast<double>(index.num_edges()) +
+                9.0);
+  ExpectAgreesWithClosure(index, full);
+}
+
+// Shared read-only index probed from many threads: answers must match
+// the closure from every thread (run under TSan in CI).
+TEST(ReachabilityIndexTest, ConcurrentProbesAreSafe) {
+  std::mt19937 rng(42);
+  const int n = 48;
+  const Digraph dag = RandomDag(rng, n, 2.5);
+  // A small cap makes some probes take the fallback DFS, exercising the
+  // local-allocation path concurrently.
+  ReachabilityIndex index(dag, /*max_intervals=*/2);
+  const Reachability closure = ComputeReachability(dag);
+
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      ReachProbeStats stats;
+      std::vector<uint8_t> scratch;
+      std::vector<int> weak;
+      std::vector<int> strict;
+      for (int rep = 0; rep < 50; ++rep) {
+        for (int u = 0; u < n; ++u) {
+          for (int v = 0; v < n; ++v) {
+            if (index.Reaches(u, v, &stats) != closure.reach.Get(u, v)) {
+              ++mismatches[t];
+            }
+            if (index.StrictlyReaches(u, v, &stats) !=
+                closure.strict.Get(u, v)) {
+              ++mismatches[t];
+            }
+          }
+          weak.clear();
+          strict.clear();
+          index.CollectReachable(u, &weak, &strict, &scratch);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+}  // namespace
+}  // namespace iodb

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare two aggregated benchmark reports and fail on regressions.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CANDIDATE.json [options]
+
+Both inputs are the {"cmake_build_type": ..., "runs": [...]} aggregates
+written by tools/run_benches.sh (each run element is one binary's
+--benchmark_format=json report). For every benchmark name present in
+both files, the wall-clock time is compared after normalizing units;
+the exit status is nonzero if any shared benchmark regressed by more
+than the threshold (default 10%).
+
+Benchmarks present in only one file are listed but never fail the
+comparison: the suite is expected to grow, and a pruned benchmark is a
+review question, not a perf regression. Aggregate rows (mean/median/
+stddev of repetition runs) and errored benchmarks are skipped.
+
+Options:
+  --threshold PCT   failure threshold in percent (default: 10)
+  --metric {real,cpu}
+                    which per-iteration time to compare (default: real)
+  --filter SUBSTR   only compare benchmarks whose name contains SUBSTR
+"""
+
+import argparse
+import json
+import sys
+
+# google-benchmark time_unit values, as nanoseconds per unit.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path, metric):
+    """Returns {benchmark name: time in ns} for one aggregate file."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if "runs" not in data:
+        raise SystemExit(f"{path}: not a run_benches.sh aggregate "
+                         "(missing \"runs\")")
+    key = "cpu_time" if metric == "cpu" else "real_time"
+    times = {}
+    for run in data["runs"]:
+        for bench in run.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            if bench.get("error_occurred"):
+                continue
+            name = bench["name"]
+            ns = bench[key] * _UNIT_NS[bench.get("time_unit", "ns")]
+            if name in times:
+                print(f"{path}: duplicate benchmark name {name!r}; "
+                      "keeping the first occurrence", file=sys.stderr)
+                continue
+            times[name] = ns
+    return times
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="failure threshold in percent (default: 10)")
+    parser.add_argument("--metric", choices=("real", "cpu"), default="real")
+    parser.add_argument("--filter", default="",
+                        help="only compare names containing this substring")
+    args = parser.parse_args()
+
+    base = load_times(args.baseline, args.metric)
+    cand = load_times(args.candidate, args.metric)
+    if args.filter:
+        base = {k: v for k, v in base.items() if args.filter in k}
+        cand = {k: v for k, v in cand.items() if args.filter in k}
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if not shared:
+        raise SystemExit("no shared benchmarks to compare "
+                         f"({len(base)} baseline, {len(cand)} candidate)")
+
+    regressions = []
+    improvements = 0
+    for name in shared:
+        b, c = base[name], cand[name]
+        if b <= 0.0:
+            continue
+        delta_pct = 100.0 * (c - b) / b
+        if delta_pct > args.threshold:
+            regressions.append((delta_pct, name, b, c))
+        elif delta_pct < -args.threshold:
+            improvements += 1
+
+    print(f"compared {len(shared)} shared benchmarks "
+          f"({args.metric} time, threshold {args.threshold:g}%)")
+    if only_base:
+        print(f"  {len(only_base)} only in baseline (ignored): "
+              + ", ".join(only_base[:5])
+              + (" ..." if len(only_base) > 5 else ""))
+    if only_cand:
+        print(f"  {len(only_cand)} only in candidate (ignored): "
+              + ", ".join(only_cand[:5])
+              + (" ..." if len(only_cand) > 5 else ""))
+    if improvements:
+        print(f"  {improvements} improved by more than {args.threshold:g}%")
+
+    if regressions:
+        regressions.sort(reverse=True)
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+              f"than {args.threshold:g}%:")
+        for delta_pct, name, b, c in regressions:
+            print(f"  {name}: {fmt_ns(b)} -> {fmt_ns(c)}  (+{delta_pct:.1f}%)")
+        return 1
+    print("OK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

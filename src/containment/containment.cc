@@ -11,7 +11,7 @@ Result<ContainmentResult> Contained(const RelationalQuery& q1,
                                     const RelationalQuery& q2,
                                     VocabularyPtr vocab,
                                     OrderSemantics semantics,
-                                    EngineKind engine) {
+                                    EngineKind engine, ExecBudget* budget) {
   if (q1.head.size() != q2.head.size()) {
     return Status::InvalidArgument("containment requires equal head arity");
   }
@@ -108,7 +108,7 @@ Result<ContainmentResult> Contained(const RelationalQuery& q1,
   EntailOptions options;
   options.semantics = semantics;
   options.engine = engine;
-  Result<EntailResult> entailment = Entails(db, query, options);
+  Result<EntailResult> entailment = Entails(db, query, options, budget);
   if (!entailment.ok()) return entailment.status();
   ContainmentResult result;
   result.contained = entailment.value().entailed;

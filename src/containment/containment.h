@@ -33,12 +33,15 @@ struct ContainmentResult {
 
 /// Decides O-containment of Q1 in Q2 via the Proposition 2.10 reduction.
 /// Heads must have equal length (checked) and compatible sorts (checked
-/// during evaluation). Predicates must be declared in `vocab`.
+/// during evaluation). Predicates must be declared in `vocab`. `budget`,
+/// when non-null, governs the underlying entailment check; on exhaustion
+/// the call fails with kDeadlineExceeded / kCancelled.
 Result<ContainmentResult> Contained(const RelationalQuery& q1,
                                     const RelationalQuery& q2,
                                     VocabularyPtr vocab,
                                     OrderSemantics semantics,
-                                    EngineKind engine = EngineKind::kAuto);
+                                    EngineKind engine = EngineKind::kAuto,
+                                    ExecBudget* budget = nullptr);
 
 /// Classical homomorphism containment for order-free, inequality-free
 /// conjunctive queries: Q1 ⊆ Q2 iff there is a homomorphism from Q2 to Q1

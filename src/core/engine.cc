@@ -34,10 +34,10 @@ std::optional<EngineKind> ParseEngineKind(const std::string& name) {
 }
 
 Result<EntailResult> Entails(const Database& db, const Query& query,
-                             const EntailOptions& options) {
+                             const EntailOptions& options, ExecBudget* budget) {
   Result<PreparedQuery> prepared = Prepare(query.vocab(), query, options);
   if (!prepared.ok()) return prepared.status();
-  return prepared.value().Evaluate(db);
+  return prepared.value().Evaluate(db, budget);
 }
 
 bool MustEntail(const Database& db, const Query& query,
@@ -50,10 +50,10 @@ bool MustEntail(const Database& db, const Query& query,
 Result<long long> EnumerateCountermodels(
     const Database& db, const Query& query,
     const std::function<bool(const FiniteModel&)>& on_countermodel,
-    const EntailOptions& options) {
+    const EntailOptions& options, ExecBudget* budget) {
   Result<PreparedQuery> prepared = Prepare(query.vocab(), query, options);
   if (!prepared.ok()) return prepared.status();
-  return prepared.value().EnumerateCountermodels(db, on_countermodel);
+  return prepared.value().EnumerateCountermodels(db, on_countermodel, budget);
 }
 
 }  // namespace iodb

@@ -21,6 +21,7 @@
 #include "core/model_check.h"
 #include "core/query.h"
 #include "core/semantics.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace iodb {
@@ -77,9 +78,13 @@ struct EntailResult {
 /// Decides db |= query under the chosen semantics. Fails with
 /// kInconsistent if the database has no model, kUnsupported if a forced
 /// engine does not apply to the (transformed) instance, kInvalidArgument
-/// on malformed queries.
+/// on malformed queries. `budget`, when non-null, governs the evaluation:
+/// on exhaustion the call fails with kDeadlineExceeded / kCancelled and
+/// partial work counters attached to the budget. A run that completes
+/// under a budget is bit-identical to an ungoverned run.
 Result<EntailResult> Entails(const Database& db, const Query& query,
-                             const EntailOptions& options = {});
+                             const EntailOptions& options = {},
+                             ExecBudget* budget = nullptr);
 
 /// Convenience wrapper that aborts on error; for tests and examples where
 /// inputs are known to be well-formed and consistent.
@@ -98,7 +103,7 @@ bool MustEntail(const Database& db, const Query& query,
 Result<long long> EnumerateCountermodels(
     const Database& db, const Query& query,
     const std::function<bool(const FiniteModel&)>& on_countermodel,
-    const EntailOptions& options = {});
+    const EntailOptions& options = {}, ExecBudget* budget = nullptr);
 
 }  // namespace iodb
 

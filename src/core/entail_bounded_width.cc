@@ -25,6 +25,12 @@ struct Engine {
   const NormDb& db;
   const NormConjunct& query;
   bool want_countermodel;
+  // Governance: charged once per search state. When the budget trips,
+  // `exhausted` goes sticky, every recursion unwinds via false, and no
+  // partially explored state is inserted into the failed memos (a state
+  // abandoned mid-exploration has not been proven counterexample-free).
+  ExecBudget* budget = nullptr;
+  bool exhausted = false;
   long long states_visited = 0;
   // Incremental paths: the database's shared reachability context.
   // Null in oracle mode.
@@ -106,9 +112,14 @@ struct Engine {
   // True iff a sort of the region S falsifying the path suffix rooted at
   // query vertex u exists (i.e. a countermodel for this branch).
   bool FindCounter(const std::vector<int>& s, int u) {
+    if (exhausted) return false;
     IODB_CHECK(!s.empty());
     std::vector<int> key = Key(s, u);
     if (failed.contains(key)) return false;
+    if (budget != nullptr && !budget->Charge()) {
+      exhausted = true;
+      return false;
+    }
     ++states_visited;
 
     std::vector<bool> alive = AliveFrom(s);
@@ -129,6 +140,7 @@ struct Engine {
         if (want_countermodel) groups_reversed.push_back({failing});
         return true;
       }
+      if (exhausted) return false;
       failed.insert(std::move(key));
       return false;
     }
@@ -163,6 +175,7 @@ struct Engine {
     }
     // No successor branch yields a countermodel: if u is terminal the path
     // is fully matched; either way this state fails.
+    if (exhausted) return false;
     failed.insert(std::move(key));
     return false;
   }
@@ -174,8 +187,13 @@ struct Engine {
   // ---------------------------------------------------------------------
 
   bool FindCounterMask(uint64_t alive, int u) {
+    if (exhausted) return false;
     std::pair<uint64_t, int> key{alive, u};
     if (failed_packed.contains(key)) return false;
+    if (budget != nullptr && !budget->Charge()) {
+      exhausted = true;
+      return false;
+    }
     ++states_visited;
 
     // Minimal vertices of the region, ascending (the region is an up-set,
@@ -206,6 +224,7 @@ struct Engine {
         if (want_countermodel) groups_reversed.push_back({failing});
         return true;
       }
+      if (exhausted) return false;
       failed_packed.insert(key);
       return false;
     }
@@ -239,6 +258,7 @@ struct Engine {
         }
       }
     }
+    if (exhausted) return false;
     failed_packed.insert(key);
     return false;
   }
@@ -276,6 +296,7 @@ struct Engine {
   }
 
   bool FindCounterCounters(int u) {
+    if (exhausted) return false;
     std::vector<int> s;
     for (int v = 0; v < db.num_points(); ++v) {
       if (alive_[v] && in_deg_[v] == 0) s.push_back(v);
@@ -284,6 +305,10 @@ struct Engine {
     rstats.fast_hits += alive_count_;
     std::vector<int> key = Key(s, u);
     if (failed.contains(key)) return false;
+    if (budget != nullptr && !budget->Charge()) {
+      exhausted = true;
+      return false;
+    }
     ++states_visited;
 
     // Edge (a): some minimal vertex fails the label of u.
@@ -303,6 +328,7 @@ struct Engine {
         return true;
       }
       UndoTo(mark);
+      if (exhausted) return false;
       failed.insert(std::move(key));
       return false;
     }
@@ -344,6 +370,7 @@ struct Engine {
       }
     }
     if (pushed) UndoTo(mark);
+    if (exhausted) return false;
     failed.insert(std::move(key));
     return false;
   }
@@ -355,7 +382,8 @@ BoundedWidthOutcome EntailBoundedWidth(const NormDb& db,
                                        const NormConjunct& raw_conjunct,
                                        bool want_countermodel,
                                        bool already_reduced,
-                                       bool use_incremental) {
+                                       bool use_incremental,
+                                       ExecBudget* budget) {
   IODB_CHECK(raw_conjunct.IsMonadicOrderOnly());
   IODB_CHECK(db.inequalities.empty());
   // Redundant query atoms would add shortcut paths to the search without
@@ -381,8 +409,10 @@ BoundedWidthOutcome EntailBoundedWidth(const NormDb& db,
   }
 
   Engine engine(db, conjunct, want_countermodel, use_incremental);
+  engine.budget = budget;
   std::vector<bool> query_alive(conjunct.num_order_vars(), true);
   for (int u0 : MinimalVertices(conjunct.dag, query_alive)) {
+    if (engine.exhausted) break;
     if (engine.FindCounterTop(initial, u0)) {
       outcome.entailed = false;
       if (want_countermodel) {
@@ -395,6 +425,9 @@ BoundedWidthOutcome EntailBoundedWidth(const NormDb& db,
       break;
     }
   }
+  // A countermodel found before the trip is definite; only an
+  // inconclusive "no counter found" turns into an exhausted outcome.
+  outcome.exhausted = engine.exhausted && outcome.entailed;
   outcome.states_visited = engine.states_visited;
   outcome.check_stats.AddReachProbes(engine.rstats);
   outcome.check_stats.index_rebuilds =

@@ -26,12 +26,18 @@
 #include "core/model.h"
 #include "core/model_check.h"
 #include "core/query.h"
+#include "util/budget.h"
 
 namespace iodb {
 
 /// Outcome of the Theorem 4.7 engine.
 struct BoundedWidthOutcome {
   bool entailed = true;
+  /// The ExecBudget tripped before the search finished and no definite
+  /// verdict was reached; `entailed` must be ignored. A countermodel
+  /// found before the trip is still reported as a definite "not
+  /// entailed" (exhausted stays false then).
+  bool exhausted = false;
   long long states_visited = 0;
   /// When not entailed and requested: a minimal model falsifying the
   /// query, reconstructed from the SEQ countermodel construction along
@@ -51,12 +57,16 @@ struct BoundedWidthOutcome {
 /// (single-word masks for at most 64 points, incrementally maintained
 /// in-degree counters otherwise) instead of recomputing them per state
 /// from the dag; false runs the original path, kept as the differential
-/// oracle. Both paths visit the same states in the same order.
+/// oracle. Both paths visit the same states in the same order. `budget`,
+/// when non-null, is charged once per search state; on a trip the
+/// outcome reports `exhausted` (partially explored states are never
+/// memoized as failed, so a re-run starts sound).
 BoundedWidthOutcome EntailBoundedWidth(const NormDb& db,
                                        const NormConjunct& conjunct,
                                        bool want_countermodel = false,
                                        bool already_reduced = false,
-                                       bool use_incremental = true);
+                                       bool use_incremental = true,
+                                       ExecBudget* budget = nullptr);
 
 }  // namespace iodb
 

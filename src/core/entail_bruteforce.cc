@@ -20,8 +20,12 @@ BruteForceOutcome EntailRebuildPerModel(const NormDb& db,
   BruteForceOutcome outcome;
   ModelVisitor visitor;
   std::vector<std::vector<int>> prefix;
-  if (options.prune_satisfied_prefix) {
-    visitor.on_group = [&](int depth, const std::vector<int>& group) {
+  visitor.on_group = [&](int depth, const std::vector<int>& group) {
+    if (options.budget != nullptr && !options.budget->Charge()) {
+      outcome.exhausted = true;
+      return false;
+    }
+    if (options.prune_satisfied_prefix) {
       prefix.resize(depth);
       prefix.push_back(group);
       FiniteModel model = BuildPrefixModel(db, prefix);
@@ -29,10 +33,14 @@ BruteForceOutcome EntailRebuildPerModel(const NormDb& db,
         ++outcome.prefixes_pruned;
         return false;  // no countermodel below a satisfied prefix
       }
-      return true;
-    };
-  }
+    }
+    return true;
+  };
   visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    if (options.budget != nullptr && !options.budget->Charge()) {
+      outcome.exhausted = true;
+      return false;
+    }
     ++outcome.models_enumerated;
     FiniteModel model = BuildMinimalModel(db, groups);
     // With pruning on, every level of this sort was already checked and
@@ -88,6 +96,10 @@ BruteForceOutcome RunIncremental(const NormDb& db, const NormQuery& query,
   visitor.stats = &outcome.check_stats;
   visitor.on_group = [&](int depth, const std::vector<int>& group) {
     if (aborted != nullptr && aborted()) return false;
+    if (options.budget != nullptr && !options.budget->Charge()) {
+      outcome.exhausted = true;
+      return false;
+    }
     builder.PushGroup(depth, group);
     if (options.prune_satisfied_prefix &&
         matcher.Matches(builder.view(), &builder.index(),
@@ -99,6 +111,10 @@ BruteForceOutcome RunIncremental(const NormDb& db, const NormQuery& query,
   };
   visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
     if (aborted != nullptr && aborted()) return false;
+    if (options.budget != nullptr && !options.budget->Charge()) {
+      outcome.exhausted = true;
+      return false;
+    }
     ++outcome.models_enumerated;
     // The builder tracked every on_group append, so the complete model is
     // already materialized and indexed — no rebuild.
@@ -139,6 +155,7 @@ void MergeCounters(BruteForceOutcome& into, const BruteForceOutcome& from) {
   into.groups_popped += from.groups_popped;
   into.check_stats.Accumulate(from.check_stats);
   into.limit_hit = into.limit_hit || from.limit_hit;
+  into.exhausted = into.exhausted || from.exhausted;
 }
 
 // Root-sharded parallel search: one task per first-group choice.
@@ -210,6 +227,9 @@ BruteForceOutcome EntailParallel(const NormDb& db, const NormQuery& query,
   if (winner != std::numeric_limits<int>::max()) {
     merged.entailed = false;
     merged.countermodel = std::move(outcomes[winner].countermodel);
+    // A found countermodel is a definite "not entailed" even if the
+    // budget tripped in sibling subtrees afterwards.
+    merged.exhausted = false;
   }
   return merged;
 }

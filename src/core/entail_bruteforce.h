@@ -41,6 +41,7 @@
 #include "core/model_check.h"
 #include "core/model_matcher.h"
 #include "core/query.h"
+#include "util/budget.h"
 
 namespace iodb {
 
@@ -64,12 +65,23 @@ struct BruteForceOptions {
   /// (PreparedQuery passes these so the topological variable orders are
   /// computed once at Prepare() time). Null compiles per engine run.
   const std::vector<const CompiledConjunct*>* compiled = nullptr;
+  /// Optional execution budget, charged once per enumeration push and
+  /// once per complete model; shared across all subtree workers when
+  /// sharded. Null (the default) is the zero-overhead ungoverned path.
+  /// When the budget trips the outcome reports `exhausted` and the
+  /// verdict fields are meaningless — unless a countermodel was found,
+  /// which stays a definite "not entailed".
+  ExecBudget* budget = nullptr;
 };
 
 /// Outcome of a brute-force entailment check.
 struct BruteForceOutcome {
   bool entailed = true;
   bool limit_hit = false;
+  /// The ExecBudget tripped before the search finished and no definite
+  /// verdict was reached; `entailed` must be ignored. Counters hold the
+  /// partial work done up to the trip.
+  bool exhausted = false;
   long long models_enumerated = 0;
   long long prefixes_pruned = 0;
   /// Incremental-core work counters (0 on the legacy path).

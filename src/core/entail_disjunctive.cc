@@ -39,6 +39,17 @@ struct Engine {
       failed_packed;
   std::vector<std::vector<int>> groups;  // current partial sort
   bool stop = false;
+  bool exhausted = false;
+
+  // Budget seam: counts one unit of search work; on a trip sets the
+  // sticky exhausted flag and the stop flag so every loop unwinds (and,
+  // via the existing `!stop` guards, nothing half-explored is memoized).
+  bool ChargeBudget() {
+    if (options.budget == nullptr || options.budget->Charge()) return true;
+    exhausted = true;
+    stop = true;
+    return false;
+  }
 
   // The packed key holds 12 bits per disjunct position; the fast path
   // additionally needs every point in one machine word.
@@ -175,6 +186,7 @@ struct Engine {
     if (stop) return false;
     std::vector<int> key = Key(s, u_vec);
     if (failed.contains(key)) return false;
+    if (!ChargeBudget()) return false;
     ++outcome.states_visited;
 
     std::vector<bool> alive = AliveFrom(s);
@@ -219,6 +231,7 @@ struct Engine {
   bool TryGroup(const std::vector<int>& minors, const std::vector<int>& chosen,
                 const std::vector<bool>& alive,
                 const std::vector<int>& u_vec) {
+    if (!ChargeBudget()) return false;
     // Down-closure of the chosen antichain within the minor set.
     std::vector<int> group;
     PredSet point_label(db.vocab->num_predicates());
@@ -294,6 +307,7 @@ struct Engine {
     if (stop) return false;
     std::pair<uint64_t, uint64_t> key{alive, PackPositions(u_vec)};
     if (failed_packed.contains(key)) return false;
+    if (!ChargeBudget()) return false;
     ++outcome.states_visited;
 
     // A vertex is minor iff no strict ancestor is alive.
@@ -337,6 +351,7 @@ struct Engine {
 
   bool TryGroupMask(uint64_t minors, uint64_t chosen_anc, uint64_t alive,
                     const std::vector<int>& u_vec) {
+    if (!ChargeBudget()) return false;
     // Down-closure of the chosen antichain within the minor set: the
     // minors that (weakly) reach a chosen vertex.
     uint64_t group_mask = minors & chosen_anc;
@@ -454,6 +469,7 @@ DisjunctiveOutcome EntailDisjunctive(const NormDb& db,
     }
   };
   product(0);
+  engine.outcome.exhausted = engine.exhausted;
   engine.outcome.check_stats.AddReachProbes(engine.rstats);
   engine.outcome.check_stats.index_rebuilds =
       engine.ctx != nullptr ? engine.ctx->index_rebuilds() : 0;

@@ -32,6 +32,7 @@
 #include "core/model.h"
 #include "core/model_check.h"
 #include "core/query.h"
+#include "util/budget.h"
 
 namespace iodb {
 
@@ -51,11 +52,21 @@ struct DisjunctiveOptions {
   /// kept as the differential oracle. Both paths visit the same states and
   /// report countermodels in the same sequence.
   bool use_incremental = true;
+  /// Optional execution budget, charged once per search state and once
+  /// per group candidate tried. Null (the default) is the zero-overhead
+  /// ungoverned path. On a trip the outcome reports `exhausted`;
+  /// partially explored states are never memoized as failed.
+  ExecBudget* budget = nullptr;
 };
 
 /// Outcome of the disjunctive engine.
 struct DisjunctiveOutcome {
   bool entailed = true;
+  /// The ExecBudget tripped before the search finished. In decision mode
+  /// this implies no countermodel was found and `entailed` must be
+  /// ignored. In enumeration mode countermodels reported before the trip
+  /// are genuine but the enumeration (and any count) is incomplete.
+  bool exhausted = false;
   long long states_visited = 0;
   long long countermodels_reported = 0;
   std::optional<FiniteModel> countermodel;

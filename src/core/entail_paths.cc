@@ -3,10 +3,15 @@
 namespace iodb {
 
 PathEngineOutcome EntailByPaths(const NormDb& db,
-                                const NormConjunct& conjunct) {
+                                const NormConjunct& conjunct,
+                                ExecBudget* budget) {
   IODB_CHECK(conjunct.IsMonadicOrderOnly());
   PathEngineOutcome outcome;
   ForEachPath(conjunct.dag, conjunct.labels, [&](const FlexiWord& path) {
+    if (budget != nullptr && !budget->Charge()) {
+      outcome.exhausted = true;
+      return false;
+    }
     ++outcome.paths_checked;
     if (!SeqEntails(db, path, &outcome.seq_stats)) {
       outcome.entailed = false;

@@ -15,12 +15,17 @@
 #include "core/flexiword.h"
 #include "core/query.h"
 #include "core/seq.h"
+#include "util/budget.h"
 
 namespace iodb {
 
 /// Outcome of the path-decomposition engine.
 struct PathEngineOutcome {
   bool entailed = true;
+  /// The ExecBudget tripped before every path was checked and no failing
+  /// path had been found; `entailed` must be ignored. A failing path
+  /// found before the trip stays a definite "not entailed".
+  bool exhausted = false;
   long long paths_checked = 0;
   /// A path of the query not entailed by the database, when not entailed.
   std::optional<FlexiWord> failing_path;
@@ -29,8 +34,10 @@ struct PathEngineOutcome {
 
 /// Decides db |= conjunct for a monadic-order-only conjunct. Paths are
 /// enumerated lazily; the engine stops at the first failing path.
+/// `budget`, when non-null, is charged once per path checked.
 PathEngineOutcome EntailByPaths(const NormDb& db,
-                                const NormConjunct& conjunct);
+                                const NormConjunct& conjunct,
+                                ExecBudget* budget = nullptr);
 
 }  // namespace iodb
 

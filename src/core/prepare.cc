@@ -158,6 +158,22 @@ std::string Plural(size_t n, const char* noun) {
   return std::to_string(n) + " " + noun + "(s)";
 }
 
+// Turns an exhausted budget into the typed status, salvaging the partial
+// work counters of `partial` into the budget's side channel first so the
+// caller (service, tools, tests) can report how far the evaluation got.
+Status ExhaustedStatus(ExecBudget* budget, const std::string& what,
+                       const EntailResult& partial) {
+  ExecBudget::Partial p;
+  p.states_visited = partial.states_visited;
+  p.models_enumerated = partial.models_enumerated;
+  p.groups_pushed = partial.groups_pushed;
+  p.groups_popped = partial.groups_popped;
+  p.reach_probes = partial.check_stats.reach_probes;
+  p.assignments_tried = partial.check_stats.assignments_tried;
+  budget->MergePartial(p);
+  return budget->ToStatus(what);
+}
+
 }  // namespace
 
 Result<PreparedQuery> Prepare(const VocabularyPtr& vocab, const Query& query,
@@ -457,12 +473,19 @@ std::optional<PreparedQuery::AssembledQuery> PreparedQuery::AssembleSplitQuery(
   return assembled;
 }
 
-Result<EntailResult> PreparedQuery::Evaluate(const Database& db) const {
-  return EvaluateWith(db, 1);
+Result<EntailResult> PreparedQuery::Evaluate(const Database& db,
+                                             ExecBudget* budget) const {
+  return EvaluateWith(db, 1, budget);
 }
 
 Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
-                                                 int num_threads) const {
+                                                 int num_threads,
+                                                 ExecBudget* budget) const {
+  // Admission check: a request whose deadline already passed (or whose
+  // batch was cancelled) fails fast instead of starting the search.
+  if (budget != nullptr && !budget->Poll()) {
+    return ExhaustedStatus(budget, "evaluation admission", EntailResult{});
+  }
   Result<NormDbRef> view = NormDbFor(db);
   if (!view.ok()) return view.status();
   const NormDb& ndb = *view.value().ndb;
@@ -520,6 +543,7 @@ Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
     case EngineKind::kBruteForce: {
       BruteForceOptions bf_options;
       bf_options.num_threads = num_threads;
+      bf_options.budget = budget;
       // Hand the engine the plan-memoized matcher schedules, parallel to
       // the surviving disjuncts.
       std::vector<const CompiledConjunct*> compiled;
@@ -535,6 +559,9 @@ Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
       result.groups_pushed = outcome.groups_pushed;
       result.groups_popped = outcome.groups_popped;
       result.check_stats = outcome.check_stats;
+      if (outcome.exhausted) {
+        return ExhaustedStatus(budget, "engine brute-force", result);
+      }
       if (options_.want_countermodel) {
         result.countermodel = std::move(outcome.countermodel);
       }
@@ -542,15 +569,22 @@ Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
     }
     case EngineKind::kPathDecomposition: {
       PathEngineOutcome outcome =
-          EntailByPaths(ndb, split_query.disjuncts[0]);
+          EntailByPaths(ndb, split_query.disjuncts[0], budget);
       result.entailed = outcome.entailed;
       result.states_visited = outcome.paths_checked;
+      if (outcome.exhausted) {
+        return ExhaustedStatus(budget, "engine path-decomposition", result);
+      }
       if (!result.entailed && options_.want_countermodel) {
         // The path engine proves non-entailment without a witness; the
-        // bounded-width engine reconstructs one.
+        // bounded-width engine reconstructs one (also governed: the
+        // witness search is part of the same request).
         BoundedWidthOutcome witness = EntailBoundedWidth(
             ndb, disjuncts_[plan_index[0]].reduced_transitive, true,
-            /*already_reduced=*/true);
+            /*already_reduced=*/true, /*use_incremental=*/true, budget);
+        if (witness.exhausted) {
+          return ExhaustedStatus(budget, "engine path-decomposition", result);
+        }
         IODB_CHECK(!witness.entailed);
         result.countermodel = std::move(witness.countermodel);
       }
@@ -559,10 +593,14 @@ Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
     case EngineKind::kBoundedWidth: {
       BoundedWidthOutcome outcome = EntailBoundedWidth(
           ndb, disjuncts_[plan_index[0]].reduced_transitive,
-          options_.want_countermodel, /*already_reduced=*/true);
+          options_.want_countermodel, /*already_reduced=*/true,
+          /*use_incremental=*/true, budget);
       result.entailed = outcome.entailed;
       result.states_visited = outcome.states_visited;
       result.check_stats = outcome.check_stats;
+      if (outcome.exhausted) {
+        return ExhaustedStatus(budget, "engine bounded-width", result);
+      }
       if (options_.want_countermodel) {
         result.countermodel = std::move(outcome.countermodel);
       }
@@ -571,6 +609,7 @@ Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
     case EngineKind::kDisjunctiveSearch: {
       DisjunctiveOptions engine_options;
       engine_options.already_reduced = true;
+      engine_options.budget = budget;
       DisjunctiveOutcome outcome;
       if (static_reduced_split_.has_value()) {
         outcome = EntailDisjunctive(ndb, *static_reduced_split_,
@@ -588,6 +627,11 @@ Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
       result.entailed = outcome.entailed;
       result.states_visited = outcome.states_visited;
       result.check_stats = outcome.check_stats;
+      // Decision mode stops at the first countermodel, so an exhausted
+      // outcome always means "no verdict" here.
+      if (outcome.exhausted) {
+        return ExhaustedStatus(budget, "engine disjunctive-search", result);
+      }
       if (options_.want_countermodel) {
         result.countermodel = std::move(outcome.countermodel);
       }
@@ -600,24 +644,25 @@ Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
 }
 
 std::vector<Result<EntailResult>> PreparedQuery::EvaluateBatch(
-    std::span<const Database* const> dbs) const {
+    std::span<const Database* const> dbs, ExecBudget* budget) const {
   std::vector<Result<EntailResult>> results;
   results.reserve(dbs.size());
   for (const Database* db : dbs) {
     IODB_CHECK(db != nullptr);
-    results.push_back(Evaluate(*db));
+    results.push_back(Evaluate(*db, budget));
   }
   return results;
 }
 
 std::vector<Result<EntailResult>> PreparedQuery::ParallelEvaluateBatch(
-    std::span<const Database* const> dbs, int num_workers) const {
+    std::span<const Database* const> dbs, int num_workers,
+    ExecBudget* budget) const {
   for (const Database* db : dbs) IODB_CHECK(db != nullptr);
-  if (num_workers <= 1) return EvaluateBatch(dbs);
+  if (num_workers <= 1) return EvaluateBatch(dbs, budget);
   if (dbs.size() == 1) {
     // One hard query: shard its enumeration subtrees instead.
     std::vector<Result<EntailResult>> results;
-    results.push_back(EvaluateWith(*dbs[0], num_workers));
+    results.push_back(EvaluateWith(*dbs[0], num_workers, budget));
     return results;
   }
 
@@ -636,7 +681,7 @@ std::vector<Result<EntailResult>> PreparedQuery::ParallelEvaluateBatch(
       dbs.size(), Result<EntailResult>(EntailResult{}));
   ParallelFor(static_cast<int>(unique.size()), num_workers, [&](int k) {
     const size_t i = unique[k];
-    results[i] = Evaluate(*dbs[i]);
+    results[i] = Evaluate(*dbs[i], budget);
   });
   for (size_t i = 0; i < dbs.size(); ++i) {
     if (owners[i] != i) results[i] = results[owners[i]];
@@ -646,8 +691,12 @@ std::vector<Result<EntailResult>> PreparedQuery::ParallelEvaluateBatch(
 
 Result<long long> PreparedQuery::EnumerateCountermodels(
     const Database& db,
-    const std::function<bool(const FiniteModel&)>& on_countermodel) const {
+    const std::function<bool(const FiniteModel&)>& on_countermodel,
+    ExecBudget* budget) const {
   IODB_CHECK(on_countermodel != nullptr);
+  if (budget != nullptr && !budget->Poll()) {
+    return ExhaustedStatus(budget, "enumeration admission", EntailResult{});
+  }
   Result<NormDbRef> view = NormDbFor(db);
   if (!view.ok()) return view.status();
   const NormDb& ndb = *view.value().ndb;
@@ -663,12 +712,15 @@ Result<long long> PreparedQuery::EnumerateCountermodels(
   if (split_query.IsMonadicOrderOnly() && !split_query.disjuncts.empty()) {
     DisjunctiveOptions engine_options;
     engine_options.already_reduced = true;
+    engine_options.budget = budget;
     engine_options.on_countermodel = [&](const FiniteModel& model) {
       ++reported;
       return on_countermodel(model);
     };
+    DisjunctiveOutcome outcome;
     if (static_reduced_split_.has_value()) {
-      EntailDisjunctive(ndb, *static_reduced_split_, engine_options);
+      outcome = EntailDisjunctive(ndb, *static_reduced_split_,
+                                  engine_options);
     } else {
       NormQuery reduced_query;
       reduced_query.vocab = vocab_;
@@ -676,7 +728,13 @@ Result<long long> PreparedQuery::EnumerateCountermodels(
         reduced_query.disjuncts.push_back(
             disjuncts_[idx].reduced_transitive);
       }
-      EntailDisjunctive(ndb, reduced_query, engine_options);
+      outcome = EntailDisjunctive(ndb, reduced_query, engine_options);
+    }
+    if (outcome.exhausted) {
+      EntailResult partial;
+      partial.states_visited = outcome.states_visited;
+      partial.check_stats = outcome.check_stats;
+      return ExhaustedStatus(budget, "countermodel enumeration", partial);
     }
     return reported;
   }
@@ -690,18 +748,33 @@ Result<long long> PreparedQuery::EnumerateCountermodels(
   ModelBuilder builder(ndb);
   QueryMatcher matcher(split_query,
                        split_query.disjuncts.empty() ? nullptr : &compiled);
+  bool exhausted = false;
   ModelVisitor visitor;
   visitor.on_group = [&](int depth, const std::vector<int>& group) {
+    if (budget != nullptr && !budget->Charge()) {
+      exhausted = true;
+      return false;
+    }
     builder.PushGroup(depth, group);
     return true;
   };
   visitor.on_model = [&](const std::vector<std::vector<int>>& groups) {
+    if (budget != nullptr && !budget->Charge()) {
+      exhausted = true;
+      return false;
+    }
     builder.PopToDepth(static_cast<int>(groups.size()));
     if (matcher.Matches(builder.view(), &builder.index())) return true;
     ++reported;
     return on_countermodel(builder.Snapshot());
   };
   ForEachMinimalModel(ndb, visitor);
+  if (exhausted) {
+    EntailResult partial;
+    partial.groups_pushed = builder.groups_pushed();
+    partial.groups_popped = builder.groups_popped();
+    return ExhaustedStatus(budget, "countermodel enumeration", partial);
+  }
   return reported;
 }
 

@@ -44,6 +44,7 @@
 #include "core/model.h"
 #include "core/model_matcher.h"
 #include "core/query.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace iodb {
@@ -118,12 +119,24 @@ class PreparedQuery {
   /// happened, and db-side normalization is memoized (Database::NormView
   /// for plain plans; a per-plan cache keyed by (db.uid, db.revision) for
   /// plans that must inject marker facts or sentinels).
-  Result<EntailResult> Evaluate(const Database& db) const;
+  ///
+  /// `budget`, when non-null, governs the evaluation: the engines charge
+  /// it per unit of search work, and if it trips before a definite
+  /// verdict the call returns kDeadlineExceeded / kCancelled with the
+  /// partial work counters merged into the budget (ExecBudget::partial).
+  /// Budgets are evaluation-time state, deliberately NOT part of the plan
+  /// or its fingerprint, so governed and ungoverned requests share cached
+  /// plans. A governed run that does not exhaust its budget returns
+  /// results bit-identical to an ungoverned run.
+  Result<EntailResult> Evaluate(const Database& db,
+                                ExecBudget* budget = nullptr) const;
 
   /// Evaluates the plan against every database of the batch. One plan,
-  /// many stores.
+  /// many stores. A shared `budget` governs the whole batch: once it
+  /// trips, every remaining member fails fast with the typed status.
   std::vector<Result<EntailResult>> EvaluateBatch(
-      std::span<const Database* const> dbs) const;
+      std::span<const Database* const> dbs,
+      ExecBudget* budget = nullptr) const;
 
   /// As EvaluateBatch, sharded across a small worker pool. Results are
   /// written to their input slots (deterministic merge: result[i] is
@@ -132,15 +145,21 @@ class PreparedQuery {
   /// single-database batch with a brute-force plan shards the enumeration
   /// subtrees of that one query instead. `num_workers <= 1` degrades to
   /// EvaluateBatch; callers pick DefaultWorkerCount() (util/parallel.h)
-  /// for "whatever the machine has".
+  /// for "whatever the machine has". The shared `budget` (thread-safe)
+  /// governs every in-flight shard at once — the seam batch-level
+  /// deadlines and cancellation propagate through.
   std::vector<Result<EntailResult>> ParallelEvaluateBatch(
-      std::span<const Database* const> dbs, int num_workers) const;
+      std::span<const Database* const> dbs, int num_workers,
+      ExecBudget* budget = nullptr) const;
 
   /// Enumerates the countermodels of the prepared query in `db`; see
-  /// EnumerateCountermodels in core/engine.h for the contract.
+  /// EnumerateCountermodels in core/engine.h for the contract. On budget
+  /// exhaustion the enumeration is incomplete and the count is replaced
+  /// by the typed status (countermodels already reported were genuine).
   Result<long long> EnumerateCountermodels(
       const Database& db,
-      const std::function<bool(const FiniteModel&)>& on_countermodel) const;
+      const std::function<bool(const FiniteModel&)>& on_countermodel,
+      ExecBudget* budget = nullptr) const;
 
   /// Renders the plan: passes with provenance, per-disjunct
   /// classification, and the planned engine.
@@ -222,9 +241,9 @@ class PreparedQuery {
   std::optional<AssembledQuery> AssembleSplitQuery(const NormDb& ndb) const;
 
   /// Evaluate with the brute-force enumeration sharded over num_threads
-  /// workers (1 = serial; Evaluate() is EvaluateWith(db, 1)).
-  Result<EntailResult> EvaluateWith(const Database& db,
-                                    int num_threads) const;
+  /// workers (1 = serial; Evaluate() is EvaluateWith(db, 1, budget)).
+  Result<EntailResult> EvaluateWith(const Database& db, int num_threads,
+                                    ExecBudget* budget) const;
 
   VocabularyPtr vocab_;
   EntailOptions options_;

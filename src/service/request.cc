@@ -1,5 +1,6 @@
 #include "service/request.h"
 
+#include <charconv>
 #include <vector>
 
 #include "core/semantics.h"
@@ -8,6 +9,18 @@
 namespace iodb {
 
 namespace {
+
+// Parses a non-negative decimal integer; rejects empty, signs, trailing
+// junk.
+bool ParseNonNegative(std::string_view text, long long* out) {
+  long long value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  if (value < 0) return false;
+  *out = value;
+  return true;
+}
 
 // Splits off the next whitespace-delimited token of `rest`; returns empty
 // when exhausted. `rest` is advanced past the token and any following
@@ -49,6 +62,16 @@ Result<EvalRequest> ParseEvalRequest(const std::string& line) {
         return Status::InvalidArgument("unknown engine in '" + flag + "'");
       }
       request.options.engine = *engine;
+    } else if (flag.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseNonNegative(std::string_view(flag).substr(14),
+                            &request.deadline_ms)) {
+        return Status::InvalidArgument("bad deadline in '" + flag + "'");
+      }
+    } else if (flag.rfind("--step-budget=", 0) == 0) {
+      if (!ParseNonNegative(std::string_view(flag).substr(14),
+                            &request.step_budget)) {
+        return Status::InvalidArgument("bad step budget in '" + flag + "'");
+      }
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
@@ -68,6 +91,12 @@ std::string FormatEvalRequest(const EvalRequest& request) {
   }
   if (request.options.engine != EngineKind::kAuto) {
     out += std::string(" --engine=") + EngineKindName(request.options.engine);
+  }
+  if (request.deadline_ms >= 0) {
+    out += " --deadline-ms=" + std::to_string(request.deadline_ms);
+  }
+  if (request.step_budget >= 0) {
+    out += " --step-budget=" + std::to_string(request.step_budget);
   }
   if (request.options.want_countermodel) out += " --countermodel";
   if (request.explain) out += " --explain";

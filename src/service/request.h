@@ -6,6 +6,7 @@
 // Wire form of an EVAL request (one line):
 //
 //   <db-name> [--semantics=finite|integer|rational] [--engine=NAME]
+//             [--deadline-ms=N] [--step-budget=N]
 //             [--countermodel] [--explain] <query text>
 //
 // Flags follow the database name; the first token that is not a flag
@@ -34,6 +35,12 @@ struct EvalRequest {
   /// Evaluation options (semantics, forced engine, countermodel request,
   /// rewrite budget). Part of the plan-cache key.
   EntailOptions options;
+  /// Wall-clock deadline in milliseconds (< 0 = use the service default).
+  /// Evaluation-time governance, NOT part of the plan-cache key: the same
+  /// compiled plan serves governed and ungoverned requests.
+  long long deadline_ms = -1;
+  /// Step budget — units of search work (< 0 = use the service default).
+  long long step_budget = -1;
   /// Attach the rendered plan + evaluation counters to the response.
   bool explain = false;
 };

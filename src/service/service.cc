@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <chrono>
 #include <unordered_map>
 #include <utility>
 
@@ -31,7 +32,20 @@ EvaluationService::EvaluationService(ServiceOptions options)
     : vocab_(std::make_shared<Vocabulary>()),
       num_workers_(options.num_workers > 0 ? options.num_workers
                                            : DefaultWorkerCount()),
+      default_deadline_ms_(options.default_deadline_ms),
+      default_step_budget_(options.default_step_budget),
       plan_cache_(options.plan_cache_capacity) {}
+
+long long EvaluationService::EffectiveDeadlineMs(
+    const EvalRequest& request) const {
+  return request.deadline_ms >= 0 ? request.deadline_ms : default_deadline_ms_;
+}
+
+long long EvaluationService::EffectiveStepBudget(
+    const EvalRequest& request) const {
+  return request.step_budget >= 0 ? request.step_budget
+                                  : default_step_budget_;
+}
 
 Result<DbInfo> EvaluationService::Load(const std::string& name,
                                        const std::string& text) {
@@ -110,7 +124,8 @@ EvalResponse EvaluationService::MakeResponse(const PreparedQuery& plan,
   return response;
 }
 
-Result<EvalResponse> EvaluationService::Eval(const EvalRequest& request) {
+Result<EvalResponse> EvaluationService::Eval(const EvalRequest& request,
+                                             const CancelToken* cancel) {
   ++requests_;
   const Database* db = database(request.db);
   if (db == nullptr) {
@@ -120,16 +135,28 @@ Result<EvalResponse> EvaluationService::Eval(const EvalRequest& request) {
   Result<std::shared_ptr<const PreparedQuery>> plan =
       PlanFor(request.query, request.options, &cache_hit);
   if (!plan.ok()) return plan.status();
-  Result<EntailResult> result = plan.value()->Evaluate(*db);
+  ExecBudget budget;
+  const long long deadline_ms = EffectiveDeadlineMs(request);
+  const long long step_budget = EffectiveStepBudget(request);
+  if (deadline_ms >= 0) budget.SetDeadlineAfterMs(deadline_ms);
+  if (step_budget >= 0) budget.SetStepLimit(step_budget);
+  if (cancel != nullptr) budget.SetCancelToken(cancel);
+  Result<EntailResult> result =
+      plan.value()->Evaluate(*db, budget.limited() ? &budget : nullptr);
   if (!result.ok()) return result.status();
   return MakeResponse(*plan.value(), std::move(result.value()), cache_hit,
                       request.explain);
 }
 
 std::vector<Result<EvalResponse>> EvaluationService::EvalBatch(
-    std::span<const EvalRequest> requests) {
+    std::span<const EvalRequest> requests, const CancelToken* cancel) {
   ++batches_;
   requests_ += static_cast<long long>(requests.size());
+  // Deadlines of batch members count from the batch start, not from the
+  // moment their plan group reaches the front of the queue — a batch
+  // deadline is an end-to-end promise.
+  const std::chrono::steady_clock::time_point batch_start =
+      std::chrono::steady_clock::now();
 
   // Phase 1 (serial): resolve databases and plans. Parsing and compiling
   // touch the shared vocabulary and plan cache; evaluation is the part
@@ -181,8 +208,28 @@ std::vector<Result<EvalResponse>> EvaluationService::EvalBatch(
     std::vector<const Database*> dbs;
     dbs.reserve(group.size());
     for (size_t slot : group) dbs.push_back(slots[slot].db);
-    std::vector<Result<EntailResult>> verdicts =
-        plan.ParallelEvaluateBatch(dbs, num_workers_);
+    // One shared budget per plan group: the tightest member limits govern
+    // the whole group, and a trip cancels the group's in-flight shards
+    // (see the EvalBatch doc comment for the scope contract).
+    long long min_deadline_ms = -1;
+    long long min_steps = -1;
+    for (size_t slot : group) {
+      const long long d = EffectiveDeadlineMs(requests[slot]);
+      const long long s = EffectiveStepBudget(requests[slot]);
+      if (d >= 0 && (min_deadline_ms < 0 || d < min_deadline_ms)) {
+        min_deadline_ms = d;
+      }
+      if (s >= 0 && (min_steps < 0 || s < min_steps)) min_steps = s;
+    }
+    ExecBudget budget;
+    if (min_deadline_ms >= 0) {
+      budget.SetDeadline(batch_start +
+                         std::chrono::milliseconds(min_deadline_ms));
+    }
+    if (min_steps >= 0) budget.SetStepLimit(min_steps);
+    if (cancel != nullptr) budget.SetCancelToken(cancel);
+    std::vector<Result<EntailResult>> verdicts = plan.ParallelEvaluateBatch(
+        dbs, num_workers_, budget.limited() ? &budget : nullptr);
     for (size_t k = 0; k < group.size(); ++k) {
       const size_t i = group[k];
       if (!verdicts[k].ok()) {

@@ -46,6 +46,7 @@
 #include "core/prepare.h"
 #include "service/plan_cache.h"
 #include "service/request.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace iodb {
@@ -56,6 +57,12 @@ struct ServiceOptions {
   size_t plan_cache_capacity = 128;
   /// Worker threads for batch evaluation; 0 picks DefaultWorkerCount().
   int num_workers = 0;
+  /// Default per-request wall-clock deadline in milliseconds, applied when
+  /// a request does not set its own (< 0 = unlimited). Unlimited requests
+  /// run the zero-overhead ungoverned path.
+  long long default_deadline_ms = -1;
+  /// Default per-request step budget (< 0 = unlimited).
+  long long default_step_budget = -1;
 };
 
 /// Registration summary of one database.
@@ -112,16 +119,32 @@ class EvaluationService {
 
   /// Serves one request: resolves the database, fetches the compiled plan
   /// from the cache (compiling on a miss), evaluates, and renders the
-  /// optional explain payload.
-  Result<EvalResponse> Eval(const EvalRequest& request);
+  /// optional explain payload. Governance: the request's deadline/step
+  /// budget (or the service defaults) bound the evaluation, and `cancel`
+  /// (optional, caller-owned, must outlive the call) aborts it from
+  /// another thread; exhaustion surfaces as kDeadlineExceeded /
+  /// kCancelled. With no limits and no token the evaluation runs the
+  /// ungoverned zero-overhead path.
+  Result<EvalResponse> Eval(const EvalRequest& request,
+                            const CancelToken* cancel = nullptr);
 
   /// Serves a batch: requests are grouped by compiled plan, each group's
   /// databases are fanned across the worker pool, and results[i] is
   /// always the verdict of requests[i] regardless of scheduling. Per-
   /// request failures (unknown database, parse errors) fail only their
   /// own slot.
+  ///
+  /// Batch governance scope: each plan group shares one ExecBudget — its
+  /// deadline is the batch start plus the smallest effective member
+  /// deadline, its step limit the smallest effective member budget, and
+  /// `cancel` is attached to every group. A trip propagates to the
+  /// group's in-flight worker shards at their next stride check, and the
+  /// not-yet-finished members of the group fail with the same typed
+  /// status (fail-fast is the point of a batch deadline). Members of
+  /// all-unlimited groups run ungoverned.
   std::vector<Result<EvalResponse>> EvalBatch(
-      std::span<const EvalRequest> requests);
+      std::span<const EvalRequest> requests,
+      const CancelToken* cancel = nullptr);
 
   ServiceStats stats() const;
 
@@ -139,8 +162,14 @@ class EvaluationService {
   EvalResponse MakeResponse(const PreparedQuery& plan, EntailResult result,
                             bool cache_hit, bool explain) const;
 
+  /// The request's effective limits (service defaults filled in).
+  long long EffectiveDeadlineMs(const EvalRequest& request) const;
+  long long EffectiveStepBudget(const EvalRequest& request) const;
+
   VocabularyPtr vocab_;
   int num_workers_;
+  long long default_deadline_ms_;
+  long long default_step_budget_;
   PlanCache plan_cache_;
   // Ordered map so database_names() needs no extra sort.
   std::map<std::string, std::unique_ptr<Database>> databases_;

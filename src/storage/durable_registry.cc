@@ -5,6 +5,7 @@
 
 #include "storage/snapshot.h"
 #include "storage/wal.h"
+#include "util/failpoint.h"
 
 namespace iodb::storage {
 
@@ -78,7 +79,9 @@ std::string DurableRegistry::WalPath(const std::string& name) const {
 }
 
 Result<std::unique_ptr<DurableRegistry>> DurableRegistry::Open(
-    const std::string& dir, ServiceOptions options) {
+    const std::string& dir, ServiceOptions options, WalSyncOptions sync) {
+  Status fp = failpoint::CheckAndMaybeFail("registry-open");
+  if (!fp.ok()) return fp;
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -86,7 +89,7 @@ Result<std::unique_ptr<DurableRegistry>> DurableRegistry::Open(
                                    "': " + ec.message());
   }
   std::unique_ptr<DurableRegistry> registry(
-      new DurableRegistry(dir, options));
+      new DurableRegistry(dir, options, sync));
 
   // 1. The vocabulary sidecar pins predicate ids and the vocabulary uid
   //    before any database or plan touches the service vocabulary.
@@ -123,7 +126,27 @@ Result<std::unique_ptr<DurableRegistry>> DurableRegistry::Open(
     const uint64_t base_uid = db.value().uid();
     const uint64_t base_revision = db.value().revision();
     const std::string wal_path = registry->WalPath(name);
-    if (fs::exists(wal_path)) {
+    bool have_wal = fs::exists(wal_path);
+    if (have_wal) {
+      // Stale-generation check (see the Open doc comment): a crash
+      // between SaveSnapshot and CreateWal leaves the previous
+      // generation's WAL beside the new snapshot. Its groups were all
+      // applied to the live database before the snapshot captured it,
+      // so the snapshot subsumes them: discard and start a fresh WAL. A
+      // base revision AHEAD of the snapshot is impossible under the
+      // snapshot-then-WAL write order and stays a hard error (it falls
+      // through to ReplayWal's identity check).
+      Result<WalHeaderInfo> header = InspectWalHeader(wal_path);
+      if (!header.ok()) {
+        return Status(header.status().code(), "database '" + name + "': " +
+                                                  header.status().message());
+      }
+      if (header.value().db_uid != base_uid ||
+          header.value().base_revision < base_revision) {
+        have_wal = false;
+      }
+    }
+    if (have_wal) {
       Result<WalReplayStats> replay =
           ReplayWal(wal_path, base_uid, base_revision, &db.value());
       if (!replay.ok()) {
@@ -169,6 +192,9 @@ Result<DbInfo> DurableRegistry::PersistDatabase(const std::string& name) {
   status = PersistVocabulary();
   if (!status.ok()) return status;
   base_[name] = {db->uid(), db->revision()};
+  // The fresh WAL was written atomically and fsynced; nothing un-synced
+  // remains for this database.
+  dirty_.erase(name);
   return DbInfo{name, db->SizeAtoms(), db->uid(), db->revision()};
 }
 
@@ -199,14 +225,35 @@ Result<DbInfo> DurableRegistry::AppendText(const std::string& name,
   // group (re-appendable), never tears it.
   status = ApplyWalRecords(records.value(), db);
   if (!status.ok()) return status;
-  status = AppendWalGroup(WalPath(name), records.value());
+  status = AppendWalGroup(WalPath(name), records.value(),
+                          sync_.policy == WalSyncPolicy::kCommit);
   if (!status.ok()) {
     return Status(status.code(),
                   status.message() +
                       " (the mutation is applied in memory but not "
                       "logged; compact to restore durability)");
   }
+  if (sync_.policy != WalSyncPolicy::kCommit) {
+    dirty_.insert(name);
+    if (sync_.policy == WalSyncPolicy::kInterval &&
+        std::chrono::steady_clock::now() - last_interval_flush_ >=
+            std::chrono::milliseconds(sync_.interval_ms)) {
+      Status flush = Flush();
+      if (!flush.ok()) return flush;
+    }
+  }
   return DbInfo{name, db->SizeAtoms(), db->uid(), db->revision()};
+}
+
+Status DurableRegistry::Flush() {
+  while (!dirty_.empty()) {
+    const std::string name = *dirty_.begin();
+    Status status = SyncWal(WalPath(name));
+    if (!status.ok()) return status;
+    dirty_.erase(name);
+  }
+  last_interval_flush_ = std::chrono::steady_clock::now();
+  return Status::Ok();
 }
 
 Result<DbInfo> DurableRegistry::Compact(const std::string& name) {

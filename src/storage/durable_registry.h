@@ -27,15 +27,18 @@
 #ifndef IODB_STORAGE_DURABLE_REGISTRY_H_
 #define IODB_STORAGE_DURABLE_REGISTRY_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "service/service.h"
+#include "storage/wal.h"
 #include "util/status.h"
 
 namespace iodb::storage {
@@ -44,9 +47,21 @@ class DurableRegistry {
  public:
   /// Opens (creating the directory if needed) and restores every
   /// persisted database. Returns a pointer so the service's address is
-  /// stable for the registry's lifetime.
+  /// stable for the registry's lifetime. `sync` sets the WAL flush
+  /// policy for appends (see WalSyncPolicy).
+  ///
+  /// Stale-WAL rule: a crash between a snapshot write and the WAL reset
+  /// that follows it (Load / Compact are snapshot-then-WAL) leaves a new
+  /// snapshot beside the previous generation's WAL. Open detects this —
+  /// the WAL header's uid differs from the snapshot's, or its base
+  /// revision is BEHIND the snapshot's — and discards the WAL: every
+  /// group in it was applied to the live database before the snapshot
+  /// captured it, so the snapshot subsumes it. A WAL whose base revision
+  /// is AHEAD of the snapshot cannot arise from any crash of the
+  /// snapshot-then-WAL order and stays a hard error.
   static Result<std::unique_ptr<DurableRegistry>> Open(
-      const std::string& dir, ServiceOptions options = {});
+      const std::string& dir, ServiceOptions options = {},
+      WalSyncOptions sync = {});
 
   /// The serving layer over the restored databases. Evaluations,
   /// batches and stats go through here unchanged.
@@ -74,6 +89,12 @@ class DurableRegistry {
   /// Compacts every registered database.
   Status CompactAll();
 
+  /// fsyncs every WAL with un-synced appends (kNone / kInterval
+  /// policies; a no-op under kCommit). The serving shutdown path.
+  Status Flush();
+
+  const WalSyncOptions& sync_options() const { return sync_; }
+
   /// Current WAL size in bytes (test/inspection hook).
   Result<uint64_t> WalBytes(const std::string& name) const;
 
@@ -87,8 +108,12 @@ class DurableRegistry {
   static std::optional<std::string> DecodeDbFileName(const std::string& stem);
 
  private:
-  explicit DurableRegistry(std::string dir, ServiceOptions options)
-      : dir_(std::move(dir)), service_(options) {}
+  DurableRegistry(std::string dir, ServiceOptions options,
+                  WalSyncOptions sync)
+      : dir_(std::move(dir)),
+        service_(options),
+        sync_(sync),
+        last_interval_flush_(std::chrono::steady_clock::now()) {}
 
   Status PersistVocabulary();
   /// Snapshot + fresh WAL + vocabulary for the registered database.
@@ -96,9 +121,13 @@ class DurableRegistry {
 
   std::string dir_;
   EvaluationService service_;
+  WalSyncOptions sync_;
   // Per database: the (uid, revision) base identity of the snapshot on
   // disk — the identity the WAL header is bound to.
   std::map<std::string, std::pair<uint64_t, uint64_t>> base_;
+  // Databases whose WAL has appends not yet fsynced (kNone / kInterval).
+  std::set<std::string> dirty_;
+  std::chrono::steady_clock::time_point last_interval_flush_;
 };
 
 }  // namespace iodb::storage

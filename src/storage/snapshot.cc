@@ -1,5 +1,10 @@
 #include "storage/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -7,6 +12,7 @@
 #include <utility>
 
 #include "storage/codec.h"
+#include "util/failpoint.h"
 
 namespace iodb::storage {
 
@@ -740,25 +746,74 @@ Result<std::string> ReadFileBytes(const std::string& path) {
 }
 
 Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  Status status = failpoint::CheckAndMaybeFail("snapshot-write-before-tmp");
+  if (!status.ok()) return status;
+
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      return Status::InvalidArgument("cannot create '" + tmp + "'");
-    }
-    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    file.flush();
-    if (!file.good()) {
-      return Status::InvalidArgument("error writing '" + tmp + "'");
-    }
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot create '" + tmp +
+                                   "': " + std::strerror(errno));
   }
+  // Torn-write seam: stage a strict prefix of the temp file, then act.
+  // The target file is untouched either way — that is the atomicity
+  // being tested.
+  const failpoint::Action torn = failpoint::Check("snapshot-write-torn");
+  size_t to_write = bytes.size();
+  if (torn != failpoint::Action::kOff) to_write /= 2;
+  const char* data = bytes.data();
+  size_t left = to_write;
+  while (left > 0) {
+    ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = std::strerror(errno);
+      ::close(fd);
+      return Status::InvalidArgument("error writing '" + tmp +
+                                     "': " + detail);
+    }
+    data += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (torn == failpoint::Action::kCrash) failpoint::CrashNow();
+  if (torn == failpoint::Action::kError) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "failpoint 'snapshot-write-torn' injected partial write");
+  }
+  // fsync BEFORE rename: without it the rename can reach the directory
+  // while the data has not reached the platter, and a power cut leaves a
+  // complete-looking file of garbage under the final name.
+  if (::fsync(fd) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::InvalidArgument("fsync of '" + tmp + "' failed: " +
+                                   detail);
+  }
+  if (::close(fd) != 0) {
+    return Status::InvalidArgument("close of '" + tmp +
+                                   "' failed: " + std::strerror(errno));
+  }
+
+  status = failpoint::CheckAndMaybeFail("snapshot-before-rename");
+  if (!status.ok()) return status;
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     return Status::InvalidArgument("cannot rename '" + tmp + "' to '" + path +
                                    "': " + ec.message());
   }
-  return Status::Ok();
+  // fsync the parent directory so the rename itself is durable.
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  int dir_fd = ::open(dir.empty() ? "." : dir.c_str(),
+                      O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return failpoint::CheckAndMaybeFail("snapshot-after-rename");
 }
 
 }  // namespace iodb::storage

@@ -1,11 +1,17 @@
 #include "storage/wal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <utility>
 
 #include "core/parser.h"
 #include "storage/codec.h"
 #include "storage/snapshot.h"
+#include "util/failpoint.h"
 
 namespace iodb::storage {
 
@@ -105,6 +111,55 @@ Status DecodeRecordPayload(WalRecord::Kind kind, std::string_view payload,
       break;
   }
   if (!reader.AtEnd()) return WalError("trailing bytes in record payload");
+  return Status::Ok();
+}
+
+// write() until done or a real error (EINTR retried).
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Decodes and validates a WAL header from `reader` (positioned at the
+// start of the file). Leaves the reader just past the header.
+Status DecodeWalHeader(ByteReader& reader, WalHeaderInfo* info) {
+  std::string_view magic;
+  Status status = reader.ReadBytes(8, &magic);
+  if (!status.ok()) return WalError("missing header: " + status.message());
+  if (magic != std::string_view(kWalMagic, 8)) {
+    return WalError("bad magic (not a WAL file)");
+  }
+  uint32_t version = 0, endian = 0;
+  uint64_t header_checksum = 0;
+  if (!(status = reader.ReadU32(&version)).ok() ||
+      !(status = reader.ReadU32(&endian)).ok() ||
+      !(status = reader.ReadU64(&info->db_uid)).ok() ||
+      !(status = reader.ReadU64(&info->base_revision)).ok() ||
+      !(status = reader.ReadU64(&header_checksum)).ok()) {
+    return WalError("truncated header: " + status.message());
+  }
+  {
+    std::string body;
+    AppendU32(&body, version);
+    AppendU32(&body, endian);
+    AppendU64(&body, info->db_uid);
+    AppendU64(&body, info->base_revision);
+    if (Fnv1a64(body) != header_checksum) {
+      return WalError("header checksum mismatch");
+    }
+  }
+  if (version != kWalFormatVersion) {
+    return WalError("unsupported WAL version " + std::to_string(version));
+  }
+  if (endian != kEndianTag) return WalError("endian tag mismatch");
   return Status::Ok();
 }
 
@@ -208,7 +263,7 @@ Status CreateWal(const std::string& path, uint64_t db_uid,
 }
 
 Status AppendWalGroup(const std::string& path,
-                      const std::vector<WalRecord>& records) {
+                      const std::vector<WalRecord>& records, bool sync) {
   std::string group;
   WalRecord delimiter;
   delimiter.kind = WalRecord::Kind::kBegin;
@@ -223,12 +278,98 @@ Status AppendWalGroup(const std::string& path,
   delimiter.kind = WalRecord::Kind::kCommit;
   AppendRecord(&group, delimiter);
 
-  std::ofstream file(path, std::ios::binary | std::ios::app);
-  if (!file) return WalError("cannot open '" + path + "' for append");
-  file.write(group.data(), static_cast<std::streamsize>(group.size()));
-  file.flush();
-  if (!file.good()) return WalError("error appending to '" + path + "'");
+  Status status = failpoint::CheckAndMaybeFail("wal-append-before-write");
+  if (!status.ok()) return status;
+
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) {
+    return WalError("cannot open '" + path +
+                    "' for append: " + std::strerror(errno));
+  }
+  // Torn-write seam: stage a strict prefix of the group, then act — the
+  // on-disk shape a crash mid-write() leaves (replay must discard it).
+  const failpoint::Action torn = failpoint::Check("wal-append-torn");
+  if (torn != failpoint::Action::kOff) {
+    (void)WriteAll(fd, group.data(), group.size() / 2);
+    ::fsync(fd);
+    if (torn == failpoint::Action::kCrash) failpoint::CrashNow();
+    ::close(fd);
+    return WalError("failpoint 'wal-append-torn' injected partial append");
+  }
+  if (!WriteAll(fd, group.data(), group.size())) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return WalError("error appending to '" + path + "': " + detail);
+  }
+  // A crash here leaves the full group in the page cache but maybe not
+  // on the platter: committed for process death, torn for power loss.
+  status = failpoint::CheckAndMaybeFail("wal-append-before-sync");
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  if (sync && ::fsync(fd) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return WalError("fsync of '" + path + "' failed: " + detail);
+  }
+  status = failpoint::CheckAndMaybeFail("wal-append-after-sync");
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  if (::close(fd) != 0) {
+    return WalError("close of '" + path +
+                    "' failed: " + std::strerror(errno));
+  }
   return Status::Ok();
+}
+
+Status SyncWal(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return WalError("cannot open '" + path +
+                    "' for sync: " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return WalError("fsync of '" + path + "' failed: " + detail);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+std::optional<WalSyncPolicy> ParseWalSyncPolicy(const std::string& name) {
+  if (name == "none") return WalSyncPolicy::kNone;
+  if (name == "commit") return WalSyncPolicy::kCommit;
+  if (name == "interval") return WalSyncPolicy::kInterval;
+  return std::nullopt;
+}
+
+const char* WalSyncPolicyName(WalSyncPolicy policy) {
+  switch (policy) {
+    case WalSyncPolicy::kNone:
+      return "none";
+    case WalSyncPolicy::kCommit:
+      return "commit";
+    case WalSyncPolicy::kInterval:
+      return "interval";
+  }
+  return "unknown";
+}
+
+Result<WalHeaderInfo> InspectWalHeader(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return WalError("cannot open '" + path + "'");
+  std::string header(kWalHeaderBytes, '\0');
+  file.read(header.data(), static_cast<std::streamsize>(header.size()));
+  header.resize(static_cast<size_t>(file.gcount()));
+  ByteReader reader(header);
+  WalHeaderInfo info;
+  Status status = DecodeWalHeader(reader, &info);
+  if (!status.ok()) return status;
+  return info;
 }
 
 Result<WalReplayStats> ReplayWal(const std::string& path,
@@ -244,39 +385,15 @@ Result<WalReplayStats> ReplayWal(const std::string& path,
   // mismatched header is a hard error (the registry always writes the
   // header atomically via CreateWal, so a torn header never occurs in
   // the crash model — only record appends tear).
-  std::string_view magic;
-  Status status = reader.ReadBytes(8, &magic);
-  if (!status.ok()) return WalError("missing header: " + status.message());
-  if (magic != std::string_view(kWalMagic, 8)) {
-    return WalError("bad magic (not a WAL file)");
-  }
-  uint32_t version = 0, endian = 0;
-  uint64_t db_uid = 0, base_revision = 0, header_checksum = 0;
-  if (!(status = reader.ReadU32(&version)).ok() ||
-      !(status = reader.ReadU32(&endian)).ok() ||
-      !(status = reader.ReadU64(&db_uid)).ok() ||
-      !(status = reader.ReadU64(&base_revision)).ok() ||
-      !(status = reader.ReadU64(&header_checksum)).ok()) {
-    return WalError("truncated header: " + status.message());
-  }
-  {
-    std::string body;
-    AppendU32(&body, version);
-    AppendU32(&body, endian);
-    AppendU64(&body, db_uid);
-    AppendU64(&body, base_revision);
-    if (Fnv1a64(body) != header_checksum) {
-      return WalError("header checksum mismatch");
-    }
-  }
-  if (version != kWalFormatVersion) {
-    return WalError("unsupported WAL version " + std::to_string(version));
-  }
-  if (endian != kEndianTag) return WalError("endian tag mismatch");
-  if (db_uid != expect_db_uid || base_revision != expect_base_revision) {
+  WalHeaderInfo header;
+  Status status = DecodeWalHeader(reader, &header);
+  if (!status.ok()) return status;
+  if (header.db_uid != expect_db_uid ||
+      header.base_revision != expect_base_revision) {
     return WalError(
-        "WAL belongs to snapshot identity (uid=" + std::to_string(db_uid) +
-        ", revision=" + std::to_string(base_revision) + "), expected (uid=" +
+        "WAL belongs to snapshot identity (uid=" +
+        std::to_string(header.db_uid) + ", revision=" +
+        std::to_string(header.base_revision) + "), expected (uid=" +
         std::to_string(expect_db_uid) + ", revision=" +
         std::to_string(expect_base_revision) + ")");
   }

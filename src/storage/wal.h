@@ -18,16 +18,19 @@
 //   * fails with a checksum/format Status.
 // It never crashes and never applies a partial group.
 //
-// Durability note: writes are flushed to the OS on every append; the
-// format is fsync-friendly (append-only, self-delimiting records) but
-// this layer does not fsync — a serving deployment that needs
-// power-loss durability should run on a journaled filesystem or add an
-// fsync hook at the AppendWalGroup seam.
+// Durability: AppendWalGroup writes the group in one write() and, when
+// `sync` is set, fsync()s before returning — a committed group then
+// survives power loss, not just process death. Callers that batch
+// durability (WalSyncPolicy::kNone / kInterval in the registry) pass
+// sync=false and call SyncWal at their flush points. The crash-recovery
+// contract above covers both shapes: an unsynced torn tail is discarded
+// on replay exactly like a torn synced append.
 
 #ifndef IODB_STORAGE_WAL_H_
 #define IODB_STORAGE_WAL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -81,11 +84,46 @@ Status ApplyWalRecords(const std::vector<WalRecord>& records, Database* db);
 Status CreateWal(const std::string& path, uint64_t db_uid,
                  uint64_t base_revision);
 
+/// When appended WAL groups reach the disk platter (the --wal-sync
+/// serving flag; enforced by DurableRegistry).
+enum class WalSyncPolicy {
+  kNone,     // never fsync (fastest; durability = filesystem's promise)
+  kCommit,   // fsync every committed group (the default)
+  kInterval  // fsync at most every interval_ms, and on Flush()/shutdown
+};
+
+struct WalSyncOptions {
+  WalSyncPolicy policy = WalSyncPolicy::kCommit;
+  /// kInterval: maximum milliseconds an acknowledged group may sit
+  /// un-fsynced.
+  long long interval_ms = 50;
+};
+
+/// Parses "none" / "commit" / "interval"; nullopt otherwise.
+std::optional<WalSyncPolicy> ParseWalSyncPolicy(const std::string& name);
+const char* WalSyncPolicyName(WalSyncPolicy policy);
+
 /// Appends one committed group (BEGIN, records..., COMMIT) to an
-/// existing WAL. The group bytes are written in one buffered write and
-/// flushed before returning.
+/// existing WAL. The group bytes are written in one write(); with
+/// `sync` the file is fsync()ed before returning (power-loss durable),
+/// without it the bytes are only in the page cache until SyncWal.
 Status AppendWalGroup(const std::string& path,
-                      const std::vector<WalRecord>& records);
+                      const std::vector<WalRecord>& records,
+                      bool sync = true);
+
+/// fsync()s the WAL file (the kNone/kInterval flush point).
+Status SyncWal(const std::string& path);
+
+/// The snapshot identity a WAL is bound to (its header fields).
+struct WalHeaderInfo {
+  uint64_t db_uid = 0;
+  uint64_t base_revision = 0;
+};
+
+/// Reads and validates just the header of the WAL at `path`. Used by the
+/// registry to detect a stale WAL generation (crash between snapshot
+/// write and WAL reset) before committing to a full replay.
+Result<WalHeaderInfo> InspectWalHeader(const std::string& path);
 
 /// Replay summary.
 struct WalReplayStats {

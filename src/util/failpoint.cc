@@ -1,0 +1,132 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace iodb {
+namespace failpoint {
+namespace {
+
+struct Armed {
+  Action action = Action::kOff;
+  long long skip = 0;   // hits to pass through before triggering
+  long long hits = 0;   // cumulative evaluations
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Armed> points;
+
+  Registry() { ParseEnv(); }
+
+  // IODB_FAILPOINTS="name=error;other=crash:3" — ';' or ',' separated,
+  // action one of error|crash, optional ":N" skip count. Malformed
+  // entries are ignored (fault injection must never break a clean run).
+  void ParseEnv() {
+    const char* env = std::getenv("IODB_FAILPOINTS");
+    if (env == nullptr) return;
+    std::string spec(env);
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t end = spec.find_first_of(";,", pos);
+      if (end == std::string::npos) end = spec.size();
+      std::string entry = spec.substr(pos, end - pos);
+      pos = end + 1;
+      const size_t eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0) continue;
+      std::string name = entry.substr(0, eq);
+      std::string rhs = entry.substr(eq + 1);
+      long long skip = 0;
+      const size_t colon = rhs.find(':');
+      if (colon != std::string::npos) {
+        skip = std::atoll(rhs.c_str() + colon + 1);
+        rhs = rhs.substr(0, colon);
+      }
+      Action action;
+      if (rhs == "error") {
+        action = Action::kError;
+      } else if (rhs == "crash") {
+        action = Action::kCrash;
+      } else {
+        continue;
+      }
+      points[name] = Armed{action, skip < 0 ? 0 : skip, 0};
+    }
+  }
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: alive at _exit
+  return *registry;
+}
+
+}  // namespace
+
+void Arm(const std::string& name, Action action, long long skip) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points[name] = Armed{action, skip < 0 ? 0 : skip, 0};
+}
+
+void Disarm(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  if (it != reg.points.end()) it->second.action = Action::kOff;
+}
+
+void DisarmAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.clear();
+}
+
+long long Hits(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+Action Check(const char* name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  if (it == reg.points.end()) return Action::kOff;
+  Armed& armed = it->second;
+  ++armed.hits;
+  if (armed.action == Action::kOff) return Action::kOff;
+  if (armed.skip > 0) {
+    --armed.skip;
+    return Action::kOff;
+  }
+  return armed.action;
+}
+
+void CrashNow() { _exit(kCrashExitCode); }
+
+Status CheckAndMaybeFail(const char* name) {
+  switch (Check(name)) {
+    case Action::kOff:
+      return Status::Ok();
+    case Action::kError:
+      return Status::InvalidArgument(std::string("failpoint '") + name +
+                                     "' injected error");
+    case Action::kCrash:
+      CrashNow();
+  }
+  return Status::Ok();
+}
+
+Scoped::Scoped(std::string name, Action action, long long skip)
+    : name_(std::move(name)) {
+  Arm(name_, action, skip);
+}
+
+Scoped::~Scoped() { Disarm(name_); }
+
+}  // namespace failpoint
+}  // namespace iodb

@@ -1,0 +1,82 @@
+// Failpoints: named fault-injection seams for the storage I/O paths.
+//
+// A failpoint is a named hook compiled into a code path (see the catalog
+// in docs/ROBUSTNESS.md). Disarmed, it costs one mutex-guarded map probe
+// on a cold path and does nothing. Armed, it either
+//   - injects an error: the seam returns a Status naming the failpoint,
+//     exercising the error-unwind of the caller, or
+//   - crashes: the process _exit()s on the spot with kCrashExitCode,
+//     simulating a power-cut / SIGKILL in the middle of an I/O sequence
+//     (no destructors, no stream flushes — exactly what a crash leaves).
+//
+// Arming is programmatic (Arm/Disarm, or a ScopedFailpoint in tests) or
+// via the environment: IODB_FAILPOINTS="name=error;other=crash:3" parsed
+// on first use. The optional ":N" skips the first N hits before
+// triggering, so a schedule can place the fault at the N-th WAL append
+// rather than the first. The crash-torture harness forks a child, arms
+// one failpoint from the catalog at a seeded position, runs a workload
+// until the process dies, and asserts recovery in the parent.
+
+#ifndef IODB_UTIL_FAILPOINT_H_
+#define IODB_UTIL_FAILPOINT_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace iodb {
+namespace failpoint {
+
+/// What an armed failpoint does when reached.
+enum class Action {
+  kOff = 0,  // disarmed (the default for every name)
+  kError,    // the seam reports an injected Status
+  kCrash     // the process _exit()s at the seam
+};
+
+/// Exit code of a kCrash trigger — distinctive so the torture harness can
+/// tell an injected crash from a genuine abort.
+inline constexpr int kCrashExitCode = 86;
+
+/// Arms `name`. `skip` hits pass through before the action triggers
+/// (skip = 0 triggers on the first hit). Re-arming resets the hit count.
+void Arm(const std::string& name, Action action, long long skip = 0);
+/// Disarms `name` (keeps its hit count readable).
+void Disarm(const std::string& name);
+/// Disarms everything and clears all hit counts (test isolation).
+void DisarmAll();
+
+/// Cumulative times `name` was evaluated (armed or not, but only names
+/// that were armed at least once are tracked; 0 for unknown names).
+long long Hits(const std::string& name);
+
+/// The seam: records a hit and returns the action to take now. kCrash is
+/// NOT executed here — callers that need to stage a partial write first
+/// (torn-write seams) call CrashNow() themselves after staging.
+Action Check(const char* name);
+
+/// Immediate simulated crash: _exit(kCrashExitCode).
+[[noreturn]] void CrashNow();
+
+/// The common seam shape: OK when disarmed or still skipping; on kError,
+/// an injected kInvalidArgument status naming the failpoint (the same
+/// code real I/O failures on these paths use); on kCrash, CrashNow() —
+/// this call does not return.
+Status CheckAndMaybeFail(const char* name);
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class Scoped {
+ public:
+  Scoped(std::string name, Action action, long long skip = 0);
+  ~Scoped();
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace failpoint
+}  // namespace iodb
+
+#endif  // IODB_UTIL_FAILPOINT_H_

@@ -20,8 +20,10 @@ enum class StatusCode {
   kOk = 0,
   kInvalidArgument,   // malformed input (parser, bad arity, bad sort)
   kInconsistent,      // database/query has no model (cyclic order graph)
-  kUnsupported,       // operation not defined for this input class
-  kResourceExhausted  // configured search limit exceeded
+  kUnsupported,        // operation not defined for this input class
+  kResourceExhausted,  // configured search limit exceeded
+  kDeadlineExceeded,   // wall-clock deadline or step budget exhausted
+  kCancelled           // external cancellation (CancelToken) observed
 };
 
 /// Outcome of a fallible operation: a code plus a human-readable message.
@@ -55,6 +57,16 @@ class Status {
   /// Returns a kResourceExhausted status with the given message.
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+
+  /// Returns a kDeadlineExceeded status with the given message.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+
+  /// Returns a kCancelled status with the given message.
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

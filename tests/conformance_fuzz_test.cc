@@ -258,6 +258,59 @@ TEST(ConformanceFuzzTest, AllEnginesAndServiceAgree) {
       }
     }
 
+    // Governance conformance, small budget: a tiny random step budget
+    // must never corrupt a verdict. Either the run completes and matches
+    // the oracle, or it fails with the typed exhaustion status — a
+    // definite yes/no from an exhausted run would be a soundness bug.
+    if (i % 4 == 0) {
+      Rng gov_rng(seed ^ 0x9E3779B97F4A7C15ULL);
+      ExecBudget small;
+      small.SetStepLimit(gov_rng.UniformInt(1, 50));
+      EntailOptions gov_options;
+      gov_options.semantics = instance.semantics;
+      Result<EntailResult> governed =
+          Entails(instance.db, instance.query, gov_options, &small);
+      if (governed.ok()) {
+        ASSERT_EQ(governed.value().entailed, expected)
+            << "governed non-exhausted run disagrees with the oracle\n"
+            << Repro(seed, instance);
+      } else {
+        ASSERT_TRUE(governed.status().code() ==
+                        StatusCode::kDeadlineExceeded ||
+                    governed.status().code() == StatusCode::kCancelled)
+            << "governed run failed with a non-exhaustion status: "
+            << governed.status().ToString() << "\n"
+            << Repro(seed, instance);
+      }
+    }
+
+    // Governance conformance, huge budget: a budget that never trips is
+    // observationally passive — verdict AND every work counter must be
+    // bit-identical to the ungoverned run.
+    if (i % 8 == 0) {
+      EntailOptions gov_options;
+      gov_options.semantics = instance.semantics;
+      Result<EntailResult> plain =
+          Entails(instance.db, instance.query, gov_options);
+      ExecBudget huge;
+      huge.SetStepLimit(1LL << 60);
+      Result<EntailResult> governed =
+          Entails(instance.db, instance.query, gov_options, &huge);
+      ASSERT_TRUE(plain.ok()) << Repro(seed, instance);
+      ASSERT_TRUE(governed.ok()) << Repro(seed, instance);
+      EXPECT_EQ(governed.value().entailed, plain.value().entailed)
+          << Repro(seed, instance);
+      EXPECT_EQ(governed.value().states_visited, plain.value().states_visited)
+          << Repro(seed, instance);
+      EXPECT_EQ(governed.value().models_enumerated,
+                plain.value().models_enumerated)
+          << Repro(seed, instance);
+      EXPECT_EQ(governed.value().groups_pushed, plain.value().groups_pushed)
+          << Repro(seed, instance);
+      EXPECT_EQ(governed.value().groups_popped, plain.value().groups_popped)
+          << Repro(seed, instance);
+    }
+
     pending_requests.push_back(std::move(request));
     pending_expected.push_back(expected);
     pending_seeds.push_back(seed);

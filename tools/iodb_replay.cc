@@ -8,7 +8,9 @@
 //   {"op": "eval", "db": "<name>", "query": "<parser query text>",
 //    "semantics": "finite|integer|rational",   (optional)
 //    "engine": "<engine name>",                (optional)
-//    "countermodel": true|false}               (optional)
+//    "countermodel": true|false,               (optional)
+//    "deadline_ms": N,                         (optional; governance)
+//    "step_budget": N}                         (optional; governance)
 //
 // Loads execute up front (untimed); evals replay in order. Usage:
 //
@@ -28,6 +30,12 @@
 // from the cold first pass. Exit code: 0 on success (even if some
 // requests fail — failures are counted and reported), 2 on a malformed
 // trace or flags.
+//
+// Reporting: the "verdicts:" line counts every non-ok response as an
+// error (stable across versions); the "outcomes:" line splits responses
+// by status — ok / deadline-exceeded / cancelled / other errors — and
+// the latency percentiles cover only requests that ran to completion
+// (an exhausted request's latency is its budget, not the service's).
 
 #include <algorithm>
 #include <chrono>
@@ -304,6 +312,21 @@ Result<Trace> InterpretTrace(const JsonValue& root) {
         }
         request.options.want_countermodel = countermodel->boolean;
       }
+      if (const JsonValue* deadline = Field(op, "deadline_ms")) {
+        if (deadline->kind != JsonValue::Kind::kNumber ||
+            deadline->number < 0) {
+          return Status::InvalidArgument(
+              "'deadline_ms' must be a non-negative number");
+        }
+        request.deadline_ms = static_cast<long long>(deadline->number);
+      }
+      if (const JsonValue* steps = Field(op, "step_budget")) {
+        if (steps->kind != JsonValue::Kind::kNumber || steps->number < 0) {
+          return Status::InvalidArgument(
+              "'step_budget' must be a non-negative number");
+        }
+        request.step_budget = static_cast<long long>(steps->number);
+      }
       trace.evals.push_back(std::move(request));
     } else {
       return Status::InvalidArgument("unknown op '" + kind.value() + "'");
@@ -390,6 +413,7 @@ int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
   std::vector<double> latencies_us;
   long long entailed = 0, not_entailed = 0, errors = 0;
+  long long deadline_exceeded = 0, cancelled = 0, other_errors = 0;
   const auto replay_start = Clock::now();
   for (int round = 0; round < repeat; ++round) {
     const std::vector<EvalRequest>& evals = trace.value().evals;
@@ -409,14 +433,28 @@ int main(int argc, char** argv) {
           std::chrono::duration<double, std::micro>(Clock::now() - start)
               .count();
       for (const Result<EvalResponse>& response : responses) {
-        latencies_us.push_back(us);  // a request waits for its whole batch
         if (!response.ok()) {
           ++errors;
+          // Exhausted requests are excluded from the latency population:
+          // their duration measures the configured budget, not the
+          // service. Other errors (bad database, parse) stay in.
+          switch (response.status().code()) {
+            case StatusCode::kDeadlineExceeded:
+              ++deadline_exceeded;
+              continue;
+            case StatusCode::kCancelled:
+              ++cancelled;
+              continue;
+            default:
+              ++other_errors;
+              break;
+          }
         } else if (response.value().entailed) {
           ++entailed;
         } else {
           ++not_entailed;
         }
+        latencies_us.push_back(us);  // a request waits for its whole batch
       }
     }
   }
@@ -432,6 +470,10 @@ int main(int argc, char** argv) {
               repeat);
   std::printf("verdicts: %lld entailed, %lld not entailed, %lld error(s)\n",
               entailed, not_entailed, errors);
+  std::printf("outcomes: %lld ok, %lld deadline-exceeded, %lld cancelled, "
+              "%lld error(s)\n",
+              entailed + not_entailed, deadline_exceeded, cancelled,
+              other_errors);
   std::printf("latency us: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
               Percentile(latencies_us, 0.50), Percentile(latencies_us, 0.90),
               Percentile(latencies_us, 0.99),

@@ -41,10 +41,21 @@
 //
 // Every failure is reported as a single "ERR <message>" line and the
 // session continues; an unrecognized verb is the structured
-// "ERR unknown-verb '<verb>'". Flags: --workers=N (worker pool size,
+// "ERR unknown-verb '<verb>'", a command line over the 1 MiB limit is
+// "ERR line-too-long ...", and a request that exhausted its deadline /
+// step budget / cancellation is "ERR deadline-exceeded <detail>" or
+// "ERR cancelled <detail>". Flags: --workers=N (worker pool size,
 // default: machine), --plan-cache=N (plan cache capacity, default 128),
-// --data-dir=DIR (open a durable registry at startup).
+// --data-dir=DIR (open a durable registry at startup),
+// --wal-sync=none|commit|interval (WAL flush policy, default commit),
+// --default-deadline-ms=N / --default-step-budget=N (governance applied
+// to requests that set none of their own).
+//
+// Shutdown: SIGTERM / SIGINT (and QUIT / EOF) end the session cleanly —
+// the registry's un-synced WAL appends are flushed and the process
+// exits 0.
 
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -61,15 +72,44 @@ namespace {
 
 using namespace iodb;
 
+// Command lines (and BATCH request lines) over this limit are rejected
+// with a structured error instead of being buffered without bound.
+constexpr size_t kMaxLineBytes = size_t{1} << 20;
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void OnShutdownSignal(int) { g_shutdown = 1; }
+
+// SA_RESTART deliberately NOT set: the signal must interrupt a blocking
+// stdin read so the serving loop observes g_shutdown and exits through
+// the flush path (glibc's signal() would set SA_RESTART).
+void InstallShutdownHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
 void Err(const std::string& message) {
   std::printf("ERR %s\n", message.c_str());
 }
 
 // Prints the full response of one served request: the verdict line plus
-// the optional countermodel and explain payloads.
+// the optional countermodel and explain payloads. Budget exhaustion is
+// rendered structured ("ERR deadline-exceeded ..."), so clients can
+// retry-with-more-budget without parsing prose.
 void PrintResponse(const Result<EvalResponse>& response) {
   if (!response.ok()) {
-    Err(response.status().ToString());
+    const Status& status = response.status();
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      Err("deadline-exceeded " + status.message());
+    } else if (status.code() == StatusCode::kCancelled) {
+      Err("cancelled " + status.message());
+    } else {
+      Err(status.ToString());
+    }
     return;
   }
   std::printf("%s\n", FormatResponseLine(response.value()).c_str());
@@ -97,11 +137,14 @@ bool ReadUntilEnd(std::istream& in, std::string* text) {
 // durable registry's service when one is open.
 struct Session {
   ServiceOptions options;
+  storage::WalSyncOptions sync;
   std::unique_ptr<EvaluationService> bare;
   std::unique_ptr<storage::DurableRegistry> registry;
 
-  explicit Session(ServiceOptions opts)
-      : options(opts), bare(std::make_unique<EvaluationService>(opts)) {}
+  explicit Session(ServiceOptions opts, storage::WalSyncOptions sync_opts)
+      : options(opts),
+        sync(sync_opts),
+        bare(std::make_unique<EvaluationService>(opts)) {}
 
   EvaluationService& service() {
     return registry != nullptr ? registry->service() : *bare;
@@ -158,7 +201,7 @@ void HandleAppend(Session& session, const std::string& name,
 
 void HandleOpen(Session& session, const std::string& dir) {
   Result<std::unique_ptr<storage::DurableRegistry>> registry =
-      storage::DurableRegistry::Open(dir, session.options);
+      storage::DurableRegistry::Open(dir, session.options, session.sync);
   if (!registry.ok()) {
     Err(registry.status().ToString());
     return;
@@ -204,6 +247,7 @@ void HandleInfo(Session& session, const std::string& name) {
 
 int main(int argc, char** argv) {
   ServiceOptions options;
+  storage::WalSyncOptions sync;
   std::string data_dir;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -223,18 +267,34 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "iodb_serve: --data-dir needs a path\n");
         return 2;
       }
+    } else if (arg.rfind("--wal-sync=", 0) == 0) {
+      std::optional<storage::WalSyncPolicy> policy =
+          storage::ParseWalSyncPolicy(arg.substr(11));
+      if (!policy.has_value()) {
+        std::fprintf(stderr, "iodb_serve: --wal-sync needs "
+                             "none|commit|interval\n");
+        return 2;
+      }
+      sync.policy = *policy;
+    } else if (arg.rfind("--default-deadline-ms=", 0) == 0) {
+      options.default_deadline_ms = std::atoll(arg.c_str() + 22);
+    } else if (arg.rfind("--default-step-budget=", 0) == 0) {
+      options.default_step_budget = std::atoll(arg.c_str() + 22);
     } else {
       std::fprintf(stderr,
                    "usage: iodb_serve [--workers=N] [--plan-cache=N] "
-                   "[--data-dir=DIR]\n");
+                   "[--data-dir=DIR] [--wal-sync=none|commit|interval] "
+                   "[--default-deadline-ms=N] [--default-step-budget=N]\n");
       return 2;
     }
   }
 
-  Session session(options);
+  InstallShutdownHandlers();
+
+  Session session(options, sync);
   if (!data_dir.empty()) {
     Result<std::unique_ptr<storage::DurableRegistry>> registry =
-        storage::DurableRegistry::Open(data_dir, options);
+        storage::DurableRegistry::Open(data_dir, options, sync);
     if (!registry.ok()) {
       std::fprintf(stderr, "iodb_serve: --data-dir: %s\n",
                    registry.status().ToString().c_str());
@@ -244,7 +304,13 @@ int main(int argc, char** argv) {
   }
 
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (!g_shutdown && std::getline(std::cin, line)) {
+    if (line.size() > kMaxLineBytes) {
+      Err("line-too-long (" + std::to_string(line.size()) + " bytes; limit " +
+          std::to_string(kMaxLineBytes) + ")");
+      std::fflush(stdout);
+      continue;
+    }
     std::string_view rest = StripWhitespace(line);
     if (rest.empty() || rest[0] == '#') continue;
     size_t space = rest.find(' ');
@@ -343,5 +409,17 @@ int main(int argc, char** argv) {
     }
     std::fflush(stdout);
   }
+
+  // Clean shutdown (QUIT, EOF, SIGTERM, SIGINT): make every acknowledged
+  // append durable before exiting.
+  if (session.registry != nullptr) {
+    Status status = session.registry->Flush();
+    if (!status.ok()) {
+      std::fprintf(stderr, "iodb_serve: shutdown flush: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fflush(stdout);
   return 0;
 }

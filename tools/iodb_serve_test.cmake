@@ -194,6 +194,103 @@ if(NOT rc EQUAL 0 OR NOT "${out3}" MATCHES "OK dir=.* databases=1"
   message(FATAL_ERROR "OPEN verb session unexpected (exit ${rc}):\n${out3}")
 endif()
 
+# --- governance: exhaustion is a structured error --------------------------
+# A zero step budget / already-expired deadline must answer a structured
+# "ERR deadline-exceeded ..." line (with partial counters in the message)
+# and keep serving — the QUIT after them still exits cleanly.
+
+set(gov_session "${WORK_DIR}/iodb_serve_cli.governance")
+file(WRITE "${gov_session}" "LOAD base
+P(u)
+Q(v)
+u < v
+END
+EVAL base --step-budget=0 exists t1 t2: P(t1) & t1 < t2 & Q(t2)
+EVAL base --deadline-ms=0 exists t1 t2: P(t1) & t1 < t2 & Q(t2)
+EVAL base --step-budget=1000000 exists t1 t2: P(t1) & t1 < t2 & Q(t2)
+QUIT
+")
+execute_process(COMMAND ${IODB_SERVE}
+  INPUT_FILE "${gov_session}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "governance session: exit ${rc}\n${out}\n${err}")
+endif()
+if(NOT "${out}" MATCHES "ERR deadline-exceeded step budget exhausted"
+   OR NOT "${out}" MATCHES "ERR deadline-exceeded deadline exceeded"
+   OR NOT "${out}" MATCHES "ENTAILED")
+  message(FATAL_ERROR "governance transcript unexpected:\n${out}")
+endif()
+
+# --- oversized request line: structured error, session continues ------------
+
+string(REPEAT "x" 1048577 long_line)  # kMaxLineBytes + 1
+set(long_session "${WORK_DIR}/iodb_serve_cli.longline")
+file(WRITE "${long_session}" "${long_line}
+STATS
+QUIT
+")
+execute_process(COMMAND ${IODB_SERVE}
+  INPUT_FILE "${long_session}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "long-line session: exit ${rc}\n${err}")
+endif()
+if(NOT "${out}" MATCHES "ERR line-too-long"
+   OR NOT "${out}" MATCHES "requests +0")
+  message(FATAL_ERROR "long-line transcript unexpected:\n${out}")
+endif()
+
+# --- SIGTERM: clean shutdown ------------------------------------------------
+# The server must leave its blocking read, flush the registry, and exit 0
+# when it receives SIGTERM mid-session. Driven through a fifo so stdin
+# stays open (no EOF) while the signal arrives.
+
+find_program(BASH_PROGRAM bash)
+if(BASH_PROGRAM)
+  set(sigterm_script "${WORK_DIR}/iodb_serve_cli.sigterm.sh")
+  file(WRITE "${sigterm_script}" "set -u
+dir=\"$1\"; serve=\"$2\"
+fifo=\"$dir/serve.fifo\"; out=\"$dir/serve.out\"
+rm -f \"$fifo\" \"$out\"; rm -rf \"$dir/sigterm.store\"
+mkfifo \"$fifo\" || exit 90
+\"$serve\" --data-dir=\"$dir/sigterm.store\" --wal-sync=none \\
+  < \"$fifo\" > \"$out\" &
+pid=$!
+exec 3>\"$fifo\"
+printf 'LOAD base\\nP(u)\\nP(v)\\nu < v\\nEND\\nAPPEND base\\nQ(w)\\nv < w\\nEND\\n' >&3
+ok=0
+for i in $(seq 1 100); do
+  grep -q 'OK db=base atoms=5' \"$out\" 2>/dev/null && ok=1 && break
+  sleep 0.1
+done
+if [ \"$ok\" != 1 ]; then kill -9 $pid; exit 91; fi
+kill -TERM $pid
+wait $pid
+rc=$?
+exec 3>&-
+exit $rc
+")
+  execute_process(COMMAND ${BASH_PROGRAM} "${sigterm_script}"
+    "${WORK_DIR}" "${IODB_SERVE}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "SIGTERM shutdown: exit ${rc} (want 0)\n${out}\n${err}")
+  endif()
+  # The appended group must have survived the shutdown flush: a fresh
+  # session on the same directory sees all three atoms.
+  set(after_sigterm "${WORK_DIR}/iodb_serve_cli.aftersigterm")
+  file(WRITE "${after_sigterm}" "INFO base
+QUIT
+")
+  execute_process(COMMAND ${IODB_SERVE} --data-dir=${WORK_DIR}/sigterm.store
+    INPUT_FILE "${after_sigterm}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0 OR NOT "${out}" MATCHES "OK db=base atoms=5")
+    message(FATAL_ERROR "post-SIGTERM state unexpected (exit ${rc}):\n${out}")
+  endif()
+endif()
+
 # --- iodb_replay: deterministic report lines -------------------------------
 
 set(trace "${WORK_DIR}/iodb_serve_cli.trace.json")
@@ -218,12 +315,34 @@ endif()
 foreach(pattern
     "replayed 9 request\\(s\\)"
     "verdicts: 6 entailed, 3 not entailed, 0 error\\(s\\)"
+    "outcomes: 9 ok, 0 deadline-exceeded, 0 cancelled, 0 error\\(s\\)"
     "latency us: p50="
     "plan cache: 6 hit\\(s\\), 3 miss\\(es\\), 0 eviction\\(s\\), 3 compiled")
   if(NOT "${out}" MATCHES "${pattern}")
     message(FATAL_ERROR "iodb_replay output does not match '${pattern}'\n${out}")
   endif()
 endforeach()
+
+# A governed trace: the zero-step-budget request is counted per status
+# code ("deadline-exceeded", excluded from latency percentiles) while the
+# ungoverned request completes.
+set(gov_trace "${WORK_DIR}/iodb_serve_cli.gov.json")
+file(WRITE "${gov_trace}" "[
+  {\"op\": \"load\", \"db\": \"base\", \"text\": \"P(u)\\nQ(v)\\nu < v\"},
+  {\"op\": \"eval\", \"db\": \"base\",
+   \"query\": \"exists t1 t2: P(t1) & t1 < t2 & Q(t2)\"},
+  {\"op\": \"eval\", \"db\": \"base\", \"step_budget\": 0,
+   \"query\": \"exists t1 t2: P(t1) & t1 < t2 & Q(t2)\"}
+]
+")
+execute_process(COMMAND ${IODB_REPLAY} "${gov_trace}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "iodb_replay governed trace: exit ${rc}\n${out}\n${err}")
+endif()
+if(NOT "${out}" MATCHES "outcomes: 1 ok, 1 deadline-exceeded, 0 cancelled, 0 error\\(s\\)")
+  message(FATAL_ERROR "iodb_replay governed outcomes mismatch\n${out}")
+endif()
 
 # The batched path serves the same verdicts through the worker pool.
 execute_process(COMMAND ${IODB_REPLAY} "${trace}" --batch=3 --workers=2

@@ -269,6 +269,12 @@ void Database::AppendFactSegment(int pred, const int* flat_args,
   revision_ += count;  // one bump per fact, as repeated AddProperAtom
 }
 
+Database Database::ForkNextVersion() const {
+  Database fork(*this);  // fresh uid, shares the memoized NormView
+  fork.uid_ = uid_;      // ...which the original identity reclaims
+  return fork;
+}
+
 void Database::RestoreIdentity(uint64_t uid, uint64_t revision) {
   uid_ = uid;
   revision_ = revision;

@@ -153,6 +153,18 @@ class Database {
   /// after reconstructing the content the identity describes.
   void RestoreIdentity(uint64_t uid, uint64_t revision);
 
+  /// Serving-layer hook: a copy that KEEPS this database's uid (unlike the
+  /// copy constructor, which mints a fresh one). The fork is the next
+  /// version of the same logical database: mutating it bumps the shared
+  /// revision line, and because it inherits the memoized NormView it also
+  /// inherits the previous version's enumeration context, so the
+  /// reachability index grows incrementally across published versions
+  /// instead of rebuilding. The caller must retire the original from
+  /// further mutation (two live mutable objects with one uid would fork
+  /// the revision line) — the MVCC publish path does so by construction,
+  /// as the original is frozen behind shared_ptr<const Database>.
+  Database ForkNextVersion() const;
+
  private:
   void BumpRevision() { ++revision_; }
 

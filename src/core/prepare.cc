@@ -439,6 +439,10 @@ Result<PreparedQuery::NormDbRef> PreparedQuery::NormDbFor(
   }
   auto entry = std::make_shared<const TransformCache>(
       TransformCache{db.revision(), Normalize(working)});
+  // Pre-build the enumeration context before the entry becomes visible:
+  // once cached, concurrent readers share the NormDb, and its context
+  // slot fills lazily under const — safe only if it is already filled.
+  if (entry->ndb.ok()) (void)SharedEnumerationContext(entry->ndb.value());
   {
     std::scoped_lock lock(*cache_mu_);
     if (transform_cache_.find(db.uid()) == transform_cache_.end() &&

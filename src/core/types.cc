@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <mutex>
 
 namespace iodb {
 
@@ -25,22 +26,32 @@ uint64_t NextVocabularyUid() {
 
 Vocabulary::Vocabulary() : uid_(NextVocabularyUid()) {}
 
-Vocabulary::Vocabulary(const Vocabulary& other)
-    : uid_(NextVocabularyUid()),
-      predicates_(other.predicates_),
-      index_(other.index_) {}
+Vocabulary::Vocabulary(const Vocabulary& other) : uid_(NextVocabularyUid()) {
+  std::shared_lock<std::shared_mutex> lock(other.mu_);
+  predicates_ = other.predicates_;
+  index_ = other.index_;
+}
 
 Vocabulary& Vocabulary::operator=(const Vocabulary& other) {
   if (this == &other) return *this;
+  std::deque<PredicateInfo> predicates;
+  std::unordered_map<std::string, int> index;
+  {
+    std::shared_lock<std::shared_mutex> lock(other.mu_);
+    predicates = other.predicates_;
+    index = other.index_;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // The predicate table changes meaning, so this object is a new identity.
   uid_ = NextVocabularyUid();
-  predicates_ = other.predicates_;
-  index_ = other.index_;
+  predicates_ = std::move(predicates);
+  index_ = std::move(index);
   return *this;
 }
 
 Result<int> Vocabulary::GetOrAddPredicate(const std::string& name,
                                           std::vector<Sort> arg_sorts) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(name);
   if (it != index_.end()) {
     const PredicateInfo& existing = predicates_[it->second];
@@ -51,7 +62,7 @@ Result<int> Vocabulary::GetOrAddPredicate(const std::string& name,
     }
     return it->second;
   }
-  int id = num_predicates();
+  int id = static_cast<int>(predicates_.size());
   predicates_.push_back({name, std::move(arg_sorts)});
   index_.emplace(name, id);
   return id;
@@ -65,7 +76,10 @@ int Vocabulary::MustAddPredicate(const std::string& name,
 }
 
 void Vocabulary::RestoreUid(uint64_t uid) {
-  uid_ = uid;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    uid_ = uid;
+  }
   // Advance the counter to at least `uid` so no later-constructed
   // vocabulary is handed the restored identity.
   std::atomic<uint64_t>& counter = VocabularyUidCounter();
@@ -77,12 +91,14 @@ void Vocabulary::RestoreUid(uint64_t uid) {
 }
 
 std::optional<int> Vocabulary::FindPredicate(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(name);
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
 
 bool Vocabulary::AllMonadicOrder() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (const PredicateInfo& info : predicates_) {
     if (!info.IsMonadicOrder()) return false;
   }

@@ -7,8 +7,10 @@
 #define IODB_CORE_TYPES_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +43,13 @@ struct PredicateInfo {
 /// Interns proper predicate symbols. A vocabulary is shared (by
 /// shared_ptr) between the databases and queries that talk about the same
 /// predicates, so predicate ids are directly comparable.
+///
+/// Thread-safety: fully synchronized. Registration
+/// (GetOrAddPredicate / MustAddPredicate) may race lookups from any
+/// number of threads — the serving layer parses queries and mutations
+/// concurrently against one shared vocabulary. References returned by
+/// predicate() stay valid forever (predicates are append-only in stable
+/// storage), so engines can hold them across later registrations.
 class Vocabulary {
  public:
   Vocabulary();
@@ -53,7 +62,10 @@ class Vocabulary {
   /// vocabularies. Predicate registration does NOT change the uid:
   /// registering new predicates only extends the id space, it never
   /// re-means an existing id.
-  uint64_t uid() const { return uid_; }
+  uint64_t uid() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return uid_;
+  }
 
   /// Registers `name` with the given signature, or returns the existing id.
   /// Fails (via Result) if `name` exists with a different signature.
@@ -74,19 +86,29 @@ class Vocabulary {
   /// published yet (re-identifying a vocabulary re-keys every cache).
   void RestoreUid(uint64_t uid);
 
+  /// The reference is stable: it survives later registrations (deque
+  /// storage, append-only) and any concurrent GetOrAddPredicate.
   const PredicateInfo& predicate(int id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     IODB_CHECK_GE(id, 0);
-    IODB_CHECK_LT(id, num_predicates());
+    IODB_CHECK_LT(id, static_cast<int>(predicates_.size()));
     return predicates_[id];
   }
-  int num_predicates() const { return static_cast<int>(predicates_.size()); }
+  int num_predicates() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return static_cast<int>(predicates_.size());
+  }
 
   /// True if every predicate is monadic over the order sort.
   bool AllMonadicOrder() const;
 
  private:
+  // Guards every member. A deque (not vector) holds the predicates so
+  // references handed out by predicate() never move under a concurrent
+  // registration's growth.
+  mutable std::shared_mutex mu_;
   uint64_t uid_;
-  std::vector<PredicateInfo> predicates_;
+  std::deque<PredicateInfo> predicates_;
   std::unordered_map<std::string, int> index_;
 };
 

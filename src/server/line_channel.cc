@@ -1,0 +1,83 @@
+#include "server/line_channel.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "storage/io.h"
+
+namespace iodb::server {
+
+LineChannel::LineChannel(int read_fd, int write_fd, int wake_fd)
+    : read_fd_(read_fd), write_fd_(write_fd), wake_fd_(wake_fd) {}
+
+LineChannel::ReadStatus LineChannel::ReadLine(std::string* line) {
+  for (;;) {
+    // Serve from the buffer first: bytes already read must be consumed
+    // before EOF/interrupt is reported, or pipelined commands would be
+    // dropped.
+    size_t newline = in_buffer_.find('\n', in_pos_);
+    if (newline != std::string::npos) {
+      line->assign(in_buffer_, in_pos_, newline - in_pos_);
+      in_pos_ = newline + 1;
+      if (in_pos_ == in_buffer_.size()) {
+        in_buffer_.clear();
+        in_pos_ = 0;
+      }
+      return ReadStatus::kLine;
+    }
+    if (eof_) {
+      if (in_pos_ < in_buffer_.size()) {  // final line without a newline
+        line->assign(in_buffer_, in_pos_, in_buffer_.size() - in_pos_);
+        in_buffer_.clear();
+        in_pos_ = 0;
+        return ReadStatus::kLine;
+      }
+      return ReadStatus::kEof;
+    }
+
+    // Wait for data or a wake. The wake fd is checked by poll() itself,
+    // so a wake byte written before this wait still interrupts it —
+    // there is no unguarded window between a flag check and the read.
+    struct pollfd fds[2];
+    fds[0] = {read_fd_, POLLIN, 0};
+    nfds_t nfds = 1;
+    if (wake_fd_ >= 0) {
+      fds[1] = {wake_fd_, POLLIN, 0};
+      nfds = 2;
+    }
+    int ready = ::poll(fds, nfds, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // the wake pipe carries the signal
+      return ReadStatus::kError;
+    }
+    if (nfds == 2 && (fds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      return ReadStatus::kInterrupted;
+    }
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+
+    char chunk[1 << 16];
+    ssize_t n = ::read(read_fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kError;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;  // deliver any buffered final line first
+    }
+    in_buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void LineChannel::Write(std::string_view bytes) { out_buffer_ += bytes; }
+
+bool LineChannel::Flush() {
+  if (out_buffer_.empty()) return true;
+  Status status = storage::WriteFull(write_fd_, out_buffer_, "session fd");
+  out_buffer_.clear();
+  return status.ok();
+}
+
+}  // namespace iodb::server

@@ -1,0 +1,65 @@
+// LineChannel: a buffered, interruptible line reader/writer over raw
+// file descriptors — the transport under every serving session (stdin
+// pipes, FIFOs, unix/TCP sockets alike).
+//
+// The read side fixes the lost-wakeup race of the old serve loop: a
+// shutdown signal delivered between "check the flag" and "enter the
+// blocking read" used to leave the process blocked until the next input
+// line. Here every blocking wait is a poll() over {data fd, wake fd}, so
+// a wake byte written at ANY point — before the wait, during it, or
+// mid-payload — interrupts the very next (or current) wait. The wake fd
+// is level-triggered by convention: the waker writes one byte and never
+// drains it, so every subsequent wait returns kInterrupted too (shutdown
+// is terminal).
+//
+// The write side buffers until Flush() (one syscall per response burst)
+// and goes through the storage layer's EINTR/short-write-safe WriteFull.
+
+#ifndef IODB_SERVER_LINE_CHANNEL_H_
+#define IODB_SERVER_LINE_CHANNEL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace iodb::server {
+
+class LineChannel {
+ public:
+  /// `read_fd` and `write_fd` may be the same descriptor (a socket).
+  /// `wake_fd` < 0 disables interruption. The channel borrows all three
+  /// (no close on destruction).
+  LineChannel(int read_fd, int write_fd, int wake_fd = -1);
+
+  enum class ReadStatus {
+    kLine,         // *line holds the next line (newline stripped)
+    kEof,          // clean end of input
+    kInterrupted,  // the wake fd is readable (shutdown/disconnect)
+    kError,        // read failed (connection reset, ...)
+  };
+
+  /// Blocks until a full line is buffered, then strips the trailing
+  /// newline. A final line without a newline is still delivered (kEof
+  /// comes on the following call), matching std::getline.
+  ReadStatus ReadLine(std::string* line);
+
+  /// Appends to the output buffer. Call Flush() to push to the fd.
+  void Write(std::string_view bytes);
+
+  /// Writes the buffered output; false on a write error (broken pipe).
+  /// Safe to call with an empty buffer.
+  bool Flush();
+
+ private:
+  int read_fd_;
+  int write_fd_;
+  int wake_fd_;
+  std::string in_buffer_;
+  size_t in_pos_ = 0;  // consumed prefix of in_buffer_
+  bool eof_ = false;
+  std::string out_buffer_;
+};
+
+}  // namespace iodb::server
+
+#endif  // IODB_SERVER_LINE_CHANNEL_H_

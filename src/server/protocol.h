@@ -1,0 +1,117 @@
+// The serving line protocol, factored out of tools/iodb_serve so the
+// single-client stdin loop and the concurrent socket server speak
+// byte-identical dialects of the same protocol (see the iodb_serve
+// header comment and docs/SERVING.md for the verb reference).
+//
+// ServingState is the per-process half: the shared EvaluationService
+// (or the durable registry wrapping one) that every session serves
+// from. ProtocolSession is the per-client half: one command loop over
+// one LineChannel.
+//
+// Concurrency contract: any number of ProtocolSessions may Run()
+// concurrently over one ServingState. EVAL/BATCH/INFO/STATS go straight
+// to the service (readers pin a published database version and never
+// block); LOAD/APPEND/SAVE serialize on the state's writer mutex —
+// against each other only, never against readers. OPEN (which swaps the
+// whole registry) is only allowed on sessions that opted in
+// (allow_open), i.e. the single-client stdin mode.
+
+#ifndef IODB_SERVER_PROTOCOL_H_
+#define IODB_SERVER_PROTOCOL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "server/line_channel.h"
+#include "service/service.h"
+#include "storage/durable_registry.h"
+#include "storage/wal.h"
+#include "util/budget.h"
+
+namespace iodb::server {
+
+/// Command lines (and BATCH request lines) over this limit are rejected
+/// with a structured error instead of being buffered without bound.
+inline constexpr size_t kMaxLineBytes = size_t{1} << 20;
+
+/// The process-wide serving state: a bare in-memory service, swapped
+/// for a durable registry's service when one is open.
+class ServingState {
+ public:
+  ServingState(ServiceOptions options, storage::WalSyncOptions sync);
+
+  /// Opens (creating if needed) a durable registry at `dir` and swaps it
+  /// in as the serving state. Callers must guarantee no session is
+  /// mid-request (startup, or the single-session stdin mode).
+  Status OpenRegistry(const std::string& dir);
+
+  EvaluationService& service();
+  storage::DurableRegistry* registry() { return registry_.get(); }
+
+  /// Shutdown hook: makes every acknowledged append durable.
+  Status FlushRegistry();
+
+  const ServiceOptions& options() const { return options_; }
+  const storage::WalSyncOptions& sync() const { return sync_; }
+
+  /// Serializes registry-writing verbs (LOAD/APPEND/SAVE) across
+  /// sessions. Readers never take this.
+  std::mutex& write_mu() { return write_mu_; }
+
+ private:
+  ServiceOptions options_;
+  storage::WalSyncOptions sync_;
+  std::unique_ptr<EvaluationService> bare_;
+  std::unique_ptr<storage::DurableRegistry> registry_;
+  std::mutex write_mu_;
+};
+
+/// One client's command loop. Reads commands from the channel, writes
+/// responses to it, and flushes after every command.
+class ProtocolSession {
+ public:
+  struct Options {
+    /// Permit the OPEN verb (single-session modes only; a socket session
+    /// may not swap the registry under its peers).
+    bool allow_open = false;
+  };
+
+  /// `cancel` (optional, caller-owned) aborts in-flight evaluations —
+  /// the socket server trips it when the peer disconnects.
+  ProtocolSession(ServingState* state, LineChannel* channel, Options options,
+                  const CancelToken* cancel = nullptr);
+
+  enum class ExitReason {
+    kQuit,         // QUIT verb or clean EOF
+    kInterrupted,  // the channel's wake fd tripped (shutdown signal)
+    kChannelError, // read or write failure (peer reset, broken pipe)
+  };
+
+  /// Serves commands until the session ends; returns why it ended.
+  ExitReason Run();
+
+ private:
+  // Verb handlers append their response lines to the channel.
+  void HandleLoad(const std::string& name, const std::string& text);
+  void HandleAppend(const std::string& name, const std::string& text);
+  void HandleOpen(const std::string& dir);
+  void HandleSave(const std::string& name);
+  void HandleInfo(const std::string& name);
+  void HandleEval(const std::string& args);
+  void HandleBatch(const std::string& args, bool* quit);
+  void Err(const std::string& message);
+  void PrintResponse(const Result<EvalResponse>& response);
+
+  /// Reads payload lines up to the END terminator.
+  LineChannel::ReadStatus ReadUntilEnd(std::string* text);
+
+  ServingState* state_;
+  LineChannel* channel_;
+  Options options_;
+  const CancelToken* cancel_;
+};
+
+}  // namespace iodb::server
+
+#endif  // IODB_SERVER_PROTOCOL_H_

@@ -49,6 +49,8 @@ Result<EvalRequest> ParseEvalRequest(const std::string& line) {
       request.options.want_countermodel = true;
     } else if (flag == "--explain") {
       request.explain = true;
+    } else if (flag == "--identity") {
+      request.report_identity = true;
     } else if (flag.rfind("--semantics=", 0) == 0) {
       std::optional<OrderSemantics> semantics =
           ParseOrderSemantics(flag.substr(12));
@@ -100,14 +102,19 @@ std::string FormatEvalRequest(const EvalRequest& request) {
   }
   if (request.options.want_countermodel) out += " --countermodel";
   if (request.explain) out += " --explain";
+  if (request.report_identity) out += " --identity";
   return out + " " + request.query;
 }
 
 std::string FormatResponseLine(const EvalResponse& response) {
   std::string out = response.entailed ? "ENTAILED" : "NOT ENTAILED";
   out += std::string("  [engine: ") + EngineKindName(response.engine_used) +
-         ", cache: " + (response.plan_cache_hit ? "hit" : "miss") + "]";
-  return out;
+         ", cache: " + (response.plan_cache_hit ? "hit" : "miss");
+  if (response.report_identity) {
+    out += ", db: " + std::to_string(response.db_uid) + "@" +
+           std::to_string(response.db_revision);
+  }
+  return out + "]";
 }
 
 }  // namespace iodb

@@ -7,7 +7,7 @@
 //
 //   <db-name> [--semantics=finite|integer|rational] [--engine=NAME]
 //             [--deadline-ms=N] [--step-budget=N]
-//             [--countermodel] [--explain] <query text>
+//             [--countermodel] [--explain] [--identity] <query text>
 //
 // Flags follow the database name; the first token that is not a flag
 // starts the query text (query text never begins with "--"). Flag names
@@ -43,6 +43,10 @@ struct EvalRequest {
   long long step_budget = -1;
   /// Attach the rendered plan + evaluation counters to the response.
   bool explain = false;
+  /// Report the pinned database version (uid@revision) in the verdict
+  /// line — the observable MVCC handle: concurrent sessions use it to
+  /// assert which published version served them.
+  bool report_identity = false;
 };
 
 /// The verdict payload of one request.
@@ -56,6 +60,13 @@ struct EvalResponse {
   std::optional<FiniteModel> countermodel;
   /// PreparedQuery::Explain(result) rendering; nonempty iff requested.
   std::string explain;
+  /// Identity of the published database version the evaluation ran
+  /// against (the version pinned at request start).
+  uint64_t db_uid = 0;
+  uint64_t db_revision = 0;
+  /// Mirrors EvalRequest::report_identity so FormatResponseLine knows
+  /// whether to render the version handle.
+  bool report_identity = false;
 };
 
 /// Parses the wire form above. Fails on an empty line, a missing query,

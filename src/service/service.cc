@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/minimal_models.h"
 #include "core/parser.h"
 #include "util/parallel.h"
 
@@ -20,6 +21,7 @@ std::string ServiceStats::ToString() const {
   out += line("batches", batches);
   out += line("plans-compiled", plans_compiled);
   out += line("databases", databases);
+  out += line("publishes", publishes);
   out += line("plan-cache-hits", plan_cache.hits);
   out += line("plan-cache-misses", plan_cache.misses);
   out += line("plan-cache-evictions", plan_cache.evictions);
@@ -57,6 +59,24 @@ Result<DbInfo> EvaluationService::Load(const std::string& name,
   return Register(name, std::move(db.value()));
 }
 
+DbInfo EvaluationService::Publish(const std::string& name, Database db) {
+  // Pre-materialize the derived structures on the writer, so no reader of
+  // the published version ever triggers a lazy fill (NormView and the
+  // enumeration context fill under const and are not built for
+  // concurrent first-touch). A database the normalizer rejects publishes
+  // anyway — evaluation reports the same error per request.
+  Result<const NormDb*> view = db.NormView();
+  if (view.ok()) (void)SharedEnumerationContext(*view.value());
+  DbInfo info{name, db.SizeAtoms(), db.uid(), db.revision()};
+  auto published = std::make_shared<const Database>(std::move(db));
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mu_);
+    databases_[name] = std::move(published);
+  }
+  ++publishes_;
+  return info;
+}
+
 Result<DbInfo> EvaluationService::Register(const std::string& name,
                                            Database db) {
   if (name.empty()) {
@@ -67,23 +87,45 @@ Result<DbInfo> EvaluationService::Register(const std::string& name,
         "registered databases must share the service vocabulary "
         "(build against vocab())");
   }
-  auto stored = std::make_unique<Database>(std::move(db));
-  DbInfo info{name, stored->SizeAtoms(), stored->uid(), stored->revision()};
-  databases_[name] = std::move(stored);
-  return info;
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  return Publish(name, std::move(db));
+}
+
+EvaluationService::DatabasePtr EvaluationService::Snapshot(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  auto it = databases_.find(name);
+  return it == databases_.end() ? nullptr : it->second;
 }
 
 const Database* EvaluationService::database(const std::string& name) const {
-  auto it = databases_.find(name);
-  return it == databases_.end() ? nullptr : it->second.get();
+  return Snapshot(name).get();
 }
 
-Database* EvaluationService::mutable_database(const std::string& name) {
-  auto it = databases_.find(name);
-  return it == databases_.end() ? nullptr : it->second.get();
+Result<DbInfo> EvaluationService::Mutate(
+    const std::string& name, const std::function<Status(Database*)>& mutate,
+    const std::function<Status(const Database&)>& before_publish) {
+  std::lock_guard<std::mutex> write_lock(write_mu_);
+  DatabasePtr current = Snapshot(name);
+  if (current == nullptr) {
+    return Status::InvalidArgument("unknown database '" + name + "'");
+  }
+  // Build the next version off to the side; readers keep serving from
+  // `current` the whole time. The fork keeps the uid and the memoized
+  // NormView, so Publish() grows the previous reachability index
+  // incrementally instead of rebuilding it.
+  Database next = current->ForkNextVersion();
+  Status status = mutate(&next);
+  if (!status.ok()) return status;
+  if (before_publish != nullptr) {
+    status = before_publish(next);
+    if (!status.ok()) return status;
+  }
+  return Publish(name, std::move(next));
 }
 
 std::vector<std::string> EvaluationService::database_names() const {
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
   std::vector<std::string> names;
   names.reserve(databases_.size());
   for (const auto& [name, db] : databases_) names.push_back(name);
@@ -112,14 +154,18 @@ Result<std::shared_ptr<const PreparedQuery>> EvaluationService::PlanFor(
 }
 
 EvalResponse EvaluationService::MakeResponse(const PreparedQuery& plan,
+                                             const Database& db,
                                              EntailResult result,
                                              bool cache_hit,
-                                             bool explain) const {
+                                             const EvalRequest& request) const {
   EvalResponse response;
   response.entailed = result.entailed;
   response.engine_used = result.engine_used;
   response.plan_cache_hit = cache_hit;
-  if (explain) response.explain = plan.Explain(result);
+  response.db_uid = db.uid();
+  response.db_revision = db.revision();
+  response.report_identity = request.report_identity;
+  if (request.explain) response.explain = plan.Explain(result);
   response.countermodel = std::move(result.countermodel);
   return response;
 }
@@ -127,7 +173,10 @@ EvalResponse EvaluationService::MakeResponse(const PreparedQuery& plan,
 Result<EvalResponse> EvaluationService::Eval(const EvalRequest& request,
                                              const CancelToken* cancel) {
   ++requests_;
-  const Database* db = database(request.db);
+  // Pin the published version for the whole request: everything after
+  // this line runs lock-free against an immutable database, however many
+  // publishes land meanwhile.
+  DatabasePtr db = Snapshot(request.db);
   if (db == nullptr) {
     return Status::InvalidArgument("unknown database '" + request.db + "'");
   }
@@ -144,8 +193,8 @@ Result<EvalResponse> EvaluationService::Eval(const EvalRequest& request,
   Result<EntailResult> result =
       plan.value()->Evaluate(*db, budget.limited() ? &budget : nullptr);
   if (!result.ok()) return result.status();
-  return MakeResponse(*plan.value(), std::move(result.value()), cache_hit,
-                      request.explain);
+  return MakeResponse(*plan.value(), *db, std::move(result.value()),
+                      cache_hit, request);
 }
 
 std::vector<Result<EvalResponse>> EvaluationService::EvalBatch(
@@ -158,21 +207,28 @@ std::vector<Result<EvalResponse>> EvaluationService::EvalBatch(
   const std::chrono::steady_clock::time_point batch_start =
       std::chrono::steady_clock::now();
 
-  // Phase 1 (serial): resolve databases and plans. Parsing and compiling
-  // touch the shared vocabulary and plan cache; evaluation is the part
-  // worth fanning out.
+  // Phase 1 (serial): pin database versions and resolve plans. Parsing
+  // and compiling touch the shared vocabulary and plan cache; evaluation
+  // is the part worth fanning out. The pins are the batch's snapshot:
+  // every member evaluates the version published at batch start, however
+  // many publishes land while the batch runs. Pins are memoized per
+  // name — members naming the same database share ONE pin, so a publish
+  // landing mid-loop cannot split a batch across versions.
   struct Slot {
-    const Database* db = nullptr;
+    DatabasePtr db;
     std::shared_ptr<const PreparedQuery> plan;
     bool cache_hit = false;
   };
   std::vector<Result<EvalResponse>> results(
       requests.size(), Result<EvalResponse>(EvalResponse{}));
   std::vector<Slot> slots(requests.size());
+  std::unordered_map<std::string, DatabasePtr> pinned;
   for (size_t i = 0; i < requests.size(); ++i) {
     const EvalRequest& request = requests[i];
     Slot& slot = slots[i];
-    slot.db = database(request.db);
+    auto [pin, first_use] = pinned.try_emplace(request.db, nullptr);
+    if (first_use) pin->second = Snapshot(request.db);
+    slot.db = pin->second;
     if (slot.db == nullptr) {
       results[i] =
           Status::InvalidArgument("unknown database '" + request.db + "'");
@@ -207,7 +263,7 @@ std::vector<Result<EvalResponse>> EvaluationService::EvalBatch(
     const PreparedQuery& plan = *slots[group[0]].plan;
     std::vector<const Database*> dbs;
     dbs.reserve(group.size());
-    for (size_t slot : group) dbs.push_back(slots[slot].db);
+    for (size_t slot : group) dbs.push_back(slots[slot].db.get());
     // One shared budget per plan group: the tightest member limits govern
     // the whole group, and a trip cancels the group's in-flight shards
     // (see the EvalBatch doc comment for the scope contract).
@@ -237,8 +293,8 @@ std::vector<Result<EvalResponse>> EvaluationService::EvalBatch(
         continue;
       }
       results[i] =
-          MakeResponse(plan, std::move(verdicts[k].value()),
-                       slots[i].cache_hit, requests[i].explain);
+          MakeResponse(plan, *slots[i].db, std::move(verdicts[k].value()),
+                       slots[i].cache_hit, requests[i]);
     }
   }
   return results;
@@ -249,7 +305,11 @@ ServiceStats EvaluationService::stats() const {
   stats.requests = requests_;
   stats.batches = batches_;
   stats.plans_compiled = plans_compiled_;
-  stats.databases = static_cast<long long>(databases_.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(db_mu_);
+    stats.databases = static_cast<long long>(databases_.size());
+  }
+  stats.publishes = publishes_;
   stats.plan_cache = plan_cache_.stats();
   return stats;
 }

@@ -6,11 +6,14 @@
 //   * one shared Vocabulary for all registered databases and parsed
 //     queries (predicate ids stay comparable across the fleet, which is
 //     what lets one compiled plan serve every database);
-//   * named databases with Database's built-in uid/revision identity —
-//     mutating a registered database bumps its revision, which
-//     invalidates the memoized NormView and every per-plan transformed
-//     view keyed by (uid, revision), so no request can be served from a
-//     stale derived structure;
+//   * named databases published as immutable versions (MVCC): each name
+//     maps to a shared_ptr<const Database>, and a mutation forks the
+//     current version (Database::ForkNextVersion — same uid, next
+//     revisions), applies the change, pre-materializes the derived
+//     structures (NormView + enumeration context, grown incrementally
+//     from the previous version's reachability index), and atomically
+//     republishes. The (uid, revision) identity keys every derived
+//     cache, so no request can be served from a stale structure;
 //   * a bounded LRU plan cache (service/plan_cache.h) keyed by
 //     (vocabulary uid, plan fingerprint) with hit/miss/eviction counters;
 //   * batch scheduling onto the PR-3 worker pool
@@ -19,25 +22,27 @@
 //     and results land in their request slots — the response order is
 //     deterministic and independent of scheduling.
 //
-// Thread-safety: the plan cache and the plans' own evaluation caches are
-// internally synchronized. Registration (Load/Register) and mutation
-// (mutable_database) must not race evaluations; concurrent Eval calls
-// are safe when they target distinct databases (a single Database's
-// NormView fills lazily under const) AND every concurrently compiled
-// query is constant-free — compiling a constant-bearing query registers
-// its marker predicates into the shared vocabulary, a single-writer
-// operation (pre-warm such plans with one Eval, or serialize the
-// misses). EvalBatch is the supported in-process concurrency seam — its
-// compile phase is serial and it dedupes duplicate databases before
-// sharding.
+// Thread-safety: the service is fully synchronized — any number of
+// threads may call Eval/EvalBatch concurrently with each other and with
+// Load/Register/Mutate. Readers never block on a writer: Eval pins the
+// published version at request start (one shared_ptr copy under a brief
+// shared lock) and runs lock-free against that immutable version; the
+// single-writer path builds the next version off to the side and
+// publishes it with one pointer swap, so readers on the old version
+// drain naturally as their requests finish. Writers serialize against
+// each other on an internal mutex. The shared Vocabulary is itself
+// internally synchronized (concurrent query/mutation parsing is safe).
 
 #ifndef IODB_SERVICE_SERVICE_H_
 #define IODB_SERVICE_SERVICE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -83,6 +88,9 @@ struct ServiceStats {
   long long plans_compiled = 0;
   /// Registered databases.
   long long databases = 0;
+  /// Database versions published (every Load/Register/Mutate that
+  /// swapped a new immutable version in).
+  long long publishes = 0;
   PlanCacheStats plan_cache;
 
   /// Multi-line "name value" rendering (the STATS payload of iodb_serve).
@@ -92,6 +100,10 @@ struct ServiceStats {
 /// The in-process serving layer. See the file comment for the contract.
 class EvaluationService {
  public:
+  /// A pinned immutable database version. Holding one keeps that version
+  /// alive (and every derived cache valid) regardless of later publishes.
+  using DatabasePtr = std::shared_ptr<const Database>;
+
   explicit EvaluationService(ServiceOptions options = {});
 
   /// The vocabulary shared by every registered database and parsed query.
@@ -108,31 +120,50 @@ class EvaluationService {
   /// predicate ids would be meaningless against it.
   Result<DbInfo> Register(const std::string& name, Database db);
 
-  /// The registered database, or nullptr. The mutable overload is the
-  /// in-process mutation seam: adding facts through it bumps the
-  /// database's revision, which invalidates every derived cache.
+  /// Pins the currently published version of `name` (nullptr if
+  /// unregistered). One shared_ptr copy under a brief shared lock; the
+  /// returned version is immutable and survives later publishes.
+  DatabasePtr Snapshot(const std::string& name) const;
+
+  /// Borrowed pointer to the currently published version, or nullptr.
+  /// Valid only until the next publish of `name` — single-threaded
+  /// convenience for tools and tests; concurrent callers use Snapshot().
   const Database* database(const std::string& name) const;
-  Database* mutable_database(const std::string& name);
+
+  /// The single-writer mutation seam. Forks the published version
+  /// (Database::ForkNextVersion — the fork keeps the uid, so the
+  /// revision line and every cross-revision cache continue), applies
+  /// `mutate` to the fork, pre-materializes the derived structures so no
+  /// concurrent reader ever pays a lazy build, then runs `before_publish`
+  /// (optional; the durability hook — WAL logging goes here, after the
+  /// mutation validated but before it becomes visible) and atomically
+  /// republishes. On any failure the published version is untouched.
+  /// Writers serialize; readers are never blocked.
+  Result<DbInfo> Mutate(
+      const std::string& name,
+      const std::function<Status(Database*)>& mutate,
+      const std::function<Status(const Database&)>& before_publish = nullptr);
 
   /// Registered names in registration-independent (sorted) order.
   std::vector<std::string> database_names() const;
 
-  /// Serves one request: resolves the database, fetches the compiled plan
-  /// from the cache (compiling on a miss), evaluates, and renders the
-  /// optional explain payload. Governance: the request's deadline/step
-  /// budget (or the service defaults) bound the evaluation, and `cancel`
-  /// (optional, caller-owned, must outlive the call) aborts it from
-  /// another thread; exhaustion surfaces as kDeadlineExceeded /
-  /// kCancelled. With no limits and no token the evaluation runs the
-  /// ungoverned zero-overhead path.
+  /// Serves one request: pins the published database version, fetches the
+  /// compiled plan from the cache (compiling on a miss), evaluates
+  /// lock-free against the pinned version, and renders the optional
+  /// explain payload. Governance: the request's deadline/step budget (or
+  /// the service defaults) bound the evaluation, and `cancel` (optional,
+  /// caller-owned, must outlive the call) aborts it from another thread;
+  /// exhaustion surfaces as kDeadlineExceeded / kCancelled. With no
+  /// limits and no token the evaluation runs the ungoverned zero-overhead
+  /// path.
   Result<EvalResponse> Eval(const EvalRequest& request,
                             const CancelToken* cancel = nullptr);
 
   /// Serves a batch: requests are grouped by compiled plan, each group's
   /// databases are fanned across the worker pool, and results[i] is
-  /// always the verdict of requests[i] regardless of scheduling. Per-
-  /// request failures (unknown database, parse errors) fail only their
-  /// own slot.
+  /// always the verdict of requests[i] regardless of scheduling. Every
+  /// member pins its database version at batch start. Per-request
+  /// failures (unknown database, parse errors) fail only their own slot.
   ///
   /// Batch governance scope: each plan group shares one ExecBudget — its
   /// deadline is the batch start plus the smallest effective member
@@ -159,8 +190,13 @@ class EvaluationService {
       bool* cache_hit);
 
   /// Assembles the response from an evaluation result.
-  EvalResponse MakeResponse(const PreparedQuery& plan, EntailResult result,
-                            bool cache_hit, bool explain) const;
+  EvalResponse MakeResponse(const PreparedQuery& plan, const Database& db,
+                            EntailResult result, bool cache_hit,
+                            const EvalRequest& request) const;
+
+  /// Swaps `db` in as the published version of `name` (caller holds
+  /// write_mu_). Pre-materializes the derived structures first.
+  DbInfo Publish(const std::string& name, Database db);
 
   /// The request's effective limits (service defaults filled in).
   long long EffectiveDeadlineMs(const EvalRequest& request) const;
@@ -171,12 +207,18 @@ class EvaluationService {
   long long default_deadline_ms_;
   long long default_step_budget_;
   PlanCache plan_cache_;
-  // Ordered map so database_names() needs no extra sort.
-  std::map<std::string, std::unique_ptr<Database>> databases_;
-  // Atomic so concurrent Eval calls (distinct databases) stay race-free.
+  // The published versions. db_mu_ guards the map only (lookup and
+  // pointer swap — never held across parsing, evaluation, or version
+  // building); write_mu_ serializes the writers end-to-end. Ordered map
+  // so database_names() needs no extra sort.
+  mutable std::shared_mutex db_mu_;
+  std::mutex write_mu_;
+  std::map<std::string, DatabasePtr> databases_;
+  // Atomic so concurrent Eval calls stay race-free.
   std::atomic<long long> requests_{0};
   std::atomic<long long> batches_{0};
   std::atomic<long long> plans_compiled_{0};
+  std::atomic<long long> publishes_{0};
 };
 
 }  // namespace iodb

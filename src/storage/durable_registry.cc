@@ -181,7 +181,9 @@ Status DurableRegistry::PersistVocabulary() {
 }
 
 Result<DbInfo> DurableRegistry::PersistDatabase(const std::string& name) {
-  const Database* db = service_.database(name);
+  // Pin the published version: the snapshot on disk must be internally
+  // consistent even if a writer publishes while we serialize.
+  EvaluationService::DatabasePtr db = service_.Snapshot(name);
   if (db == nullptr) {
     return Status::InvalidArgument("unknown database '" + name + "'");
   }
@@ -207,10 +209,6 @@ Result<DbInfo> DurableRegistry::Load(const std::string& name,
 
 Result<DbInfo> DurableRegistry::AppendText(const std::string& name,
                                            const std::string& text) {
-  Database* db = service_.mutable_database(name);
-  if (db == nullptr) {
-    return Status::InvalidArgument("unknown database '" + name + "'");
-  }
   Result<std::vector<WalRecord>> records =
       ParseMutationText(text, service_.vocab());
   if (!records.ok()) return records.status();
@@ -218,21 +216,22 @@ Result<DbInfo> DurableRegistry::AppendText(const std::string& name,
   // before anything that could reference them is durable.
   Status status = PersistVocabulary();
   if (!status.ok()) return status;
-  // Apply to the live database first: a record the live database
-  // rejects (e.g. a sort clash with existing constants) must never
-  // reach the log, or replay would diverge. The group append is one
-  // buffered write; a crash between apply and append loses at most this
-  // group (re-appendable), never tears it.
-  status = ApplyWalRecords(records.value(), db);
-  if (!status.ok()) return status;
-  status = AppendWalGroup(WalPath(name), records.value(),
-                          sync_.policy == WalSyncPolicy::kCommit);
-  if (!status.ok()) {
-    return Status(status.code(),
-                  status.message() +
-                      " (the mutation is applied in memory but not "
-                      "logged; compact to restore durability)");
-  }
+  // Single-writer publish path: the mutation is applied to a fork of the
+  // published version first (a record the database rejects — e.g. a sort
+  // clash with existing constants — must never reach the log, or replay
+  // would diverge), WAL-logged once it is known good, and only then
+  // republished. A group that fails to log never becomes visible to
+  // readers; a crash between log and publish re-applies the group from
+  // the WAL on the next open, converging to the same content. Readers
+  // keep serving the old version throughout.
+  Result<DbInfo> info = service_.Mutate(
+      name,
+      [&](Database* db) { return ApplyWalRecords(records.value(), db); },
+      [&](const Database&) {
+        return AppendWalGroup(WalPath(name), records.value(),
+                              sync_.policy == WalSyncPolicy::kCommit);
+      });
+  if (!info.ok()) return info;
   if (sync_.policy != WalSyncPolicy::kCommit) {
     dirty_.insert(name);
     if (sync_.policy == WalSyncPolicy::kInterval &&
@@ -242,7 +241,7 @@ Result<DbInfo> DurableRegistry::AppendText(const std::string& name,
       if (!flush.ok()) return flush;
     }
   }
-  return DbInfo{name, db->SizeAtoms(), db->uid(), db->revision()};
+  return info;
 }
 
 Status DurableRegistry::Flush() {

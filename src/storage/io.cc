@@ -1,0 +1,69 @@
+#include "storage/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/failpoint.h"
+
+namespace iodb::storage {
+
+Status WriteFull(int fd, std::string_view bytes, const std::string& what) {
+  const char* data = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    size_t chunk = left;
+    // Short-write seam: cap every chunk at one byte so the resume loop
+    // provably runs (the kernel is allowed to do this to us any time).
+    if (failpoint::Check("io-short-write") != failpoint::Action::kOff) {
+      chunk = 1;
+    }
+    ssize_t n = ::write(fd, data, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::InvalidArgument("error writing " + what + ": " +
+                                     std::strerror(errno));
+    }
+    data += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadFull(int fd, std::string* out, const std::string& what) {
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::InvalidArgument("error reading " + what + ": " +
+                                     std::strerror(errno));
+    }
+    if (n == 0) return Status::Ok();
+    out->append(buffer, static_cast<size_t>(n));
+  }
+}
+
+Status FsyncFd(int fd, const std::string& what) {
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return Status::InvalidArgument("fsync of " + what + " failed: " +
+                                   std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<int> OpenFd(const std::string& path, int flags, int mode,
+                   const std::string& what) {
+  for (;;) {
+    int fd = ::open(path.c_str(), flags, mode);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return Status::InvalidArgument("cannot open " + what + " '" + path +
+                                   "': " + std::strerror(errno));
+  }
+}
+
+}  // namespace iodb::storage

@@ -1,0 +1,47 @@
+// EINTR-safe raw-I/O helpers shared by every storage-layer syscall site
+// (WAL append, snapshot write, WriteFileAtomic, file slurps).
+//
+// The serving layer is signal-rich — self-pipe shutdown, per-session
+// cancellation, timers — so interrupted syscalls are routine, and a
+// short write() that is not resumed corrupts the WAL tail. Every raw
+// read/write/fsync in src/storage/ goes through these wrappers:
+//
+//   * WriteFull  — loops until every byte is written; EINTR retried.
+//   * ReadFull   — loops until EOF or the cap; EINTR retried.
+//   * FsyncFd    — fsync with EINTR retry.
+//   * OpenFd     — open with EINTR retry (slow devices, O_CREAT on NFS).
+//
+// Failpoint "io-short-write": armed (action error), WriteFull caps every
+// write() chunk at one byte, forcing the resume loop to run once per
+// byte — the regression proof that short writes are handled. Hits()
+// counts the chunks actually issued.
+
+#ifndef IODB_STORAGE_IO_H_
+#define IODB_STORAGE_IO_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace iodb::storage {
+
+/// Writes all of `bytes` to `fd`, resuming after EINTR and short
+/// writes. `what` names the destination in error messages.
+Status WriteFull(int fd, std::string_view bytes, const std::string& what);
+
+/// Reads from `fd` until EOF, appending to `*out` (existing content is
+/// kept), resuming after EINTR and short reads.
+Status ReadFull(int fd, std::string* out, const std::string& what);
+
+/// fsync(fd) with EINTR retry.
+Status FsyncFd(int fd, const std::string& what);
+
+/// open(2) with EINTR retry. Returns the fd, or a status naming `what`.
+Result<int> OpenFd(const std::string& path, int flags, int mode,
+                   const std::string& what);
+
+}  // namespace iodb::storage
+
+#endif  // IODB_STORAGE_IO_H_

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "storage/codec.h"
+#include "storage/io.h"
 #include "util/failpoint.h"
 
 namespace iodb::storage {
@@ -733,16 +734,16 @@ Status RestoreVocabularyInto(const std::string& path, Vocabulary* vocab) {
 // --- file helpers ------------------------------------------------------------
 
 Result<std::string> ReadFileBytes(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
+  Result<int> opened = OpenFd(path, O_RDONLY | O_CLOEXEC, 0, "file");
+  if (!opened.ok()) {
     return Status::InvalidArgument("cannot open '" + path + "'");
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  if (!file.good() && !file.eof()) {
-    return Status::InvalidArgument("error reading '" + path + "'");
-  }
-  return buffer.str();
+  const int fd = opened.value();
+  std::string bytes;
+  Status status = ReadFull(fd, &bytes, "'" + path + "'");
+  ::close(fd);
+  if (!status.ok()) return status;
+  return bytes;
 }
 
 Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
@@ -750,31 +751,20 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
   if (!status.ok()) return status;
 
   const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                  0644);
-  if (fd < 0) {
-    return Status::InvalidArgument("cannot create '" + tmp +
-                                   "': " + std::strerror(errno));
-  }
+  Result<int> opened = OpenFd(
+      tmp, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644, "temp file");
+  if (!opened.ok()) return opened.status();
+  const int fd = opened.value();
   // Torn-write seam: stage a strict prefix of the temp file, then act.
   // The target file is untouched either way — that is the atomicity
   // being tested.
   const failpoint::Action torn = failpoint::Check("snapshot-write-torn");
   size_t to_write = bytes.size();
   if (torn != failpoint::Action::kOff) to_write /= 2;
-  const char* data = bytes.data();
-  size_t left = to_write;
-  while (left > 0) {
-    ssize_t n = ::write(fd, data, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const std::string detail = std::strerror(errno);
-      ::close(fd);
-      return Status::InvalidArgument("error writing '" + tmp +
-                                     "': " + detail);
-    }
-    data += n;
-    left -= static_cast<size_t>(n);
+  status = WriteFull(fd, bytes.substr(0, to_write), "'" + tmp + "'");
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
   }
   if (torn == failpoint::Action::kCrash) failpoint::CrashNow();
   if (torn == failpoint::Action::kError) {
@@ -785,11 +775,10 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
   // fsync BEFORE rename: without it the rename can reach the directory
   // while the data has not reached the platter, and a power cut leaves a
   // complete-looking file of garbage under the final name.
-  if (::fsync(fd) != 0) {
-    const std::string detail = std::strerror(errno);
+  status = FsyncFd(fd, "'" + tmp + "'");
+  if (!status.ok()) {
     ::close(fd);
-    return Status::InvalidArgument("fsync of '" + tmp + "' failed: " +
-                                   detail);
+    return status;
   }
   if (::close(fd) != 0) {
     return Status::InvalidArgument("close of '" + tmp +
@@ -807,11 +796,12 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
   // fsync the parent directory so the rename itself is durable.
   const std::string dir =
       std::filesystem::path(path).parent_path().string();
-  int dir_fd = ::open(dir.empty() ? "." : dir.c_str(),
-                      O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
-    ::close(dir_fd);
+  Result<int> dir_fd = OpenFd(dir.empty() ? "." : dir,
+                              O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0,
+                              "parent directory");
+  if (dir_fd.ok()) {
+    (void)FsyncFd(dir_fd.value(), "parent directory of '" + path + "'");
+    ::close(dir_fd.value());
   }
   return failpoint::CheckAndMaybeFail("snapshot-after-rename");
 }

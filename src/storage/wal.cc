@@ -10,6 +10,7 @@
 
 #include "core/parser.h"
 #include "storage/codec.h"
+#include "storage/io.h"
 #include "storage/snapshot.h"
 #include "util/failpoint.h"
 
@@ -112,20 +113,6 @@ Status DecodeRecordPayload(WalRecord::Kind kind, std::string_view payload,
   }
   if (!reader.AtEnd()) return WalError("trailing bytes in record payload");
   return Status::Ok();
-}
-
-// write() until done or a real error (EINTR retried).
-bool WriteAll(int fd, const char* data, size_t size) {
-  while (size > 0) {
-    ssize_t n = ::write(fd, data, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    size -= static_cast<size_t>(n);
-  }
-  return true;
 }
 
 // Decodes and validates a WAL header from `reader` (positioned at the
@@ -281,25 +268,25 @@ Status AppendWalGroup(const std::string& path,
   Status status = failpoint::CheckAndMaybeFail("wal-append-before-write");
   if (!status.ok()) return status;
 
-  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
-  if (fd < 0) {
-    return WalError("cannot open '" + path +
-                    "' for append: " + std::strerror(errno));
-  }
+  Result<int> opened =
+      OpenFd(path, O_WRONLY | O_APPEND | O_CLOEXEC, 0, "WAL for append");
+  if (!opened.ok()) return opened.status();
+  const int fd = opened.value();
   // Torn-write seam: stage a strict prefix of the group, then act — the
   // on-disk shape a crash mid-write() leaves (replay must discard it).
   const failpoint::Action torn = failpoint::Check("wal-append-torn");
   if (torn != failpoint::Action::kOff) {
-    (void)WriteAll(fd, group.data(), group.size() / 2);
-    ::fsync(fd);
+    (void)WriteFull(fd, std::string_view(group).substr(0, group.size() / 2),
+                    "torn WAL prefix");
+    (void)FsyncFd(fd, "torn WAL prefix");
     if (torn == failpoint::Action::kCrash) failpoint::CrashNow();
     ::close(fd);
     return WalError("failpoint 'wal-append-torn' injected partial append");
   }
-  if (!WriteAll(fd, group.data(), group.size())) {
-    const std::string detail = std::strerror(errno);
+  status = WriteFull(fd, group, "WAL '" + path + "'");
+  if (!status.ok()) {
     ::close(fd);
-    return WalError("error appending to '" + path + "': " + detail);
+    return status;
   }
   // A crash here leaves the full group in the page cache but maybe not
   // on the platter: committed for process death, torn for power loss.
@@ -308,10 +295,12 @@ Status AppendWalGroup(const std::string& path,
     ::close(fd);
     return status;
   }
-  if (sync && ::fsync(fd) != 0) {
-    const std::string detail = std::strerror(errno);
-    ::close(fd);
-    return WalError("fsync of '" + path + "' failed: " + detail);
+  if (sync) {
+    status = FsyncFd(fd, "WAL '" + path + "'");
+    if (!status.ok()) {
+      ::close(fd);
+      return status;
+    }
   }
   status = failpoint::CheckAndMaybeFail("wal-append-after-sync");
   if (!status.ok()) {
@@ -326,18 +315,13 @@ Status AppendWalGroup(const std::string& path,
 }
 
 Status SyncWal(const std::string& path) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
-  if (fd < 0) {
-    return WalError("cannot open '" + path +
-                    "' for sync: " + std::strerror(errno));
-  }
-  if (::fsync(fd) != 0) {
-    const std::string detail = std::strerror(errno);
-    ::close(fd);
-    return WalError("fsync of '" + path + "' failed: " + detail);
-  }
+  Result<int> opened =
+      OpenFd(path, O_WRONLY | O_CLOEXEC, 0, "WAL for sync");
+  if (!opened.ok()) return opened.status();
+  const int fd = opened.value();
+  Status status = FsyncFd(fd, "WAL '" + path + "'");
   ::close(fd);
-  return Status::Ok();
+  return status;
 }
 
 std::optional<WalSyncPolicy> ParseWalSyncPolicy(const std::string& name) {

@@ -109,7 +109,13 @@ TEST(PlanCacheInvalidationTest, MutationInvalidatesTransformedPlanView) {
 
   // Mutate the registered database: now u < c is asserted, so P(u) sits
   // below c in every completion.
-  service.mutable_database("db")->AddOrder("u", OrderRel::kLt, "c");
+  ASSERT_TRUE(service
+                  .Mutate("db",
+                          [](Database* db) {
+                            db->AddOrder("u", OrderRel::kLt, "c");
+                            return Status::Ok();
+                          })
+                  .ok());
   Result<EvalResponse> after = service.Eval(request);
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(after.value().plan_cache_hit);  // the plan itself is reused
@@ -129,7 +135,13 @@ TEST(PlanCacheInvalidationTest, MutationInvalidatesNormView) {
   ASSERT_TRUE(before.ok());
   EXPECT_FALSE(before.value().entailed);  // nothing above the Q-point
 
-  service.mutable_database("db")->AddOrder("v", OrderRel::kLt, "w");
+  ASSERT_TRUE(service
+                  .Mutate("db",
+                          [](Database* db) {
+                            db->AddOrder("v", OrderRel::kLt, "w");
+                            return Status::Ok();
+                          })
+                  .ok());
   Result<EvalResponse> after = service.Eval(request);
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(after.value().plan_cache_hit);

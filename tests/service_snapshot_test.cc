@@ -1,0 +1,287 @@
+// MVCC service tests (service/service.h): published versions are
+// immutable, a pinned Snapshot() survives later publishes, mutations
+// fork-and-republish under the same uid with advancing revisions, the
+// --identity response fields report exactly the pinned version, failed
+// mutations publish nothing, and a readers-vs-writer hammer (run under
+// the TSan CI job) exercises the pin/publish seam concurrently.
+
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/request.h"
+
+namespace iodb {
+namespace {
+
+EvalRequest Req(const std::string& db, const std::string& query,
+                bool identity = false) {
+  EvalRequest request;
+  request.db = db;
+  request.query = query;
+  request.report_identity = identity;
+  return request;
+}
+
+TEST(ServiceSnapshotTest, PinnedSnapshotSurvivesLaterPublishes) {
+  EvaluationService service;
+  ASSERT_TRUE(service.Load("db", "P(u)\nQ(v)").ok());
+
+  EvaluationService::DatabasePtr pinned = service.Snapshot("db");
+  ASSERT_NE(pinned, nullptr);
+  const int atoms_before = pinned->SizeAtoms();
+  const uint64_t revision_before = pinned->revision();
+
+  ASSERT_TRUE(service
+                  .Mutate("db",
+                          [](Database* db) {
+                            db->AddFact("P", {"w"});
+                            return Status::Ok();
+                          })
+                  .ok());
+
+  // The pin still sees the old version, bit for bit.
+  EXPECT_EQ(pinned->SizeAtoms(), atoms_before);
+  EXPECT_EQ(pinned->revision(), revision_before);
+
+  // A fresh pin sees the new version; same uid, later revision.
+  EvaluationService::DatabasePtr fresh = service.Snapshot("db");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->uid(), pinned->uid());
+  EXPECT_GT(fresh->revision(), revision_before);
+  EXPECT_EQ(fresh->SizeAtoms(), atoms_before + 1);
+}
+
+TEST(ServiceSnapshotTest, MutateKeepsUidAndLoadReplacesIt) {
+  EvaluationService service;
+  ASSERT_TRUE(service.Load("db", "P(u)").ok());
+  const uint64_t uid = service.Snapshot("db")->uid();
+
+  Result<DbInfo> mutated = service.Mutate("db", [](Database* db) {
+    db->AddFact("P", {"x"});
+    return Status::Ok();
+  });
+  ASSERT_TRUE(mutated.ok());
+  EXPECT_EQ(mutated.value().uid, uid);
+
+  // Re-LOAD is a replacement: a fresh object, fresh uid, so no derived
+  // cache can confuse the two lineages.
+  ASSERT_TRUE(service.Load("db", "P(u)").ok());
+  EXPECT_NE(service.Snapshot("db")->uid(), uid);
+}
+
+TEST(ServiceSnapshotTest, IdentityFieldsReportThePinnedVersion) {
+  EvaluationService service;
+  ASSERT_TRUE(service.Load("db", "P(u)\nQ(v)\nu < v").ok());
+  EvaluationService::DatabasePtr pinned = service.Snapshot("db");
+
+  Result<EvalResponse> response =
+      service.Eval(Req("db", "exists t: P(t)", /*identity=*/true));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().db_uid, pinned->uid());
+  EXPECT_EQ(response.value().db_revision, pinned->revision());
+
+  // The wire rendering carries the identity inside the bracket.
+  const std::string line = FormatResponseLine(response.value());
+  EXPECT_NE(line.find("db: " + std::to_string(pinned->uid()) + "@" +
+                      std::to_string(pinned->revision())),
+            std::string::npos)
+      << line;
+
+  // Without the flag the line is unchanged (golden-transcript stable).
+  Result<EvalResponse> plain = service.Eval(Req("db", "exists t: P(t)"));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(FormatResponseLine(plain.value()).find("db:"),
+            std::string::npos);
+}
+
+TEST(ServiceSnapshotTest, FailedMutationPublishesNothing) {
+  EvaluationService service;
+  ASSERT_TRUE(service.Load("db", "P(u)").ok());
+  EvaluationService::DatabasePtr before = service.Snapshot("db");
+  const long long publishes_before = service.stats().publishes;
+
+  Result<DbInfo> failed = service.Mutate("db", [](Database* db) {
+    db->AddFact("P", {"ghost"});  // applied to the fork only
+    return Status::InvalidArgument("injected mutation failure");
+  });
+  ASSERT_FALSE(failed.ok());
+
+  // The published version is the exact same object; the fork died.
+  EXPECT_EQ(service.Snapshot("db").get(), before.get());
+  EXPECT_EQ(service.stats().publishes, publishes_before);
+}
+
+TEST(ServiceSnapshotTest, BeforePublishSeesTheForkAndCanVeto) {
+  EvaluationService service;
+  ASSERT_TRUE(service.Load("db", "P(u)").ok());
+  EvaluationService::DatabasePtr before = service.Snapshot("db");
+
+  // The hook observes the mutated fork (the WAL-logging seam: the
+  // record is validated and applied before it is logged)...
+  int hook_atoms = -1;
+  ASSERT_TRUE(service
+                  .Mutate(
+                      "db",
+                      [](Database* db) {
+                        db->AddFact("P", {"x"});
+                        return Status::Ok();
+                      },
+                      [&](const Database& fork) {
+                        hook_atoms = fork.SizeAtoms();
+                        return Status::Ok();
+                      })
+                  .ok());
+  EXPECT_EQ(hook_atoms, before->SizeAtoms() + 1);
+
+  // ... and a hook failure vetoes the publish entirely.
+  EvaluationService::DatabasePtr mid = service.Snapshot("db");
+  Result<DbInfo> vetoed = service.Mutate(
+      "db",
+      [](Database* db) {
+        db->AddFact("P", {"y"});
+        return Status::Ok();
+      },
+      [](const Database&) {
+        return Status::InvalidArgument("injected log failure");
+      });
+  ASSERT_FALSE(vetoed.ok());
+  EXPECT_EQ(service.Snapshot("db").get(), mid.get());
+}
+
+TEST(ServiceSnapshotTest, MutateUnknownDatabaseFails) {
+  EvaluationService service;
+  Result<DbInfo> result = service.Mutate("nosuchdb", [](Database*) {
+    return Status::Ok();
+  });
+  ASSERT_FALSE(result.ok());
+}
+
+// Readers vs. writer hammer (run under the TSan CI job): reader threads
+// evaluate with --identity while the writer publishes a stream of
+// mutations. The query's verdict flips exactly once, at a revision the
+// writer records. Each reader logs every (revision, verdict) pair it
+// observed; after the join, each pair must satisfy
+// verdict == (revision >= flip) — i.e. every read served a consistent
+// published version, never a half-published one. (Validation happens
+// after the join because a reader can legitimately pin the flipped
+// version before the writer's own record of the flip revision lands.)
+TEST(ServiceSnapshotTest, ConcurrentReadersSeeConsistentSnapshots) {
+  EvaluationService service;
+  // P(u) and Q(v) are order points (both below the anchor z) but
+  // mutually unordered: the query is not entailed until the writer
+  // asserts u < v.
+  ASSERT_TRUE(service.Load("db", "P(u)\nQ(v)\nu < z\nv < z").ok());
+  const std::string query = "exists t1 t2: P(t1) & t1 < t2 & Q(t2)";
+
+  std::atomic<bool> done{false};
+  std::atomic<long long> reads_started{0};
+
+  constexpr int kReaders = 4;
+  struct Observation {
+    uint64_t revision;
+    bool entailed;
+  };
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!done.load(std::memory_order_acquire)) {
+        reads_started.fetch_add(1, std::memory_order_relaxed);
+        Result<EvalResponse> response =
+            service.Eval(Req("db", query, /*identity=*/true));
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        observed[static_cast<size_t>(t)].push_back(
+            {response.value().db_revision, response.value().entailed});
+      }
+    });
+  }
+
+  // Don't start publishing until the readers are actually reading — on
+  // a loaded machine the writer could otherwise finish before a single
+  // reader thread gets scheduled, and the hammer would race nothing.
+  while (reads_started.load(std::memory_order_relaxed) < kReaders) {
+    std::this_thread::yield();
+  }
+
+  // The writer publishes padding mutations (each a new revision), then
+  // the flip, then more padding — so readers race version boundaries on
+  // both sides of the flip.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(service
+                    .Mutate("db",
+                            [i](Database* db) {
+                              db->AddFact("P", {"pad" + std::to_string(i)});
+                              return Status::Ok();
+                            })
+                    .ok());
+  }
+  Result<DbInfo> flip = service.Mutate("db", [](Database* db) {
+    db->AddOrder("u", OrderRel::kLt, "v");
+    return Status::Ok();
+  });
+  ASSERT_TRUE(flip.ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(service
+                    .Mutate("db",
+                            [i](Database* db) {
+                              db->AddFact("Q", {"qad" + std::to_string(i)});
+                              return Status::Ok();
+                            })
+                    .ok());
+  }
+
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  // Every observed (revision, verdict) pair is consistent with the flip.
+  const uint64_t flip_revision = flip.value().revision;
+  long long total_reads = 0;
+  for (const std::vector<Observation>& reader_log : observed) {
+    for (const Observation& obs : reader_log) {
+      EXPECT_EQ(obs.entailed, obs.revision >= flip_revision)
+          << "revision " << obs.revision << " (flip at " << flip_revision
+          << ")";
+      ++total_reads;
+    }
+  }
+  EXPECT_GT(total_reads, 0);
+
+  // The final published state reflects every mutation.
+  EvaluationService::DatabasePtr final_db = service.Snapshot("db");
+  EXPECT_EQ(final_db->SizeAtoms(), 4 + 6 + 1 + 6);  // base + pads + flip + pads
+  EXPECT_GE(final_db->revision(), flip_revision);
+}
+
+// The serial edge of the same property: a mutation is visible to the
+// very next request after Mutate returns.
+TEST(ServiceSnapshotTest, PublishIsVisibleOnlyAfterMutateReturns) {
+  EvaluationService service;
+  ASSERT_TRUE(service.Load("db", "P(u)\nQ(v)\nu < z\nv < z").ok());
+  const std::string query = "exists t1 t2: P(t1) & t1 < t2 & Q(t2)";
+
+  Result<EvalResponse> before = service.Eval(Req("db", query));
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before.value().entailed);
+
+  ASSERT_TRUE(service
+                  .Mutate("db",
+                          [](Database* db) {
+                            db->AddOrder("u", OrderRel::kLt, "v");
+                            return Status::Ok();
+                          })
+                  .ok());
+
+  Result<EvalResponse> after = service.Eval(Req("db", query));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().entailed);
+}
+
+}  // namespace
+}  // namespace iodb

@@ -35,7 +35,8 @@
 // error (stable across versions); the "outcomes:" line splits responses
 // by status — ok / deadline-exceeded / cancelled / other errors — and
 // the latency percentiles cover only requests that ran to completion
-// (an exhausted request's latency is its budget, not the service's).
+// (an exhausted request's latency is its budget, not the service's);
+// when no request completed, the percentiles print "n/a".
 
 #include <algorithm>
 #include <chrono>
@@ -474,10 +475,15 @@ int main(int argc, char** argv) {
               "%lld error(s)\n",
               entailed + not_entailed, deadline_exceeded, cancelled,
               other_errors);
-  std::printf("latency us: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
-              Percentile(latencies_us, 0.50), Percentile(latencies_us, 0.90),
-              Percentile(latencies_us, 0.99),
-              latencies_us.empty() ? 0.0 : latencies_us.back());
+  if (latencies_us.empty()) {
+    // Every request was excluded (exhausted or cancelled): there is no
+    // latency population. "0.0" here would read as a real measurement.
+    std::printf("latency us: p50=n/a p90=n/a p99=n/a max=n/a\n");
+  } else {
+    std::printf("latency us: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+                Percentile(latencies_us, 0.50), Percentile(latencies_us, 0.90),
+                Percentile(latencies_us, 0.99), latencies_us.back());
+  }
   std::printf("plan cache: %lld hit(s), %lld miss(es), %lld eviction(s), "
               "%lld compiled\n",
               stats.plan_cache.hits, stats.plan_cache.misses,

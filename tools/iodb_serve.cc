@@ -1,5 +1,16 @@
 // iodb_serve: line-oriented request server over the in-process
-// EvaluationService (stdin/stdout; one process per client, inetd-style).
+// EvaluationService. Two front ends share one protocol implementation
+// (src/server/protocol.h):
+//
+//   * stdin/stdout (default): one session per process, inetd-style —
+//     the compatibility path, and the only mode where OPEN is allowed;
+//   * socket server (--listen=PATH and/or --tcp-port=N): a concurrent
+//     multi-client front end (src/server/server.h) where N sessions
+//     serve at once. EVAL/BATCH pin a published database version at
+//     request start and run lock-free against it; LOAD/APPEND/SAVE go
+//     through the single-writer publish path (WAL-log, build the next
+//     version, atomically republish) and readers on the old version
+//     drain naturally. See docs/SERVING.md.
 //
 // Protocol (one command per line; blank lines and '#' comments ignored):
 //
@@ -18,7 +29,9 @@
 //                        -> "OK db=<name> atoms=<n> revision=<r>"
 //   OPEN <dir>           open (creating if needed) a durable registry;
 //                        replaces the session's service with one
-//                        restored from <dir>
+//                        restored from <dir> (stdin mode only — a
+//                        socket session may not swap the registry under
+//                        its peers)
 //                        -> "OK dir=<dir> databases=<n>"
 //   SAVE <name>          fold the write-ahead log of <name> into a
 //                        fresh snapshot (registry required)
@@ -28,10 +41,12 @@
 //                        "OK databases=<n> vocab-uid=<u>"
 //   EVAL <request>       <request> is the wire form of service/request.h:
 //                        <db> [--semantics=...] [--engine=...]
-//                        [--countermodel] [--explain] <query>
+//                        [--countermodel] [--explain] [--identity] <query>
 //                        -> verdict line "ENTAILED  [engine: ..., cache:
 //                        hit|miss]", then optional "countermodel: ..."
-//                        and explain lines
+//                        and explain lines; --identity adds the pinned
+//                        snapshot's "db: <uid>@<revision>" to the
+//                        verdict line
 //   BATCH <n>            the next n lines are EVAL request lines, served
 //                        as one batch through the worker pool
 //                        -> n verdict lines, in request order
@@ -49,198 +64,87 @@
 // --data-dir=DIR (open a durable registry at startup),
 // --wal-sync=none|commit|interval (WAL flush policy, default commit),
 // --default-deadline-ms=N / --default-step-budget=N (governance applied
-// to requests that set none of their own).
+// to requests that set none of their own), --listen=PATH (serve on a
+// unix-domain socket), --tcp-port=N (serve on 127.0.0.1:N; 0 picks an
+// ephemeral port, announced on stdout), --max-sessions=N (socket
+// concurrency cap, default 256).
 //
-// Shutdown: SIGTERM / SIGINT (and QUIT / EOF) end the session cleanly —
-// the registry's un-synced WAL appends are flushed and the process
-// exits 0.
+// Shutdown: SIGTERM / SIGINT (and, in stdin mode, QUIT / EOF) end the
+// process cleanly — the registry's un-synced WAL appends are flushed
+// and the process exits 0. Signals are delivered through a self-pipe:
+// the handler writes one byte to a pipe that every blocking wait polls
+// alongside its data fd, so a signal that lands between "check the
+// flag" and "enter the blocking read" (the old lost-wakeup window)
+// still interrupts the wait immediately. In socket mode, shutdown is a
+// drain: in-flight evaluations are cancelled, every session is joined,
+// and acknowledged appends are durable before exit.
 
 #include <csignal>
 #include <cstdio>
-#include <iostream>
-#include <memory>
-#include <sstream>
+#include <cstdlib>
+#include <optional>
+#include <poll.h>
 #include <string>
-#include <vector>
+#include <unistd.h>
 
-#include "service/service.h"
-#include "storage/durable_registry.h"
+#include "server/line_channel.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "storage/wal.h"
-#include "util/strings.h"
 
 namespace {
 
 using namespace iodb;
 
-// Command lines (and BATCH request lines) over this limit are rejected
-// with a structured error instead of being buffered without bound.
-constexpr size_t kMaxLineBytes = size_t{1} << 20;
+// Self-pipe for shutdown signals. The handler writes one byte and never
+// drains it, so the pipe stays readable (level-triggered): a wait
+// entered AFTER the signal still returns immediately — there is no
+// window between checking a flag and blocking where a signal is lost.
+int g_signal_pipe[2] = {-1, -1};
 
-volatile std::sig_atomic_t g_shutdown = 0;
+void OnShutdownSignal(int) {
+  char byte = 's';
+  // write(2) is async-signal-safe; a full pipe just means a byte is
+  // already there, which is all we need.
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
 
-void OnShutdownSignal(int) { g_shutdown = 1; }
-
-// SA_RESTART deliberately NOT set: the signal must interrupt a blocking
-// stdin read so the serving loop observes g_shutdown and exits through
-// the flush path (glibc's signal() would set SA_RESTART).
-void InstallShutdownHandlers() {
+bool InstallShutdownHandlers() {
+  if (::pipe(g_signal_pipe) != 0) return false;
   struct sigaction action = {};
   action.sa_handler = OnShutdownSignal;
   sigemptyset(&action.sa_mask);
+  // SA_RESTART deliberately NOT set, but correctness does not depend on
+  // it: the self-pipe byte makes the poll() in LineChannel::ReadLine
+  // return even if the signal itself was swallowed by a restart.
   action.sa_flags = 0;
   sigaction(SIGTERM, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
+  // A client that disconnects mid-response must surface as a write
+  // error on that session, not kill the server.
+  ::signal(SIGPIPE, SIG_IGN);
+  return true;
 }
 
-void Err(const std::string& message) {
-  std::printf("ERR %s\n", message.c_str());
-}
-
-// Prints the full response of one served request: the verdict line plus
-// the optional countermodel and explain payloads. Budget exhaustion is
-// rendered structured ("ERR deadline-exceeded ..."), so clients can
-// retry-with-more-budget without parsing prose.
-void PrintResponse(const Result<EvalResponse>& response) {
-  if (!response.ok()) {
-    const Status& status = response.status();
-    if (status.code() == StatusCode::kDeadlineExceeded) {
-      Err("deadline-exceeded " + status.message());
-    } else if (status.code() == StatusCode::kCancelled) {
-      Err("cancelled " + status.message());
-    } else {
-      Err(status.ToString());
-    }
-    return;
-  }
-  std::printf("%s\n", FormatResponseLine(response.value()).c_str());
-  if (response.value().countermodel.has_value()) {
-    std::printf("countermodel: %s\n",
-                response.value().countermodel->ToString().c_str());
-  }
-  if (!response.value().explain.empty()) {
-    std::printf("%s", response.value().explain.c_str());
+// Socket mode: park until a shutdown signal arrives.
+void WaitForShutdownSignal() {
+  struct pollfd pfd = {g_signal_pipe[0], POLLIN, 0};
+  for (;;) {
+    int ready = ::poll(&pfd, 1, -1);
+    if (ready > 0) return;
+    if (ready < 0 && errno != EINTR) return;
   }
 }
 
-// Reads database text up to the "END" terminator; false on EOF.
-bool ReadUntilEnd(std::istream& in, std::string* text) {
-  std::string line;
-  while (std::getline(in, line)) {
-    if (std::string(StripWhitespace(line)) == "END") return true;
-    *text += line;
-    *text += '\n';
-  }
-  return false;
-}
-
-// The session's serving state: a bare in-memory service, swapped for a
-// durable registry's service when one is open.
-struct Session {
-  ServiceOptions options;
-  storage::WalSyncOptions sync;
-  std::unique_ptr<EvaluationService> bare;
-  std::unique_ptr<storage::DurableRegistry> registry;
-
-  explicit Session(ServiceOptions opts, storage::WalSyncOptions sync_opts)
-      : options(opts),
-        sync(sync_opts),
-        bare(std::make_unique<EvaluationService>(opts)) {}
-
-  EvaluationService& service() {
-    return registry != nullptr ? registry->service() : *bare;
-  }
-};
-
-void HandleLoad(Session& session, const std::string& name,
-                const std::string& text) {
-  Result<DbInfo> info =
-      session.registry != nullptr ? session.registry->Load(name, text)
-                                  : session.service().Load(name, text);
-  if (!info.ok()) {
-    Err(info.status().ToString());
-  } else {
-    std::printf("OK db=%s atoms=%d\n", info.value().name.c_str(),
-                info.value().atoms);
-  }
-}
-
-void HandleAppend(Session& session, const std::string& name,
-                  const std::string& text) {
-  if (session.registry != nullptr) {
-    Result<DbInfo> info = session.registry->AppendText(name, text);
-    if (!info.ok()) {
-      Err(info.status().ToString());
-      return;
-    }
-    std::printf("OK db=%s atoms=%d revision=%llu\n",
-                info.value().name.c_str(), info.value().atoms,
-                static_cast<unsigned long long>(info.value().revision));
-    return;
-  }
-  EvaluationService& service = session.service();
-  Database* db = service.mutable_database(name);
-  if (db == nullptr) {
-    Err("INVALID_ARGUMENT: unknown database '" + name + "'");
-    return;
-  }
-  Result<std::vector<storage::WalRecord>> records =
-      storage::ParseMutationText(text, service.vocab());
-  if (!records.ok()) {
-    Err(records.status().ToString());
-    return;
-  }
-  Status status = storage::ApplyWalRecords(records.value(), db);
+int FlushAndExit(server::ServingState& state) {
+  Status status = state.FlushRegistry();
   if (!status.ok()) {
-    Err(status.ToString());
-    return;
+    std::fprintf(stderr, "iodb_serve: shutdown flush: %s\n",
+                 status.ToString().c_str());
+    return 1;
   }
-  std::printf("OK db=%s atoms=%d revision=%llu\n", name.c_str(),
-              db->SizeAtoms(),
-              static_cast<unsigned long long>(db->revision()));
-}
-
-void HandleOpen(Session& session, const std::string& dir) {
-  Result<std::unique_ptr<storage::DurableRegistry>> registry =
-      storage::DurableRegistry::Open(dir, session.options, session.sync);
-  if (!registry.ok()) {
-    Err(registry.status().ToString());
-    return;
-  }
-  session.registry = std::move(registry.value());
-  std::printf("OK dir=%s databases=%zu\n", dir.c_str(),
-              session.registry->service().database_names().size());
-}
-
-void HandleSave(Session& session, const std::string& name) {
-  if (session.registry == nullptr) {
-    Err("SAVE needs an open registry (use OPEN <dir> or --data-dir)");
-    return;
-  }
-  Result<DbInfo> info = session.registry->Compact(name);
-  if (!info.ok()) {
-    Err(info.status().ToString());
-    return;
-  }
-  std::printf("OK db=%s atoms=%d\n", info.value().name.c_str(),
-              info.value().atoms);
-}
-
-void HandleInfo(Session& session, const std::string& name) {
-  EvaluationService& service = session.service();
-  if (name.empty()) {
-    std::printf("OK databases=%zu vocab-uid=%llu\n",
-                service.database_names().size(),
-                static_cast<unsigned long long>(service.vocab()->uid()));
-    return;
-  }
-  const Database* db = service.database(name);
-  if (db == nullptr) {
-    Err("INVALID_ARGUMENT: unknown database '" + name + "'");
-    return;
-  }
-  std::printf("OK db=%s atoms=%d uid=%llu revision=%llu\n", name.c_str(),
-              db->SizeAtoms(), static_cast<unsigned long long>(db->uid()),
-              static_cast<unsigned long long>(db->revision()));
+  std::fflush(stdout);
+  return 0;
 }
 
 }  // namespace
@@ -249,6 +153,8 @@ int main(int argc, char** argv) {
   ServiceOptions options;
   storage::WalSyncOptions sync;
   std::string data_dir;
+  server::ServerOptions server_options;
+  bool socket_mode = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
@@ -280,146 +186,81 @@ int main(int argc, char** argv) {
       options.default_deadline_ms = std::atoll(arg.c_str() + 22);
     } else if (arg.rfind("--default-step-budget=", 0) == 0) {
       options.default_step_budget = std::atoll(arg.c_str() + 22);
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      server_options.unix_path = arg.substr(9);
+      if (server_options.unix_path.empty()) {
+        std::fprintf(stderr, "iodb_serve: --listen needs a socket path\n");
+        return 2;
+      }
+      socket_mode = true;
+    } else if (arg.rfind("--tcp-port=", 0) == 0) {
+      server_options.tcp_port = std::atoi(arg.c_str() + 11);
+      socket_mode = true;
+    } else if (arg.rfind("--max-sessions=", 0) == 0) {
+      server_options.max_sessions = std::atoi(arg.c_str() + 15);
+      if (server_options.max_sessions <= 0) {
+        std::fprintf(stderr, "iodb_serve: --max-sessions needs a positive "
+                             "count\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: iodb_serve [--workers=N] [--plan-cache=N] "
                    "[--data-dir=DIR] [--wal-sync=none|commit|interval] "
-                   "[--default-deadline-ms=N] [--default-step-budget=N]\n");
+                   "[--default-deadline-ms=N] [--default-step-budget=N] "
+                   "[--listen=SOCKET_PATH] [--tcp-port=N] "
+                   "[--max-sessions=N]\n");
       return 2;
     }
   }
 
-  InstallShutdownHandlers();
+  if (!InstallShutdownHandlers()) {
+    std::fprintf(stderr, "iodb_serve: cannot create signal pipe\n");
+    return 2;
+  }
 
-  Session session(options, sync);
+  server::ServingState state(options, sync);
   if (!data_dir.empty()) {
-    Result<std::unique_ptr<storage::DurableRegistry>> registry =
-        storage::DurableRegistry::Open(data_dir, options, sync);
-    if (!registry.ok()) {
+    Status status = state.OpenRegistry(data_dir);
+    if (!status.ok()) {
       std::fprintf(stderr, "iodb_serve: --data-dir: %s\n",
-                   registry.status().ToString().c_str());
+                   status.ToString().c_str());
       return 2;
     }
-    session.registry = std::move(registry.value());
   }
 
-  std::string line;
-  while (!g_shutdown && std::getline(std::cin, line)) {
-    if (line.size() > kMaxLineBytes) {
-      Err("line-too-long (" + std::to_string(line.size()) + " bytes; limit " +
-          std::to_string(kMaxLineBytes) + ")");
-      std::fflush(stdout);
-      continue;
+  if (socket_mode) {
+    Result<std::unique_ptr<server::SocketServer>> server =
+        server::SocketServer::Start(&state, server_options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "iodb_serve: %s\n",
+                   server.status().ToString().c_str());
+      return 2;
     }
-    std::string_view rest = StripWhitespace(line);
-    if (rest.empty() || rest[0] == '#') continue;
-    size_t space = rest.find(' ');
-    std::string command(rest.substr(0, space));
-    std::string args = space == std::string_view::npos
-                           ? std::string()
-                           : std::string(StripWhitespace(rest.substr(space)));
-
-    if (command == "QUIT") {
-      break;
-    } else if (command == "LOAD" || command == "APPEND") {
-      if (args.empty()) {
-        Err(command + " needs a database name");
-        continue;
-      }
-      std::string text;
-      if (!ReadUntilEnd(std::cin, &text)) {
-        Err("unterminated " + command + " (missing END)");
-        break;
-      }
-      if (command == "LOAD") {
-        HandleLoad(session, args, text);
-      } else {
-        HandleAppend(session, args, text);
-      }
-    } else if (command == "OPEN") {
-      if (args.empty()) {
-        Err("OPEN needs a directory");
-        continue;
-      }
-      HandleOpen(session, args);
-    } else if (command == "SAVE") {
-      if (args.empty()) {
-        Err("SAVE needs a database name");
-        continue;
-      }
-      HandleSave(session, args);
-    } else if (command == "INFO") {
-      HandleInfo(session, args);
-    } else if (command == "EVAL") {
-      Result<EvalRequest> request = ParseEvalRequest(args);
-      if (!request.ok()) {
-        Err(request.status().ToString());
-        continue;
-      }
-      PrintResponse(session.service().Eval(request.value()));
-    } else if (command == "BATCH") {
-      // Bounded so a single protocol line cannot force a huge
-      // pre-allocation; large workloads stream multiple batches.
-      constexpr int kMaxBatch = 65536;
-      int n = std::atoi(args.c_str());
-      if (n <= 0 || n > kMaxBatch) {
-        Err("BATCH needs a request count in [1, " +
-            std::to_string(kMaxBatch) + "]");
-        continue;
-      }
-      // Consume all n request lines BEFORE parsing: a parse failure must
-      // not leave unread batch payload to be re-interpreted as protocol
-      // commands.
-      std::vector<std::string> request_lines(static_cast<size_t>(n));
-      bool eof = false;
-      for (int i = 0; i < n && !eof; ++i) {
-        eof = !std::getline(std::cin, request_lines[static_cast<size_t>(i)]);
-      }
-      if (eof) {
-        Err("unexpected EOF inside BATCH");
-        return 0;
-      }
-      std::vector<EvalRequest> requests;
-      bool parse_failed = false;
-      for (int i = 0; i < n; ++i) {
-        Result<EvalRequest> request =
-            ParseEvalRequest(request_lines[static_cast<size_t>(i)]);
-        if (!request.ok()) {
-          // Abort the whole batch: slots after a dropped line would shift.
-          if (!parse_failed) {
-            Err("request " + std::to_string(i) + ": " +
-                request.status().ToString());
-          }
-          parse_failed = true;
-        } else {
-          requests.push_back(std::move(request.value()));
-        }
-      }
-      if (parse_failed) continue;
-      for (const Result<EvalResponse>& response :
-           session.service().EvalBatch(requests)) {
-        PrintResponse(response);
-      }
-    } else if (command == "STATS") {
-      std::printf("%sOK\n", session.service().stats().ToString().c_str());
-    } else {
-      // Structured so scripted clients can distinguish a typo'd verb
-      // from a failed command; the session stays alive.
-      Err("unknown-verb '" + command + "'");
+    // Announce the endpoints (the ephemeral TCP port in particular) so
+    // harnesses can connect without racing the bind.
+    if (!server.value()->unix_path().empty()) {
+      std::printf("listening unix=%s\n", server.value()->unix_path().c_str());
+    }
+    if (server.value()->tcp_port() >= 0) {
+      std::printf("listening tcp=127.0.0.1:%d\n", server.value()->tcp_port());
     }
     std::fflush(stdout);
+    WaitForShutdownSignal();
+    server.value()->Stop();  // drain: cancel, wake, join every session
+    return FlushAndExit(state);
   }
 
-  // Clean shutdown (QUIT, EOF, SIGTERM, SIGINT): make every acknowledged
-  // append durable before exiting.
-  if (session.registry != nullptr) {
-    Status status = session.registry->Flush();
-    if (!status.ok()) {
-      std::fprintf(stderr, "iodb_serve: shutdown flush: %s\n",
-                   status.ToString().c_str());
-      return 1;
-    }
+  // stdin mode: one session over stdin/stdout, interruptible by the
+  // signal pipe at any blocking point (idle, mid-payload, mid-batch).
+  server::LineChannel channel(STDIN_FILENO, STDOUT_FILENO, g_signal_pipe[0]);
+  server::ProtocolSession::Options session_options;
+  session_options.allow_open = true;
+  server::ProtocolSession session(&state, &channel, session_options);
+  server::ProtocolSession::ExitReason reason = session.Run();
+  if (reason == server::ProtocolSession::ExitReason::kChannelError) {
+    std::fprintf(stderr, "iodb_serve: stdout write failed\n");
+    return 1;
   }
-  std::fflush(stdout);
-  return 0;
+  return FlushAndExit(state);
 }

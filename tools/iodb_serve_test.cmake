@@ -56,6 +56,7 @@ requests              7
 batches               1
 plans-compiled        4
 databases             1
+publishes             1
 plan-cache-hits       2
 plan-cache-misses     4
 plan-cache-evictions  0
@@ -245,6 +246,14 @@ endif()
 # The server must leave its blocking read, flush the registry, and exit 0
 # when it receives SIGTERM mid-session. Driven through a fifo so stdin
 # stays open (no EOF) while the signal arrives.
+#
+# The kill happens while the server is PROVABLY idle-blocked: the script
+# waits until the last command has been acknowledged AND /proc shows the
+# process sleeping in a read/poll wait. This is exactly the lost-wakeup
+# window of the old serve loop (signal lands after the shutdown-flag
+# check, before the blocking read) — the self-pipe wake must interrupt
+# the wait that is ALREADY in progress. A watchdog turns a hang into a
+# clean test failure instead of a stuck CI job.
 
 find_program(BASH_PROGRAM bash)
 if(BASH_PROGRAM)
@@ -265,17 +274,36 @@ for i in $(seq 1 100); do
   sleep 0.1
 done
 if [ \"$ok\" != 1 ]; then kill -9 $pid; exit 91; fi
+# Provably idle-blocked: every command is acknowledged and the process
+# is in an interruptible sleep (state S = blocked in its next read).
+blocked=0
+for i in $(seq 1 100); do
+  state=$(awk '{print $3}' /proc/$pid/stat 2>/dev/null)
+  [ \"$state\" = S ] && blocked=1 && break
+  sleep 0.05
+done
+if [ \"$blocked\" != 1 ]; then kill -9 $pid; exit 92; fi
 kill -TERM $pid
+# Watchdog: the old serve loop could lose this wakeup and block until
+# the next input line (forever, here) — bound the wait.
+# Detached from stdout/stderr so an outliving sleep cannot hold the
+# harness's output pipes open.
+( sleep 20; kill -9 $pid ) >/dev/null 2>&1 &
+watchdog=$!
 wait $pid
 rc=$?
+kill $watchdog 2>/dev/null
 exec 3>&-
+if [ $rc -ge 128 ]; then exit 93; fi  # watchdog fired: shutdown hung
 exit $rc
 ")
   execute_process(COMMAND ${BASH_PROGRAM} "${sigterm_script}"
     "${WORK_DIR}" "${IODB_SERVE}"
     RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "SIGTERM shutdown: exit ${rc} (want 0)\n${out}\n${err}")
+    message(FATAL_ERROR "SIGTERM shutdown: exit ${rc} (want 0; 92 = never "
+      "reached the blocked state, 93 = shutdown hung past the watchdog)"
+      "\n${out}\n${err}")
   endif()
   # The appended group must have survived the shutdown flush: a fresh
   # session on the same directory sees all three atoms.
@@ -288,6 +316,65 @@ QUIT
     RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT rc EQUAL 0 OR NOT "${out}" MATCHES "OK db=base atoms=5")
     message(FATAL_ERROR "post-SIGTERM state unexpected (exit ${rc}):\n${out}")
+  endif()
+
+  # The signal must interrupt ANY blocking wait, not just the top-level
+  # command read: kill while the server is blocked mid-APPEND, waiting
+  # for payload lines that never come. The half-read append must not be
+  # applied (nothing was acknowledged).
+  set(midpayload_script "${WORK_DIR}/iodb_serve_cli.midpayload.sh")
+  file(WRITE "${midpayload_script}" "set -u
+dir=\"$1\"; serve=\"$2\"
+fifo=\"$dir/mid.fifo\"; out=\"$dir/mid.out\"
+rm -f \"$fifo\" \"$out\"; rm -rf \"$dir/mid.store\"
+mkfifo \"$fifo\" || exit 90
+\"$serve\" --data-dir=\"$dir/mid.store\" --wal-sync=none \\
+  < \"$fifo\" > \"$out\" &
+pid=$!
+exec 3>\"$fifo\"
+printf 'LOAD base\\nP(u)\\nEND\\nAPPEND base\\nQ(v)\\n' >&3  # no END
+ok=0
+for i in $(seq 1 100); do
+  grep -q 'OK db=base atoms=1' \"$out\" 2>/dev/null && ok=1 && break
+  sleep 0.1
+done
+if [ \"$ok\" != 1 ]; then kill -9 $pid; exit 91; fi
+blocked=0
+for i in $(seq 1 100); do
+  state=$(awk '{print $3}' /proc/$pid/stat 2>/dev/null)
+  [ \"$state\" = S ] && blocked=1 && break
+  sleep 0.05
+done
+if [ \"$blocked\" != 1 ]; then kill -9 $pid; exit 92; fi
+kill -TERM $pid
+# Detached from stdout/stderr so an outliving sleep cannot hold the
+# harness's output pipes open.
+( sleep 20; kill -9 $pid ) >/dev/null 2>&1 &
+watchdog=$!
+wait $pid
+rc=$?
+kill $watchdog 2>/dev/null
+exec 3>&-
+if [ $rc -ge 128 ]; then exit 93; fi
+exit $rc
+")
+  execute_process(COMMAND ${BASH_PROGRAM} "${midpayload_script}"
+    "${WORK_DIR}" "${IODB_SERVE}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "mid-payload SIGTERM: exit ${rc} (want 0)\n${out}\n${err}")
+  endif()
+  set(after_mid "${WORK_DIR}/iodb_serve_cli.aftermid")
+  file(WRITE "${after_mid}" "INFO base
+QUIT
+")
+  execute_process(COMMAND ${IODB_SERVE} --data-dir=${WORK_DIR}/mid.store
+    INPUT_FILE "${after_mid}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0 OR NOT "${out}" MATCHES "OK db=base atoms=1")
+    message(FATAL_ERROR
+      "post-mid-payload state unexpected (exit ${rc}):\n${out}")
   endif()
 endif()
 
@@ -342,6 +429,28 @@ if(NOT rc EQUAL 0)
 endif()
 if(NOT "${out}" MATCHES "outcomes: 1 ok, 1 deadline-exceeded, 0 cancelled, 0 error\\(s\\)")
   message(FATAL_ERROR "iodb_replay governed outcomes mismatch\n${out}")
+endif()
+
+# Regression: when EVERY request is excluded from the latency population
+# (here: all exhausted), the percentiles must print "n/a", not a
+# fabricated 0.0 measurement.
+set(empty_lat_trace "${WORK_DIR}/iodb_serve_cli.emptylat.json")
+file(WRITE "${empty_lat_trace}" "[
+  {\"op\": \"load\", \"db\": \"base\", \"text\": \"P(u)\\nQ(v)\\nu < v\"},
+  {\"op\": \"eval\", \"db\": \"base\", \"step_budget\": 0,
+   \"query\": \"exists t1 t2: P(t1) & t1 < t2 & Q(t2)\"},
+  {\"op\": \"eval\", \"db\": \"base\", \"step_budget\": 0,
+   \"query\": \"exists t1 t2: Q(t1) & t1 < t2 & P(t2)\"}
+]
+")
+execute_process(COMMAND ${IODB_REPLAY} "${empty_lat_trace}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "iodb_replay empty-latency trace: exit ${rc}\n${err}")
+endif()
+if(NOT "${out}" MATCHES "outcomes: 0 ok, 2 deadline-exceeded, 0 cancelled, 0 error\\(s\\)"
+   OR NOT "${out}" MATCHES "latency us: p50=n/a p90=n/a p99=n/a max=n/a")
+  message(FATAL_ERROR "iodb_replay empty-latency report mismatch\n${out}")
 endif()
 
 # The batched path serves the same verdicts through the worker pool.

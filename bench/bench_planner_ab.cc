@@ -1,0 +1,152 @@
+// Planner A/B: the same workloads evaluated with and without the
+// cost-based planner (stats::PlannerFor) injected into Prepare().
+//
+// Unlike the other bench files, the A/B switch is an environment
+// variable so both arms publish under the SAME benchmark names:
+//
+//   IODB_COSTING=off  -> EntailOptions::planner left null (baseline)
+//   IODB_COSTING=on   -> planner = stats::PlannerFor(db)   (default)
+//
+// Run the binary twice through tools/run_benches.sh and diff the two
+// aggregates with tools/bench_compare.py --filter BM_PlannerAB
+// --min-improvement 16.7 (a 1.2x speedup is a -16.7% time delta).
+// The CI bench-smoke job does exactly that.
+//
+// Two families, each exercising one of the planner's two levers:
+//
+//  * ScheduleSkew — conjunct-schedule win. A labelled chain where the
+//    default variable order binds two unselective Common variables
+//    before discovering that the Rare&Exclusive variable has no
+//    candidates (the labels never co-occur). The cost model sees the
+//    empty pair in the co-occurrence sketch and schedules that
+//    variable first, turning an O(N^2) match failure into O(1). The
+//    engine is pinned to brute force on both arms so the delta is the
+//    schedule alone.
+//
+//  * EngineRoute — engine-route win. A strict total chain (exactly one
+//    minimal model) with a non-entailed multi-disjunct monadic query
+//    under EngineKind::kAuto: the default classification picks the
+//    disjunctive search engine, which pays the full countermodel
+//    certification over the chain, while the cost model routes to
+//    brute force, which refutes both disjuncts against the single
+//    minimal model directly.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/engine.h"
+#include "core/parser.h"
+#include "core/prepare.h"
+#include "stats/stats.h"
+
+namespace iodb {
+namespace {
+
+bool CostingOn() {
+  const char* env = std::getenv("IODB_COSTING");
+  return env == nullptr || std::string(env) != "off";
+}
+
+Database MustParseDb(const std::string& text, const VocabularyPtr& vocab) {
+  Result<Database> parsed = ParseDatabase(text, vocab);
+  IODB_CHECK(parsed.ok());
+  return std::move(parsed.value());
+}
+
+Query MustParseQuery(const std::string& text, const VocabularyPtr& vocab) {
+  Result<Query> parsed = ParseQuery(text, vocab);
+  IODB_CHECK(parsed.ok());
+  return std::move(parsed.value());
+}
+
+// A strict chain c0 < c1 < ... < c{n-1}, every point Common, with Rare
+// on the bottom and Exclusive on the top — so Rare and Exclusive never
+// co-occur and the pair sketch records an exact zero for them.
+std::string SkewedChainText(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += "Common(c" + std::to_string(i) + ")\n";
+  }
+  text += "Rare(c0)\n";
+  text += "Exclusive(c" + std::to_string(n - 1) + ")\n";
+  for (int i = 0; i + 1 < n; ++i) {
+    text += "c" + std::to_string(i) + " < c" + std::to_string(i + 1) + "\n";
+  }
+  return text;
+}
+
+void BM_PlannerAB_ScheduleSkew(benchmark::State& state) {
+  VocabularyPtr vocab = std::make_shared<Vocabulary>();
+  Database db = MustParseDb(SkewedChainText(static_cast<int>(state.range(0))),
+                            vocab);
+  Query query = MustParseQuery(
+      "exists t1 t2 t3: Common(t1) & Common(t2) & Rare(t3) & Exclusive(t3)",
+      vocab);
+
+  EntailOptions options;
+  // Pin the engine so both arms pay the same match loop; only the
+  // variable schedule differs.
+  options.engine = EngineKind::kBruteForce;
+  if (CostingOn()) options.planner = stats::PlannerFor(db);
+
+  PreparedQuery plan = MustPrepare(vocab, query, options);
+  if (CostingOn()) {
+    // The benchmark is only meaningful while the planner actually picks
+    // a non-default schedule; fail loudly if it ever stops doing so.
+    IODB_CHECK(plan.PlanChoiceSummary().find("sched=1/1") !=
+               std::string::npos);
+  }
+
+  for (auto _ : state) {
+    Result<EntailResult> result = plan.Evaluate(db);
+    IODB_CHECK(result.ok());
+    IODB_CHECK(!result.value().entailed);  // Rare & Exclusive never meet.
+    benchmark::DoNotOptimize(result.value().entailed);
+  }
+}
+BENCHMARK(BM_PlannerAB_ScheduleSkew)->Arg(64)->Arg(256);
+
+// A strict total chain of P points with a single Q fact: exactly one
+// minimal model, and any disjunct needing two Q points must fail.
+std::string TotalChainText(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += "P(c" + std::to_string(i) + ")\n";
+  }
+  text += "Q(c0)\n";
+  for (int i = 0; i + 1 < n; ++i) {
+    text += "c" + std::to_string(i) + " < c" + std::to_string(i + 1) + "\n";
+  }
+  return text;
+}
+
+void BM_PlannerAB_EngineRoute(benchmark::State& state) {
+  VocabularyPtr vocab = std::make_shared<Vocabulary>();
+  Database db = MustParseDb(TotalChainText(static_cast<int>(state.range(0))),
+                            vocab);
+  Query query = MustParseQuery(
+      "exists t1 t2: Q(t1) & t1 < t2 & Q(t2) | "
+      "exists t1 t2: Q(t1) & t2 < t1 & Q(t2)", vocab);
+
+  EntailOptions options;  // EngineKind::kAuto — the route is the lever.
+  if (CostingOn()) options.planner = stats::PlannerFor(db);
+
+  PreparedQuery plan = MustPrepare(vocab, query, options);
+  if (CostingOn()) {
+    IODB_CHECK(plan.PlanChoiceSummary().find("engine=brute-force") !=
+               std::string::npos);
+  }
+
+  for (auto _ : state) {
+    Result<EntailResult> result = plan.Evaluate(db);
+    IODB_CHECK(result.ok());
+    IODB_CHECK(!result.value().entailed);  // only one Q point exists
+    benchmark::DoNotOptimize(result.value().entailed);
+  }
+}
+BENCHMARK(BM_PlannerAB_EngineRoute)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace iodb

@@ -38,7 +38,8 @@ Database::Database(const Database& other)
       order_atoms_(other.order_atoms_),
       inequalities_(other.inequalities_),
       norm_cache_(other.norm_cache_),
-      norm_cache_revision_(other.norm_cache_revision_) {}
+      norm_cache_revision_(other.norm_cache_revision_),
+      stats_slot_(other.stats_slot_) {}
 
 Database& Database::operator=(const Database& other) {
   if (this == &other) return *this;
@@ -53,6 +54,7 @@ Database& Database::operator=(const Database& other) {
   inequalities_ = other.inequalities_;
   norm_cache_ = other.norm_cache_;
   norm_cache_revision_ = other.norm_cache_revision_;
+  stats_slot_ = other.stats_slot_;
   return *this;
 }
 
@@ -67,11 +69,13 @@ Database::Database(Database&& other) noexcept
       order_atoms_(std::move(other.order_atoms_)),
       inequalities_(std::move(other.inequalities_)),
       norm_cache_(std::move(other.norm_cache_)),
-      norm_cache_revision_(other.norm_cache_revision_) {
+      norm_cache_revision_(other.norm_cache_revision_),
+      stats_slot_(std::move(other.stats_slot_)) {
   // Re-identify the hollowed-out source so external (uid, revision) cache
   // keys can never match its new (empty) content.
   other.uid_ = NextDatabaseUid();
   other.norm_cache_.reset();
+  other.stats_slot_ = {};
 }
 
 Database& Database::operator=(Database&& other) noexcept {
@@ -87,8 +91,10 @@ Database& Database::operator=(Database&& other) noexcept {
   inequalities_ = std::move(other.inequalities_);
   norm_cache_ = std::move(other.norm_cache_);
   norm_cache_revision_ = other.norm_cache_revision_;
+  stats_slot_ = std::move(other.stats_slot_);
   other.uid_ = NextDatabaseUid();
   other.norm_cache_.reset();
+  other.stats_slot_ = {};
   return *this;
 }
 
@@ -280,6 +286,7 @@ void Database::RestoreIdentity(uint64_t uid, uint64_t revision) {
   revision_ = revision;
   norm_cache_.reset();
   norm_cache_revision_ = revision;
+  stats_slot_ = {};  // the storage layer re-installs persisted stats after
   std::atomic<uint64_t>& counter = DatabaseUidCounter();
   uint64_t seen = counter.load(std::memory_order_relaxed);
   while (seen < uid &&

@@ -153,6 +153,26 @@ class Database {
   /// after reconstructing the content the identity describes.
   void RestoreIdentity(uint64_t uid, uint64_t revision);
 
+  /// Type-erased memo slot for the statistics layer (src/stats): one
+  /// entry describing this database's content at `revision`. The core
+  /// layer only stores it; iodb::stats owns the concrete type. Same
+  /// thread contract as NormView: the slot fills lazily under const, so
+  /// the first fill must not race concurrent readers (the service
+  /// pre-materializes it on the writer before publishing a version).
+  struct StatsSlot {
+    std::shared_ptr<const void> value;
+    /// The revision `value` describes; a mismatch means stale.
+    uint64_t revision = 0;
+    /// True if the entry was installed from persisted snapshot bytes
+    /// (vs rebuilt in-process) — surfaced by `iodb_serve INFO`.
+    bool from_snapshot = false;
+  };
+  const StatsSlot& stats_slot() const { return stats_slot_; }
+  void set_stats_slot(std::shared_ptr<const void> value, uint64_t revision,
+                      bool from_snapshot) const {
+    stats_slot_ = {std::move(value), revision, from_snapshot};
+  }
+
   /// Serving-layer hook: a copy that KEEPS this database's uid (unlike the
   /// copy constructor, which mints a fresh one). The fork is the next
   /// version of the same logical database: mutating it bumps the shared
@@ -185,6 +205,9 @@ class Database {
   mutable std::shared_ptr<const Result<NormDb>> norm_cache_;
   mutable uint64_t norm_cache_revision_ = 0;
   mutable long long norm_view_computations_ = 0;
+  // Statistics memo (see StatsSlot). Copies share the entry like the
+  // NormView cache — the revision stamp makes staleness detectable.
+  mutable StatsSlot stats_slot_;
 };
 
 /// Normalized database: the labelled dag view of Sections 2 and 4.

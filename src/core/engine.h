@@ -13,6 +13,7 @@
 #define IODB_CORE_ENGINE_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -25,6 +26,8 @@
 #include "util/status.h"
 
 namespace iodb {
+
+class QueryPlanner;  // core/planner.h
 
 /// Algorithm selection.
 enum class EngineKind {
@@ -52,6 +55,11 @@ struct EntailOptions {
   bool want_countermodel = false;
   /// Budget for query-inequality rewriting (see RewriteInequalities).
   int max_rewritten_disjuncts = 1 << 16;
+  /// Cost oracle for the Prepare() cost-plan pass (core/planner.h);
+  /// null disables costing (the default static heuristics apply). The
+  /// planner influences schedules and engine routes, never verdicts,
+  /// and its fingerprint() is part of the plan fingerprint.
+  std::shared_ptr<const QueryPlanner> planner;
 };
 
 /// Result of an entailment check.

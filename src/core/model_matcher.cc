@@ -7,17 +7,33 @@
 
 namespace iodb {
 
-CompiledConjunct CompileConjunct(const NormConjunct& conjunct) {
+CompiledConjunct CompileConjunct(const NormConjunct& conjunct,
+                                 const std::vector<int>* order_var_sequence) {
   CompiledConjunct out;
   const int nv = conjunct.num_order_vars();
   const int no = conjunct.num_object_vars();
 
-  std::vector<int> topo = TopologicalOrder(conjunct.dag);
+  std::vector<int> topo;
+  if (order_var_sequence != nullptr) {
+    IODB_CHECK_EQ(static_cast<int>(order_var_sequence->size()), nv);
+    topo = *order_var_sequence;
+  } else {
+    topo = TopologicalOrder(conjunct.dag);
+  }
   out.var_order.reserve(topo.size() + no);
   std::vector<int> pos_of_order(nv, -1);
   for (int t : topo) {
+    IODB_CHECK_GE(t, 0);
+    IODB_CHECK_LT(t, nv);
+    IODB_CHECK_EQ(pos_of_order[t], -1);  // a permutation visits each once
     pos_of_order[t] = static_cast<int>(out.var_order.size());
     out.var_order.push_back({Sort::kOrder, t});
+  }
+  if (order_var_sequence != nullptr) {
+    // Linear-extension invariant: every dag source precedes its target.
+    for (const LabeledEdge& e : conjunct.dag.edges()) {
+      IODB_CHECK_LT(pos_of_order[e.from], pos_of_order[e.to]);
+    }
   }
   std::vector<int> pos_of_object(no, -1);
   for (int x = 0; x < no; ++x) {

@@ -63,7 +63,16 @@ struct CompiledConjunct {
 /// Compiles the schedule of `conjunct`. Plans memoize this at Prepare()
 /// time; standalone callers may compile per engine run (still once per
 /// run instead of once per model).
-CompiledConjunct CompileConjunct(const NormConjunct& conjunct);
+///
+/// `order_var_sequence`, when non-null, replaces the default topological
+/// order of the order variables (cost-based planning, core/planner.h).
+/// It must be a permutation of [0, num_order_vars) that is a linear
+/// extension of the conjunct dag — Search()'s in-arc lower bound reads
+/// the assignments of dag predecessors, so a non-extension order would
+/// silently break it (checked).
+CompiledConjunct CompileConjunct(
+    const NormConjunct& conjunct,
+    const std::vector<int>* order_var_sequence = nullptr);
 
 /// Reusable satisfaction checker for one conjunct. Holds the assignment
 /// buffers across calls, so the per-model cost is the search itself.

@@ -12,6 +12,7 @@
 #include "core/minimal_models.h"
 #include "core/model_builder.h"
 #include "core/model_check.h"
+#include "core/planner.h"
 #include "core/semantics.h"
 #include "util/parallel.h"
 
@@ -31,6 +32,8 @@ const char* QueryPassName(QueryPassId id) {
       return "object-split";
     case QueryPassId::kEngineClassification:
       return "engine-classification";
+    case QueryPassId::kCostPlan:
+      return "cost-plan";
   }
   return "unknown";
 }
@@ -326,6 +329,103 @@ Result<PreparedQuery> Prepare(const VocabularyPtr& vocab, const Query& query,
     plan.passes_.push_back(std::move(record));
   }
 
+  // Pass 7: cost-based planning. Advisory by contract (core/planner.h):
+  // anything invalid is dropped here, so the engines below never see a
+  // schedule that could change a verdict. Runs BEFORE the static-split
+  // build so a disjunct reordering flows into the precomputed queries.
+  {
+    PassRecord record{QueryPassId::kCostPlan, false, ""};
+    const QueryPlanner* planner = options.planner.get();
+    if (planner == nullptr) {
+      record.detail = "no planner (costing off)";
+    } else if (plan.disjuncts_.empty()) {
+      record.detail = "no disjuncts to cost";
+    } else {
+      std::vector<NormConjunct> reduced;
+      reduced.reserve(plan.disjuncts_.size());
+      for (const DisjunctPlan& entry : plan.disjuncts_) {
+        reduced.push_back(entry.reduced);
+      }
+      QueryPlanChoice choice = planner->PlanQuery(reduced);
+
+      // Per-disjunct schedules: accept only valid linear extensions
+      // that differ from the default topological order.
+      if (choice.disjuncts.size() == plan.disjuncts_.size()) {
+        for (size_t i = 0; i < plan.disjuncts_.size(); ++i) {
+          DisjunctPlan& entry = plan.disjuncts_[i];
+          const DisjunctCost& cost = choice.disjuncts[i];
+          entry.est_cost = cost.est_cost;
+          const std::vector<int>& seq = cost.order_var_sequence;
+          const int nv = entry.reduced.num_order_vars();
+          if (seq.empty()) continue;
+          if (static_cast<int>(seq.size()) != nv) continue;
+          std::vector<int> pos(nv, -1);
+          bool valid = true;
+          for (int p = 0; p < nv && valid; ++p) {
+            const int t = seq[p];
+            valid = t >= 0 && t < nv && pos[t] == -1;
+            if (valid) pos[t] = p;
+          }
+          for (const LabeledEdge& e : entry.reduced.dag.edges()) {
+            if (!valid) break;
+            valid = pos[e.from] < pos[e.to];
+          }
+          if (!valid) continue;
+          std::vector<int> default_seq;
+          default_seq.reserve(nv);
+          for (const auto& [sort, id] : entry.compiled.var_order) {
+            if (sort == Sort::kOrder) default_seq.push_back(id);
+          }
+          if (seq == default_seq) continue;
+          entry.compiled = CompileConjunct(entry.reduced, &seq);
+          entry.costed_schedule = true;
+          ++plan.costed_schedules_;
+        }
+      }
+
+      // Disjunct evaluation order: first-match-wins paths try cheap
+      // disjuncts first. Accept only a genuine permutation.
+      const std::vector<int>& order = choice.disjunct_order;
+      if (order.size() == plan.disjuncts_.size()) {
+        std::vector<bool> seen(order.size(), false);
+        bool valid = true;
+        bool identity = true;
+        for (size_t p = 0; p < order.size() && valid; ++p) {
+          const int d = order[p];
+          valid = d >= 0 && d < static_cast<int>(order.size()) && !seen[d];
+          if (valid) seen[d] = true;
+          identity = identity && d == static_cast<int>(p);
+        }
+        if (valid && !identity) {
+          std::vector<DisjunctPlan> permuted;
+          permuted.reserve(plan.disjuncts_.size());
+          for (int d : order) permuted.push_back(std::move(plan.disjuncts_[d]));
+          plan.disjuncts_ = std::move(permuted);
+          plan.costed_reorder_ = true;
+        }
+      }
+
+      // Engine route: only a suggestion, only when the caller said
+      // kAuto; applicability is re-checked per database at Evaluate.
+      if (choice.engine != EngineKind::kAuto &&
+          options.engine == EngineKind::kAuto) {
+        plan.costed_engine_ = choice.engine;
+      }
+
+      record.applied = plan.costed_schedules_ > 0 || plan.costed_reorder_ ||
+                       plan.costed_engine_.has_value();
+      record.detail = "schedules " + std::to_string(plan.costed_schedules_) +
+                      "/" + std::to_string(plan.disjuncts_.size()) +
+                      ", reorder=" + (plan.costed_reorder_ ? "yes" : "no") +
+                      ", engine=" +
+                      (plan.costed_engine_.has_value()
+                           ? EngineKindName(*plan.costed_engine_)
+                           : "no-opinion");
+      if (!choice.detail.empty()) record.detail += "; " + choice.detail;
+    }
+    plan.passes_.push_back(std::move(record));
+  }
+
   // With no object parts, ground-fact filtering never drops a disjunct,
   // so the assembled query is database-independent: build it once here
   // and let every evaluation borrow it.
@@ -373,6 +473,10 @@ uint64_t FingerprintPlanInputs(const Query& query,
   mix(static_cast<uint64_t>(options.engine));
   mix(static_cast<uint64_t>(options.want_countermodel));
   mix(static_cast<uint64_t>(options.max_rewritten_disjuncts));
+  // Costing changes schedules, never verdicts — but a cached plan built
+  // with one planner must not be served for another (or for costing
+  // off), so the planner's own fingerprint is part of the key.
+  mix(options.planner != nullptr ? options.planner->fingerprint() : 0);
   return hash;
 }
 
@@ -387,6 +491,9 @@ PreparedQuery::PreparedQuery(const PreparedQuery& other)
       sentinel_vars_(other.sentinel_vars_),
       trivially_true_(other.trivially_true_),
       planned_engine_(other.planned_engine_),
+      costed_engine_(other.costed_engine_),
+      costed_schedules_(other.costed_schedules_),
+      costed_reorder_(other.costed_reorder_),
       static_split_(other.static_split_),
       static_reduced_split_(other.static_reduced_split_),
       static_plan_index_(other.static_plan_index_) {
@@ -524,10 +631,27 @@ Result<EntailResult> PreparedQuery::EvaluateWith(const Database& db,
 
   EngineKind engine = options_.engine;
   if (engine == EngineKind::kAuto) {
-    engine = monadic_ok ? ((conjunctive && db_neq_free)
-                               ? EngineKind::kBoundedWidth
-                               : EngineKind::kDisjunctiveSearch)
-                        : EngineKind::kBruteForce;
+    // A costed route is taken only when applicable to THIS database's
+    // instance; otherwise the static auto rule decides. Suggestions are
+    // advisory, so inapplicability falls back instead of erroring.
+    std::optional<EngineKind> costed = costed_engine_;
+    if (costed.has_value()) {
+      const bool applicable =
+          *costed == EngineKind::kBruteForce ||
+          (*costed == EngineKind::kDisjunctiveSearch && monadic_ok) ||
+          ((*costed == EngineKind::kBoundedWidth ||
+            *costed == EngineKind::kPathDecomposition) &&
+           monadic_ok && conjunctive && db_neq_free);
+      if (!applicable) costed.reset();
+    }
+    if (costed.has_value()) {
+      engine = *costed;
+    } else {
+      engine = monadic_ok ? ((conjunctive && db_neq_free)
+                                 ? EngineKind::kBoundedWidth
+                                 : EngineKind::kDisjunctiveSearch)
+                          : EngineKind::kBruteForce;
+    }
   } else if (engine == EngineKind::kPathDecomposition ||
              engine == EngineKind::kBoundedWidth) {
     if (!monadic_ok || !conjunctive || !db_neq_free) {
@@ -805,11 +929,36 @@ std::string PreparedQuery::Explain() const {
            " order-vars=" + std::to_string(entry.order_vars) +
            " width=" + std::to_string(entry.width) +
            (entry.object_part.has_value() ? " object-part=yes" : "") +
-           " engine=" + EngineKindName(entry.engine) + "\n";
+           " engine=" + EngineKindName(entry.engine);
+    if (entry.est_cost >= 0) {
+      out += " est-cost=" + std::to_string(static_cast<long long>(
+                                entry.est_cost));
+    }
+    if (entry.costed_schedule) out += " schedule=costed";
+    out += "\n";
   }
-  out += std::string("dispatch: ") + EngineKindName(planned_engine_) +
-         " (database-dependent filtering may adjust)\n";
+  out += std::string("dispatch: ") + EngineKindName(planned_engine_);
+  if (costed_engine_.has_value()) {
+    out += std::string(" -> ") + EngineKindName(*costed_engine_) +
+           " (costed route, where applicable)";
+  }
+  out += " (database-dependent filtering may adjust)\n";
+  out += "plan-choice: " + PlanChoiceSummary() + "\n";
   return out;
+}
+
+std::string PreparedQuery::PlanChoiceSummary() const {
+  if (costed_schedules_ == 0 && !costed_reorder_ &&
+      !costed_engine_.has_value()) {
+    return "default";
+  }
+  std::string out = "costed(sched=" + std::to_string(costed_schedules_) +
+                    "/" + std::to_string(disjuncts_.size()) +
+                    ",reorder=" + (costed_reorder_ ? "yes" : "no");
+  if (costed_engine_.has_value()) {
+    out += std::string(",engine=") + EngineKindName(*costed_engine_);
+  }
+  return out + ")";
 }
 
 std::string PreparedQuery::Explain(const EntailResult& result) const {
@@ -839,6 +988,19 @@ std::string PreparedQuery::ExplainEvaluation(const EntailResult& result) const {
   counter("reach-fast-hits", result.check_stats.reach_fast_hits);
   counter("reach-fallbacks", result.check_stats.reach_fallbacks);
   counter("index-rebuilds", result.check_stats.index_rebuilds);
+  // Estimated-vs-actual: the planner's work estimate next to the
+  // counters above (assignments-tried is the matcher-side actual).
+  double est_total = 0;
+  bool any_est = false;
+  for (const DisjunctPlan& entry : disjuncts_) {
+    if (entry.est_cost >= 0) {
+      est_total += entry.est_cost;
+      any_est = true;
+    }
+  }
+  if (any_est) {
+    counter("est-assignments", static_cast<long long>(est_total));
+  }
   return out;
 }
 

@@ -17,6 +17,11 @@
 //                          checking them against ground facts is the
 //                          evaluation-time half
 //   engine-classification  per-disjunct static engine choice
+//   cost-plan              when the options carry a QueryPlanner
+//                          (core/planner.h), rank alternative conjunct
+//                          schedules, reorder disjuncts for early exit,
+//                          and suggest an engine route — all advisory,
+//                          never verdict-changing
 //
 // The resulting `PreparedQuery` is an inspectable plan: `Evaluate(db)`
 // finishes the cheap database-dependent work (memoized normalization via
@@ -57,6 +62,7 @@ enum class QueryPassId {
   kSemanticsReduction,
   kObjectSplit,
   kEngineClassification,
+  kCostPlan,
 };
 
 /// Returns the pass name, e.g. "constant-elimination".
@@ -96,6 +102,11 @@ struct DisjunctPlan {
   /// The engine this disjunct runs on when it is the only survivor
   /// against an inequality-free database (the conjunctive case).
   EngineKind engine = EngineKind::kBruteForce;
+  /// Cost-plan pass outputs: the planner's work estimate for this
+  /// disjunct (negative = no estimate) and whether `compiled` uses a
+  /// cost-chosen variable order instead of the default topological one.
+  double est_cost = -1.0;
+  bool costed_schedule = false;
 };
 
 /// A compiled entailment query: the output of Prepare(). Cheap to
@@ -196,6 +207,12 @@ class PreparedQuery {
   /// database. Evaluate() reports the actual choice per database.
   EngineKind planned_engine() const { return planned_engine_; }
 
+  /// Compact descriptor of the cost-plan pass outcome, for per-request
+  /// plan-choice tags (iodb_replay, the serving protocol): "default"
+  /// when no planner ran or nothing changed, else e.g.
+  /// "costed(sched=1/2,reorder=yes,engine=brute-force)".
+  std::string PlanChoiceSummary() const;
+
   /// Marker facts injected into each evaluated database (the db-side half
   /// of constant elimination); empty for constant-free queries.
   const std::vector<ConstantShift::Marker>& markers() const {
@@ -255,6 +272,12 @@ class PreparedQuery {
   int sentinel_vars_ = 0;
   bool trivially_true_ = false;
   EngineKind planned_engine_ = EngineKind::kAuto;
+  // Cost-plan pass outputs: the planner's engine-route suggestion
+  // (applied at Evaluate when the options say kAuto and the route is
+  // applicable) and the counts behind PlanChoiceSummary().
+  std::optional<EngineKind> costed_engine_;
+  int costed_schedules_ = 0;
+  bool costed_reorder_ = false;
   // The assembled query, precomputed when no disjunct has an object part
   // (then ground-fact filtering never drops anything, so the split is
   // database-independent and evaluations skip the per-call rebuild). A
@@ -302,7 +325,8 @@ PreparedQuery MustPrepare(const VocabularyPtr& vocab, const Query& query,
 /// Fingerprint of the full Prepare() input: the structural query
 /// fingerprint (FingerprintQuery) mixed with every option that changes
 /// the compiled plan or its verdict payload — semantics, forced engine,
-/// countermodel request, inequality-rewrite budget. Two Prepare() calls
+/// countermodel request, inequality-rewrite budget, and the planner's
+/// own fingerprint (0 when costing is off). Two Prepare() calls
 /// with equal fingerprints over the same vocabulary produce
 /// interchangeable plans, which is exactly the plan-cache contract.
 uint64_t FingerprintPlanInputs(const Query& query,

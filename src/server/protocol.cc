@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "stats/stats.h"
 #include "util/strings.h"
 
 namespace iodb::server {
@@ -162,7 +163,10 @@ void ProtocolSession::HandleInfo(const std::string& name) {
   channel_->Write("OK db=" + name +
                   " atoms=" + std::to_string(db->SizeAtoms()) +
                   " uid=" + std::to_string(db->uid()) +
-                  " revision=" + std::to_string(db->revision()) + "\n");
+                  " revision=" + std::to_string(db->revision()) +
+                  " stats=" +
+                  (stats::StatsArePersisted(*db) ? "persisted" : "rebuilt") +
+                  "\n");
 }
 
 void ProtocolSession::HandleEval(const std::string& args) {

@@ -74,6 +74,16 @@ Result<EvalRequest> ParseEvalRequest(const std::string& line) {
                             &request.step_budget)) {
         return Status::InvalidArgument("bad step budget in '" + flag + "'");
       }
+    } else if (flag.rfind("--costing=", 0) == 0) {
+      const std::string_view value = std::string_view(flag).substr(10);
+      if (value == "on") {
+        request.costing = 1;
+      } else if (value == "off") {
+        request.costing = 0;
+      } else {
+        return Status::InvalidArgument("bad costing value in '" + flag +
+                                       "' (want on|off)");
+      }
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
@@ -99,6 +109,9 @@ std::string FormatEvalRequest(const EvalRequest& request) {
   }
   if (request.step_budget >= 0) {
     out += " --step-budget=" + std::to_string(request.step_budget);
+  }
+  if (request.costing >= 0) {
+    out += std::string(" --costing=") + (request.costing > 0 ? "on" : "off");
   }
   if (request.options.want_countermodel) out += " --countermodel";
   if (request.explain) out += " --explain";

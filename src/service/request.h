@@ -6,7 +6,7 @@
 // Wire form of an EVAL request (one line):
 //
 //   <db-name> [--semantics=finite|integer|rational] [--engine=NAME]
-//             [--deadline-ms=N] [--step-budget=N]
+//             [--deadline-ms=N] [--step-budget=N] [--costing=on|off]
 //             [--countermodel] [--explain] [--identity] <query text>
 //
 // Flags follow the database name; the first token that is not a flag
@@ -41,6 +41,12 @@ struct EvalRequest {
   long long deadline_ms = -1;
   /// Step budget — units of search work (< 0 = use the service default).
   long long step_budget = -1;
+  /// Statistics-backed cost-based planning: 1 = on, 0 = off, -1 = use
+  /// the service default (ServiceOptions::use_cost_model). Advisory
+  /// only — costing influences schedules and engine routes, never
+  /// verdicts. The service injects the pinned version's planner into the
+  /// effective EntailOptions, so this IS part of the plan-cache key.
+  int costing = -1;
   /// Attach the rendered plan + evaluation counters to the response.
   bool explain = false;
   /// Report the pinned database version (uid@revision) in the verdict
@@ -60,6 +66,10 @@ struct EvalResponse {
   std::optional<FiniteModel> countermodel;
   /// PreparedQuery::Explain(result) rendering; nonempty iff requested.
   std::string explain;
+  /// PreparedQuery::PlanChoiceSummary() of the plan that served the
+  /// request ("default", or "costed(...)" when the cost-based pass
+  /// changed the plan). Always filled; iodb_replay tags traces with it.
+  std::string plan_summary;
   /// Identity of the published database version the evaluation ran
   /// against (the version pinned at request start).
   uint64_t db_uid = 0;

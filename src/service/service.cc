@@ -6,6 +6,7 @@
 
 #include "core/minimal_models.h"
 #include "core/parser.h"
+#include "stats/stats.h"
 #include "util/parallel.h"
 
 namespace iodb {
@@ -36,6 +37,7 @@ EvaluationService::EvaluationService(ServiceOptions options)
                                            : DefaultWorkerCount()),
       default_deadline_ms_(options.default_deadline_ms),
       default_step_budget_(options.default_step_budget),
+      use_cost_model_(options.use_cost_model),
       plan_cache_(options.plan_cache_capacity) {}
 
 long long EvaluationService::EffectiveDeadlineMs(
@@ -47,6 +49,19 @@ long long EvaluationService::EffectiveStepBudget(
     const EvalRequest& request) const {
   return request.step_budget >= 0 ? request.step_budget
                                   : default_step_budget_;
+}
+
+EntailOptions EvaluationService::EffectiveOptions(const EvalRequest& request,
+                                                 const Database& db) const {
+  EntailOptions options = request.options;
+  const bool costing =
+      request.costing >= 0 ? request.costing > 0 : use_cost_model_;
+  // PlannerFor is memoized per published version (pre-materialized at
+  // Publish), so this is a shared_ptr copy on the hot path. The planner
+  // fingerprint flows into FingerprintPlanInputs, so plans costed
+  // against different statistics never collide in the cache.
+  options.planner = costing ? stats::PlannerFor(db) : nullptr;
+  return options;
 }
 
 Result<DbInfo> EvaluationService::Load(const std::string& name,
@@ -67,6 +82,9 @@ DbInfo EvaluationService::Publish(const std::string& name, Database db) {
   // anyway — evaluation reports the same error per request.
   Result<const NormDb*> view = db.NormView();
   if (view.ok()) (void)SharedEnumerationContext(*view.value());
+  // Statistics + cost model too: readers fetch the memoized entry with
+  // one shared_ptr copy, never filling the slot concurrently.
+  (void)stats::PlannerFor(db);
   DbInfo info{name, db.SizeAtoms(), db.uid(), db.revision()};
   auto published = std::make_shared<const Database>(std::move(db));
   {
@@ -165,6 +183,7 @@ EvalResponse EvaluationService::MakeResponse(const PreparedQuery& plan,
   response.db_uid = db.uid();
   response.db_revision = db.revision();
   response.report_identity = request.report_identity;
+  response.plan_summary = plan.PlanChoiceSummary();
   if (request.explain) response.explain = plan.Explain(result);
   response.countermodel = std::move(result.countermodel);
   return response;
@@ -182,7 +201,7 @@ Result<EvalResponse> EvaluationService::Eval(const EvalRequest& request,
   }
   bool cache_hit = false;
   Result<std::shared_ptr<const PreparedQuery>> plan =
-      PlanFor(request.query, request.options, &cache_hit);
+      PlanFor(request.query, EffectiveOptions(request, *db), &cache_hit);
   if (!plan.ok()) return plan.status();
   ExecBudget budget;
   const long long deadline_ms = EffectiveDeadlineMs(request);
@@ -235,7 +254,8 @@ std::vector<Result<EvalResponse>> EvaluationService::EvalBatch(
       continue;
     }
     Result<std::shared_ptr<const PreparedQuery>> plan =
-        PlanFor(request.query, request.options, &slot.cache_hit);
+        PlanFor(request.query, EffectiveOptions(request, *slot.db),
+                &slot.cache_hit);
     if (!plan.ok()) {
       results[i] = plan.status();
       continue;

@@ -68,6 +68,12 @@ struct ServiceOptions {
   long long default_deadline_ms = -1;
   /// Default per-request step budget (< 0 = unlimited).
   long long default_step_budget = -1;
+  /// Statistics-backed cost-based planning (src/stats): when on, each
+  /// request's effective options carry the pinned version's CostModel,
+  /// so Prepare() can reorder conjunct schedules and disjuncts and
+  /// suggest engine routes. Advisory only — never changes verdicts.
+  /// Requests override per-call with EvalRequest::costing.
+  bool use_cost_model = true;
 };
 
 /// Registration summary of one database.
@@ -202,10 +208,17 @@ class EvaluationService {
   long long EffectiveDeadlineMs(const EvalRequest& request) const;
   long long EffectiveStepBudget(const EvalRequest& request) const;
 
+  /// The request's effective EntailOptions: the cost-model planner of
+  /// the pinned version injected when costing is enabled for this
+  /// request (request override, else the service default).
+  EntailOptions EffectiveOptions(const EvalRequest& request,
+                                 const Database& db) const;
+
   VocabularyPtr vocab_;
   int num_workers_;
   long long default_deadline_ms_;
   long long default_step_budget_;
+  bool use_cost_model_;
   PlanCache plan_cache_;
   // The published versions. db_mu_ guards the map only (lookup and
   // pointer swap — never held across parsing, evaluation, or version

@@ -1,0 +1,149 @@
+// Database statistics: collection, persistence, and memoized access.
+//
+// The statistics subsystem feeds the cost-based planner (cost_model.h):
+// per-predicate cardinalities and distinct-argument counts measured on
+// the raw fact store, order-graph shape summaries (edge density,
+// strictness mix, depth, layer width, component histogram) measured on
+// the normalized view, and a bounded co-occurrence sketch over monadic
+// label pairs — the pairwise selectivity input for scheduling order
+// variables that carry several labels.
+//
+// Staleness rules: a DatabaseStats describes one (uid, revision) of one
+// database. The memoized entry lives in the Database's type-erased
+// stats slot (core/database.h) with a revision stamp; `StatsFor`
+// recomputes on mismatch. The MVCC service pre-materializes the entry
+// on the writer's fork before publishing (like NormView), so readers of
+// a published version never fill the slot concurrently.
+//
+// Persistence: EncodeStats/DecodeStats is the payload of the optional
+// snapshot statistics section (docs/SNAPSHOT_FORMAT.md, format v2).
+// Encoding is a pure function of the stats, decoding is lossless, so
+// snapshots re-encode byte-stably whether their stats were persisted or
+// rebuilt.
+
+#ifndef IODB_STATS_STATS_H_
+#define IODB_STATS_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/planner.h"
+#include "util/status.h"
+
+namespace iodb::stats {
+
+/// Cardinalities of one proper predicate, measured on the raw facts.
+struct PredicateStats {
+  int pred = 0;
+  long long tuples = 0;
+  /// Distinct argument values per position (size = arity).
+  std::vector<long long> distinct_args;
+
+  friend bool operator==(const PredicateStats&,
+                         const PredicateStats&) = default;
+};
+
+/// Points carrying both labels p and q (p < q): the pairwise
+/// selectivity sketch, bounded to the heaviest pairs.
+struct LabelPairStats {
+  int p = 0;
+  int q = 0;
+  long long points = 0;
+
+  friend bool operator==(const LabelPairStats&,
+                         const LabelPairStats&) = default;
+};
+
+/// Statistics of one database at one (uid, revision).
+struct DatabaseStats {
+  uint64_t db_uid = 0;
+  uint64_t db_revision = 0;
+
+  // --- fact level (raw database; always valid) ---------------------------
+  long long proper_atoms = 0;
+  long long order_atoms = 0;
+  long long inequality_atoms = 0;
+  int object_constants = 0;
+  int order_constants = 0;
+  /// Per-predicate cardinalities, ascending by id; predicates with no
+  /// facts are omitted.
+  std::vector<PredicateStats> predicates;
+
+  // --- order graph (normalized view) -------------------------------------
+  /// False when normalization failed (inconsistent order atoms): the
+  /// order-graph block below is then all zeros and must not be trusted.
+  bool order_stats_valid = false;
+  int points = 0;
+  int edges = 0;
+  int strict_edges = 0;
+  /// Longest directed path, in vertices (so a total chain has
+  /// dag_depth == points).
+  int dag_depth = 0;
+  /// Maximum size of a longest-path level — a cheap upper-structure
+  /// proxy for antichain width (the exact Dilworth width is a matching
+  /// computation, too heavy for a load-time sweep).
+  int level_width = 0;
+  /// Weakly connected components of the dag (isolated points included).
+  int components = 0;
+  /// component_log2_histogram[b]: components of size in [2^b, 2^(b+1)).
+  std::vector<long long> component_log2_histogram;
+  /// Points carrying each monadic label, ascending by predicate id;
+  /// labels carried by no point are omitted.
+  std::vector<std::pair<int, long long>> label_points;
+  /// Co-occurrence sketch: the heaviest label pairs (at most
+  /// kMaxLabelPairs), ascending by (p, q).
+  std::vector<LabelPairStats> label_pairs;
+
+  static constexpr size_t kMaxLabelPairs = 32;
+
+  /// FNV-1a 64 over the encoded bytes EXCLUDING (uid, revision): two
+  /// databases with identical content have identical content
+  /// fingerprints, whatever their identities.
+  uint64_t ContentFingerprint() const;
+
+  friend bool operator==(const DatabaseStats&,
+                         const DatabaseStats&) = default;
+};
+
+/// Measures `db`. Fact-level statistics always; order-graph statistics
+/// via the memoized NormView (order_stats_valid = false when the
+/// database is inconsistent). Deterministic: equal content yields equal
+/// stats. Same thread contract as Database::NormView.
+DatabaseStats CollectStats(const Database& db);
+
+/// Byte encoding (the snapshot statistics-section payload; little-
+/// endian, see storage/codec.h). Encode∘Decode∘Encode is the identity
+/// on bytes.
+std::string EncodeStats(const DatabaseStats& stats);
+Result<DatabaseStats> DecodeStats(std::string_view bytes);
+
+/// Multi-line "name value" rendering (iodb_pack inspect, docs).
+std::string RenderStats(const DatabaseStats& stats);
+
+// --- memoized access (the Database stats slot) ---------------------------
+
+/// The stats of `db` at its current revision: the memoized entry when
+/// fresh, else recomputed and re-installed (marked rebuilt). Never null.
+std::shared_ptr<const DatabaseStats> StatsFor(const Database& db);
+
+/// The cost model over StatsFor(db), memoized alongside the stats (one
+/// CostModel per content version, shared by every request). Never null.
+std::shared_ptr<const QueryPlanner> PlannerFor(const Database& db);
+
+/// True if the database's CURRENT stats entry is fresh and was
+/// installed from persisted snapshot bytes (vs rebuilt in-process).
+bool StatsArePersisted(const Database& db);
+
+/// Storage-layer hook: installs decoded snapshot stats as the memoized
+/// entry. Fails (and installs nothing) unless `stats` describes exactly
+/// the database's current (uid, revision) — persisted stats are only
+/// trusted for the content they were measured on.
+Status InstallPersistedStats(const Database& db, DatabaseStats stats);
+
+}  // namespace iodb::stats
+
+#endif  // IODB_STATS_STATS_H_

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "stats/stats.h"
 #include "storage/codec.h"
 #include "storage/io.h"
 #include "util/failpoint.h"
@@ -24,7 +25,8 @@ constexpr char kMagic[8] = {'I', 'O', 'D', 'B', 'S', 'N', 'A', 'P'};
 // value is mis-decoding multi-byte integers.
 constexpr uint32_t kEndianTag = 0x1A2B3C4D;
 
-// v1 section ids, in file order.
+// Section ids, in file order. Ids 1-6 are the mandatory v1 set; 7 is
+// the optional statistics section introduced by format v2.
 enum SectionId : uint32_t {
   kSectionVocabulary = 1,
   kSectionConstants = 2,
@@ -32,8 +34,10 @@ enum SectionId : uint32_t {
   kSectionOrderAtoms = 4,
   kSectionInequalities = 5,
   kSectionIdentity = 6,
+  kSectionStatistics = 7,
 };
-constexpr uint32_t kNumSections = 6;
+constexpr uint32_t kNumRequiredSections = 6;
+constexpr uint32_t kMaxSectionId = 7;
 
 constexpr size_t kHeaderBytes = 8 + 4 + 4 + 4 + 8;
 constexpr size_t kTableEntryBytes = 4 + 4 + 8 + 8 + 8;
@@ -153,9 +157,12 @@ std::string AssembleFile(const std::vector<std::pair<uint32_t, std::string>>&
 
 // --- decoding ----------------------------------------------------------------
 
-// Verified section table: id -> payload view.
+// Verified section table: id -> payload view. `present` distinguishes
+// an absent optional section from a present-but-empty payload.
 struct SectionMap {
-  std::string_view payload[kNumSections + 1];
+  uint32_t version = 0;
+  std::string_view payload[kMaxSectionId + 1];
+  bool present[kMaxSectionId + 1] = {};
   std::vector<SectionInfo> infos;
 };
 
@@ -176,18 +183,23 @@ Status ReadSectionMap(std::string_view bytes, const char expected_magic[8],
       !(status = reader.ReadU64(&table_checksum)).ok()) {
     return Corrupt(status.message());
   }
-  if (version != kSnapshotFormatVersion) {
+  if (version < 1 || version > kSnapshotFormatVersion) {
     return Corrupt("unsupported format version " + std::to_string(version) +
-                   " (this reader understands version " +
+                   " (this reader understands versions 1-" +
                    std::to_string(kSnapshotFormatVersion) + ")");
   }
   if (endian != kEndianTag) {
     return Corrupt("endian tag mismatch (corrupt header)");
   }
-  if (count != kNumSections) {
-    return Corrupt("expected " + std::to_string(kNumSections) +
+  // v1 files carry exactly the six mandatory sections; v2 may add the
+  // optional statistics section.
+  const uint32_t max_id = version >= 2 ? kMaxSectionId : kNumRequiredSections;
+  if (count < kNumRequiredSections || count > max_id) {
+    return Corrupt("expected " + std::to_string(kNumRequiredSections) +
+                   (version >= 2 ? "-" + std::to_string(max_id) : "") +
                    " sections, found " + std::to_string(count));
   }
+  map->version = version;
   std::string_view table;
   status = reader.ReadBytes(kTableEntryBytes * count, &table);
   if (!status.ok()) return Corrupt(status.message());
@@ -204,7 +216,7 @@ Status ReadSectionMap(std::string_view bytes, const char expected_magic[8],
     (void)table_reader.ReadU64(&info.offset);
     (void)table_reader.ReadU64(&info.length);
     (void)table_reader.ReadU64(&info.checksum);
-    if (info.id < 1 || info.id > kNumSections) {
+    if (info.id < 1 || info.id > max_id) {
       return Corrupt("unknown section id " + std::to_string(info.id) +
                      " (written by a newer version?)");
     }
@@ -224,7 +236,14 @@ Status ReadSectionMap(std::string_view bytes, const char expected_magic[8],
                      " checksum mismatch");
     }
     map->payload[info.id] = payload;
+    map->present[info.id] = true;
     map->infos.push_back(info);
+  }
+  for (uint32_t id = 1; id <= kNumRequiredSections; ++id) {
+    if (!map->present[id]) {
+      return Corrupt("missing mandatory section " +
+                     std::string(SectionInfo::Name(id)));
+    }
   }
   return Status::Ok();
 }
@@ -457,6 +476,28 @@ Status DecodeBody(const SectionMap& map, const std::vector<int>& pred_map,
     }
     db->RestoreIdentity(uid, revision);
   }
+
+  // Statistics (v2+, optional): install after RestoreIdentity so the
+  // freshness stamp matches the restored revision. Persisted stats
+  // reference the FILE vocabulary's predicate ids, so a registry-open
+  // that remapped any predicate drops them (rebuilt lazily on demand).
+  if (map.present[kSectionStatistics]) {
+    bool identity_map = true;
+    for (size_t p = 0; p < pred_map.size(); ++p) {
+      identity_map = identity_map && pred_map[p] == static_cast<int>(p);
+    }
+    if (identity_map) {
+      Result<stats::DatabaseStats> decoded =
+          stats::DecodeStats(map.payload[kSectionStatistics]);
+      if (!decoded.ok()) {
+        return Corrupt("statistics section: " + decoded.status().message());
+      }
+      // Identity mismatch (a hand-assembled file) is tolerated, not
+      // fatal: statistics are advisory, so the install is skipped and
+      // the stats rebuild lazily, exactly like a pre-v2 snapshot.
+      (void)stats::InstallPersistedStats(*db, std::move(decoded.value()));
+    }
+  }
   return Status::Ok();
 }
 
@@ -505,6 +546,7 @@ const char* SectionInfo::Name(uint32_t id) {
     case kSectionOrderAtoms: return "order-atoms";
     case kSectionInequalities: return "inequalities";
     case kSectionIdentity: return "identity";
+    case kSectionStatistics: return "statistics";
     default: return "unknown";
   }
 }
@@ -534,6 +576,15 @@ std::string SnapshotInfo::ToString() const {
           << std::hex << section.checksum << "\n";
     out += entry.str();
   }
+  {
+    std::string state = "statistics            ";
+    state += !has_statistics ? "absent (pre-v2 snapshot; rebuilt on open)"
+             : statistics_fresh
+                 ? "persisted (fresh)"
+                 : "persisted (STALE: identity mismatch, rebuilt on open)";
+    out += state + "\n";
+  }
+  out += statistics;
   return out;
 }
 
@@ -546,6 +597,11 @@ std::string EncodeSnapshot(const Database& db) {
   sections.emplace_back(kSectionOrderAtoms, EncodeOrderAtomsSection(db));
   sections.emplace_back(kSectionInequalities, EncodeInequalitiesSection(db));
   sections.emplace_back(kSectionIdentity, EncodeIdentitySection(db));
+  // Statistics last: a pure function of content + identity, so the
+  // whole file stays a pure function of the database (byte-stable
+  // re-encode whether the stats were persisted or rebuilt).
+  sections.emplace_back(kSectionStatistics,
+                        stats::EncodeStats(*stats::StatsFor(db)));
   return AssembleFile(sections);
 }
 
@@ -572,7 +628,7 @@ Result<SnapshotInfo> InspectSnapshot(std::string_view bytes) {
   if (!status.ok()) return status;
 
   SnapshotInfo info;
-  info.format_version = kSnapshotFormatVersion;
+  info.format_version = map.version;
   info.file_bytes = bytes.size();
   info.vocab_uid = file_vocab.uid;
   info.num_predicates = static_cast<uint32_t>(file_vocab.predicates.size());
@@ -629,6 +685,17 @@ Result<SnapshotInfo> InspectSnapshot(std::string_view bytes) {
         !(read = reader.ReadU64(&info.revision)).ok()) {
       return Corrupt(read.message());
     }
+  }
+  if (map.present[kSectionStatistics]) {
+    Result<stats::DatabaseStats> decoded =
+        stats::DecodeStats(map.payload[kSectionStatistics]);
+    if (!decoded.ok()) {
+      return Corrupt("statistics section: " + decoded.status().message());
+    }
+    info.has_statistics = true;
+    info.statistics_fresh = decoded.value().db_uid == info.db_uid &&
+                            decoded.value().db_revision == info.revision;
+    info.statistics = stats::RenderStats(decoded.value());
   }
   return info;
 }
@@ -697,7 +764,9 @@ Status RestoreVocabularyInto(const std::string& path, Vocabulary* vocab) {
       !(status = reader.ReadU64(&checksum)).ok()) {
     return Corrupt(status.message());
   }
-  if (version != kSnapshotFormatVersion) {
+  // The sidecar payload has not changed across format versions; accept
+  // every version this reader knows.
+  if (version < 1 || version > kSnapshotFormatVersion) {
     return Corrupt("unsupported vocabulary file version " +
                    std::to_string(version));
   }

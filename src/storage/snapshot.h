@@ -17,7 +17,7 @@
 //   table:    per section: u32 id | u32 reserved | u64 offset
 //             | u64 length | u64 FNV-1a-64 checksum of the payload
 //   payloads: vocabulary, constants, fact segments, order atoms,
-//             inequalities, identity
+//             inequalities, identity, statistics (v2+, optional)
 //
 // Determinism: encoding is a pure function of database content — facts
 // are written bucketed by predicate id (insertion order within a
@@ -40,10 +40,11 @@
 
 namespace iodb::storage {
 
-/// Current snapshot format version. Readers reject other versions (the
-/// layout has no compatibility shims yet; see docs/SNAPSHOT_FORMAT.md
-/// for the versioning rules).
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Current snapshot format version. Version 2 adds the optional
+/// statistics section (id 7); readers accept versions 1 and 2 — a v1
+/// file simply has no persisted statistics and rebuilds them lazily.
+/// See docs/SNAPSHOT_FORMAT.md for the versioning rules.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// One section-table entry, as stored (offsets are absolute file
 /// offsets).
@@ -70,6 +71,12 @@ struct SnapshotInfo {
   uint64_t num_order_atoms = 0;
   uint64_t num_inequalities = 0;
   uint64_t file_bytes = 0;
+  /// Statistics section (format v2+): present, fresh (the persisted
+  /// stats describe exactly this snapshot's identity — stale means the
+  /// file was hand-assembled or cross-wired), and the rendered stats.
+  bool has_statistics = false;
+  bool statistics_fresh = false;
+  std::string statistics;
   std::vector<SectionInfo> sections;
 
   /// Multi-line "name value" rendering.

@@ -12,9 +12,14 @@
 //     monadic instances),
 //   * the disjunctive-search engine,
 //   * the EvaluationService single-request path (which also round-trips
-//     the query through Print -> Parse and the plan cache), and
+//     the query through Print -> Parse and the plan cache),
 //   * the EvaluationService batch path (requests chunked through
-//     EvalBatch onto the worker pool).
+//     EvalBatch onto the worker pool), and
+//   * the cost-based planner sweep: costing off (the engine runs above),
+//     costing on over the database's real statistics, and costing on
+//     over randomly perturbed statistics — the planner is advisory by
+//     contract, so even garbage estimates may only change schedules,
+//     never verdicts.
 //
 // All verdicts must be identical. A mismatch aborts the suite and prints
 // a self-contained repro: the seed plus the database and query rendered
@@ -37,6 +42,8 @@
 #include "core/entail_bruteforce.h"
 #include "core/printer.h"
 #include "service/service.h"
+#include "stats/cost_model.h"
+#include "stats/stats.h"
 #include "util/random.h"
 #include "workload/generators.h"
 
@@ -137,9 +144,45 @@ std::string Repro(uint64_t seed, const Instance& instance) {
   return out;
 }
 
+// Random statistics perturbation for the costing sweep: counts are
+// zeroed, shrunk or inflated across magnitude classes and the validity
+// bit may flip. Structurally a legal DatabaseStats, numerically lies —
+// the cost model must stay crash-free and verdict-neutral on it.
+stats::DatabaseStats PerturbStats(stats::DatabaseStats s, Rng& rng) {
+  auto scale = [&rng](long long value) -> long long {
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        return 0;
+      case 1:
+        return value / 2;
+      case 2:
+        return value * 16 + 1;
+      default:
+        return value;
+    }
+  };
+  for (stats::PredicateStats& ps : s.predicates) {
+    ps.tuples = scale(ps.tuples);
+    for (long long& d : ps.distinct_args) d = scale(d);
+  }
+  for (auto& [pred, count] : s.label_points) count = scale(count);
+  for (stats::LabelPairStats& pair : s.label_pairs) {
+    pair.points = scale(pair.points);
+  }
+  s.points = static_cast<int>(scale(s.points));
+  s.edges = static_cast<int>(scale(s.edges));
+  s.strict_edges = static_cast<int>(scale(s.strict_edges));
+  s.dag_depth = static_cast<int>(scale(s.dag_depth));
+  s.level_width = static_cast<int>(scale(s.level_width));
+  s.components = static_cast<int>(scale(s.components));
+  if (rng.Bernoulli(0.2)) s.order_stats_valid = !s.order_stats_valid;
+  return s;
+}
+
 // Collects every applicable engine verdict for the instance. Returns
 // nullopt (with a recorded failure) if any path errors out.
-std::optional<std::vector<Verdict>> EngineVerdicts(const Instance& instance) {
+std::optional<std::vector<Verdict>> EngineVerdicts(const Instance& instance,
+                                                   uint64_t seed) {
   std::vector<Verdict> verdicts;
   EntailOptions options;
   options.semantics = instance.semantics;
@@ -158,6 +201,36 @@ std::optional<std::vector<Verdict>> EngineVerdicts(const Instance& instance) {
   };
 
   if (!run("entails-auto", EngineKind::kAuto)) return std::nullopt;
+
+  // Costing sweep. "entails-auto" above is the costing-off baseline
+  // (options.planner defaults to null); the same instance is re-decided
+  // with the real statistics-backed planner and with a planner fed
+  // perturbed statistics.
+  {
+    EntailOptions costed = options;
+    costed.planner = stats::PlannerFor(instance.db);
+    Result<EntailResult> result =
+        Entails(instance.db, instance.query, costed);
+    if (!result.ok()) {
+      ADD_FAILURE() << "costed-auto failed: " << result.status().ToString();
+      return std::nullopt;
+    }
+    verdicts.push_back({"costed-auto", result.value().entailed});
+
+    Rng perturb_rng(seed ^ 0xC057ED57A7511CA1ULL);
+    EntailOptions perturbed = options;
+    perturbed.planner = std::make_shared<const stats::CostModel>(
+        std::make_shared<const stats::DatabaseStats>(
+            PerturbStats(*stats::StatsFor(instance.db), perturb_rng)));
+    result = Entails(instance.db, instance.query, perturbed);
+    if (!result.ok()) {
+      ADD_FAILURE() << "costed-perturbed failed: "
+                    << result.status().ToString();
+      return std::nullopt;
+    }
+    verdicts.push_back({"costed-perturbed", result.value().entailed});
+  }
+
   if (!run("brute-force", EngineKind::kBruteForce)) return std::nullopt;
   if (!run("disjunctive-search", EngineKind::kDisjunctiveSearch)) {
     return std::nullopt;
@@ -227,7 +300,8 @@ TEST(ConformanceFuzzTest, AllEnginesAndServiceAgree) {
         single.has_value() ? *single : kSeedBase + static_cast<uint64_t>(i);
     Instance instance = DrawInstance(seed, service.vocab());
 
-    std::optional<std::vector<Verdict>> verdicts = EngineVerdicts(instance);
+    std::optional<std::vector<Verdict>> verdicts =
+        EngineVerdicts(instance, seed);
     ASSERT_TRUE(verdicts.has_value()) << Repro(seed, instance);
 
     // The service path: registers the database and round-trips the query

@@ -223,8 +223,9 @@ TEST(ParallelEvaluateBatchTest, SingleDatabaseShardsTheEnumeration) {
   Database db = RandomMonadicDb(params, vocab, rng);
   db.AddNotEqual("c0_0", "c1_0");  // inequality forces brute force
   Query query = RandomSequentialQuery(3, 2, 0.5, 0.4, vocab, rng);
-  Result<PreparedQuery> plan =
-      Prepare(vocab, query, EntailOptions{.engine = EngineKind::kBruteForce});
+  EntailOptions brute;
+  brute.engine = EngineKind::kBruteForce;
+  Result<PreparedQuery> plan = Prepare(vocab, query, brute);
   ASSERT_TRUE(plan.ok());
 
   std::vector<const Database*> dbs{&db};

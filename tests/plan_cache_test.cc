@@ -94,6 +94,10 @@ TEST(PlanCacheInvalidationTest, MutationInvalidatesTransformedPlanView) {
   EvalRequest request;
   request.db = "db";
   request.query = "exists t: P(t) & t < c";  // c is a constant
+  // Costing off: this test asserts EXACT plan reuse across a mutation,
+  // and with costing the mutation below changes statistics magnitudes
+  // (a new constant and edge), which correctly re-keys the plan.
+  request.costing = 0;
   Result<EvalResponse> before = service.Eval(request);
   ASSERT_TRUE(before.ok());
   // Nothing orders any P-point below c, so some minimal completion
@@ -131,6 +135,7 @@ TEST(PlanCacheInvalidationTest, MutationInvalidatesNormView) {
   EvalRequest request;
   request.db = "db";
   request.query = "exists t1 t2: Q(t1) & t1 < t2";
+  request.costing = 0;  // exact plan reuse across the mutation (as above)
   Result<EvalResponse> before = service.Eval(request);
   ASSERT_TRUE(before.ok());
   EXPECT_FALSE(before.value().entailed);  // nothing above the Q-point

@@ -45,6 +45,7 @@ TEST(PrepareTest, PassProvenanceRecordsEveryPassInOrder) {
       QueryPassId::kConstantElimination, QueryPassId::kInequalityRewrite,
       QueryPassId::kNormalize,           QueryPassId::kSemanticsReduction,
       QueryPassId::kObjectSplit,         QueryPassId::kEngineClassification,
+      QueryPassId::kCostPlan,
   };
   ASSERT_EQ(plan.value().passes().size(), expected_order.size());
   for (size_t i = 0; i < expected_order.size(); ++i) {
@@ -193,10 +194,12 @@ TEST(PrepareTest, ExplainGoldenOutput) {
             "  semantics-reduction   no-op    finite semantics\n"
             "  object-split          no-op    no object-only components\n"
             "  engine-classification applied  planned engine: bounded-width\n"
+            "  cost-plan             no-op    no planner (costing off)\n"
             "disjuncts:\n"
             "  #0 monadic=yes order-vars=2 width=1 engine=bounded-width\n"
             "dispatch: bounded-width (database-dependent filtering may "
-            "adjust)\n");
+            "adjust)\n"
+            "plan-choice: default\n");
 }
 
 // The heart of the acceptance criteria: Prepare+Evaluate must agree with

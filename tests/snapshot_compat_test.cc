@@ -1,0 +1,315 @@
+// Backward compatibility of snapshot format v2 (the optional statistics
+// section) with pre-statistics v1 files: v1 snapshots open with lazily
+// rebuilt statistics, re-encode as byte-stable v2, and the corruption
+// guarantees extend over the new section — every flipped byte in the
+// statistics region is caught by a checksum, a well-checksummed but
+// malformed statistics payload is a decode error, and a stale-identity
+// statistics section is silently dropped (statistics are advisory).
+//
+// V1 files are synthesized from v2 bytes by stripping the statistics
+// section and rewriting the header/table — bit-for-bit what the v1
+// encoder produced, since v2 only appended a section. A static v1
+// fixture (hex bytes committed below) pins the reader against format
+// drift that in-process synthesis alone would miss.
+
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/stats.h"
+#include "storage/codec.h"
+
+namespace iodb {
+namespace {
+
+// Mirrors the layout constants of storage/snapshot.cc.
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 4 + 8;
+constexpr size_t kEntryBytes = 4 + 4 + 8 + 8 + 8;
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kCountOffset = 8 + 4 + 4;
+constexpr size_t kTableChecksumOffset = 8 + 4 + 4 + 4;
+constexpr uint32_t kStatisticsSectionId = 7;
+
+Database MixedDatabase(VocabularyPtr vocab) {
+  Database db(vocab);
+  db.AddOrder("u", OrderRel::kLt, "v");
+  db.AddOrder("v", OrderRel::kLe, "w");
+  EXPECT_TRUE(db.AddFact("P", {"u"}).ok());
+  EXPECT_TRUE(db.AddFact("P", {"w"}).ok());
+  EXPECT_TRUE(db.AddFact("Q", {"v"}).ok());
+  EXPECT_TRUE(db.AddFact("IC", {"u", "w", "A"}).ok());
+  EXPECT_TRUE(db.AddFact("Owns", {"A", "B"}).ok());
+  db.AddNotEqual("u", "w");
+  return db;
+}
+
+uint32_t U32At(const std::string& bytes, size_t offset) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) |
+            static_cast<unsigned char>(bytes[offset + static_cast<size_t>(i)]);
+  }
+  return value;
+}
+
+uint64_t U64At(const std::string& bytes, size_t offset) {
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) |
+            static_cast<unsigned char>(bytes[offset + static_cast<size_t>(i)]);
+  }
+  return value;
+}
+
+void PutU32(std::string* bytes, size_t offset, uint32_t value) {
+  for (size_t i = 0; i < 4; ++i) {
+    (*bytes)[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+void PutU64(std::string* bytes, size_t offset, uint64_t value) {
+  for (size_t i = 0; i < 8; ++i) {
+    (*bytes)[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+// The statistics section's table slot and payload extent within v2
+// bytes (it is the last section in both table and payload order).
+struct StatsRegion {
+  size_t entry_offset = 0;
+  size_t payload_offset = 0;
+  size_t payload_size = 0;
+};
+
+StatsRegion FindStatsRegion(const std::string& bytes) {
+  const uint32_t count = U32At(bytes, kCountOffset);
+  StatsRegion region;
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t entry = kHeaderBytes + i * kEntryBytes;
+    if (U32At(bytes, entry) == kStatisticsSectionId) {
+      region.entry_offset = entry;
+      region.payload_offset = static_cast<size_t>(U64At(bytes, entry + 8));
+      region.payload_size = static_cast<size_t>(U64At(bytes, entry + 16));
+    }
+  }
+  EXPECT_GT(region.entry_offset, 0u);
+  EXPECT_EQ(region.payload_offset + region.payload_size, bytes.size());
+  return region;
+}
+
+// Strips the statistics section out of v2 bytes, producing exactly the
+// file the v1 encoder wrote: version 1, six table entries, payload
+// offsets shifted by the removed table slot.
+std::string StripToV1(const std::string& v2) {
+  const uint32_t count = U32At(v2, kCountOffset);
+  EXPECT_EQ(count, 7u);
+  const StatsRegion stats = FindStatsRegion(v2);
+
+  std::string v1 = v2.substr(0, kHeaderBytes);
+  PutU32(&v1, kVersionOffset, 1);
+  PutU32(&v1, kCountOffset, count - 1);
+  std::string table =
+      v2.substr(kHeaderBytes, (count - 1) * kEntryBytes);
+  for (uint32_t i = 0; i + 1 < count; ++i) {
+    const size_t entry = i * kEntryBytes;
+    PutU64(&table, entry + 8, U64At(table, entry + 8) - kEntryBytes);
+  }
+  PutU64(&v1, kTableChecksumOffset, storage::Fnv1a64(table));
+  v1 += table;
+  v1 += v2.substr(kHeaderBytes + count * kEntryBytes,
+                  stats.payload_offset -
+                      (kHeaderBytes + count * kEntryBytes));
+  return v1;
+}
+
+// Replaces the statistics payload in v2 bytes (same length) and fixes
+// the section and table checksums, so only the payload CONTENT is bad.
+std::string ReplaceStatsPayload(const std::string& v2,
+                                const std::string& payload) {
+  const StatsRegion stats = FindStatsRegion(v2);
+  EXPECT_EQ(payload.size(), stats.payload_size);
+  std::string out = v2;
+  out.replace(stats.payload_offset, stats.payload_size, payload);
+  PutU64(&out, stats.entry_offset + 24, storage::Fnv1a64(payload));
+  const uint32_t count = U32At(out, kCountOffset);
+  PutU64(&out, kTableChecksumOffset,
+         storage::Fnv1a64(std::string_view(out).substr(
+             kHeaderBytes, count * kEntryBytes)));
+  return out;
+}
+
+TEST(SnapshotCompat, V1OpensWithLazilyRebuiltStats) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  const std::string v1 = StripToV1(storage::EncodeSnapshot(db));
+
+  Result<storage::SnapshotInfo> info = storage::InspectSnapshot(v1);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().format_version, 1u);
+  EXPECT_EQ(info.value().sections.size(), 6u);
+  EXPECT_FALSE(info.value().has_statistics);
+  EXPECT_NE(info.value().ToString().find(
+                "absent (pre-v2 snapshot; rebuilt on open)"),
+            std::string::npos);
+
+  Result<Database> restored = storage::DecodeSnapshot(v1);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().uid(), db.uid());
+  EXPECT_FALSE(stats::StatsArePersisted(restored.value()));
+  // The lazy rebuild measures the same content.
+  std::shared_ptr<const stats::DatabaseStats> rebuilt =
+      stats::StatsFor(restored.value());
+  EXPECT_EQ(rebuilt->ContentFingerprint(),
+            stats::StatsFor(db)->ContentFingerprint());
+}
+
+TEST(SnapshotCompat, V1ReEncodesToByteStableV2) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  const std::string v2 = storage::EncodeSnapshot(db);
+  const std::string v1 = StripToV1(v2);
+
+  // Upgrading is decode + encode; rebuilt statistics are a pure function
+  // of content + identity, so the result is the v2 encoding, exactly.
+  Result<Database> from_v1 = storage::DecodeSnapshot(v1);
+  ASSERT_TRUE(from_v1.ok());
+  const std::string upgraded = storage::EncodeSnapshot(from_v1.value());
+  EXPECT_EQ(upgraded, v2);
+
+  // And from there the encoding is a fixed point.
+  Result<Database> again = storage::DecodeSnapshot(upgraded);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(stats::StatsArePersisted(again.value()));
+  EXPECT_EQ(storage::EncodeSnapshot(again.value()), upgraded);
+}
+
+TEST(SnapshotCompat, CorruptionSweepOverStatisticsSection) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  const std::string v2 = storage::EncodeSnapshot(db);
+  const StatsRegion stats = FindStatsRegion(v2);
+
+  // Every single-byte flip in the statistics payload or its table slot
+  // must come back as a Status (checksum or header validation).
+  for (size_t offset = stats.payload_offset; offset < v2.size(); ++offset) {
+    std::string patched = v2;
+    patched[offset] = static_cast<char>(patched[offset] ^ 0x5A);
+    EXPECT_FALSE(storage::DecodeSnapshot(patched).ok())
+        << "payload flip at " << offset << " accepted";
+  }
+  for (size_t i = 0; i < kEntryBytes; ++i) {
+    std::string patched = v2;
+    patched[stats.entry_offset + i] =
+        static_cast<char>(patched[stats.entry_offset + i] ^ 0x5A);
+    EXPECT_FALSE(storage::DecodeSnapshot(patched).ok())
+        << "table flip at " << i << " accepted";
+  }
+}
+
+TEST(SnapshotCompat, MalformedStatsPayloadUnderValidChecksumIsCorrupt) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  const std::string v2 = storage::EncodeSnapshot(db);
+  const StatsRegion stats = FindStatsRegion(v2);
+
+  // Same length, garbage content, checksums fixed up: the statistics
+  // DECODER must reject it — corruption may not masquerade as "no
+  // statistics".
+  const std::string garbage(stats.payload_size, '\x77');
+  Result<Database> restored =
+      storage::DecodeSnapshot(ReplaceStatsPayload(v2, garbage));
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().message().find("statistics"),
+            std::string::npos);
+}
+
+TEST(SnapshotCompat, StaleIdentityStatsAreDroppedNotFatal) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  const std::string v2 = storage::EncodeSnapshot(db);
+
+  // A well-formed statistics section describing another revision (e.g.
+  // a hand-edited or mis-assembled file): advisory data, so the open
+  // succeeds and the stats are rebuilt instead of trusted.
+  stats::DatabaseStats stale = *stats::StatsFor(db);
+  stale.db_revision += 1;
+  const std::string patched =
+      ReplaceStatsPayload(v2, stats::EncodeStats(stale));
+
+  Result<storage::SnapshotInfo> info = storage::InspectSnapshot(patched);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info.value().has_statistics);
+  EXPECT_FALSE(info.value().statistics_fresh);
+  EXPECT_NE(info.value().ToString().find("STALE"), std::string::npos);
+
+  Result<Database> restored = storage::DecodeSnapshot(patched);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_FALSE(stats::StatsArePersisted(restored.value()));
+  EXPECT_EQ(stats::StatsFor(restored.value())->db_revision,
+            restored.value().revision());
+}
+
+// A committed pre-statistics fixture: the exact bytes a v1 build wrote
+// for the mixed database above (identity uid=FIXTURE, revision as
+// encoded). Pins the v1 reader against drift that round-trip synthesis
+// cannot catch.
+constexpr char kV1FixtureHex[] =
+    "494f4442534e4150010000004d3c2b1a060000005fb513380ef8e58c01000000000000"
+    "00dc000000000000003b00000000000000e9a5edeb990751bd02000000000000001701"
+    "0000000000002100000000000000ba9daa116b6489d503000000000000003801000000"
+    "0000005400000000000000436aa73cb394d47a04000000000000008c01000000000000"
+    "1a00000000000000203c208f095362d20500000000000000a601000000000000100000"
+    "000000000046c555fa016217790600000000000000b601000000000000100000000000"
+    "0000c9be96841eed07d401000000000000000400000001000000500100000001010000"
+    "0051010000000102000000494303000000010100040000004f776e7302000000000002"
+    "0000000100000041010000004203000000010000007501000000760100000077040000"
+    "0001000000020000000000000000000000020000000100000001000000000000000100"
+    "0000030000000100000000000000000000000200000000000000020000000100000000"
+    "0000000000000001000000020000000000000000000000010000000001000000020000"
+    "00010100000000000000000000000200000001000000000000000d00000000000000";
+
+std::string FromHex(std::string_view hex) {
+  std::string out;
+  out.reserve(hex.size() / 2);
+  auto nibble = [](char c) {
+    return c <= '9' ? c - '0' : c - 'a' + 10;
+  };
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<char>((nibble(hex[i]) << 4) |
+                                    nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+TEST(SnapshotCompat, CommittedV1FixtureStillOpens) {
+  const std::string bytes = FromHex(kV1FixtureHex);
+  Result<storage::SnapshotInfo> info = storage::InspectSnapshot(bytes);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().format_version, 1u);
+  EXPECT_FALSE(info.value().has_statistics);
+
+  Result<Database> restored = storage::DecodeSnapshot(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().proper_atoms().size(), 5u);
+  EXPECT_EQ(restored.value().order_atoms().size(), 2u);
+  EXPECT_FALSE(stats::StatsArePersisted(restored.value()));
+
+  // Opening and re-saving upgrades the fixture to v2 with a persisted
+  // statistics section, and v2 is a byte-stable fixed point.
+  const std::string upgraded = storage::EncodeSnapshot(restored.value());
+  Result<storage::SnapshotInfo> upgraded_info =
+      storage::InspectSnapshot(upgraded);
+  ASSERT_TRUE(upgraded_info.ok());
+  EXPECT_EQ(upgraded_info.value().format_version, 2u);
+  EXPECT_TRUE(upgraded_info.value().has_statistics);
+  Result<Database> reopened = storage::DecodeSnapshot(upgraded);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(storage::EncodeSnapshot(reopened.value()), upgraded);
+}
+
+}  // namespace
+}  // namespace iodb

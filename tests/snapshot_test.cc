@@ -221,9 +221,14 @@ TEST(Snapshot, InspectReportsCountsAndSections) {
   EXPECT_EQ(info.value().num_order_atoms, 2u);
   EXPECT_EQ(info.value().num_inequalities, 1u);
   EXPECT_EQ(info.value().file_bytes, bytes.size());
-  EXPECT_EQ(info.value().sections.size(), 6u);
+  EXPECT_EQ(info.value().sections.size(), 7u);
+  EXPECT_TRUE(info.value().has_statistics);
+  EXPECT_TRUE(info.value().statistics_fresh);
   const std::string rendered = info.value().ToString();
   EXPECT_NE(rendered.find("section fact-segments"), std::string::npos);
+  EXPECT_NE(rendered.find("statistics            persisted (fresh)"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("order-graph"), std::string::npos);
 }
 
 TEST(Snapshot, EverySingleByteCorruptionIsDetected) {
@@ -256,10 +261,14 @@ TEST(Snapshot, RejectsOtherFormatVersions) {
   auto vocab = std::make_shared<Vocabulary>();
   Database db(vocab);
   std::string bytes = storage::EncodeSnapshot(db);
-  bytes[8] = 2;  // version field follows the 8-byte magic
-  Result<Database> restored = storage::DecodeSnapshot(bytes);
-  ASSERT_FALSE(restored.ok());
-  EXPECT_NE(restored.status().message().find("version"), std::string::npos);
+  for (uint8_t version : {0, 3}) {  // below and above the known range
+    std::string patched = bytes;
+    patched[8] = static_cast<char>(version);  // follows the 8-byte magic
+    Result<Database> restored = storage::DecodeSnapshot(patched);
+    ASSERT_FALSE(restored.ok());
+    EXPECT_NE(restored.status().message().find("version"),
+              std::string::npos);
+  }
 }
 
 TEST(Snapshot, RejectsForeignBytes) {

@@ -1,0 +1,321 @@
+// Unit tests for the statistics subsystem (src/stats): collection
+// correctness on known databases, the byte codec (lossless round trip,
+// corruption rejection), content fingerprints, rendering, and the
+// memoized access path through the Database stats slot (staleness on
+// mutation, persisted-vs-rebuilt marking, identity checks on install).
+
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/cost_model.h"
+#include "storage/codec.h"
+
+namespace iodb {
+namespace {
+
+using stats::CollectStats;
+using stats::DatabaseStats;
+using stats::DecodeStats;
+using stats::EncodeStats;
+using stats::PredicateStats;
+using stats::RenderStats;
+
+// The snapshot-test mixed database: monadic order facts, an n-ary
+// mixed-sort predicate, object constants, both order relations, and an
+// inequality — every collection dimension is nonzero.
+Database MixedDatabase(VocabularyPtr vocab) {
+  Database db(vocab);
+  db.AddOrder("u", OrderRel::kLt, "v");
+  db.AddOrder("v", OrderRel::kLe, "w");
+  EXPECT_TRUE(db.AddFact("P", {"u"}).ok());
+  EXPECT_TRUE(db.AddFact("P", {"w"}).ok());
+  EXPECT_TRUE(db.AddFact("Q", {"v"}).ok());
+  EXPECT_TRUE(db.AddFact("IC", {"u", "w", "A"}).ok());
+  EXPECT_TRUE(db.AddFact("Owns", {"A", "B"}).ok());
+  db.AddNotEqual("u", "w");
+  return db;
+}
+
+const PredicateStats* FindPred(const DatabaseStats& s, const Database& db,
+                               const std::string& name) {
+  for (const PredicateStats& ps : s.predicates) {
+    if (db.vocab()->predicate(ps.pred).name == name) return &ps;
+  }
+  return nullptr;
+}
+
+TEST(StatsCollect, FactLevelCounts) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  DatabaseStats s = CollectStats(db);
+
+  EXPECT_EQ(s.db_uid, db.uid());
+  EXPECT_EQ(s.db_revision, db.revision());
+  EXPECT_EQ(s.proper_atoms, 5);
+  EXPECT_EQ(s.order_atoms, 2);
+  EXPECT_EQ(s.inequality_atoms, 1);
+  EXPECT_EQ(s.object_constants, 2);  // A, B
+  EXPECT_EQ(s.order_constants, 3);   // u, v, w
+
+  // Per-predicate cardinalities with distinct-argument counts; only
+  // predicates that actually carry facts appear.
+  ASSERT_EQ(s.predicates.size(), 4u);
+  const PredicateStats* p = FindPred(s, db, "P");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->tuples, 2);
+  EXPECT_EQ(p->distinct_args, (std::vector<long long>{2}));
+  const PredicateStats* ic = FindPred(s, db, "IC");
+  ASSERT_NE(ic, nullptr);
+  EXPECT_EQ(ic->tuples, 1);
+  EXPECT_EQ(ic->distinct_args, (std::vector<long long>{1, 1, 1}));
+  // Ascending by predicate id (the codec and fingerprint rely on it).
+  for (size_t i = 1; i < s.predicates.size(); ++i) {
+    EXPECT_LT(s.predicates[i - 1].pred, s.predicates[i].pred);
+  }
+}
+
+TEST(StatsCollect, OrderGraphShape) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  DatabaseStats s = CollectStats(db);
+
+  ASSERT_TRUE(s.order_stats_valid);
+  EXPECT_EQ(s.points, 3);
+  EXPECT_EQ(s.edges, 2);
+  EXPECT_EQ(s.strict_edges, 1);  // u < v strict, v <= w weak
+  EXPECT_EQ(s.dag_depth, 3);     // u -> v -> w is a 3-vertex chain
+  EXPECT_EQ(s.level_width, 1);
+  EXPECT_EQ(s.components, 1);
+  // One component of size 3: log2 bucket 1 ([2, 4)).
+  EXPECT_EQ(s.component_log2_histogram,
+            (std::vector<long long>{0, 1}));
+
+  // Labels: P on u and w, Q on v; u carries only P and v only Q, so the
+  // pair sketch is empty (and, being complete, that emptiness is exact).
+  ASSERT_EQ(s.label_points.size(), 2u);
+  EXPECT_EQ(s.label_points[0].second + s.label_points[1].second, 3);
+  EXPECT_TRUE(s.label_pairs.empty());
+}
+
+TEST(StatsCollect, LabelPairSketchCountsCoOccurrence) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  db.AddOrder("a", OrderRel::kLt, "b");
+  ASSERT_TRUE(db.AddFact("P", {"a"}).ok());
+  ASSERT_TRUE(db.AddFact("Q", {"a"}).ok());
+  ASSERT_TRUE(db.AddFact("P", {"b"}).ok());
+  DatabaseStats s = CollectStats(db);
+  ASSERT_TRUE(s.order_stats_valid);
+  // Exactly one point (a) carries both P and Q.
+  ASSERT_EQ(s.label_pairs.size(), 1u);
+  EXPECT_EQ(s.label_pairs[0].points, 1);
+  EXPECT_LT(s.label_pairs[0].p, s.label_pairs[0].q);
+}
+
+TEST(StatsCollect, InconsistentDatabaseKeepsFactStatsOnly) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db(vocab);
+  db.AddOrder("a", OrderRel::kLt, "b");
+  db.AddOrder("b", OrderRel::kLt, "a");  // strict cycle: inconsistent
+  ASSERT_TRUE(db.AddFact("P", {"a"}).ok());
+  DatabaseStats s = CollectStats(db);
+  EXPECT_EQ(s.proper_atoms, 1);
+  EXPECT_EQ(s.order_atoms, 2);
+  EXPECT_FALSE(s.order_stats_valid);
+  EXPECT_EQ(s.points, 0);
+  EXPECT_TRUE(s.label_points.empty());
+  // Rendering says so instead of printing untrustworthy zeros.
+  EXPECT_NE(RenderStats(s).find("order-graph"), std::string::npos);
+  EXPECT_NE(RenderStats(s).find("invalid (inconsistent database)"),
+            std::string::npos);
+}
+
+TEST(StatsCollect, DeterministicOnEqualContent) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database a = MixedDatabase(vocab);
+  Database b = MixedDatabase(vocab);
+  DatabaseStats sa = CollectStats(a);
+  DatabaseStats sb = CollectStats(b);
+  // Identities differ (fresh uids), content statistics do not.
+  EXPECT_NE(sa.db_uid, sb.db_uid);
+  sa.db_uid = sb.db_uid = 0;
+  sa.db_revision = sb.db_revision = 0;
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(StatsCodec, RoundTripIsLossless) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  DatabaseStats s = CollectStats(db);
+
+  const std::string bytes = EncodeStats(s);
+  Result<DatabaseStats> decoded = DecodeStats(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), s);
+  // Encode ∘ Decode ∘ Encode is the identity on bytes — the property
+  // snapshot byte-stability rests on.
+  EXPECT_EQ(EncodeStats(decoded.value()), bytes);
+}
+
+TEST(StatsCodec, RejectsTruncationAtEveryLength) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DatabaseStats s = CollectStats(MixedDatabase(vocab));
+  const std::string bytes = EncodeStats(s);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Result<DatabaseStats> decoded =
+        DecodeStats(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "truncation to " << len << " accepted";
+  }
+}
+
+TEST(StatsCodec, RejectsUnknownVersionAndTrailingBytes) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DatabaseStats s = CollectStats(MixedDatabase(vocab));
+  std::string bytes = EncodeStats(s);
+
+  std::string wrong_version = bytes;
+  wrong_version[0] = 99;
+  EXPECT_FALSE(DecodeStats(wrong_version).ok());
+
+  std::string trailing = bytes + "x";
+  EXPECT_FALSE(DecodeStats(trailing).ok());
+}
+
+TEST(StatsCodec, RejectsInflatedCounts) {
+  // A corrupt count field must fail fast, not reserve gigabytes. The
+  // predicate count is the u32 right after the fixed prefix:
+  // [version u8][uid u64][rev u64][3 x u64][2 x u32].
+  auto vocab = std::make_shared<Vocabulary>();
+  DatabaseStats s = CollectStats(MixedDatabase(vocab));
+  std::string bytes = EncodeStats(s);
+  const size_t count_offset = 1 + 8 + 8 + 3 * 8 + 2 * 4;
+  std::string corrupt = bytes.substr(0, count_offset);
+  storage::AppendU32(&corrupt, 0x7FFFFFFFu);
+  corrupt += bytes.substr(count_offset + 4);
+  EXPECT_FALSE(DecodeStats(corrupt).ok());
+}
+
+TEST(StatsFingerprint, IgnoresIdentityTracksContent) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DatabaseStats a = CollectStats(MixedDatabase(vocab));
+  DatabaseStats b = a;
+  b.db_uid ^= 0xDEAD;
+  b.db_revision += 7;
+  EXPECT_EQ(a.ContentFingerprint(), b.ContentFingerprint());
+  b.proper_atoms += 1;
+  EXPECT_NE(a.ContentFingerprint(), b.ContentFingerprint());
+}
+
+TEST(StatsRender, MentionsEveryDimension) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  const std::string text = RenderStats(CollectStats(db));
+  for (const char* needle :
+       {"stats-revision", "fact-atoms", "proper=5 order=2 neq=1",
+        "constants", "object=2 order=3", "order-graph",
+        "points=3 edges=2 strict=1", "dag-shape",
+        "depth=3 level-width=1 components=1", "label #"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing '" << needle << "' in:\n" << text;
+  }
+}
+
+// --- memoized access through the Database stats slot ---------------------
+
+TEST(StatsMemo, StatsForMemoizesUntilMutation) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+
+  std::shared_ptr<const DatabaseStats> first = stats::StatsFor(db);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->db_revision, db.revision());
+  // Fresh entry: the exact same object comes back, no recompute.
+  EXPECT_EQ(stats::StatsFor(db).get(), first.get());
+  EXPECT_FALSE(stats::StatsArePersisted(db));
+
+  // A mutation bumps the revision; the memo detects staleness and the
+  // recomputed stats see the new fact.
+  ASSERT_TRUE(db.AddFact("P", {"v"}).ok());
+  std::shared_ptr<const DatabaseStats> second = stats::StatsFor(db);
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_EQ(second->db_revision, db.revision());
+  EXPECT_EQ(second->proper_atoms, first->proper_atoms + 1);
+  // The holder of the old entry is unaffected.
+  EXPECT_EQ(first->proper_atoms, 5);
+}
+
+TEST(StatsMemo, PlannerForIsMemoizedWithTheStats) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  std::shared_ptr<const QueryPlanner> planner = stats::PlannerFor(db);
+  ASSERT_NE(planner, nullptr);
+  EXPECT_EQ(stats::PlannerFor(db).get(), planner.get());
+  ASSERT_TRUE(db.AddFact("Q", {"w"}).ok());
+  EXPECT_NE(stats::PlannerFor(db).get(), planner.get());
+}
+
+TEST(StatsMemo, InstallPersistedStatsChecksIdentity) {
+  auto vocab = std::make_shared<Vocabulary>();
+  Database db = MixedDatabase(vocab);
+  DatabaseStats s = CollectStats(db);
+
+  // A stats block for another identity must be rejected — persisted
+  // statistics are only trusted for the content they were measured on.
+  DatabaseStats wrong = s;
+  wrong.db_revision += 1;
+  EXPECT_FALSE(stats::InstallPersistedStats(db, wrong).ok());
+  EXPECT_FALSE(stats::StatsArePersisted(db));
+
+  ASSERT_TRUE(stats::InstallPersistedStats(db, s).ok());
+  EXPECT_TRUE(stats::StatsArePersisted(db));
+  // StatsFor serves the installed entry verbatim.
+  EXPECT_EQ(*stats::StatsFor(db), s);
+
+  // Mutation makes the persisted entry stale: the next read rebuilds
+  // and the database stops reporting persisted statistics.
+  ASSERT_TRUE(db.AddFact("P", {"v"}).ok());
+  EXPECT_FALSE(stats::StatsArePersisted(db));
+  EXPECT_EQ(stats::StatsFor(db)->db_revision, db.revision());
+  EXPECT_FALSE(stats::StatsArePersisted(db));
+}
+
+// --- cost-model fingerprint quantization ---------------------------------
+
+TEST(CostModelFingerprint, StableWithinMagnitudeClass) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto base =
+      std::make_shared<const DatabaseStats>(CollectStats(MixedDatabase(vocab)));
+
+  // Same magnitudes, different identity: equal fingerprints (plan-cache
+  // hits survive revision bumps that do not change any bit width).
+  DatabaseStats same = *base;
+  same.db_revision += 3;
+  same.proper_atoms += 1;  // not part of the fingerprint at all
+  stats::CostModel a(base);
+  stats::CostModel b(std::make_shared<const DatabaseStats>(same));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // Crossing a magnitude boundary re-keys: P goes from 2 tuples
+  // (bit width 2) to 4 (bit width 3).
+  DatabaseStats bigger = *base;
+  for (PredicateStats& ps : bigger.predicates) {
+    if (ps.tuples == 2) ps.tuples = 4;
+  }
+  stats::CostModel c(std::make_shared<const DatabaseStats>(bigger));
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+
+  // The engine-route structure bits are exact, not quantized: flipping
+  // the edge mix to all-strict must re-key even though no count moved.
+  DatabaseStats all_strict = *base;
+  all_strict.strict_edges = all_strict.edges;
+  stats::CostModel d(std::make_shared<const DatabaseStats>(all_strict));
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
+}  // namespace
+}  // namespace iodb

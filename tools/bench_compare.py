@@ -21,6 +21,13 @@ Options:
   --metric {real,cpu}
                     which per-iteration time to compare (default: real)
   --filter SUBSTR   only compare benchmarks whose name contains SUBSTR
+  --min-improvement PCT
+                    additionally require EVERY shared benchmark to be at
+                    least PCT percent faster in the candidate. This turns
+                    the tool into an A/B gate: comparing a costing-off
+                    baseline against a costing-on candidate with
+                    --min-improvement 16.7 asserts a >=1.2x speedup on
+                    every compared benchmark.
 """
 
 import argparse
@@ -73,6 +80,10 @@ def main():
     parser.add_argument("--metric", choices=("real", "cpu"), default="real")
     parser.add_argument("--filter", default="",
                         help="only compare names containing this substring")
+    parser.add_argument("--min-improvement", type=float, default=None,
+                        metavar="PCT",
+                        help="fail unless every shared benchmark improved "
+                             "by at least PCT percent")
     args = parser.parse_args()
 
     base = load_times(args.baseline, args.metric)
@@ -90,6 +101,7 @@ def main():
 
     regressions = []
     improvements = 0
+    too_slow = []
     for name in shared:
         b, c = base[name], cand[name]
         if b <= 0.0:
@@ -99,6 +111,9 @@ def main():
             regressions.append((delta_pct, name, b, c))
         elif delta_pct < -args.threshold:
             improvements += 1
+        if (args.min_improvement is not None
+                and delta_pct > -args.min_improvement):
+            too_slow.append((delta_pct, name, b, c))
 
     print(f"compared {len(shared)} shared benchmarks "
           f"({args.metric} time, threshold {args.threshold:g}%)")
@@ -120,6 +135,18 @@ def main():
         for delta_pct, name, b, c in regressions:
             print(f"  {name}: {fmt_ns(b)} -> {fmt_ns(c)}  (+{delta_pct:.1f}%)")
         return 1
+    if too_slow:
+        too_slow.sort(reverse=True)
+        print(f"\nFAIL: {len(too_slow)} benchmark(s) improved by less than "
+              f"the required {args.min_improvement:g}%:")
+        for delta_pct, name, b, c in too_slow:
+            print(f"  {name}: {fmt_ns(b)} -> {fmt_ns(c)}  "
+                  f"({delta_pct:+.1f}%)")
+        return 1
+    if args.min_improvement is not None:
+        print(f"OK: all {len(shared)} shared benchmarks improved by at "
+              f"least {args.min_improvement:g}%")
+        return 0
     print("OK: no benchmark regressed beyond the threshold")
     return 0
 

@@ -6,10 +6,14 @@
 //             [--semantics=finite|integer|rational]
 //             [--engine=auto|brute-force|path-decomposition|bounded-width
 //                     |disjunctive-search]
-//             [--countermodel] [--explain]
+//             [--costing=on|off] [--countermodel] [--explain]
 //
 // Reads a database in the parser's text format from DB_FILE and evaluates
-// the query (also text format) against it. --db-snapshot=PATH replaces
+// the query (also text format) against it. --costing=on (the default)
+// feeds the database's statistics-backed cost model (src/stats) into
+// Prepare(), which may reorder conjunct schedules and disjuncts and
+// suggest an engine route; --costing=off plans from the pure
+// topological order. Costing never changes verdicts. --db-snapshot=PATH replaces
 // DB_FILE with a binary snapshot (storage/snapshot.h; write one with
 // iodb_pack) and skips the text parser entirely — the vocabulary and
 // database identity come from the file. The query comes from exactly
@@ -34,6 +38,7 @@
 #include "core/parser.h"
 #include "core/prepare.h"
 #include "core/printer.h"
+#include "stats/stats.h"
 #include "storage/snapshot.h"
 
 namespace {
@@ -41,8 +46,8 @@ namespace {
 constexpr char kUsage[] =
     "usage: iodb_eval DB_FILE [QUERY] [--query-file=PATH] "
     "[--db-snapshot=PATH] [--semantics=...] [--engine=...] "
-    "[--countermodel] [--explain]; QUERY may be '-' to read from stdin; "
-    "--db-snapshot replaces DB_FILE";
+    "[--costing=on|off] [--countermodel] [--explain]; QUERY may be '-' to "
+    "read from stdin; --db-snapshot replaces DB_FILE";
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "iodb_eval: %s\n", message.c_str());
@@ -63,6 +68,7 @@ int main(int argc, char** argv) {
 
   EntailOptions options;
   bool explain = false;
+  bool costing = true;
   std::string db_file;
   std::string db_snapshot;
   std::string query_arg;
@@ -92,6 +98,15 @@ int main(int argc, char** argv) {
       std::optional<EngineKind> kind = ParseEngineKind(value);
       if (!kind.has_value()) return Fail("unknown engine '" + value + "'");
       options.engine = *kind;
+    } else if (arg.rfind("--costing=", 0) == 0) {
+      std::string value = arg.substr(10);
+      if (value == "on") {
+        costing = true;
+      } else if (value == "off") {
+        costing = false;
+      } else {
+        return Fail("bad costing value '" + value + "' (want on|off)");
+      }
     } else if (arg.rfind("--", 0) == 0 && arg != "-") {
       return Fail("unknown flag '" + arg + "'");
     } else if (positionals == 0 && db_snapshot.empty()) {
@@ -160,6 +175,7 @@ int main(int argc, char** argv) {
   Result<Query> query = ParseQuery(query_text, vocab);
   if (!query.ok()) return Fail("query: " + query.status().ToString());
 
+  if (costing) options.planner = stats::PlannerFor(db.value());
   Result<PreparedQuery> prepared = Prepare(vocab, query.value(), options);
   if (!prepared.ok()) return Fail(prepared.status().ToString());
   if (explain) std::printf("%s", prepared.value().Explain().c_str());

@@ -36,14 +36,17 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "iodb_pack inspect: exit ${rc}\n${err}")
 endif()
 foreach(pattern
-    "format-version +1"
+    "format-version +2"
     "predicates +2"
     "order-constants +2"
     "proper-atoms +2"
     "order-atoms +1"
     "section vocabulary "
     "section fact-segments "
-    "section identity ")
+    "section identity "
+    "section statistics "
+    "statistics +persisted \\(fresh\\)"
+    "order-graph +points=2")
   if(NOT "${out}" MATCHES "${pattern}")
     message(FATAL_ERROR "inspect output missing '${pattern}':\n${out}")
   endif()

@@ -9,14 +9,19 @@
 //    "semantics": "finite|integer|rational",   (optional)
 //    "engine": "<engine name>",                (optional)
 //    "countermodel": true|false,               (optional)
+//    "costing": true|false,                    (optional; cost-based plan)
 //    "deadline_ms": N,                         (optional; governance)
 //    "step_budget": N}                         (optional; governance)
 //
 // Loads execute up front (untimed); evals replay in order. Usage:
 //
 //   iodb_replay TRACE.json [--batch=N] [--repeat=K]
-//               [--workers=N] [--plan-cache=N]
+//               [--workers=N] [--plan-cache=N] [--trace-plans]
 //               [--db-snapshot=NAME=PATH ...]
+//
+// --trace-plans prints one plan-choice line per request of the first
+// round ("plan: #<i> db=<name> engine=<engine> schedule=<summary>"), the
+// observable record of what the cost-based planner picked per request.
 //
 // --db-snapshot registers the binary snapshot at PATH (written by
 // iodb_pack or the durable registry) under NAME before the trace's own
@@ -313,6 +318,12 @@ Result<Trace> InterpretTrace(const JsonValue& root) {
         }
         request.options.want_countermodel = countermodel->boolean;
       }
+      if (const JsonValue* costing = Field(op, "costing")) {
+        if (costing->kind != JsonValue::Kind::kBool) {
+          return Status::InvalidArgument("'costing' must be a boolean");
+        }
+        request.costing = costing->boolean ? 1 : 0;
+      }
       if (const JsonValue* deadline = Field(op, "deadline_ms")) {
         if (deadline->kind != JsonValue::Kind::kNumber ||
             deadline->number < 0) {
@@ -347,12 +358,13 @@ double Percentile(std::vector<double>& sorted_us, double q) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     return Fail("usage: iodb_replay TRACE.json [--batch=N] [--repeat=K] "
-                "[--workers=N] [--plan-cache=N] "
+                "[--workers=N] [--plan-cache=N] [--trace-plans] "
                 "[--db-snapshot=NAME=PATH ...]");
   }
   ServiceOptions options;
   int batch_size = 1;
   int repeat = 1;
+  bool trace_plans = false;
   int plan_cache = static_cast<int>(options.plan_cache_capacity);
   std::vector<std::pair<std::string, std::string>> snapshots;  // (name, path)
   for (int i = 2; i < argc; ++i) {
@@ -365,6 +377,8 @@ int main(int argc, char** argv) {
       options.num_workers = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--plan-cache=", 0) == 0) {
       plan_cache = std::atoi(arg.c_str() + 13);
+    } else if (arg == "--trace-plans") {
+      trace_plans = true;
     } else if (arg.rfind("--db-snapshot=", 0) == 0) {
       const std::string value = arg.substr(14);
       const size_t eq = value.find('=');
@@ -433,6 +447,19 @@ int main(int argc, char** argv) {
       const double us =
           std::chrono::duration<double, std::micro>(Clock::now() - start)
               .count();
+      if (trace_plans && round == 0) {
+        for (size_t k = 0; k < responses.size(); ++k) {
+          const size_t i = begin + k;
+          if (responses[k].ok()) {
+            std::printf("plan: #%zu db=%s engine=%s schedule=%s\n", i,
+                        evals[i].db.c_str(),
+                        EngineKindName(responses[k].value().engine_used),
+                        responses[k].value().plan_summary.c_str());
+          } else {
+            std::printf("plan: #%zu db=%s error\n", i, evals[i].db.c_str());
+          }
+        }
+      }
       for (const Result<EvalResponse>& response : responses) {
         if (!response.ok()) {
           ++errors;

@@ -60,7 +60,9 @@
 // "ERR line-too-long ...", and a request that exhausted its deadline /
 // step budget / cancellation is "ERR deadline-exceeded <detail>" or
 // "ERR cancelled <detail>". Flags: --workers=N (worker pool size,
-// default: machine), --plan-cache=N (plan cache capacity, default 128),
+// default: machine), --costing=on|off (statistics-backed cost-based
+// planning default for requests that do not pass their own --costing
+// flag; default on), --plan-cache=N (plan cache capacity, default 128),
 // --data-dir=DIR (open a durable registry at startup),
 // --wal-sync=none|commit|interval (WAL flush policy, default commit),
 // --default-deadline-ms=N / --default-step-budget=N (governance applied
@@ -182,6 +184,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       sync.policy = *policy;
+    } else if (arg.rfind("--costing=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      if (value == "on") {
+        options.use_cost_model = true;
+      } else if (value == "off") {
+        options.use_cost_model = false;
+      } else {
+        std::fprintf(stderr,
+                     "iodb_serve: --costing needs on or off\n");
+        return 2;
+      }
     } else if (arg.rfind("--default-deadline-ms=", 0) == 0) {
       options.default_deadline_ms = std::atoll(arg.c_str() + 22);
     } else if (arg.rfind("--default-step-budget=", 0) == 0) {
@@ -206,6 +219,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: iodb_serve [--workers=N] [--plan-cache=N] "
+                   "[--costing=on|off] "
                    "[--data-dir=DIR] [--wal-sync=none|commit|interval] "
                    "[--default-deadline-ms=N] [--default-step-budget=N] "
                    "[--listen=SOCKET_PATH] [--tcp-port=N] "
